@@ -1,0 +1,58 @@
+//! Criterion benches for Figure 8 (efficiency study): truth-discovery
+//! running time on original vs perturbed data, across noise levels, and
+//! scaling in the number of objects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dptd_core::mechanism::PrivatePipeline;
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_truth::{crh::Crh, TruthDiscoverer};
+
+fn bench_noise_levels(c: &mut Criterion) {
+    let mut rng = dptd_stats::seeded_rng(61);
+    let cfg = SyntheticConfig {
+        num_users: 150,
+        num_objects: 200,
+        ..SyntheticConfig::default()
+    };
+    let dataset = cfg.generate(&mut rng).expect("generation succeeds");
+    let crh = Crh::default();
+
+    let mut group = c.benchmark_group("fig8_crh_vs_noise");
+    group.bench_function("original", |b| {
+        b.iter(|| crh.discover(&dataset.observations).expect("discovery"))
+    });
+    for lambda2 in [10.0, 2.0, 0.5] {
+        let pipeline = PrivatePipeline::new(crh, lambda2).expect("valid lambda2");
+        let (perturbed, _) = pipeline.perturb(&dataset.observations, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("perturbed_lambda2", lambda2),
+            &perturbed,
+            |b, data| b.iter(|| crh.discover(data).expect("discovery")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_object_scaling(c: &mut Criterion) {
+    // The paper cites linear scaling in N for fixed iterations.
+    let mut group = c.benchmark_group("fig8_scaling_objects");
+    for n in [100usize, 400, 1600] {
+        let mut rng = dptd_stats::seeded_rng(67);
+        let dataset = SyntheticConfig {
+            num_users: 50,
+            num_objects: n,
+            ..SyntheticConfig::default()
+        }
+        .generate(&mut rng)
+        .expect("generation succeeds");
+        let crh = Crh::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dataset, |b, ds| {
+            b.iter(|| crh.discover(&ds.observations).expect("discovery"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise_levels, bench_object_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the perturbation mechanisms — the §3.2 claim
+//! that user-side processing is negligible ("each user only needs to
+//! generate random noise and add it to his data").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dptd_ldp::{
+    FixedGaussianMechanism, LaplaceMechanism, Mechanism, RandomizedVarianceGaussian,
+};
+
+fn bench_perturbation(c: &mut Criterion) {
+    let report: Vec<f64> = (0..129).map(|i| i as f64).collect(); // floor-plan sized
+    let mut group = c.benchmark_group("perturb_129_values");
+
+    let m = RandomizedVarianceGaussian::new(2.0).expect("valid");
+    group.bench_function("randomized_variance_gaussian", |b| {
+        let mut rng = dptd_stats::seeded_rng(73);
+        b.iter(|| m.perturb_report(&report, &mut rng))
+    });
+
+    let m = LaplaceMechanism::new(1.0, 1.0).expect("valid");
+    group.bench_function("laplace", |b| {
+        let mut rng = dptd_stats::seeded_rng(79);
+        b.iter(|| m.perturb_report(&report, &mut rng))
+    });
+
+    let m = FixedGaussianMechanism::new(1.0, 1.0, 0.1).expect("valid");
+    group.bench_function("fixed_gaussian", |b| {
+        let mut rng = dptd_stats::seeded_rng(83);
+        b.iter(|| m.perturb_report(&report, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_report_sizes(c: &mut Criterion) {
+    let m = RandomizedVarianceGaussian::new(2.0).expect("valid");
+    let mut group = c.benchmark_group("randomized_gaussian_report_size");
+    for n in [10usize, 100, 1000] {
+        let report = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &report, |b, r| {
+            let mut rng = dptd_stats::seeded_rng(89);
+            b.iter(|| m.perturb_report(r, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturbation, bench_report_sizes);
+criterion_main!(benches);

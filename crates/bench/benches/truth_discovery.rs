@@ -1,0 +1,41 @@
+//! Criterion benches for the truth-discovery algorithms themselves:
+//! CRH vs GTM vs the naive baselines on the same matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_truth::baselines::{MeanAggregator, MedianAggregator};
+use dptd_truth::{crh::Crh, gtm::Gtm, TruthDiscoverer};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut rng = dptd_stats::seeded_rng(71);
+    let dataset = SyntheticConfig {
+        num_users: 150,
+        num_objects: 100,
+        ..SyntheticConfig::default()
+    }
+    .generate(&mut rng)
+    .expect("generation succeeds");
+
+    let mut group = c.benchmark_group("truth_discovery_150x100");
+    group.bench_function("crh", |b| {
+        let a = Crh::default();
+        b.iter(|| a.discover(&dataset.observations).expect("discovery"))
+    });
+    group.bench_function("gtm", |b| {
+        let a = Gtm::default();
+        b.iter(|| a.discover(&dataset.observations).expect("discovery"))
+    });
+    group.bench_function("mean", |b| {
+        let a = MeanAggregator::new();
+        b.iter(|| a.discover(&dataset.observations).expect("discovery"))
+    });
+    group.bench_function("median", |b| {
+        let a = MedianAggregator::new();
+        b.iter(|| a.discover(&dataset.observations).expect("discovery"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Ablations — the design choices DESIGN.md calls out.
+//!
+//! 1. Aggregator under noise: CRH vs GTM vs mean vs median at the same
+//!    perturbation (the §3.2 "weighted beats unweighted" claim).
+//! 2. CRH loss choice: squared vs absolute vs normalized-squared.
+//! 3. Randomized-variance (paper) vs fixed-variance Gaussian at matched
+//!    expected noise: does the private noise level cost utility?
+//! 4. Robustness: utility under a growing fraction of adversarial users.
+//!
+//! Run with: `cargo run --release -p dptd-bench --bin ablations`
+
+use dptd_core::mechanism::PrivatePipeline;
+use dptd_ldp::{FixedGaussianMechanism, Mechanism};
+use dptd_sensing::adversary::{Adversary, Spammer};
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_stats::summary::RunningStats;
+use dptd_truth::baselines::{MeanAggregator, MedianAggregator};
+use dptd_truth::catd::Catd;
+use dptd_truth::crh::Crh;
+use dptd_truth::gtm::Gtm;
+use dptd_truth::{Convergence, Loss, TruthDiscoverer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SyntheticConfig::default();
+    let lambda2 = 1.0;
+    let replicates = 10;
+
+    println!("# Ablations (S = {}, N = {}, lambda2 = {lambda2})", cfg.num_users, cfg.num_objects);
+
+    // --- 1. Aggregator under identical noise ---
+    println!("\n## 1. aggregator under noise (utility MAE, lower is better)\n");
+    println!("| aggregator | utility MAE | MAE vs truth |");
+    println!("|:---|---:|---:|");
+    aggregator_row("CRH", Crh::default(), &cfg, lambda2, replicates)?;
+    aggregator_row("GTM", Gtm::default(), &cfg, lambda2, replicates)?;
+    aggregator_row("CATD", Catd::default(), &cfg, lambda2, replicates)?;
+    aggregator_row("mean", MeanAggregator::new(), &cfg, lambda2, replicates)?;
+    aggregator_row("median", MedianAggregator::new(), &cfg, lambda2, replicates)?;
+
+    // --- 2. CRH loss choice ---
+    println!("\n## 2. CRH loss function\n");
+    println!("| loss | utility MAE | MAE vs truth |");
+    println!("|:---|---:|---:|");
+    for (name, loss) in [
+        ("squared", Loss::Squared),
+        ("absolute", Loss::Absolute),
+        ("normalized-squared", Loss::NormalizedSquared),
+    ] {
+        aggregator_row(name, Crh::new(loss, Convergence::default()), &cfg, lambda2, replicates)?;
+    }
+
+    // --- 3. randomized vs fixed variance at matched E[variance] ---
+    println!("\n## 3. randomized-variance (paper) vs fixed-variance Gaussian\n");
+    let mut rand_acc = RunningStats::new();
+    let mut fixed_acc = RunningStats::new();
+    for rep in 0..replicates {
+        let mut rng = dptd_stats::seeded_rng(900 + rep);
+        let ds = cfg.generate(&mut rng)?;
+        let clean = Crh::default().discover(&ds.observations)?;
+
+        let pipeline = PrivatePipeline::new(Crh::default(), lambda2)?;
+        let run = pipeline.run(&ds.observations, &mut rng)?;
+        rand_acc.push(run.utility_mae()?);
+
+        let fixed = FixedGaussianMechanism::from_sigma((1.0 / lambda2).sqrt())?;
+        let mut perturbed = ds.observations.clone();
+        for s in 0..ds.num_users() {
+            let orig: Vec<f64> = ds.observations.observations_of_user(s).map(|(_, v)| v).collect();
+            perturbed.replace_user_observations(s, &fixed.perturb_report(&orig, &mut rng));
+        }
+        let out = Crh::default().discover(&perturbed)?;
+        fixed_acc.push(dptd_stats::summary::mae(&clean.truths, &out.truths)?);
+    }
+    println!("| mechanism | utility MAE |");
+    println!("|:---|---:|");
+    println!("| randomized variance (private noise level) | {:.4} |", rand_acc.mean());
+    println!("| fixed variance (public noise level) | {:.4} |", fixed_acc.mean());
+
+    // --- 4. adversarial robustness ---
+    println!("\n## 4. robustness to spammers (CRH under perturbation)\n");
+    println!("| spammer fraction | MAE vs truth (CRH) | MAE vs truth (mean) |");
+    println!("|---:|---:|---:|");
+    for frac in [0.0, 0.1, 0.2, 0.3] {
+        let mut crh_acc = RunningStats::new();
+        let mut mean_acc = RunningStats::new();
+        for rep in 0..replicates {
+            let mut rng = dptd_stats::seeded_rng(1100 + rep);
+            let ds = cfg.generate(&mut rng)?;
+            let mut observations = ds.observations.clone();
+            let n_bad = (frac * cfg.num_users as f64) as usize;
+            let bad: Vec<usize> = (0..n_bad).collect();
+            Spammer { value: 30.0 }.corrupt(&mut observations, &bad, &mut rng)?;
+
+            let pipeline = PrivatePipeline::new(Crh::default(), lambda2)?;
+            let run = pipeline.run(&observations, &mut rng)?;
+            crh_acc.push(ds.mae_to_truth(&run.perturbed.truths));
+
+            let mean_pipeline = PrivatePipeline::new(MeanAggregator::new(), lambda2)?;
+            let mean_run = mean_pipeline.run(&observations, &mut rng)?;
+            mean_acc.push(ds.mae_to_truth(&mean_run.perturbed.truths));
+        }
+        println!("| {frac} | {:.4} | {:.4} |", crh_acc.mean(), mean_acc.mean());
+    }
+    Ok(())
+}
+
+fn aggregator_row<A: TruthDiscoverer + Copy>(
+    name: &str,
+    algorithm: A,
+    cfg: &SyntheticConfig,
+    lambda2: f64,
+    replicates: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut mae_acc = RunningStats::new();
+    let mut truth_acc = RunningStats::new();
+    for rep in 0..replicates {
+        let mut rng = dptd_stats::seeded_rng(800 + rep);
+        let ds = cfg.generate(&mut rng)?;
+        let pipeline = PrivatePipeline::new(algorithm, lambda2)?;
+        let run = pipeline.run(&ds.observations, &mut rng)?;
+        mae_acc.push(run.utility_mae()?);
+        truth_acc.push(ds.mae_to_truth(&run.perturbed.truths));
+    }
+    println!("| {name} | {:.4} | {:.4} |", mae_acc.mean(), truth_acc.mean());
+    Ok(())
+}

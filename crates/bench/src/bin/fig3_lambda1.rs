@@ -1,0 +1,35 @@
+//! Figure 3 — effect of λ₁ (quality of the original data).
+//!
+//! Paper series: at a fixed privacy target, sweep λ₁ and plot (a) MAE and
+//! (b) average added noise. Expected shape: both fall as λ₁ grows —
+//! higher-quality data needs less noise to hide (Thm 4.8's 1/λ₁) and
+//! loses less utility.
+//!
+//! Run with: `cargo run --release -p dptd-bench --bin fig3_lambda1`
+
+use dptd_bench::{lambda2_for_privacy, print_table, sweep_point};
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_truth::crh::Crh;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (epsilon, delta) = (1.0, 0.3);
+    let replicates = 10;
+
+    println!("# Figure 3: effect of lambda1 (error-distribution rate)");
+    println!("privacy target: epsilon = {epsilon}, delta = {delta}");
+
+    let mut points = Vec::new();
+    for lambda1 in [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
+        let cfg = SyntheticConfig {
+            lambda1,
+            ..SyntheticConfig::default()
+        };
+        let lambda2 = lambda2_for_privacy(epsilon, delta, lambda1)?;
+        let p = sweep_point(lambda1, lambda2, Crh::default(), replicates, 43, |rng| {
+            Ok(cfg.generate(rng)?)
+        })?;
+        points.push(p);
+    }
+    print_table("MAE and noise vs lambda1", "lambda1", &points);
+    Ok(())
+}

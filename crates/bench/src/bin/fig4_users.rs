@@ -1,0 +1,36 @@
+//! Figure 4 — effect of S (number of users).
+//!
+//! Paper series: fixed noise level, sweep S ∈ [100, 600]. Expected shape:
+//! MAE falls as S grows (more users → better weight estimation) while the
+//! average added noise stays flat (users perturb independently).
+//!
+//! Run with: `cargo run --release -p dptd-bench --bin fig4_users`
+
+use dptd_bench::{lambda2_for_privacy, print_table, sweep_point};
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_truth::crh::Crh;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (epsilon, delta) = (1.0, 0.3);
+    let lambda1 = 2.0;
+    let lambda2 = lambda2_for_privacy(epsilon, delta, lambda1)?;
+    let replicates = 10;
+
+    println!("# Figure 4: effect of S (number of users)");
+    println!("privacy target: epsilon = {epsilon}, delta = {delta}; lambda2 = {lambda2:.4}");
+
+    let mut points = Vec::new();
+    for s in [100, 200, 300, 400, 500, 600] {
+        let cfg = SyntheticConfig {
+            num_users: s,
+            lambda1,
+            ..SyntheticConfig::default()
+        };
+        let p = sweep_point(s as f64, lambda2, Crh::default(), replicates, 44, |rng| {
+            Ok(cfg.generate(rng)?)
+        })?;
+        points.push(p);
+    }
+    print_table("MAE and noise vs S", "S", &points);
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Figure 5 — utility–privacy trade-off with GTM instead of CRH.
+//!
+//! The mechanism is algorithm-agnostic (§3.1); the paper demonstrates the
+//! same trade-off shape under GTM. Expected: same qualitative pattern as
+//! Figure 2.
+//!
+//! Run with: `cargo run --release -p dptd-bench --bin fig5_tradeoff_gtm`
+
+use dptd_bench::{delta_grid, epsilon_grid, lambda2_for_privacy, print_table, sweep_point};
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_truth::gtm::Gtm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SyntheticConfig::default();
+    let replicates = 10;
+
+    println!("# Figure 5: utility-privacy trade-off, synthetic, GTM");
+
+    for delta in delta_grid() {
+        let mut points = Vec::new();
+        for eps in epsilon_grid() {
+            let lambda2 = lambda2_for_privacy(eps, delta, cfg.lambda1)?;
+            let p = sweep_point(eps, lambda2, Gtm::default(), replicates, 45, |rng| {
+                Ok(cfg.generate(rng)?)
+            })?;
+            points.push(p);
+        }
+        print_table(&format!("delta = {delta}"), "epsilon", &points);
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Theory check — Theorems 4.3, 4.8, 4.9 and Appendix A as tables.
+//!
+//! Not a figure in the paper, but the quantities its analysis section
+//! derives: the utility ceiling `C_{λ₁,α,β,S}`, the privacy floor on `c`,
+//! the feasibility window, and a Monte-Carlo verification that the
+//! `(α, β)`-utility bound holds on simulated worlds.
+//!
+//! Run with: `cargo run --release -p dptd-bench --bin theory_bounds`
+
+use dptd_bench::{SENSITIVITY_B, SENSITIVITY_ETA};
+use dptd_core::mechanism::PrivatePipeline;
+use dptd_core::theory::{privacy, tradeoff, utility};
+use dptd_ldp::SensitivityBound;
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_truth::crh::Crh;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lambda1 = 2.0;
+    let s = 150;
+
+    println!("# Theory bounds (lambda1 = {lambda1}, S = {s})\n");
+
+    println!("## Theorem 4.3: utility ceiling C(alpha, beta)\n");
+    println!("| alpha | beta | C (max c) |");
+    println!("|---:|---:|---:|");
+    for alpha in [0.25, 0.5, 1.0] {
+        for beta in [0.05, 0.1, 0.2] {
+            let c = utility::c_upper_bound(lambda1, alpha, beta, s)?;
+            println!("| {alpha} | {beta} | {c:.2} |");
+        }
+    }
+
+    println!("\n## Theorem 4.8: privacy floor on c\n");
+    println!("| epsilon | delta | min c | lambda2 = lambda1/c |");
+    println!("|---:|---:|---:|---:|");
+    for eps in [0.5, 1.0, 2.0] {
+        for delta in [0.2, 0.4] {
+            let sens = SensitivityBound::new(SENSITIVITY_B, SENSITIVITY_ETA, lambda1)?;
+            let req = privacy::PrivacyRequirement::new(eps, delta, sens)?;
+            let c = privacy::min_noise_level(&req);
+            println!("| {eps} | {delta} | {c:.3} | {:.3} |", lambda1 / c);
+        }
+    }
+
+    println!("\n## Theorem 4.9: feasibility windows\n");
+    println!("| alpha | beta | epsilon | delta | c window | feasible |");
+    println!("|---:|---:|---:|---:|:---|:---|");
+    for (alpha, beta, eps, delta) in [
+        (0.5, 0.1, 1.0, 0.3),
+        (0.25, 0.05, 0.5, 0.2),
+        (0.05, 0.01, 0.1, 0.05),
+    ] {
+        let sens = SensitivityBound::new(SENSITIVITY_B, SENSITIVITY_ETA, lambda1)?;
+        let req = privacy::PrivacyRequirement::new(eps, delta, sens)?;
+        let w = tradeoff::feasible_noise_window(alpha, beta, s, &req)?;
+        println!(
+            "| {alpha} | {beta} | {eps} | {delta} | [{:.3}, {:.3}] | {} |",
+            w.c_min,
+            w.c_max,
+            w.is_feasible()
+        );
+    }
+
+    println!("\n## Monte-Carlo check of the (alpha, beta)-utility bound\n");
+    let c = 0.5;
+    let lambda2 = lambda1 / c;
+    let alpha = 1.5 * utility::alpha_threshold(lambda1, lambda2)?;
+    let beta = utility::utility_beta_bound(lambda1, lambda2, s, alpha)?;
+    let cfg = SyntheticConfig {
+        num_users: s,
+        lambda1,
+        ..SyntheticConfig::default()
+    };
+    let pipeline = PrivatePipeline::new(Crh::default(), lambda2)?;
+    let trials = 40;
+    let mut exceed = 0;
+    for seed in 0..trials {
+        let mut rng = dptd_stats::seeded_rng(5000 + seed);
+        let ds = cfg.generate(&mut rng)?;
+        let run = pipeline.run(&ds.observations, &mut rng)?;
+        if run.utility_mae()? >= alpha {
+            exceed += 1;
+        }
+    }
+    println!(
+        "c = {c}, alpha = {alpha:.3}: bound beta = {beta:.4}, empirical \
+         Pr[gap >= alpha] = {:.4} over {trials} worlds",
+        exceed as f64 / trials as f64
+    );
+    println!("(the empirical probability must not exceed beta)");
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! Shared experiment harness for regenerating the paper's figures.
+//!
+//! Every figure is a parameter sweep over the same inner loop: build a
+//! world, map a privacy target to a hyper-parameter λ₂ via the theory
+//! module, run [`PrivatePipeline`], and average
+//! [`RunMetrics`] over seeds. This crate
+//! holds that loop plus the table printer; each `src/bin/fig*.rs` binary
+//! configures one sweep.
+//!
+//! Output format: a markdown table per sub-figure with one row per x-axis
+//! point — the same series the paper plots.
+
+#![deny(missing_docs)]
+
+use dptd_core::mechanism::PrivatePipeline;
+use dptd_core::report::RunMetrics;
+use dptd_core::theory::privacy::{self, PrivacyRequirement};
+use dptd_core::CoreError;
+use dptd_ldp::SensitivityBound;
+use dptd_sensing::SensingDataset;
+use dptd_stats::summary::RunningStats;
+use dptd_truth::TruthDiscoverer;
+
+/// Lemma 4.7 constants used by all experiments (`b`, `η`): b = 1.5 keeps
+/// the tail bound meaningful, η = 0.9 the paper's "with high probability".
+pub const SENSITIVITY_B: f64 = 1.5;
+/// Confidence η for the variance bound in Lemma 4.7.
+pub const SENSITIVITY_ETA: f64 = 0.9;
+
+/// Map an `(ε, δ)` target at data quality `λ₁` to the hyper-parameter
+/// `λ₂`, through Theorem 4.8 (paper form, with the proof's ε restored).
+///
+/// # Errors
+///
+/// Propagates parameter validation from the theory module.
+pub fn lambda2_for_privacy(epsilon: f64, delta: f64, lambda1: f64) -> Result<f64, CoreError> {
+    let sensitivity = SensitivityBound::new(SENSITIVITY_B, SENSITIVITY_ETA, lambda1)
+        .map_err(CoreError::from)?;
+    let req = PrivacyRequirement::new(epsilon, delta, sensitivity)?;
+    let c = privacy::min_noise_level(&req);
+    privacy::lambda2_for_noise_level(lambda1, c)
+}
+
+/// Averaged metrics for one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The x-axis value (ε, λ₁, S — whatever the figure sweeps).
+    pub x: f64,
+    /// Mean utility MAE across replicates (Figures' "MAE" axis).
+    pub utility_mae: f64,
+    /// Mean of the mean-absolute added noise (Figures' "noise" axis).
+    pub mean_abs_noise: f64,
+    /// Mean MAE of the perturbed aggregate vs ground truth.
+    pub truth_mae: f64,
+    /// Replicates averaged.
+    pub replicates: usize,
+}
+
+/// Run `replicates` seeded repetitions of the pipeline on freshly
+/// generated worlds and average the metrics.
+///
+/// `make_dataset` receives the replicate's RNG; `x` is recorded verbatim.
+///
+/// # Errors
+///
+/// Propagates pipeline/generation failures.
+pub fn sweep_point<A, F>(
+    x: f64,
+    lambda2: f64,
+    algorithm: A,
+    replicates: usize,
+    seed_base: u64,
+    mut make_dataset: F,
+) -> Result<SweepPoint, CoreError>
+where
+    A: TruthDiscoverer + Copy,
+    F: FnMut(&mut rand::rngs::StdRng) -> Result<SensingDataset, CoreError>,
+{
+    let pipeline = PrivatePipeline::new(algorithm, lambda2)?;
+    let mut mae_acc = RunningStats::new();
+    let mut noise_acc = RunningStats::new();
+    let mut truth_acc = RunningStats::new();
+    for rep in 0..replicates {
+        let mut rng = dptd_stats::seeded_rng(seed_base.wrapping_add(rep as u64));
+        let dataset = make_dataset(&mut rng)?;
+        let run = pipeline.run(&dataset.observations, &mut rng)?;
+        let metrics = RunMetrics::from_run(&run, Some(&dataset.ground_truths))?;
+        mae_acc.push(metrics.utility_mae);
+        noise_acc.push(metrics.mean_abs_noise);
+        truth_acc.push(metrics.truth_mae_perturbed.unwrap_or(f64::NAN));
+    }
+    Ok(SweepPoint {
+        x,
+        utility_mae: mae_acc.mean(),
+        mean_abs_noise: noise_acc.mean(),
+        truth_mae: truth_acc.mean(),
+        replicates,
+    })
+}
+
+/// Print a sweep as a markdown table.
+pub fn print_table(title: &str, x_label: &str, points: &[SweepPoint]) {
+    println!("\n## {title}\n");
+    println!("| {x_label} | utility MAE | mean \\|noise\\| | MAE vs truth |");
+    println!("|---:|---:|---:|---:|");
+    for p in points {
+        println!(
+            "| {:.3} | {:.4} | {:.4} | {:.4} |",
+            p.x, p.utility_mae, p.mean_abs_noise, p.truth_mae
+        );
+    }
+}
+
+/// The ε grid used by the trade-off figures (Figs. 2, 5, 6).
+pub fn epsilon_grid() -> Vec<f64> {
+    vec![0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0]
+}
+
+/// The δ grid used by the trade-off figures.
+pub fn delta_grid() -> Vec<f64> {
+    vec![0.2, 0.3, 0.4, 0.5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_sensing::synthetic::SyntheticConfig;
+    use dptd_truth::crh::Crh;
+
+    #[test]
+    fn lambda2_mapping_monotone_in_epsilon() {
+        // Stronger privacy (smaller ε) → smaller λ₂ (more noise).
+        let strong = lambda2_for_privacy(0.25, 0.2, 2.0).unwrap();
+        let weak = lambda2_for_privacy(2.0, 0.2, 2.0).unwrap();
+        assert!(strong < weak);
+    }
+
+    #[test]
+    fn sweep_point_averages() {
+        let cfg = SyntheticConfig {
+            num_users: 20,
+            num_objects: 5,
+            ..Default::default()
+        };
+        let p = sweep_point(1.0, 5.0, Crh::default(), 3, 7, |rng| {
+            Ok(cfg.generate(rng)?)
+        })
+        .unwrap();
+        assert_eq!(p.replicates, 3);
+        assert!(p.utility_mae >= 0.0);
+        assert!(p.mean_abs_noise > 0.0);
+    }
+
+    #[test]
+    fn grids_are_sorted() {
+        let e = epsilon_grid();
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+        let d = delta_grid();
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+    }
+}

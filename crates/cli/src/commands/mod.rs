@@ -1,0 +1,53 @@
+//! The `dptd` subcommands. Each `execute` takes parsed arguments and
+//! returns the rendered report as a `String` (testable, printable).
+
+pub mod audit;
+pub mod run;
+pub mod theory;
+
+use crate::CliError;
+
+/// Resolve λ₂ for a command: an explicit `--lambda2` wins; otherwise map
+/// `(--epsilon, --delta, --lambda1)` through Theorem 4.8.
+pub(crate) fn resolve_lambda2(args: &crate::args::ArgMap) -> Result<(f64, String), CliError> {
+    if let Some(lambda2) = args.f64_opt("lambda2")? {
+        return Ok((lambda2, format!("lambda2 = {lambda2} (explicit)")));
+    }
+    let epsilon = args.f64_or("epsilon", 1.0)?;
+    let delta = args.f64_or("delta", 0.3)?;
+    let lambda1 = args.f64_or("lambda1", 2.0)?;
+    let sens = dptd_ldp::SensitivityBound::new(1.5, 0.9, lambda1)?;
+    let req = dptd_core::theory::privacy::PrivacyRequirement::new(epsilon, delta, sens)?;
+    let c = dptd_core::theory::privacy::min_noise_level(&req);
+    let lambda2 = dptd_core::theory::privacy::lambda2_for_noise_level(lambda1, c)?;
+    Ok((
+        lambda2,
+        format!(
+            "lambda2 = {lambda2:.4} from (epsilon = {epsilon}, delta = {delta}, lambda1 = {lambda1}) via Theorem 4.8"
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ArgMap;
+
+    fn map(words: &[&str]) -> ArgMap {
+        ArgMap::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn explicit_lambda2_wins() {
+        let (l2, desc) = resolve_lambda2(&map(&["--lambda2", "3.5", "--epsilon", "9"])).unwrap();
+        assert_eq!(l2, 3.5);
+        assert!(desc.contains("explicit"));
+    }
+
+    #[test]
+    fn privacy_target_resolves() {
+        let (l2, desc) = resolve_lambda2(&map(&["--epsilon", "1.0", "--delta", "0.3"])).unwrap();
+        assert!(l2 > 0.0);
+        assert!(desc.contains("Theorem 4.8"));
+    }
+}

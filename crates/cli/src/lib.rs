@@ -1,0 +1,165 @@
+//! Library backing the `dptd` command-line tool.
+//!
+//! Three subcommands, each usable without writing any Rust:
+//!
+//! ```text
+//! dptd run    --dataset synthetic --algorithm crh --epsilon 1.0 --delta 0.3
+//! dptd theory --alpha 0.5 --beta 0.1 --epsilon 1.0 --delta 0.3 --users 150
+//! dptd audit  --epsilon 1.0 --delta 0.3 --lambda1 2.0
+//! ```
+//!
+//! All logic lives here (the binary is a thin `main`), so every command is
+//! unit-testable: each returns its rendered output as a `String`.
+
+#![deny(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// CLI-level error: bad usage or a propagated pipeline failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be interpreted; the string is a
+    /// user-facing message (already includes usage hints).
+    Usage(String),
+    /// An underlying library error.
+    Pipeline(Box<dyn std::error::Error + Send + Sync>),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Pipeline(e) => write!(f, "error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<dptd_core::CoreError> for CliError {
+    fn from(e: dptd_core::CoreError) -> Self {
+        CliError::Pipeline(Box::new(e))
+    }
+}
+
+impl From<dptd_ldp::LdpError> for CliError {
+    fn from(e: dptd_ldp::LdpError) -> Self {
+        CliError::Pipeline(Box::new(e))
+    }
+}
+
+impl From<dptd_sensing::SensingError> for CliError {
+    fn from(e: dptd_sensing::SensingError) -> Self {
+        CliError::Pipeline(Box::new(e))
+    }
+}
+
+impl From<dptd_truth::TruthError> for CliError {
+    fn from(e: dptd_truth::TruthError) -> Self {
+        CliError::Pipeline(Box::new(e))
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+dptd — differentially private truth discovery for crowd sensing
+
+USAGE:
+    dptd <COMMAND> [--key value ...]
+
+COMMANDS:
+    run      run the private truth-discovery pipeline on a simulated world
+             --dataset    synthetic | floorplan | air-quality   [synthetic]
+             --algorithm  crh | crh-median | gtm | catd | mean | median [crh]
+             --lambda2    noise hyper-parameter (overrides epsilon/delta)
+             --epsilon    LDP epsilon target                    [1.0]
+             --delta      LDP delta target                      [0.3]
+             --lambda1    data-quality rate                     [2.0]
+             --users      population size (synthetic only)      [150]
+             --objects    object count (synthetic only)         [30]
+             --replicates averaging repetitions                 [5]
+             --seed       RNG seed                              [42]
+    theory   print Theorem 4.3/4.8/4.9 bounds for a configuration
+             --alpha --beta --epsilon --delta --lambda1 --users
+    audit    empirically estimate the mechanism's privacy loss
+             --epsilon --delta --lambda1 --trials [100000] --seed [42]
+    help     show this message
+";
+
+/// Dispatch a full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands/flags and
+/// [`CliError::Pipeline`] for propagated library failures.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    match command.as_str() {
+        "run" => commands::run::execute(&args::ArgMap::parse(rest)?),
+        "theory" => commands::theory::execute(&args::ArgMap::parse(rest)?),
+        "audit" => commands::audit::execute(&args::ArgMap::parse(rest)?),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_argv_shows_usage() {
+        let err = dispatch(&[]).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = dispatch(&argv(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = dispatch(&argv(&["help"])).unwrap();
+        assert!(out.contains("COMMANDS"));
+    }
+
+    #[test]
+    fn run_smoke_synthetic() {
+        let out = dispatch(&argv(&[
+            "run",
+            "--users",
+            "20",
+            "--objects",
+            "5",
+            "--replicates",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("utility MAE"), "output: {out}");
+    }
+
+    #[test]
+    fn theory_smoke() {
+        let out = dispatch(&argv(&["theory", "--alpha", "0.5", "--beta", "0.1"])).unwrap();
+        assert!(out.contains("c window"), "output: {out}");
+    }
+
+    #[test]
+    fn audit_smoke() {
+        let out = dispatch(&argv(&["audit", "--trials", "20000"])).unwrap();
+        assert!(out.contains("epsilon_hat"), "output: {out}");
+    }
+}

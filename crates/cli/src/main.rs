@@ -1,0 +1,13 @@
+//! The `dptd` command-line tool. All logic lives in [`dptd_cli`]; this
+//! binary only forwards `argv` and sets the exit code.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dptd_cli::dispatch(&argv) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+use std::fmt;
+
+/// Error type for the privacy-preserving truth-discovery pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A pipeline or theory parameter was outside its domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// The constraint that failed.
+        constraint: &'static str,
+    },
+    /// No noise level `c` satisfies both the utility and privacy bounds
+    /// for the requested parameters (Theorem 4.9's feasibility window is
+    /// empty).
+    Infeasible {
+        /// Privacy lower bound on `c`.
+        c_min: f64,
+        /// Utility upper bound on `c`.
+        c_max: f64,
+    },
+    /// An underlying LDP error.
+    Ldp(dptd_ldp::LdpError),
+    /// An underlying truth-discovery error.
+    Truth(dptd_truth::TruthError),
+    /// An underlying statistics error.
+    Stats(dptd_stats::StatsError),
+    /// An underlying sensing-simulator error.
+    Sensing(dptd_sensing::SensingError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            CoreError::Infeasible { c_min, c_max } => write!(
+                f,
+                "no feasible noise level: privacy requires c >= {c_min} but utility requires c <= {c_max}"
+            ),
+            CoreError::Ldp(e) => write!(f, "privacy mechanism error: {e}"),
+            CoreError::Truth(e) => write!(f, "truth discovery error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Sensing(e) => write!(f, "sensing simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ldp(e) => Some(e),
+            CoreError::Truth(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::Sensing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dptd_ldp::LdpError> for CoreError {
+    fn from(e: dptd_ldp::LdpError) -> Self {
+        CoreError::Ldp(e)
+    }
+}
+
+impl From<dptd_truth::TruthError> for CoreError {
+    fn from(e: dptd_truth::TruthError) -> Self {
+        CoreError::Truth(e)
+    }
+}
+
+impl From<dptd_stats::StatsError> for CoreError {
+    fn from(e: dptd_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<dptd_sensing::SensingError> for CoreError {
+    fn from(e: dptd_sensing::SensingError) -> Self {
+        CoreError::Sensing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = CoreError::Infeasible {
+            c_min: 2.0,
+            c_max: 1.0,
+        };
+        assert!(e.to_string().contains("feasible"));
+        assert!(e.source().is_none());
+
+        let e: CoreError = dptd_truth::TruthError::EmptyMatrix.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,319 @@
+//! The end-to-end privacy-preserving truth-discovery pipeline
+//! (Algorithm 2 of the paper).
+
+use rand::Rng;
+
+use dptd_ldp::RandomizedVarianceGaussian;
+use dptd_truth::{ObservationMatrix, TruthDiscoverer, TruthDiscoveryResult};
+
+use crate::CoreError;
+
+/// Per-run noise bookkeeping (what Figures 2b–6b plot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseStats {
+    /// Noise variance `δ_s²` sampled by each user.
+    pub user_variances: Vec<f64>,
+    /// Mean of `|ξ^s_n|` over all perturbed cells — the paper's
+    /// "average of added noise" axis.
+    pub mean_abs_noise: f64,
+    /// Mean of the sampled variances.
+    pub mean_variance: f64,
+}
+
+/// The outcome of one private run: truth discovery on both the original
+/// and the perturbed matrix, plus the noise actually added.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivateRun {
+    /// Truth discovery output on the *original* data, `A(D)`.
+    pub unperturbed: TruthDiscoveryResult,
+    /// Truth discovery output on the *perturbed* data, `A(M(D))`.
+    pub perturbed: TruthDiscoveryResult,
+    /// The perturbed matrix itself (what the server actually saw).
+    pub perturbed_matrix: ObservationMatrix,
+    /// Noise bookkeeping.
+    pub noise: NoiseStats,
+}
+
+impl PrivateRun {
+    /// The paper's utility metric: MAE between aggregates before and after
+    /// perturbation, `1/N Σ_n |x*_n − x̂*_n|` (Eq. 6, §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] only if the two runs disagree on
+    /// object count, which cannot happen for outputs of the same matrix.
+    pub fn utility_mae(&self) -> Result<f64, CoreError> {
+        Ok(dptd_stats::summary::mae(
+            &self.unperturbed.truths,
+            &self.perturbed.truths,
+        )?)
+    }
+}
+
+/// Algorithm 2: perturb every user's report with privately-sampled
+/// Gaussian noise, then run a truth-discovery algorithm on the result.
+///
+/// Generic over the algorithm `A` — the mechanism is deliberately
+/// algorithm-agnostic (§3.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivatePipeline<A> {
+    algorithm: A,
+    mechanism: RandomizedVarianceGaussian,
+}
+
+impl<A: TruthDiscoverer> PrivatePipeline<A> {
+    /// Create a pipeline with hyper-parameter `λ₂` (expected noise
+    /// variance `1/λ₂` per user).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ldp`] if `λ₂` is not finite and positive.
+    pub fn new(algorithm: A, lambda2: f64) -> Result<Self, CoreError> {
+        Ok(Self {
+            algorithm,
+            mechanism: RandomizedVarianceGaussian::new(lambda2)?,
+        })
+    }
+
+    /// The server-released hyper-parameter `λ₂`.
+    pub fn lambda2(&self) -> f64 {
+        self.mechanism.lambda2()
+    }
+
+    /// The underlying perturbation mechanism.
+    pub fn mechanism(&self) -> &RandomizedVarianceGaussian {
+        &self.mechanism
+    }
+
+    /// The truth-discovery algorithm run by the server.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// Perturb a matrix: each user samples one `δ_s² ~ Exp(λ₂)` and adds
+    /// i.i.d. `N(0, δ_s²)` to every value they observed (steps 3–5 of
+    /// Algorithm 2).
+    pub fn perturb<R: Rng + ?Sized>(
+        &self,
+        data: &ObservationMatrix,
+        rng: &mut R,
+    ) -> (ObservationMatrix, NoiseStats) {
+        let mut perturbed = data.clone();
+        let mut user_variances = Vec::with_capacity(data.num_users());
+        let mut abs_noise_sum = 0.0;
+        let mut noise_count = 0usize;
+        for s in 0..data.num_users() {
+            let variance = self.mechanism.sample_noise_variance(rng);
+            user_variances.push(variance);
+            let original: Vec<f64> = data.observations_of_user(s).map(|(_, v)| v).collect();
+            let noisy = self
+                .mechanism
+                .perturb_report_with_variance(&original, variance, rng);
+            for (a, b) in original.iter().zip(&noisy) {
+                abs_noise_sum += (a - b).abs();
+                noise_count += 1;
+            }
+            perturbed.replace_user_observations(s, &noisy);
+        }
+        let mean_variance =
+            user_variances.iter().sum::<f64>() / user_variances.len().max(1) as f64;
+        let stats = NoiseStats {
+            user_variances,
+            mean_abs_noise: abs_noise_sum / noise_count.max(1) as f64,
+            mean_variance,
+        };
+        (perturbed, stats)
+    }
+
+    /// Run the full pipeline: truth discovery on the original matrix (the
+    /// reference `A(D)`), perturb, truth discovery on the perturbed matrix
+    /// (`A(M(D))`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates truth-discovery failures ([`CoreError::Truth`]).
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        data: &ObservationMatrix,
+        rng: &mut R,
+    ) -> Result<PrivateRun, CoreError> {
+        let unperturbed = self.algorithm.discover(data)?;
+        let (perturbed_matrix, noise) = self.perturb(data, rng);
+        let perturbed = self.algorithm.discover(&perturbed_matrix)?;
+        Ok(PrivateRun {
+            unperturbed,
+            perturbed,
+            perturbed_matrix,
+            noise,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_truth::baselines::MeanAggregator;
+    use dptd_truth::crh::Crh;
+
+    fn small_matrix() -> ObservationMatrix {
+        ObservationMatrix::from_dense(&[
+            &[1.0, 2.0, 3.0, 4.0][..],
+            &[1.1, 2.1, 3.1, 4.1],
+            &[0.9, 1.9, 2.9, 3.9],
+            &[1.05, 2.05, 3.05, 4.05],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_validates_lambda2() {
+        assert!(PrivatePipeline::new(Crh::default(), 0.0).is_err());
+        assert!(PrivatePipeline::new(Crh::default(), -2.0).is_err());
+    }
+
+    #[test]
+    fn perturbation_preserves_sparsity_and_counts() {
+        let data = ObservationMatrix::from_sparse_rows(
+            3,
+            &[vec![(0, 1.0), (2, 3.0)], vec![(1, 2.0)], vec![(0, 1.1), (1, 2.1), (2, 3.1)]],
+        )
+        .unwrap();
+        let p = PrivatePipeline::new(Crh::default(), 1.0).unwrap();
+        let mut rng = dptd_stats::seeded_rng(241);
+        let (perturbed, stats) = p.perturb(&data, &mut rng);
+        assert_eq!(perturbed.num_observations(), data.num_observations());
+        assert_eq!(perturbed.value(0, 1), None);
+        assert_eq!(stats.user_variances.len(), 3);
+        assert!(stats.mean_abs_noise > 0.0);
+    }
+
+    #[test]
+    fn one_variance_per_user_per_run() {
+        // With λ₂ huge the sampled variances are tiny → all users barely
+        // perturbed; with λ₂ tiny, noise is large. Either way each user
+        // has exactly one recorded variance.
+        let p = PrivatePipeline::new(MeanAggregator::new(), 1e6).unwrap();
+        let mut rng = dptd_stats::seeded_rng(251);
+        let (perturbed, stats) = p.perturb(&small_matrix(), &mut rng);
+        assert_eq!(stats.user_variances.len(), 4);
+        for s in 0..4 {
+            for (n, v) in perturbed.observations_of_user(s) {
+                let orig = small_matrix().value(s, n).unwrap();
+                assert!((v - orig).abs() < 0.1, "user {s} object {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_reports_both_sides() {
+        let p = PrivatePipeline::new(Crh::default(), 2.0).unwrap();
+        let mut rng = dptd_stats::seeded_rng(257);
+        let run = p.run(&small_matrix(), &mut rng).unwrap();
+        assert_eq!(run.unperturbed.truths.len(), 4);
+        assert_eq!(run.perturbed.truths.len(), 4);
+        assert!(run.utility_mae().unwrap().is_finite());
+    }
+
+    #[test]
+    fn utility_degrades_gracefully_with_noise() {
+        // Mean of MAE over seeds must grow as λ₂ shrinks (more noise),
+        // but stay bounded — the paper's core utility claim in miniature.
+        let data = small_matrix();
+        let mae_at = |lambda2: f64| {
+            let p = PrivatePipeline::new(Crh::default(), lambda2).unwrap();
+            let mut acc = 0.0;
+            for seed in 0..20 {
+                let mut rng = dptd_stats::seeded_rng(1000 + seed);
+                acc += p.run(&data, &mut rng).unwrap().utility_mae().unwrap();
+            }
+            acc / 20.0
+        };
+        let low_noise = mae_at(100.0);
+        let high_noise = mae_at(0.5);
+        assert!(
+            low_noise < high_noise,
+            "low-noise MAE {low_noise} should be below high-noise {high_noise}"
+        );
+        assert!(low_noise < 0.05, "low-noise MAE {low_noise}");
+    }
+
+    #[test]
+    fn weighted_aggregation_tolerates_noise_better_than_mean() {
+        // The §3.2 claim: under the same perturbation, CRH's aggregate
+        // moves less than the unweighted mean's (averaged over seeds).
+        let data = {
+            // 30 users × 10 objects for enough signal.
+            let mut rng = dptd_stats::seeded_rng(263);
+            let ds = dptd_sensing::synthetic::SyntheticConfig {
+                num_users: 30,
+                num_objects: 10,
+                ..Default::default()
+            }
+            .generate(&mut rng)
+            .unwrap();
+            ds.observations
+        };
+        let lambda2 = 1.0;
+        let crh_mae: f64 = {
+            let p = PrivatePipeline::new(Crh::default(), lambda2).unwrap();
+            (0..15)
+                .map(|seed| {
+                    let mut rng = dptd_stats::seeded_rng(2000 + seed);
+                    p.run(&data, &mut rng).unwrap().utility_mae().unwrap()
+                })
+                .sum::<f64>()
+                / 15.0
+        };
+        let mean_mae: f64 = {
+            let p = PrivatePipeline::new(MeanAggregator::new(), lambda2).unwrap();
+            (0..15)
+                .map(|seed| {
+                    let mut rng = dptd_stats::seeded_rng(2000 + seed);
+                    p.run(&data, &mut rng).unwrap().utility_mae().unwrap()
+                })
+                .sum::<f64>()
+                / 15.0
+        };
+        assert!(
+            crh_mae < mean_mae,
+            "CRH MAE {crh_mae} should beat mean MAE {mean_mae} under noise"
+        );
+    }
+
+    #[test]
+    fn noisier_users_get_lower_weights_on_perturbed_data() {
+        // Pin variances: user 3 adds huge noise. After perturbation CRH
+        // must rank user 3 last (the paper's §3.2 example / Fig. 7 story).
+        let data = {
+            let mut rng = dptd_stats::seeded_rng(269);
+            dptd_sensing::synthetic::SyntheticConfig {
+                num_users: 4,
+                num_objects: 60,
+                lambda1: 50.0, // very clean original data
+                ..Default::default()
+            }
+            .generate(&mut rng)
+            .unwrap()
+            .observations
+        };
+        let p = PrivatePipeline::new(Crh::default(), 1.0).unwrap();
+        let mut rng = dptd_stats::seeded_rng(271);
+        let mut perturbed = data.clone();
+        for s in 0..4 {
+            let variance = if s == 3 { 4.0 } else { 1e-6 };
+            let original: Vec<f64> = data.observations_of_user(s).map(|(_, v)| v).collect();
+            let noisy =
+                p.mechanism()
+                    .perturb_report_with_variance(&original, variance, &mut rng);
+            perturbed.replace_user_observations(s, &noisy);
+        }
+        let out = Crh::default().discover(&perturbed).unwrap();
+        for s in 0..3 {
+            assert!(
+                out.weights[3] < out.weights[s],
+                "noisy user should rank last: {:?}",
+                out.weights
+            );
+        }
+    }
+}

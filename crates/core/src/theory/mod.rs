@@ -1,0 +1,29 @@
+//! Executable forms of the paper's theorems.
+//!
+//! * [`utility`] — Theorem 4.3 (`(α, β)`-utility of the mechanism, the
+//!   `C_{λ₁,α,β,S}` noise ceiling and the `α_{λ,c}` floor) and
+//!   Theorem A.1 (the `c = 1` special case).
+//! * [`privacy`] — Theorem 4.8 (the noise floor `c` must exceed for
+//!   `(ε, δ)`-local differential privacy) built on Lemma 4.7's sensitivity
+//!   bound.
+//! * [`tradeoff`] — Theorem 4.9: intersecting the two bounds into a
+//!   feasibility window for `c`, and Eq. 19's balance condition.
+//!
+//! ## Errata handled here
+//!
+//! Two formulas in the paper's proofs are reproduced incorrectly in print;
+//! both are corrected in this implementation and the corrections are
+//! verified against Monte-Carlo simulation in the test-suite:
+//!
+//! 1. **`E(Y)` for `c ≠ 1`** (proof of Theorem 4.3): the printed closed
+//!    form is dimensionally inconsistent (off by a factor `√(λ₂/2)` in its
+//!    second term). [`utility::expected_mean_gap`] uses the re-derived
+//!    form, which matches simulation to 4 decimal places (see
+//!    `expected_y_matches_monte_carlo`).
+//! 2. **ε in Theorem 4.8**: the theorem statement drops the `ε` that its
+//!    own proof carries (`y ≥ Δ²/(2ε)`). [`privacy::min_noise_level`]
+//!    keeps ε; at `ε = 1` it reduces to the printed statement.
+
+pub mod privacy;
+pub mod tradeoff;
+pub mod utility;

@@ -1,0 +1,149 @@
+//! Theorem 4.9 — the utility–privacy trade-off.
+//!
+//! Combining Theorem 4.3 (utility needs `c ≤ C_{λ₁,α,β,S}`) and
+//! Theorem 4.8 (privacy needs `c ≥ c_min(ε, δ)`) yields a feasibility
+//! window for the noise level. Eq. 19 is the knife-edge case where the
+//! window closes to a single point.
+
+use crate::theory::{privacy, utility};
+use crate::CoreError;
+
+/// A (possibly empty) feasibility window for the noise level `c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibleNoise {
+    /// Privacy floor (Theorem 4.8).
+    pub c_min: f64,
+    /// Utility ceiling (Theorem 4.3).
+    pub c_max: f64,
+}
+
+impl FeasibleNoise {
+    /// Whether any noise level satisfies both requirements.
+    pub fn is_feasible(&self) -> bool {
+        self.c_min <= self.c_max && self.c_min.is_finite() && self.c_max > 0.0
+    }
+
+    /// A recommended operating point, or `None` if the window is empty.
+    ///
+    /// Privacy is a hard floor while utility improves monotonically as
+    /// `c` decreases, so the best feasible choice sits just above the
+    /// floor: `min(1.05·c_min, c_max)` (the 5% margin covers sensitivity
+    /// mis-estimation without giving up meaningful utility).
+    pub fn operating_point(&self) -> Option<f64> {
+        if self.is_feasible() {
+            Some((self.c_min.max(0.0) * 1.05).min(self.c_max))
+        } else {
+            None
+        }
+    }
+
+    /// Width of the window (negative when infeasible).
+    pub fn width(&self) -> f64 {
+        self.c_max - self.c_min
+    }
+}
+
+/// Compute the Theorem 4.9 window for a joint utility + privacy target.
+///
+/// * utility target: `(α, β)` with `S` users at data quality `λ₁`;
+/// * privacy target: the [`PrivacyRequirement`](privacy::PrivacyRequirement)
+///   (ε, δ, and the Lemma 4.7 sensitivity parameters).
+///
+/// # Errors
+///
+/// Propagates parameter validation from the two underlying bounds.
+pub fn feasible_noise_window(
+    alpha: f64,
+    beta: f64,
+    s: usize,
+    req: &privacy::PrivacyRequirement,
+) -> Result<FeasibleNoise, CoreError> {
+    let lambda1 = req.sensitivity.lambda1;
+    let c_max = utility::c_upper_bound(lambda1, alpha, beta, s)?;
+    let c_min = privacy::min_noise_level(req);
+    Ok(FeasibleNoise { c_min, c_max })
+}
+
+/// Pick a hyper-parameter `λ₂` achieving the joint target, or fail with
+/// [`CoreError::Infeasible`] naming the two bounds.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when the window is empty, plus
+/// parameter validation errors.
+pub fn choose_lambda2(
+    alpha: f64,
+    beta: f64,
+    s: usize,
+    req: &privacy::PrivacyRequirement,
+) -> Result<f64, CoreError> {
+    let window = feasible_noise_window(alpha, beta, s, req)?;
+    let c = window.operating_point().ok_or(CoreError::Infeasible {
+        c_min: window.c_min,
+        c_max: window.c_max,
+    })?;
+    privacy::lambda2_for_noise_level(req.sensitivity.lambda1, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::privacy::PrivacyRequirement;
+    use dptd_ldp::SensitivityBound;
+
+    fn req(eps: f64, delta: f64, lambda1: f64) -> PrivacyRequirement {
+        PrivacyRequirement::new(
+            eps,
+            delta,
+            SensitivityBound::new(1.5, 0.9, lambda1).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generous_targets_are_feasible() {
+        // Many users + loose α/β + moderate privacy → window open.
+        let w = feasible_noise_window(1.0, 0.2, 500, &req(1.0, 0.2, 2.0)).unwrap();
+        assert!(w.is_feasible(), "window {w:?}");
+        assert!(w.operating_point().is_some());
+        assert!(w.width() > 0.0);
+    }
+
+    #[test]
+    fn impossible_targets_are_rejected() {
+        // Very strong privacy (tiny ε, tiny δ) with a strict utility
+        // target and few users → empty window.
+        let w = feasible_noise_window(0.01, 0.001, 2, &req(0.001, 0.001, 0.5)).unwrap();
+        assert!(!w.is_feasible(), "window {w:?}");
+        assert!(matches!(
+            choose_lambda2(0.01, 0.001, 2, &req(0.001, 0.001, 0.5)),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn more_users_widen_the_window() {
+        let narrow = feasible_noise_window(0.5, 0.1, 50, &req(1.0, 0.2, 2.0)).unwrap();
+        let wide = feasible_noise_window(0.5, 0.1, 500, &req(1.0, 0.2, 2.0)).unwrap();
+        assert!(wide.width() > narrow.width());
+        // Privacy floor is unaffected by S.
+        assert!((wide.c_min - narrow.c_min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_privacy_narrows_the_window() {
+        let loose = feasible_noise_window(0.5, 0.1, 200, &req(2.0, 0.2, 2.0)).unwrap();
+        let tight = feasible_noise_window(0.5, 0.1, 200, &req(0.2, 0.05, 2.0)).unwrap();
+        assert!(tight.c_min > loose.c_min);
+        assert!((tight.c_max - loose.c_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chosen_lambda2_lands_inside_window() {
+        let r = req(1.0, 0.2, 2.0);
+        let w = feasible_noise_window(1.0, 0.2, 300, &r).unwrap();
+        let lambda2 = choose_lambda2(1.0, 0.2, 300, &r).unwrap();
+        let c = 2.0 / lambda2; // λ₁/λ₂
+        assert!(c >= w.c_min - 1e-12 && c <= w.c_max + 1e-12);
+    }
+}

@@ -1,0 +1,380 @@
+//! Theorem 4.3 — `(α, β)`-utility of the mechanism — and Theorem A.1
+//! (the `c = 1` special case), as executable formulas.
+//!
+//! Notation: `σ_s² ~ Exp(λ₁)` (user error variances),
+//! `δ_s² ~ Exp(λ₂)` (noise variances), `c = λ₁/λ₂` the noise level, and
+//! `Y = √(σ_s² + σ_{s'}² + δ_{s'}²)` the cross-user deviation scale from
+//! the proof of Theorem 4.3.
+
+use crate::CoreError;
+
+/// Validated inputs common to the utility formulas.
+fn validate_positive(name: &'static str, value: f64) -> Result<(), CoreError> {
+    if !(value.is_finite() && value > 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name,
+            value,
+            constraint: "must be finite and > 0",
+        });
+    }
+    Ok(())
+}
+
+/// `E[Y²] = 2/λ₁ + 1/λ₂` — exact second moment of the cross-user
+/// deviation (sum of two `Exp(λ₁)` variances and one `Exp(λ₂)` variance).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] unless both rates are positive
+/// and finite.
+pub fn expected_square_gap(lambda1: f64, lambda2: f64) -> Result<f64, CoreError> {
+    validate_positive("lambda1", lambda1)?;
+    validate_positive("lambda2", lambda2)?;
+    Ok(2.0 / lambda1 + 1.0 / lambda2)
+}
+
+/// `E[Y]` — first moment of the cross-user deviation.
+///
+/// For `λ₁ ≠ λ₂` this evaluates the re-derived closed form
+///
+/// ```text
+/// E[Y] = √π · [ 3λ₂ / (4√λ₁ (λ₂−λ₁))
+///             + (λ₁²/√λ₂ − λ₂√λ₁) / (2 (λ₂−λ₁)²) ]
+/// ```
+///
+/// (the paper's printed version of this expression has a typo — a stray
+/// `√2·λ₂` normalisation in the second term — which makes it
+/// dimensionally inconsistent; the form above integrates the paper's own
+/// density `h(y)` and matches Monte-Carlo simulation). For `λ₁ = λ₂`
+/// (`c = 1`) it uses Appendix A's `E[Y] = 15√π/(16√λ₁)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] unless both rates are positive
+/// and finite.
+pub fn expected_mean_gap(lambda1: f64, lambda2: f64) -> Result<f64, CoreError> {
+    validate_positive("lambda1", lambda1)?;
+    validate_positive("lambda2", lambda2)?;
+    let sqrt_pi = std::f64::consts::PI.sqrt();
+    // Near-equal rates: the generic form is 0/0; switch to Appendix A.
+    if (lambda2 - lambda1).abs() < 1e-9 * lambda1 {
+        return Ok(15.0 * sqrt_pi / (16.0 * lambda1.sqrt()));
+    }
+    let d = lambda2 - lambda1;
+    Ok(sqrt_pi
+        * (3.0 * lambda2 / (4.0 * lambda1.sqrt() * d)
+            + (lambda1 * lambda1 / lambda2.sqrt() - lambda2 * lambda1.sqrt()) / (2.0 * d * d)))
+}
+
+/// `Var[Y] = E[Y²] − E[Y]²`.
+///
+/// # Errors
+///
+/// As for [`expected_mean_gap`].
+pub fn variance_gap(lambda1: f64, lambda2: f64) -> Result<f64, CoreError> {
+    let ey = expected_mean_gap(lambda1, lambda2)?;
+    Ok((expected_square_gap(lambda1, lambda2)? - ey * ey).max(0.0))
+}
+
+/// The Theorem 4.3 ceiling on the noise level:
+/// `C_{λ₁,α,β,S} = λ₁·√π·(α²βS²/(4√2) + α²√π/8 + α + 2/√π) − 2` (Eq. 15).
+///
+/// Any `c ≤ C` yields `(α, β)`-utility (for `α` above the corresponding
+/// floor).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] unless `λ₁ > 0`, `α > 0`,
+/// `β ∈ [0, 1]`, and `S ≥ 1`.
+pub fn c_upper_bound(lambda1: f64, alpha: f64, beta: f64, s: usize) -> Result<f64, CoreError> {
+    validate_positive("lambda1", lambda1)?;
+    validate_positive("alpha", alpha)?;
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(CoreError::InvalidParameter {
+            name: "beta",
+            value: beta,
+            constraint: "must be in [0, 1]",
+        });
+    }
+    if s == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "s",
+            value: 0.0,
+            constraint: "need at least one user",
+        });
+    }
+    let sqrt_pi = std::f64::consts::PI.sqrt();
+    let s = s as f64;
+    Ok(lambda1
+        * sqrt_pi
+        * (alpha * alpha * beta * s * s / (4.0 * std::f64::consts::SQRT_2)
+            + alpha * alpha * sqrt_pi / 8.0
+            + alpha
+            + 2.0 / sqrt_pi)
+        - 2.0)
+}
+
+/// The Theorem 4.3 floor on `α` as printed in the paper:
+/// `α_{λ,c} = (2√2/√(λ₁(1−c)))·(3/4 − c(c+√c+1)/(√2(1+√c)))`,
+/// defined for `c < 1`. Returns `None` for `c ≥ 1` (the printed form's
+/// `√(1−c)` leaves the reals; use [`alpha_threshold`] which is valid for
+/// every `c`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] unless `λ₁ > 0` and `c ≥ 0`.
+pub fn alpha_threshold_paper(lambda1: f64, c: f64) -> Result<Option<f64>, CoreError> {
+    validate_positive("lambda1", lambda1)?;
+    if !(c.is_finite() && c >= 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "c",
+            value: c,
+            constraint: "must be finite and >= 0",
+        });
+    }
+    if c >= 1.0 {
+        return Ok(None);
+    }
+    let lead = 2.0 * std::f64::consts::SQRT_2 / (lambda1 * (1.0 - c)).sqrt();
+    let inner = 0.75
+        - c * (c + c.sqrt() + 1.0) / (std::f64::consts::SQRT_2 * (1.0 + c.sqrt()));
+    Ok(Some(lead * inner))
+}
+
+/// The exact α floor from the proof: utility requires
+/// `α > (2√2/√π)·E[Y]`. Valid for every noise level (it is what the
+/// printed `α_{λ,c}` approximates for `c < 1`).
+///
+/// # Errors
+///
+/// As for [`expected_mean_gap`].
+pub fn alpha_threshold(lambda1: f64, lambda2: f64) -> Result<f64, CoreError> {
+    Ok(2.0 * std::f64::consts::SQRT_2 / std::f64::consts::PI.sqrt()
+        * expected_mean_gap(lambda1, lambda2)?)
+}
+
+/// The Eq. 13 tail bound: for `α` above [`alpha_threshold`],
+///
+/// ```text
+/// Pr{ 1/N Σ|x*_n − x̂*_n| ≥ α } ≤ 16·√(2/π)·Var(Y) / (S²·α²)
+/// ```
+///
+/// capped at 1. Below the threshold the indicator term is 1 and the bound
+/// is vacuous (returns 1).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for non-positive `α` or `S = 0`
+/// plus rate validation from [`variance_gap`].
+pub fn utility_beta_bound(
+    lambda1: f64,
+    lambda2: f64,
+    s: usize,
+    alpha: f64,
+) -> Result<f64, CoreError> {
+    validate_positive("alpha", alpha)?;
+    if s == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "s",
+            value: 0.0,
+            constraint: "need at least one user",
+        });
+    }
+    if alpha <= alpha_threshold(lambda1, lambda2)? {
+        return Ok(1.0);
+    }
+    let var = variance_gap(lambda1, lambda2)?;
+    let s = s as f64;
+    let bound = 16.0 * (2.0 / std::f64::consts::PI).sqrt() * var / (s * s * alpha * alpha);
+    Ok(bound.min(1.0))
+}
+
+/// Theorem A.1 (`c = 1`): the probability bound
+/// `Pr{mean gap ≥ α} ≤ 16·√(2/π)·Var(Y)/(S²α²)` with
+/// `Y² ~ Gamma(3, 1/λ₁)`, so `E[Y] = 15√π/(16√λ₁)`, `E[Y²] = 3/λ₁`.
+/// Converges to 0 as `S → ∞` for `α` above the c=1 threshold
+/// `15√2/(8√λ₁)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for invalid `λ₁`, `α`, or
+/// `S = 0`.
+pub fn utility_beta_bound_c1(lambda1: f64, s: usize, alpha: f64) -> Result<f64, CoreError> {
+    utility_beta_bound(lambda1, lambda1, s, alpha)
+}
+
+/// The `c = 1` α floor `15√2/(8√λ₁)` from Theorem A.1.
+///
+/// (The paper prints `15√(2λ₁)/8`, which increases with λ₁; the proof's
+/// own `E(Y) = 15√π/(16√λ₁)` gives the decreasing form used here —
+/// better data quality tolerates a smaller α.)
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for invalid `λ₁`.
+pub fn alpha_threshold_c1(lambda1: f64) -> Result<f64, CoreError> {
+    validate_positive("lambda1", lambda1)?;
+    Ok(15.0 * std::f64::consts::SQRT_2 / (8.0 * lambda1.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_stats::dist::{Continuous, Exponential};
+
+    #[test]
+    fn validates_inputs() {
+        assert!(expected_mean_gap(0.0, 1.0).is_err());
+        assert!(expected_mean_gap(1.0, f64::NAN).is_err());
+        assert!(c_upper_bound(1.0, 0.5, 1.5, 10).is_err());
+        assert!(c_upper_bound(1.0, 0.5, 0.5, 0).is_err());
+        assert!(alpha_threshold_paper(1.0, -0.1).is_err());
+        assert!(utility_beta_bound(1.0, 1.0, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn expected_y_matches_monte_carlo() {
+        // The erratum check: our E(Y) closed form must match simulation.
+        for (l1, l2) in [(2.0, 0.8), (1.0, 3.0), (0.5, 0.7), (4.0, 4.0)] {
+            let e1 = Exponential::new(l1).unwrap();
+            let e2 = Exponential::new(l2).unwrap();
+            let mut rng = dptd_stats::seeded_rng(293);
+            let n = 400_000;
+            let mut acc = 0.0;
+            for _ in 0..n {
+                let y2 = e1.sample(&mut rng) + e1.sample(&mut rng) + e2.sample(&mut rng);
+                acc += y2.sqrt();
+            }
+            let mc = acc / n as f64;
+            let analytic = expected_mean_gap(l1, l2).unwrap();
+            assert!(
+                (mc - analytic).abs() < 0.01,
+                "λ₁={l1} λ₂={l2}: MC {mc} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_moment_exact() {
+        let v = expected_square_gap(2.0, 0.8).unwrap();
+        assert!((v - (1.0 + 1.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_nonnegative_and_consistent() {
+        for (l1, l2) in [(2.0, 0.8), (1.0, 3.0), (5.0, 5.0)] {
+            let var = variance_gap(l1, l2).unwrap();
+            assert!(var >= 0.0);
+            let ey = expected_mean_gap(l1, l2).unwrap();
+            let ey2 = expected_square_gap(l1, l2).unwrap();
+            assert!((var - (ey2 - ey * ey)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn c_upper_bound_monotonicities() {
+        // Theorem 4.3's discussion: C grows with α, β, S, λ₁.
+        let base = c_upper_bound(2.0, 0.5, 0.1, 100).unwrap();
+        assert!(c_upper_bound(2.0, 0.8, 0.1, 100).unwrap() > base);
+        assert!(c_upper_bound(2.0, 0.5, 0.2, 100).unwrap() > base);
+        assert!(c_upper_bound(2.0, 0.5, 0.1, 200).unwrap() > base);
+        assert!(c_upper_bound(3.0, 0.5, 0.1, 100).unwrap() > base);
+    }
+
+    #[test]
+    fn alpha_threshold_paper_matches_exact_at_zero_noise() {
+        // At c → 0 both forms reduce to 3√2/(2√λ₁).
+        let lambda1 = 2.0;
+        let printed = alpha_threshold_paper(lambda1, 0.0).unwrap().unwrap();
+        let want = 3.0 * std::f64::consts::SQRT_2 / (2.0 * lambda1.sqrt());
+        assert!((printed - want).abs() < 1e-12);
+        // And the exact threshold with a huge λ₂ (i.e. almost no noise)
+        // agrees with the printed form.
+        let exact = alpha_threshold(lambda1, 1e9).unwrap();
+        assert!((exact - want).abs() < 1e-3, "exact {exact} want {want}");
+    }
+
+    #[test]
+    fn alpha_threshold_paper_undefined_at_c_ge_1() {
+        assert_eq!(alpha_threshold_paper(1.0, 1.0).unwrap(), None);
+        assert_eq!(alpha_threshold_paper(1.0, 2.5).unwrap(), None);
+    }
+
+    #[test]
+    fn beta_bound_shrinks_with_users() {
+        let lambda1 = 2.0;
+        let lambda2 = 1.0;
+        let alpha = 2.0 * alpha_threshold(lambda1, lambda2).unwrap();
+        let b100 = utility_beta_bound(lambda1, lambda2, 100, alpha).unwrap();
+        let b400 = utility_beta_bound(lambda1, lambda2, 400, alpha).unwrap();
+        assert!(b400 < b100);
+        // 4x users → 16x smaller bound.
+        assert!((b100 / b400 - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_bound_vacuous_below_threshold() {
+        let lambda1 = 2.0;
+        let lambda2 = 1.0;
+        let alpha = 0.5 * alpha_threshold(lambda1, lambda2).unwrap();
+        assert_eq!(utility_beta_bound(lambda1, lambda2, 100, alpha).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn c1_special_case_consistent_with_generic() {
+        let lambda1 = 3.0;
+        // E[Y] via the generic path at λ₂ = λ₁ equals Appendix A's form.
+        let generic = expected_mean_gap(lambda1, lambda1).unwrap();
+        let appendix = 15.0 * std::f64::consts::PI.sqrt() / (16.0 * lambda1.sqrt());
+        assert!((generic - appendix).abs() < 1e-9);
+        // And the β bound agrees between the two entry points.
+        let a = utility_beta_bound(lambda1, lambda1, 50, 2.0).unwrap();
+        let b = utility_beta_bound_c1(lambda1, 50, 2.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn c1_threshold_decreases_with_quality() {
+        assert!(alpha_threshold_c1(4.0).unwrap() < alpha_threshold_c1(1.0).unwrap());
+    }
+
+    #[test]
+    fn theorem_4_3_holds_empirically() {
+        // Monte-Carlo check of the actual claim: generate worlds, run the
+        // mechanism + CRH, and compare the empirical exceedance frequency
+        // of the mean gap against the β bound.
+        use crate::mechanism::PrivatePipeline;
+        use dptd_sensing::synthetic::SyntheticConfig;
+        use dptd_truth::crh::Crh;
+
+        let lambda1 = 2.0;
+        let c = 0.5;
+        let lambda2 = lambda1 / c;
+        let s = 50;
+        let alpha = 1.5 * alpha_threshold(lambda1, lambda2).unwrap();
+        let beta = utility_beta_bound(lambda1, lambda2, s, alpha).unwrap();
+
+        let cfg = SyntheticConfig {
+            num_users: s,
+            num_objects: 20,
+            lambda1,
+            ..Default::default()
+        };
+        let pipeline = PrivatePipeline::new(Crh::default(), lambda2).unwrap();
+        let trials = 60;
+        let mut exceed = 0usize;
+        for seed in 0..trials {
+            let mut rng = dptd_stats::seeded_rng(3000 + seed);
+            let ds = cfg.generate(&mut rng).unwrap();
+            let run = pipeline.run(&ds.observations, &mut rng).unwrap();
+            if run.utility_mae().unwrap() >= alpha {
+                exceed += 1;
+            }
+        }
+        let emp = exceed as f64 / trials as f64;
+        assert!(
+            emp <= beta + 0.1,
+            "empirical exceedance {emp} above β bound {beta}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the mechanism pipeline and the theory
+//! formulas.
+
+use dptd_core::mechanism::PrivatePipeline;
+use dptd_core::theory::{privacy, tradeoff, utility};
+use dptd_ldp::SensitivityBound;
+use dptd_truth::baselines::MeanAggregator;
+use dptd_truth::ObservationMatrix;
+use proptest::prelude::*;
+
+fn requirement(eps: f64, delta: f64, lambda1: f64) -> privacy::PrivacyRequirement {
+    privacy::PrivacyRequirement::new(
+        eps,
+        delta,
+        SensitivityBound::new(1.5, 0.9, lambda1).unwrap(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn expected_gap_consistent_across_rates(
+        lambda1 in 0.1..20.0f64,
+        lambda2 in 0.1..20.0f64,
+    ) {
+        // E[Y] > 0, E[Y²] > E[Y]² (Y is non-degenerate), and both scale
+        // sensibly: more noise (smaller λ₂) → larger moments.
+        let ey = utility::expected_mean_gap(lambda1, lambda2).unwrap();
+        let ey2 = utility::expected_square_gap(lambda1, lambda2).unwrap();
+        prop_assert!(ey > 0.0);
+        prop_assert!(ey2 > ey * ey - 1e-9);
+    }
+
+    #[test]
+    fn expected_gap_monotone_in_noise(
+        lambda1 in 0.2..10.0f64,
+        l2_small in 0.05..1.0f64,
+        factor in 1.5..50.0f64,
+    ) {
+        let noisy = utility::expected_mean_gap(lambda1, l2_small).unwrap();
+        let quiet = utility::expected_mean_gap(lambda1, l2_small * factor).unwrap();
+        prop_assert!(noisy > quiet, "E[Y] noisy {noisy} vs quiet {quiet}");
+    }
+
+    #[test]
+    fn beta_bound_in_unit_interval(
+        lambda1 in 0.2..10.0f64,
+        lambda2 in 0.05..10.0f64,
+        s in 1usize..2000,
+        alpha in 0.01..50.0f64,
+    ) {
+        let b = utility::utility_beta_bound(lambda1, lambda2, s, alpha).unwrap();
+        prop_assert!((0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn beta_bound_monotone_in_alpha(
+        lambda1 in 0.2..10.0f64,
+        lambda2 in 0.05..10.0f64,
+        s in 10usize..1000,
+        alpha in 0.1..20.0f64,
+        factor in 1.1..10.0f64,
+    ) {
+        let loose = utility::utility_beta_bound(lambda1, lambda2, s, alpha * factor).unwrap();
+        let tight = utility::utility_beta_bound(lambda1, lambda2, s, alpha).unwrap();
+        prop_assert!(loose <= tight + 1e-12);
+    }
+
+    #[test]
+    fn privacy_floor_positive_and_monotone(
+        eps in 0.05..5.0f64,
+        delta in 0.01..0.9f64,
+        lambda1 in 0.2..10.0f64,
+    ) {
+        let c = privacy::min_noise_level(&requirement(eps, delta, lambda1));
+        prop_assert!(c > 0.0);
+        // Doubling ε halves the floor exactly (1/ε dependence).
+        let c2 = privacy::min_noise_level(&requirement(2.0 * eps, delta, lambda1));
+        prop_assert!((c - 2.0 * c2).abs() < 1e-9 * c.max(1.0));
+    }
+
+    #[test]
+    fn feasible_windows_are_ordered(
+        eps in 0.1..3.0f64,
+        delta in 0.05..0.5f64,
+        lambda1 in 0.5..5.0f64,
+        alpha in 0.05..2.0f64,
+        beta in 0.01..0.5f64,
+        s in 10usize..1000,
+    ) {
+        let req = requirement(eps, delta, lambda1);
+        let w = tradeoff::feasible_noise_window(alpha, beta, s, &req).unwrap();
+        if let Some(op) = w.operating_point() {
+            prop_assert!(op >= w.c_min - 1e-12);
+            prop_assert!(op <= w.c_max + 1e-12);
+        }
+    }
+
+    #[test]
+    fn perturbation_preserves_matrix_shape(
+        users in 1usize..12,
+        objects in 1usize..8,
+        lambda2 in 0.05..100.0f64,
+        seed in 0u64..500,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..users)
+            .map(|s| (0..objects).map(|n| (s * objects + n) as f64).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = ObservationMatrix::from_dense(&refs).unwrap();
+        let pipeline = PrivatePipeline::new(MeanAggregator::new(), lambda2).unwrap();
+        let mut rng = dptd_stats::seeded_rng(seed);
+        let (perturbed, stats) = pipeline.perturb(&data, &mut rng);
+        prop_assert_eq!(perturbed.num_users(), users);
+        prop_assert_eq!(perturbed.num_objects(), objects);
+        prop_assert_eq!(perturbed.num_observations(), users * objects);
+        prop_assert_eq!(stats.user_variances.len(), users);
+        prop_assert!(stats.user_variances.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn mean_pipeline_shift_is_bounded_by_max_noise(
+        users in 2usize..10,
+        objects in 1usize..6,
+        lambda2 in 0.5..50.0f64,
+        seed in 0u64..300,
+    ) {
+        // For the *mean* aggregator the aggregate shift on any object is
+        // at most the largest per-user noise magnitude (convexity).
+        let rows: Vec<Vec<f64>> = (0..users)
+            .map(|_| (0..objects).map(|n| n as f64).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = ObservationMatrix::from_dense(&refs).unwrap();
+        let pipeline = PrivatePipeline::new(MeanAggregator::new(), lambda2).unwrap();
+        let mut rng = dptd_stats::seeded_rng(seed);
+        let run = pipeline.run(&data, &mut rng).unwrap();
+        let max_noise = (0..users)
+            .flat_map(|s| {
+                let orig = data.observations_of_user(s);
+                let pert = run.perturbed_matrix.observations_of_user(s);
+                orig.zip(pert).map(|((_, a), (_, b))| (a - b).abs()).collect::<Vec<_>>()
+            })
+            .fold(0.0f64, f64::max);
+        for n in 0..objects {
+            let shift = (run.unperturbed.truths[n] - run.perturbed.truths[n]).abs();
+            prop_assert!(shift <= max_noise + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! k-ary randomized response for categorical data.
+//!
+//! The paper's mechanism targets *continuous* data; its companion work
+//! (reference \[23\] in the paper, Li et al. KDD'18) handles categorical data. This
+//! module provides the standard k-ary randomized-response primitive so the
+//! categorical truth-discovery extension in `dptd-truth` has a matched LDP
+//! front-end, giving the workspace end-to-end coverage of both data types.
+
+use rand::Rng;
+
+use crate::LdpError;
+
+/// k-ary randomized response: report the true category with probability
+/// `e^ε/(e^ε + k − 1)`, otherwise a uniformly random *other* category.
+///
+/// Satisfies ε-LDP over a categorical domain of size `k`.
+///
+/// # Example
+///
+/// ```
+/// use dptd_ldp::randomized_response::KRandomizedResponse;
+///
+/// # fn main() -> Result<(), dptd_ldp::LdpError> {
+/// let rr = KRandomizedResponse::new(4, 1.0)?;
+/// let mut rng = dptd_stats::seeded_rng(1);
+/// let reported = rr.perturb(2, &mut rng)?;
+/// assert!(reported < 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KRandomizedResponse {
+    k: usize,
+    epsilon: f64,
+}
+
+impl KRandomizedResponse {
+    /// Create a mechanism over a domain of `k ≥ 2` categories at privacy
+    /// level `ε > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::InvalidParameter`] on invalid `k` or `ε`.
+    pub fn new(k: usize, epsilon: f64) -> Result<Self, LdpError> {
+        if k < 2 {
+            return Err(LdpError::InvalidParameter {
+                name: "k",
+                value: k as f64,
+                constraint: "domain must have at least 2 categories",
+            });
+        }
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(LdpError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { k, epsilon })
+    }
+
+    /// Domain size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Privacy level ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Probability of reporting the true category.
+    pub fn p_truth(&self) -> f64 {
+        let e = self.epsilon.exp();
+        e / (e + self.k as f64 - 1.0)
+    }
+
+    /// Probability of reporting any *particular* false category.
+    pub fn p_lie(&self) -> f64 {
+        let e = self.epsilon.exp();
+        1.0 / (e + self.k as f64 - 1.0)
+    }
+
+    /// Perturb one category.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::CategoryOutOfRange`] if `category >= k`.
+    pub fn perturb<R: Rng + ?Sized>(
+        &self,
+        category: usize,
+        rng: &mut R,
+    ) -> Result<usize, LdpError> {
+        if category >= self.k {
+            return Err(LdpError::CategoryOutOfRange {
+                category,
+                domain: self.k,
+            });
+        }
+        if rng.gen::<f64>() < self.p_truth() {
+            Ok(category)
+        } else {
+            // Uniform over the k-1 other categories.
+            let mut other = rng.gen_range(0..self.k - 1);
+            if other >= category {
+                other += 1;
+            }
+            Ok(other)
+        }
+    }
+
+    /// Unbiased estimate of the true category frequencies from perturbed
+    /// reports.
+    ///
+    /// Inverts the response channel: if `f̂` is the observed frequency of a
+    /// category, the debiased estimate is
+    /// `(f̂ − p_lie) / (p_truth − p_lie)`, clamped to `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::CategoryOutOfRange`] if any report is `>= k`.
+    pub fn estimate_frequencies(&self, reports: &[usize]) -> Result<Vec<f64>, LdpError> {
+        let mut counts = vec![0usize; self.k];
+        for &r in reports {
+            if r >= self.k {
+                return Err(LdpError::CategoryOutOfRange {
+                    category: r,
+                    domain: self.k,
+                });
+            }
+            counts[r] += 1;
+        }
+        let n = reports.len().max(1) as f64;
+        let (pt, pl) = (self.p_truth(), self.p_lie());
+        Ok(counts
+            .into_iter()
+            .map(|c| ((c as f64 / n - pl) / (pt - pl)).clamp(0.0, 1.0))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(KRandomizedResponse::new(1, 1.0).is_err());
+        assert!(KRandomizedResponse::new(3, 0.0).is_err());
+        assert!(KRandomizedResponse::new(3, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let rr = KRandomizedResponse::new(5, 0.8).unwrap();
+        let total = rr.p_truth() + 4.0 * rr.p_lie();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_is_ln_ratio() {
+        // The LDP guarantee: p_truth / p_lie = e^ε exactly.
+        let rr = KRandomizedResponse::new(7, 1.3).unwrap();
+        assert!(((rr.p_truth() / rr.p_lie()).ln() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturb_rejects_out_of_domain() {
+        let rr = KRandomizedResponse::new(3, 1.0).unwrap();
+        let mut rng = dptd_stats::seeded_rng(83);
+        assert!(rr.perturb(3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn perturb_matches_channel_probabilities() {
+        let rr = KRandomizedResponse::new(4, 1.0).unwrap();
+        let mut rng = dptd_stats::seeded_rng(89);
+        let trials = 100_000;
+        let mut kept = 0usize;
+        for _ in 0..trials {
+            if rr.perturb(1, &mut rng).unwrap() == 1 {
+                kept += 1;
+            }
+        }
+        let emp = kept as f64 / trials as f64;
+        assert!((emp - rr.p_truth()).abs() < 0.01, "emp {emp}");
+    }
+
+    #[test]
+    fn frequency_estimation_debiases() {
+        let rr = KRandomizedResponse::new(3, 1.5).unwrap();
+        let mut rng = dptd_stats::seeded_rng(97);
+        // True distribution: 70% category 0, 30% category 2.
+        let mut reports = Vec::new();
+        for i in 0..50_000 {
+            let truth = if i % 10 < 7 { 0 } else { 2 };
+            reports.push(rr.perturb(truth, &mut rng).unwrap());
+        }
+        let est = rr.estimate_frequencies(&reports).unwrap();
+        assert!((est[0] - 0.7).abs() < 0.03, "est {est:?}");
+        assert!(est[1] < 0.03, "est {est:?}");
+        assert!((est[2] - 0.3).abs() < 0.03, "est {est:?}");
+    }
+
+    #[test]
+    fn frequency_estimation_rejects_bad_reports() {
+        let rr = KRandomizedResponse::new(3, 1.0).unwrap();
+        assert!(rr.estimate_frequencies(&[0, 1, 5]).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-user sensitive information (Definition 4.6) and its
+//! high-probability bound (Lemma 4.7).
+//!
+//! The *sensitive information* of user `s` is the largest gap between two
+//! values the user could claim about the same object:
+//! `Δ_s = max |x¹_s − x²_s|`. Lemma 4.7 bounds it through the error-quality
+//! hyper-parameter `λ₁`: with `σ_s² ~ Exp(λ₁)` and claims
+//! `x ~ N(truth, σ_s²)`, the difference of two claims is `N(0, 2σ_s²)` and
+//! the Gaussian tail inequality gives `Δ_s ≤ b·√2·σ_s` with probability at
+//! least `1 − 2e^{−b²/2}/b`, while `σ_s ≤ √(ln(1/(1−η)))/√λ₁` with
+//! probability `η`. The paper then writes the combined bound as
+//! `Δ_s ≤ γ_s/λ₁` with `γ_s = b·√(2 ln(1/(1−η)))`, replacing the proof's
+//! `1/√λ₁` by `1/λ₁` — a step that is conservative (valid) only when
+//! `λ₁ ≤ 1` and *anti*-conservative when `λ₁ > 1`. Both forms are exposed
+//! here: the proof-faithful `γ_s/√λ₁` is always valid and is the default;
+//! the paper's printed form is kept so the figures can be regenerated with
+//! the exact constants the paper used.
+
+use crate::LdpError;
+
+/// Empirical sensitive information of one user (Definition 4.6): the
+/// largest range among the user's claims about any single object.
+///
+/// `claims_per_object` holds, for each object, the set of values the user
+/// claimed about it (repeated measurements). Objects with fewer than two
+/// claims contribute zero. Returns `0.0` when there are no claims at all.
+///
+/// ```
+/// // Two objects; the user measured object 0 three times.
+/// let delta = dptd_ldp::user_sensitivity(&[vec![9.0, 11.0, 10.0], vec![5.0]]);
+/// assert_eq!(delta, 2.0);
+/// ```
+pub fn user_sensitivity(claims_per_object: &[Vec<f64>]) -> f64 {
+    claims_per_object
+        .iter()
+        .map(|claims| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &c in claims {
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+            if claims.len() < 2 {
+                0.0
+            } else {
+                hi - lo
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The Lemma 4.7 high-probability bound on a user's sensitive information.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityBound {
+    /// The tail-width constant `b` of the Gaussian tail inequality.
+    pub b: f64,
+    /// The confidence `η` for the variance bound `σ ≤ M`.
+    pub eta: f64,
+    /// The error-quality rate `λ₁` (`σ_s² ~ Exp(λ₁)`).
+    pub lambda1: f64,
+}
+
+impl SensitivityBound {
+    /// Create the bound parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpError::InvalidParameter`] unless `b > 0`, `η ∈ (0, 1)`,
+    /// and `λ₁ > 0`.
+    pub fn new(b: f64, eta: f64, lambda1: f64) -> Result<Self, LdpError> {
+        if !(b.is_finite() && b > 0.0) {
+            return Err(LdpError::InvalidParameter {
+                name: "b",
+                value: b,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(eta > 0.0 && eta < 1.0) {
+            return Err(LdpError::InvalidParameter {
+                name: "eta",
+                value: eta,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        if !(lambda1.is_finite() && lambda1 > 0.0) {
+            return Err(LdpError::InvalidParameter {
+                name: "lambda1",
+                value: lambda1,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { b, eta, lambda1 })
+    }
+
+    /// `γ_s = b·√(2 ln(1/(1−η)))` (Lemma 4.7).
+    pub fn gamma(&self) -> f64 {
+        self.b * (2.0 * (1.0 / (1.0 - self.eta)).ln()).sqrt()
+    }
+
+    /// The paper's printed bound `Δ_s ≤ γ_s/λ₁`.
+    ///
+    /// Conservative (≥ the proof-faithful bound) only when `λ₁ ≤ 1`; for
+    /// `λ₁ > 1` it *under*-states the sensitive range. Kept for
+    /// reproducing the paper's constants; prefer
+    /// [`delta_bound`](Self::delta_bound) for correctness.
+    pub fn delta_bound_paper(&self) -> f64 {
+        self.gamma() / self.lambda1
+    }
+
+    /// The proof-faithful bound `Δ_s ≤ γ_s/√λ₁` that holds for every
+    /// `λ₁ > 0` (keeping the `1/√λ₁` from `M = √(ln(1/(1−η))/λ₁)`).
+    pub fn delta_bound_exact(&self) -> f64 {
+        self.gamma() / self.lambda1.sqrt()
+    }
+
+    /// The bound used downstream: the proof-faithful
+    /// [`delta_bound_exact`](Self::delta_bound_exact), which is valid for
+    /// all `λ₁ > 0` (and coincides with the paper's form at `λ₁ = 1`).
+    pub fn delta_bound(&self) -> f64 {
+        self.delta_bound_exact()
+    }
+
+    /// The probability with which the bound holds:
+    /// `η · (1 − 2e^{−b²/2}/b)`, clamped to `[0, 1]`.
+    pub fn confidence(&self) -> f64 {
+        (self.eta * (1.0 - gaussian_tail_mass(self.b))).clamp(0.0, 1.0)
+    }
+}
+
+/// The Gaussian tail inequality mass `2e^{−b²/2}/b`:
+/// `Pr{|Z| > b} ≤ 2e^{−b²/2}/b` for standard normal `Z` (used in the proof
+/// of Lemma 4.7).
+pub fn gaussian_tail_mass(b: f64) -> f64 {
+    2.0 * (-b * b / 2.0).exp() / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_stats::dist::{Continuous, Exponential, Normal};
+
+    #[test]
+    fn user_sensitivity_basic() {
+        assert_eq!(user_sensitivity(&[]), 0.0);
+        assert_eq!(user_sensitivity(&[vec![1.0]]), 0.0);
+        assert_eq!(user_sensitivity(&[vec![1.0, 4.0]]), 3.0);
+        assert_eq!(
+            user_sensitivity(&[vec![1.0, 2.0], vec![10.0, 4.0, 7.0]]),
+            6.0
+        );
+    }
+
+    #[test]
+    fn bound_validates() {
+        assert!(SensitivityBound::new(0.0, 0.9, 1.0).is_err());
+        assert!(SensitivityBound::new(2.0, 1.0, 1.0).is_err());
+        assert!(SensitivityBound::new(2.0, 0.9, 0.0).is_err());
+    }
+
+    #[test]
+    fn gamma_formula() {
+        let sb = SensitivityBound::new(2.0, 0.9, 1.0).unwrap();
+        let want = 2.0 * (2.0 * (10.0f64).ln()).sqrt();
+        assert!((sb.gamma() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_and_exact_bounds_agree_at_lambda1_one() {
+        let sb = SensitivityBound::new(2.0, 0.9, 1.0).unwrap();
+        assert!((sb.delta_bound_paper() - sb.delta_bound_exact()).abs() < 1e-12);
+        assert_eq!(sb.delta_bound(), sb.delta_bound_paper());
+    }
+
+    #[test]
+    fn paper_bound_conservative_only_below_lambda1_one() {
+        // λ₁ < 1: the paper's γ/λ₁ over-covers the exact γ/√λ₁.
+        let small = SensitivityBound::new(2.0, 0.9, 0.25).unwrap();
+        assert!(small.delta_bound_paper() > small.delta_bound_exact());
+        // λ₁ > 1: the paper's form under-covers; delta_bound() stays exact.
+        let big = SensitivityBound::new(2.0, 0.9, 4.0).unwrap();
+        assert!(big.delta_bound_paper() < big.delta_bound_exact());
+        assert_eq!(big.delta_bound(), big.delta_bound_exact());
+    }
+
+    #[test]
+    fn gaussian_tail_mass_bounds_actual_tail() {
+        // The inequality Pr{|Z| > b} ≤ 2e^{-b²/2}/b must hold.
+        for b in [1.0, 1.5, 2.0, 3.0] {
+            let actual = 2.0 * (1.0 - dptd_stats::special::std_normal_cdf(b));
+            assert!(gaussian_tail_mass(b) >= actual, "b = {b}");
+        }
+    }
+
+    #[test]
+    fn lemma_4_7_holds_empirically() {
+        // Simulate many users at λ₁ = 2: σ² ~ Exp(2), two claims per
+        // object ~ N(truth, σ²). The fraction of users whose Δ_s exceeds
+        // the bound must be at most 1 - confidence (with MC slack).
+        let lambda1 = 2.0;
+        let sb = SensitivityBound::new(2.5, 0.9, lambda1).unwrap();
+        let bound = sb.delta_bound();
+        let mut rng = dptd_stats::seeded_rng(79);
+        let var_dist = Exponential::new(lambda1).unwrap();
+        let trials = 20_000;
+        let mut violations = 0usize;
+        for _ in 0..trials {
+            let sigma2 = var_dist.sample(&mut rng);
+            let claim = Normal::from_variance(5.0, sigma2).unwrap();
+            let x1 = claim.sample(&mut rng);
+            let x2 = claim.sample(&mut rng);
+            if (x1 - x2).abs() > bound {
+                violations += 1;
+            }
+        }
+        let violation_rate = violations as f64 / trials as f64;
+        let allowed = 1.0 - sb.confidence() + 0.02;
+        assert!(
+            violation_rate <= allowed,
+            "violation rate {violation_rate} exceeds allowance {allowed}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Crowd-sensing protocol runtime.
+//!
+//! The paper's §2 system model is one untrusted server and `S`
+//! non-coordinating mobile users; §3.2 claims the mechanism *"ensures fast
+//! processing … and there are no communication costs due to the
+//! non-collaborative mechanism"*. This crate makes that deployment story
+//! concrete with two interchangeable runtimes over the same protocol:
+//!
+//! * [`sim`] — a deterministic **discrete-event simulator** with a
+//!   latency/message-loss network model: reproducible rounds, fault
+//!   injection, and exact message accounting. Used by the robustness
+//!   experiments.
+//! * [`runtime`] — a **multi-threaded runtime** on crossbeam channels: one
+//!   OS thread per user, a collector thread for the server, real
+//!   wall-clock deadlines. Used to demonstrate the single round-trip /
+//!   no-coordination property under actual concurrency.
+//!
+//! Both drive the same [`dptd_core::roles`] types: the user-side
+//! perturbation happens inside the client, so raw values never cross the
+//! transport — the trust boundary is visible in the message enum
+//! ([`message::Message`] has no constructor carrying raw data).
+//!
+//! # Example: one simulated round
+//!
+//! ```
+//! use dptd_protocol::sim::{NetworkConfig, RoundConfig, SimHarness};
+//! use dptd_truth::crh::Crh;
+//!
+//! # fn main() -> Result<(), dptd_protocol::ProtocolError> {
+//! let mut rng = dptd_stats::seeded_rng(11);
+//! let data = dptd_sensing::synthetic::SyntheticConfig {
+//!     num_users: 20,
+//!     num_objects: 5,
+//!     ..Default::default()
+//! }
+//! .generate(&mut rng)
+//! .map_err(dptd_core::CoreError::from)?;
+//!
+//! let harness = SimHarness::new(Crh::default(), 2.0, NetworkConfig::default())?;
+//! let outcome = harness.run_round(&data.observations, &RoundConfig::default(), &mut rng)?;
+//! assert_eq!(outcome.truths.len(), 5);
+//! assert!(outcome.participants.len() <= 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod message;
+pub mod runtime;
+pub mod sim;
+
+mod error;
+
+pub use error::ProtocolError;

@@ -1,0 +1,107 @@
+//! Property-based tests for the protocol runtimes.
+
+use dptd_protocol::sim::{NetworkConfig, RoundConfig, SimHarness};
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_truth::crh::Crh;
+use dptd_truth::ObservationMatrix;
+use proptest::prelude::*;
+
+fn world(users: usize, objects: usize, seed: u64) -> ObservationMatrix {
+    let mut rng = dptd_stats::seeded_rng(seed);
+    SyntheticConfig {
+        num_users: users,
+        num_objects: objects,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+    .unwrap()
+    .observations
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rounds_are_deterministic_under_seed(
+        users in 2usize..25,
+        objects in 1usize..6,
+        drop in 0.0..0.4f64,
+        seed in 0u64..500,
+    ) {
+        let data = world(users, objects, seed);
+        let harness = SimHarness::new(
+            Crh::default(),
+            2.0,
+            NetworkConfig { drop_probability: drop, ..NetworkConfig::default() },
+        )
+        .unwrap();
+        let run = |s: u64| {
+            harness.run_round(&data, &RoundConfig::default(), &mut dptd_stats::seeded_rng(s))
+        };
+        match (run(seed), run(seed)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {} // deterministic failure is fine too
+            (a, b) => prop_assert!(false, "nondeterministic outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn message_accounting_is_consistent(
+        users in 2usize..30,
+        objects in 1usize..5,
+        drop in 0.0..0.5f64,
+        dup in 0.0..0.5f64,
+        seed in 0u64..500,
+    ) {
+        let data = world(users, objects, seed);
+        let harness = SimHarness::new(
+            Crh::default(),
+            5.0,
+            NetworkConfig { drop_probability: drop, ..NetworkConfig::default() },
+        )
+        .unwrap();
+        let round = RoundConfig { duplicate_probability: dup, ..RoundConfig::default() };
+        if let Ok(out) = harness.run_round(&data, &round, &mut dptd_stats::seeded_rng(seed)) {
+            // Sent ≥ assigns (users) + one submit per surviving client.
+            prop_assert!(out.messages_sent >= users);
+            prop_assert!(out.messages_dropped <= out.messages_sent);
+            // Every user is either a participant or missing, never both.
+            let mut seen = vec![false; users];
+            for &s in &out.participants {
+                prop_assert!(!seen[s], "duplicate participant {s}");
+                seen[s] = true;
+            }
+            for &s in &out.missing {
+                prop_assert!(!seen[s], "user {s} both participant and missing");
+                seen[s] = true;
+            }
+            prop_assert!(seen.iter().all(|&b| b), "some user unaccounted for");
+            // Reports align with participants.
+            prop_assert_eq!(out.reports.len(), out.participants.len());
+            for (r, &s) in out.reports.iter().zip(&out.participants) {
+                prop_assert_eq!(r.user, s);
+            }
+        }
+    }
+
+    #[test]
+    fn truths_stay_in_perturbation_envelope(
+        users in 3usize..15,
+        objects in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        // With λ₂ huge (noise ~ 0) the round's truths must lie inside the
+        // convex hull of the raw claims, slightly widened.
+        let data = world(users, objects, seed);
+        let harness = SimHarness::new(Crh::default(), 1e9, NetworkConfig::default()).unwrap();
+        let out = harness
+            .run_round(&data, &RoundConfig::default(), &mut dptd_stats::seeded_rng(seed))
+            .unwrap();
+        for n in 0..objects {
+            let vals: Vec<f64> = data.observations_of_object(n).map(|(_, v)| v).collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(out.truths[n] >= lo - 1e-3 && out.truths[n] <= hi + 1e-3);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Adversarial user models.
+//!
+//! The paper's motivation (§1) notes users may "submit noisy or fake
+//! information due to hardware quality, environment noise, or even the
+//! intent to deceive and get rewards". These models corrupt a subset of
+//! users in an existing observation matrix so the robustness ablations can
+//! measure how weighted aggregation copes.
+
+use rand::Rng;
+
+use dptd_stats::dist::{Continuous, Normal};
+use dptd_truth::ObservationMatrix;
+
+use crate::SensingError;
+
+/// An adversarial behaviour applied to selected users of a matrix.
+pub trait Adversary {
+    /// Overwrite the observed values of `users` in `matrix` (sparsity
+    /// pattern is preserved — adversaries answer the tasks they were
+    /// assigned, just dishonestly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensingError::InvalidParameter`] if a user index is out
+    /// of range.
+    fn corrupt<R: Rng + ?Sized>(
+        &self,
+        matrix: &mut ObservationMatrix,
+        users: &[usize],
+        rng: &mut R,
+    ) -> Result<(), SensingError>;
+}
+
+fn check_users(matrix: &ObservationMatrix, users: &[usize]) -> Result<(), SensingError> {
+    for &u in users {
+        if u >= matrix.num_users() {
+            return Err(SensingError::InvalidParameter {
+                name: "user",
+                value: u as f64,
+                constraint: "user index out of range for matrix",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Reports the same constant for every task (a lazy reward farmer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spammer {
+    /// The constant value reported everywhere.
+    pub value: f64,
+}
+
+impl Adversary for Spammer {
+    fn corrupt<R: Rng + ?Sized>(
+        &self,
+        matrix: &mut ObservationMatrix,
+        users: &[usize],
+        _rng: &mut R,
+    ) -> Result<(), SensingError> {
+        check_users(matrix, users)?;
+        for &s in users {
+            let count = matrix.observations_of_user(s).count();
+            matrix.replace_user_observations(s, &vec![self.value; count]);
+        }
+        Ok(())
+    }
+}
+
+/// A coalition that shifts every claim by the same offset, trying to drag
+/// aggregates towards a coordinated target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Colluder {
+    /// The shared additive offset.
+    pub offset: f64,
+}
+
+impl Adversary for Colluder {
+    fn corrupt<R: Rng + ?Sized>(
+        &self,
+        matrix: &mut ObservationMatrix,
+        users: &[usize],
+        _rng: &mut R,
+    ) -> Result<(), SensingError> {
+        check_users(matrix, users)?;
+        for &s in users {
+            let shifted: Vec<f64> = matrix
+                .observations_of_user(s)
+                .map(|(_, v)| v + self.offset)
+                .collect();
+            matrix.replace_user_observations(s, &shifted);
+        }
+        Ok(())
+    }
+}
+
+/// A failing sensor whose error grows over the task sequence (drift).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drifter {
+    /// Additional error per task index (metres per task, say).
+    pub drift_per_task: f64,
+    /// Gaussian jitter layered on top of the drift.
+    pub jitter_std: f64,
+}
+
+impl Adversary for Drifter {
+    fn corrupt<R: Rng + ?Sized>(
+        &self,
+        matrix: &mut ObservationMatrix,
+        users: &[usize],
+        rng: &mut R,
+    ) -> Result<(), SensingError> {
+        check_users(matrix, users)?;
+        let jitter = if self.jitter_std > 0.0 {
+            Some(Normal::new(0.0, self.jitter_std)?)
+        } else {
+            None
+        };
+        for &s in users {
+            let drifted: Vec<f64> = matrix
+                .observations_of_user(s)
+                .enumerate()
+                .map(|(k, (_, v))| {
+                    let j = jitter.as_ref().map_or(0.0, |d| d.sample(rng));
+                    v + self.drift_per_task * k as f64 + j
+                })
+                .collect();
+            matrix.replace_user_observations(s, &drifted);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_truth::{crh::Crh, TruthDiscoverer};
+
+    fn matrix() -> ObservationMatrix {
+        ObservationMatrix::from_dense(&[
+            &[1.0, 2.0, 3.0][..],
+            &[1.1, 2.1, 3.1],
+            &[0.9, 1.9, 2.9],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn spammer_flattens_claims() {
+        let mut m = matrix();
+        let mut rng = dptd_stats::seeded_rng(223);
+        Spammer { value: 42.0 }.corrupt(&mut m, &[1], &mut rng).unwrap();
+        assert_eq!(m.value(1, 0), Some(42.0));
+        assert_eq!(m.value(1, 2), Some(42.0));
+        assert_eq!(m.value(0, 0), Some(1.0)); // others untouched
+    }
+
+    #[test]
+    fn colluder_shifts_claims() {
+        let mut m = matrix();
+        let mut rng = dptd_stats::seeded_rng(227);
+        Colluder { offset: 10.0 }.corrupt(&mut m, &[0, 2], &mut rng).unwrap();
+        assert_eq!(m.value(0, 0), Some(11.0));
+        assert_eq!(m.value(2, 2), Some(12.9));
+        assert_eq!(m.value(1, 0), Some(1.1));
+    }
+
+    #[test]
+    fn drifter_grows_error() {
+        let mut m = matrix();
+        let mut rng = dptd_stats::seeded_rng(229);
+        Drifter {
+            drift_per_task: 1.0,
+            jitter_std: 1e-9,
+        }
+        .corrupt(&mut m, &[0], &mut rng)
+        .unwrap();
+        assert!((m.value(0, 0).unwrap() - 1.0).abs() < 1e-6);
+        assert!((m.value(0, 1).unwrap() - 3.0).abs() < 1e-6);
+        assert!((m.value(0, 2).unwrap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adversaries_validate_user_indices() {
+        let mut m = matrix();
+        let mut rng = dptd_stats::seeded_rng(233);
+        assert!(Spammer { value: 0.0 }.corrupt(&mut m, &[7], &mut rng).is_err());
+        assert!(Colluder { offset: 1.0 }.corrupt(&mut m, &[3], &mut rng).is_err());
+    }
+
+    #[test]
+    fn crh_downweights_spammer() {
+        // 8 honest users + 2 spammers: the spammers' weights must fall
+        // below every honest weight, and truths must track honest claims.
+        let mut rng = dptd_stats::seeded_rng(239);
+        let noise = Normal::new(0.0, 0.05).unwrap();
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|_| (0..6).map(|n| n as f64 + noise.sample(&mut rng)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut m = ObservationMatrix::from_dense(&refs).unwrap();
+        Spammer { value: 50.0 }.corrupt(&mut m, &[8, 9], &mut rng).unwrap();
+
+        let out = Crh::default().discover(&m).unwrap();
+        let honest_min = out.weights[..8]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(out.weights[8] < honest_min);
+        assert!(out.weights[9] < honest_min);
+        // CRH cannot fully erase a far outlier (the −log weight floors at
+        // −ln(share) ≈ 0.69 for a dominant loser) but must beat the
+        // unweighted mean by a wide margin.
+        for n in 0..6 {
+            let crh_err = (out.truths[n] - n as f64).abs();
+            let mean_est = m.observations_of_object(n).map(|(_, v)| v).sum::<f64>() / 10.0;
+            let mean_err = (mean_est - n as f64).abs();
+            assert!(crh_err < 1.5, "object {n} CRH error {crh_err}");
+            assert!(
+                crh_err < mean_err / 3.0,
+                "object {n}: CRH {crh_err} vs mean {mean_err}"
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error type for the sensing simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensingError {
+    /// A simulator parameter was outside its domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// The constraint that failed.
+        constraint: &'static str,
+    },
+    /// An underlying statistics error.
+    Stats(dptd_stats::StatsError),
+    /// An underlying truth-discovery data error.
+    Truth(dptd_truth::TruthError),
+}
+
+impl fmt::Display for SensingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensingError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            SensingError::Stats(e) => write!(f, "statistics error: {e}"),
+            SensingError::Truth(e) => write!(f, "observation matrix error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SensingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SensingError::Stats(e) => Some(e),
+            SensingError::Truth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dptd_stats::StatsError> for SensingError {
+    fn from(e: dptd_stats::StatsError) -> Self {
+        SensingError::Stats(e)
+    }
+}
+
+impl From<dptd_truth::TruthError> for SensingError {
+    fn from(e: dptd_truth::TruthError) -> Self {
+        SensingError::Truth(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = SensingError::InvalidParameter {
+            name: "lambda1",
+            value: -1.0,
+            constraint: "must be > 0",
+        };
+        assert!(e.to_string().contains("lambda1"));
+        let e: SensingError = dptd_truth::TruthError::EmptyMatrix.into();
+        assert!(e.to_string().contains("matrix"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SensingError>();
+    }
+}

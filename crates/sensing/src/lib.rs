@@ -1,0 +1,37 @@
+//! Crowd-sensing world simulators for the `dptd` workspace.
+//!
+//! The paper evaluates on two datasets, both rebuilt here:
+//!
+//! * **Synthetic** (§5.1): `S = 150` users of varying quality
+//!   (`σ_s² ~ Exp(λ₁)`) observing `N = 30` objects; observations are
+//!   `x^s_n = truth_n + N(0, σ_s²)` — [`synthetic`].
+//! * **Indoor floor-plan** (§5.2): `247` smartphone users walking `129`
+//!   hallway segments, where a user's reported distance is
+//!   `step size × step count`. The original Android-app traces are not
+//!   public, so [`floorplan`] simulates the walk: a persistent per-user
+//!   step-length calibration bias, per-walk step-count noise, and sensor
+//!   jitter. The per-user reliability structure (stable across segments,
+//!   heterogeneous across users) matches the paper's description of why
+//!   "the distances obtained by different users on the same segment can be
+//!   quite different".
+//!
+//! [`adversary`] adds hostile user models (constant spammers, coordinated
+//! colluders, drifting sensors) for the robustness ablations, and
+//! [`dataset::SensingDataset`] is the common bundle (ground truth + user
+//! qualities + observation matrix) the pipeline consumes.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod adversary;
+pub mod air_quality;
+pub mod dataset;
+pub mod floorplan;
+pub mod population;
+pub mod synthetic;
+
+mod error;
+
+pub use dataset::SensingDataset;
+pub use error::SensingError;
+pub use population::Population;

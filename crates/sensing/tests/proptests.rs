@@ -1,0 +1,101 @@
+//! Property-based tests for the sensing simulators.
+
+use dptd_sensing::air_quality::AirQualityConfig;
+use dptd_sensing::floorplan::FloorplanConfig;
+use dptd_sensing::synthetic::SyntheticConfig;
+use dptd_sensing::Population;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn synthetic_worlds_always_valid(
+        users in 1usize..60,
+        objects in 1usize..20,
+        lambda1 in 0.1..20.0f64,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SyntheticConfig {
+            num_users: users,
+            num_objects: objects,
+            lambda1,
+            ..Default::default()
+        };
+        let mut rng = dptd_stats::seeded_rng(seed);
+        let ds = cfg.generate(&mut rng).unwrap();
+        prop_assert_eq!(ds.num_users(), users);
+        prop_assert_eq!(ds.num_objects(), objects);
+        prop_assert!(ds.observations.validate_coverage().is_ok());
+        prop_assert!(ds.population.error_variances().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn floorplan_worlds_always_covered(
+        segments in 1usize..40,
+        users in 1usize..40,
+        coverage in 0.05..1.0f64,
+        seed in 0u64..500,
+    ) {
+        let cfg = FloorplanConfig {
+            num_segments: segments,
+            num_users: users,
+            coverage,
+            ..Default::default()
+        };
+        let mut rng = dptd_stats::seeded_rng(seed);
+        let ds = cfg.generate(&mut rng).unwrap();
+        prop_assert!(ds.observations.validate_coverage().is_ok());
+        // Lengths respect the configured range.
+        for &t in &ds.ground_truths {
+            prop_assert!(t >= cfg.min_segment_len && t < cfg.max_segment_len);
+        }
+        // Claims are non-negative distances.
+        for n in 0..ds.num_objects() {
+            for (_, v) in ds.observations.observations_of_object(n) {
+                prop_assert!(v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn air_quality_worlds_always_covered(
+        side in 2usize..10,
+        users in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        let cfg = AirQualityConfig {
+            side,
+            num_users: users,
+            ..Default::default()
+        };
+        let mut rng = dptd_stats::seeded_rng(seed);
+        let ds = cfg.generate(&mut rng).unwrap();
+        prop_assert_eq!(ds.num_objects(), side * side);
+        prop_assert!(ds.observations.validate_coverage().is_ok());
+        prop_assert!(ds.ground_truths.iter().all(|&t| t.is_finite() && t >= 0.0));
+    }
+
+    #[test]
+    fn population_ranking_is_a_permutation(
+        variances in prop::collection::vec(0.01..100.0f64, 1..50),
+    ) {
+        let n = variances.len();
+        let pop = Population::from_variances(variances).unwrap();
+        let mut ranking = pop.reliability_ranking();
+        prop_assert_eq!(ranking.len(), n);
+        ranking.sort_unstable();
+        prop_assert_eq!(ranking, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reliability_ranking_orders_variances(
+        variances in prop::collection::vec(0.01..100.0f64, 2..50),
+    ) {
+        let pop = Population::from_variances(variances.clone()).unwrap();
+        let ranking = pop.reliability_ranking();
+        for pair in ranking.windows(2) {
+            prop_assert!(variances[pair[0]] <= variances[pair[1]]);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! The experiment harness averages noisy per-replicate metrics (utility
+//! MAE, noise magnitude); a bootstrap CI communicates how much of a
+//! reported difference is Monte-Carlo error. Used by the `dptd-bench`
+//! sweep tables.
+
+use rand::Rng;
+
+use crate::StatsError;
+
+/// A two-sided confidence interval for a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub low: f64,
+    /// Upper percentile bound.
+    pub high: f64,
+    /// The confidence level used (e.g. `0.95`).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains a value.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.low && x <= self.high
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+}
+
+/// Percentile bootstrap CI for the mean of `xs`.
+///
+/// Resamples `xs` with replacement `resamples` times, takes the empirical
+/// `(1±level)/2` quantiles of the resampled means.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for fewer than two observations,
+/// [`StatsError::InvalidProbability`] for a level outside `(0, 1)`, and
+/// [`StatsError::InvalidParameter`] for zero resamples.
+///
+/// # Example
+///
+/// ```
+/// use dptd_stats::bootstrap::bootstrap_mean_ci;
+///
+/// let xs = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02];
+/// let mut rng = dptd_stats::seeded_rng(1);
+/// let ci = bootstrap_mean_ci(&xs, 0.95, 2000, &mut rng).unwrap();
+/// assert!(ci.contains(1.0));
+/// ```
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    xs: &[f64],
+    level: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> Result<ConfidenceInterval, StatsError> {
+    if xs.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            required: 2,
+            actual: xs.len(),
+        });
+    }
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "level",
+            value: level,
+        });
+    }
+    if resamples == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "resamples",
+            value: 0.0,
+            constraint: "must be at least 1",
+        });
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..xs.len() {
+            acc += xs[rng.gen_range(0..xs.len())];
+        }
+        means.push(acc / xs.len() as f64);
+    }
+    let alpha = (1.0 - level) / 2.0;
+    Ok(ConfidenceInterval {
+        mean,
+        low: crate::summary::quantile(&means, alpha)?,
+        high: crate::summary::quantile(&means, 1.0 - alpha)?,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Continuous, Normal};
+
+    #[test]
+    fn validates_inputs() {
+        let mut rng = crate::seeded_rng(1009);
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 100, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0, 2.0], 1.0, 100, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0, 2.0], 0.95, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let mut rng = crate::seeded_rng(1013);
+        let xs: Vec<f64> = Normal::new(5.0, 1.0).unwrap().sample_n(&mut rng, 100);
+        let ci = bootstrap_mean_ci(&xs, 0.95, 2000, &mut rng).unwrap();
+        assert!(ci.low <= ci.mean && ci.mean <= ci.high);
+        assert!(ci.contains(5.0), "CI [{}, {}] misses 5", ci.low, ci.high);
+    }
+
+    #[test]
+    fn more_data_narrows_the_interval() {
+        let mut rng = crate::seeded_rng(1019);
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let small: Vec<f64> = d.sample_n(&mut rng, 20);
+        let large: Vec<f64> = d.sample_n(&mut rng, 2000);
+        let ci_small = bootstrap_mean_ci(&small, 0.95, 1000, &mut rng).unwrap();
+        let ci_large = bootstrap_mean_ci(&large, 0.95, 1000, &mut rng).unwrap();
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn coverage_is_roughly_nominal() {
+        // Repeat the experiment: the 90% CI should contain the true mean
+        // in roughly 90% of repetitions (generous tolerance for speed).
+        let d = Normal::new(2.0, 1.0).unwrap();
+        let mut hits = 0;
+        let trials = 100;
+        for t in 0..trials {
+            let mut rng = crate::seeded_rng(2000 + t);
+            let xs: Vec<f64> = d.sample_n(&mut rng, 40);
+            let ci = bootstrap_mean_ci(&xs, 0.9, 500, &mut rng).unwrap();
+            if ci.contains(2.0) {
+                hits += 1;
+            }
+        }
+        assert!(
+            (75..=100).contains(&hits),
+            "coverage {hits}/{trials} far from nominal 90%"
+        );
+    }
+}

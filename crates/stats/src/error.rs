@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// Error type for invalid statistical parameters or undefined operations.
+///
+/// Every fallible constructor and computation in this crate returns
+/// `Result<_, StatsError>` so callers can distinguish *why* a parameter was
+/// rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its domain (e.g. a non-positive
+    /// standard deviation). Carries the parameter name and offending value.
+    InvalidParameter {
+        /// Human-readable parameter name (e.g. `"std_dev"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Constraint the value failed (e.g. `"must be finite and > 0"`).
+        constraint: &'static str,
+    },
+    /// A probability argument was outside `[0, 1]`.
+    InvalidProbability {
+        /// Human-readable argument name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The operation needs at least this many data points.
+    NotEnoughData {
+        /// Number of points required.
+        required: usize,
+        /// Number of points provided.
+        actual: usize,
+    },
+    /// Two paired slices had different lengths.
+    LengthMismatch {
+        /// Length of the first slice.
+        left: usize,
+        /// Length of the second slice.
+        right: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(f, "invalid parameter {name} = {value}: {constraint}")
+            }
+            StatsError::InvalidProbability { name, value } => {
+                write!(f, "probability {name} = {value} is outside [0, 1]")
+            }
+            StatsError::NotEnoughData { required, actual } => {
+                write!(f, "need at least {required} data points, got {actual}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired slices have mismatched lengths {left} and {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::InvalidParameter {
+            name: "rate",
+            value: -1.0,
+            constraint: "must be finite and > 0",
+        };
+        let s = e.to_string();
+        assert!(s.contains("rate"));
+        assert!(s.contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn length_mismatch_display() {
+        let e = StatsError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,198 @@
+//! Fixed-width histograms.
+//!
+//! Used by the empirical LDP audit (likelihood-ratio over binned mechanism
+//! outputs) and by the experiment harness for diagnostic output.
+
+use crate::StatsError;
+
+/// A histogram with `bins` equal-width bins over `[low, high)`.
+///
+/// Out-of-range samples are counted in saturating edge bins so that total
+/// mass is preserved (important for the privacy audit, where clipping the
+/// tails would bias likelihood ratios).
+///
+/// # Example
+///
+/// ```
+/// use dptd_stats::histogram::Histogram;
+///
+/// # fn main() -> Result<(), dptd_stats::StatsError> {
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// h.extend([1.0, 1.5, 7.0, 11.0]); // 11.0 lands in the last bin
+/// assert_eq!(h.count(0), 2);
+/// assert_eq!(h.count(3), 1);
+/// assert_eq!(h.count(4), 1);
+/// assert_eq!(h.total(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram over `[low, high)` with `bins` bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the range is not finite
+    /// with `low < high`, or `bins == 0`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(low.is_finite() && high.is_finite() && low < high) {
+            return Err(StatsError::InvalidParameter {
+                name: "range",
+                value: high - low,
+                constraint: "low and high must be finite with low < high",
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(Self {
+            low,
+            high,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Add one sample. Values below `low` go to bin 0, values at or above
+    /// `high` to the last bin.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.low {
+            0
+        } else if x >= self.high {
+            bins - 1
+        } else {
+            let f = (x - self.low) / (self.high - self.low);
+            ((f * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All counts as a slice.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples pushed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The half-open interval `[left, right)` covered by bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index {i} out of range");
+        let w = (self.high - self.low) / self.counts.len() as f64;
+        (self.low + i as f64 * w, self.low + (i + 1) as f64 * w)
+    }
+
+    /// Empirical probability mass of bin `i` (`count / total`), `0` when
+    /// empty.
+    pub fn mass(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Empirical density estimate for bin `i` (mass / bin width).
+    pub fn density(&self, i: usize) -> f64 {
+        let (l, r) = self.bin_range(i);
+        self.mass(i) / (r - l)
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Histogram::new(0.0, 0.0, 4).is_err());
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn binning_is_exact_on_boundaries() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.push(0.0); // bin 0
+        h.push(0.25); // bin 1
+        h.push(0.5); // bin 2
+        h.push(0.75); // bin 3
+        h.push(0.999); // bin 3
+        assert_eq!(h.counts(), &[1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.push(-5.0);
+        h.push(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn mass_and_density() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 0.6, 1.5, 1.6]);
+        assert_eq!(h.mass(0), 0.5);
+        assert_eq!(h.density(0), 0.5);
+        let (l, r) = h.bin_range(1);
+        assert_eq!((l, r), (1.0, 2.0));
+    }
+
+    #[test]
+    fn gaussian_histogram_is_symmetricish() {
+        use crate::dist::{Continuous, Normal};
+        let d = Normal::standard();
+        let mut h = Histogram::new(-4.0, 4.0, 8).unwrap();
+        h.extend(d.sample_n(&mut crate::seeded_rng(47), 100_000));
+        // Compare symmetric bins around zero.
+        for i in 0..4 {
+            let a = h.mass(i);
+            let b = h.mass(7 - i);
+            assert!((a - b).abs() < 0.01, "bins {i} vs {}", 7 - i);
+        }
+    }
+}

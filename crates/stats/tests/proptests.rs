@@ -1,0 +1,161 @@
+//! Property-based tests for the statistics substrate.
+
+use dptd_stats::dist::{Continuous, Exponential, Gamma, Laplace, Normal, Uniform};
+use dptd_stats::special::{erf, erfc, gamma_p, gamma_q, std_normal_cdf, std_normal_quantile};
+use dptd_stats::summary::{mae, max_abs_error, quantile, rmse, RunningStats, Summary};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+fn positive_f64() -> impl Strategy<Value = f64> {
+    1e-3..1e3f64
+}
+
+proptest! {
+    #[test]
+    fn erf_is_odd(x in -5.0..5.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn erf_erfc_complement(x in -5.0..5.0f64) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn erf_monotone(a in -5.0..5.0f64, b in -5.0..5.0f64) {
+        if a < b {
+            prop_assert!(erf(a) <= erf(b) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn gamma_pq_complement(a in 0.05..20.0f64, x in 0.0..50.0f64) {
+        prop_assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 1e-6..0.999999f64) {
+        let z = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(z) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(a in -8.0..8.0f64, b in -8.0..8.0f64) {
+        if a <= b {
+            prop_assert!(std_normal_cdf(a) <= std_normal_cdf(b) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_symmetry(p in 1e-6..0.5f64) {
+        let lo = std_normal_quantile(p);
+        let hi = std_normal_quantile(1.0 - p);
+        prop_assert!((lo + hi).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normal_cdf_bounds(mu in finite_f64(), sigma in positive_f64(), x in finite_f64()) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let c = d.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn exponential_samples_nonnegative(rate in positive_f64(), seed in 0u64..1000) {
+        let d = Exponential::new(rate).unwrap();
+        let mut rng = dptd_stats::seeded_rng(seed);
+        for _ in 0..64 {
+            prop_assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gamma_samples_positive(shape in 0.1..10.0f64, scale in positive_f64(), seed in 0u64..1000) {
+        let d = Gamma::new(shape, scale).unwrap();
+        let mut rng = dptd_stats::seeded_rng(seed);
+        for _ in 0..32 {
+            prop_assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn laplace_cdf_quantile_roundtrip(loc in finite_f64(), scale in positive_f64(), p in 0.001..0.999f64) {
+        let d = Laplace::new(loc, scale).unwrap();
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_samples_in_support(low in -100.0..100.0f64, width in positive_f64(), seed in 0u64..1000) {
+        let d = Uniform::new(low, low + width).unwrap();
+        let mut rng = dptd_stats::seeded_rng(seed);
+        for _ in 0..32 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= low && x < low + width);
+        }
+    }
+
+    #[test]
+    fn welford_mean_within_range(xs in prop::collection::vec(-1e6..1e6f64, 1..200)) {
+        let r: RunningStats = xs.iter().copied().collect();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(r.mean() >= lo - 1e-9 && r.mean() <= hi + 1e-9);
+        prop_assert!(r.sample_variance() >= 0.0);
+    }
+
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-1e3..1e3f64, 1..100),
+        split in 0usize..100,
+    ) {
+        let k = split.min(xs.len());
+        let mut a: RunningStats = xs[..k].iter().copied().collect();
+        let b: RunningStats = xs[k..].iter().copied().collect();
+        a.merge(&b);
+        let whole: RunningStats = xs.iter().copied().collect();
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mae_triangle_like(
+        xs in prop::collection::vec(-1e3..1e3f64, 1..50),
+        ys in prop::collection::vec(-1e3..1e3f64, 1..50),
+    ) {
+        if xs.len() == ys.len() {
+            let m = mae(&xs, &ys).unwrap();
+            let r = rmse(&xs, &ys).unwrap();
+            let mx = max_abs_error(&xs, &ys).unwrap();
+            // MAE <= RMSE <= max abs error (power-mean inequality).
+            prop_assert!(m <= r + 1e-9);
+            prop_assert!(r <= mx + 1e-9);
+            prop_assert!(m >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mae_zero_iff_identical(xs in prop::collection::vec(-1e3..1e3f64, 1..50)) {
+        prop_assert!(mae(&xs, &xs).unwrap() == 0.0);
+    }
+
+    #[test]
+    fn quantile_monotone_in_p(
+        xs in prop::collection::vec(-1e3..1e3f64, 2..50),
+        p1 in 0.0..1.0f64,
+        p2 in 0.0..1.0f64,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn summary_median_between_min_max(xs in prop::collection::vec(-1e3..1e3f64, 1..50)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+}

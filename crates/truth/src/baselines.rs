@@ -1,0 +1,113 @@
+//! Naive aggregation baselines: mean and median.
+//!
+//! The paper's §3.2 argues weighted aggregation *"provides better accuracy
+//! than traditional aggregation methods, such as mean or median, which do
+//! not consider user weights"*; these baselines make that claim testable
+//! and are used by the ablation benches.
+
+use crate::matrix::ObservationMatrix;
+use crate::{TruthDiscoverer, TruthDiscoveryResult, TruthError};
+
+/// Unweighted per-object mean (every user weight fixed at 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeanAggregator;
+
+impl MeanAggregator {
+    /// Create a mean aggregator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl TruthDiscoverer for MeanAggregator {
+    fn discover(&self, data: &ObservationMatrix) -> Result<TruthDiscoveryResult, TruthError> {
+        data.validate_coverage()?;
+        let truths = (0..data.num_objects())
+            .map(|n| {
+                let (sum, count) = data
+                    .observations_of_object(n)
+                    .fold((0.0, 0usize), |(s, c), (_, v)| (s + v, c + 1));
+                sum / count as f64
+            })
+            .collect();
+        Ok(TruthDiscoveryResult {
+            truths,
+            weights: vec![1.0; data.num_users()],
+            iterations: 1,
+            converged: true,
+        })
+    }
+}
+
+/// Unweighted per-object median.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MedianAggregator;
+
+impl MedianAggregator {
+    /// Create a median aggregator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl TruthDiscoverer for MedianAggregator {
+    fn discover(&self, data: &ObservationMatrix) -> Result<TruthDiscoveryResult, TruthError> {
+        data.validate_coverage()?;
+        let truths = (0..data.num_objects())
+            .map(|n| {
+                let vals: Vec<f64> = data.observations_of_object(n).map(|(_, v)| v).collect();
+                dptd_stats::summary::median(&vals).expect("coverage validated")
+            })
+            .collect();
+        Ok(TruthDiscoveryResult {
+            truths,
+            weights: vec![1.0; data.num_users()],
+            iterations: 1,
+            converged: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> ObservationMatrix {
+        ObservationMatrix::from_dense(&[&[1.0, 10.0][..], &[2.0, 20.0], &[3.0, 90.0]]).unwrap()
+    }
+
+    #[test]
+    fn mean_aggregates() {
+        let out = MeanAggregator::new().discover(&data()).unwrap();
+        assert_eq!(out.truths, vec![2.0, 40.0]);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn median_resists_outlier() {
+        let out = MedianAggregator::new().discover(&data()).unwrap();
+        assert_eq!(out.truths, vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn baselines_validate_coverage() {
+        let sparse = ObservationMatrix::from_sparse_rows(2, &[vec![(0, 1.0)]]).unwrap();
+        assert!(MeanAggregator::new().discover(&sparse).is_err());
+        assert!(MedianAggregator::new().discover(&sparse).is_err());
+    }
+
+    #[test]
+    fn uniform_weights_reported() {
+        let out = MeanAggregator::new().discover(&data()).unwrap();
+        assert!(out.weights.iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn sparse_mean_uses_observed_only() {
+        let m =
+            ObservationMatrix::from_sparse_rows(2, &[vec![(0, 2.0)], vec![(0, 4.0), (1, 8.0)]])
+                .unwrap();
+        let out = MeanAggregator::new().discover(&m).unwrap();
+        assert_eq!(out.truths, vec![3.0, 8.0]);
+    }
+}

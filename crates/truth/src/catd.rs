@@ -1,0 +1,262 @@
+//! CATD — Confidence-Aware Truth Discovery (Li et al., VLDB'15).
+//!
+//! A third continuous truth-discovery method beyond the paper's CRH/GTM
+//! pair, included because the paper claims (§3.1) the mechanism works
+//! with *any* continuous method — CATD is the natural stress test, since
+//! its weights react to **claim counts**, not just claim quality.
+//!
+//! CATD addresses the *long tail*: most users contribute only a few
+//! claims, so a point estimate of their quality is unreliable. Instead of
+//! the plug-in precision `n_s / Σ d²`, CATD uses the lower end of its
+//! confidence interval:
+//!
+//! ```text
+//! w_s = χ²(α/2; n_s) / Σ_{n ∈ obs(s)} (x^s_n − x*_n)²
+//! ```
+//!
+//! where `χ²(p; k)` is the p-quantile of the chi-squared distribution
+//! with `k` degrees of freedom. For a user with few claims the quantile —
+//! and hence the weight — shrinks towards zero: the algorithm refuses to
+//! trust a quality estimate it has no evidence for.
+
+use dptd_stats::dist::{Continuous, Gamma};
+
+use crate::convergence::Convergence;
+use crate::matrix::ObservationMatrix;
+use crate::{TruthDiscoverer, TruthDiscoveryResult, TruthError};
+
+/// Floor applied to per-user squared loss to keep weights finite.
+const LOSS_FLOOR: f64 = 1e-12;
+
+/// The CATD truth-discovery algorithm.
+///
+/// # Example
+///
+/// ```
+/// use dptd_truth::catd::Catd;
+/// use dptd_truth::{ObservationMatrix, TruthDiscoverer};
+///
+/// # fn main() -> Result<(), dptd_truth::TruthError> {
+/// let data = ObservationMatrix::from_dense(&[
+///     &[10.0, 20.0, 30.0][..],
+///     &[10.1, 20.1, 29.9],
+///     &[12.0, 25.0, 33.0],
+/// ])?;
+/// let out = Catd::default().discover(&data)?;
+/// assert!((out.truths[0] - 10.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Catd {
+    /// Significance level of the confidence interval (the paper's α;
+    /// 0.05 throughout).
+    significance: f64,
+    convergence: Convergence,
+}
+
+impl Catd {
+    /// Create a CATD instance with the given CI significance level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::InvalidParameter`] unless
+    /// `significance ∈ (0, 1)`.
+    pub fn new(significance: f64, convergence: Convergence) -> Result<Self, TruthError> {
+        if !(significance > 0.0 && significance < 1.0) {
+            return Err(TruthError::InvalidParameter {
+                name: "significance",
+                value: significance,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        Ok(Self {
+            significance,
+            convergence,
+        })
+    }
+
+    /// The CI significance level α.
+    pub fn significance(&self) -> f64 {
+        self.significance
+    }
+
+    /// The `χ²(α/2; k)` factor for a user with `k` claims.
+    fn chi2_factor(&self, claims: usize) -> f64 {
+        if claims == 0 {
+            return 0.0;
+        }
+        // χ²(k) = Gamma(shape k/2, scale 2).
+        Gamma::new(claims as f64 / 2.0, 2.0)
+            .expect("positive parameters")
+            .quantile(self.significance / 2.0)
+    }
+
+    /// One weight-estimation step given current truths.
+    pub fn estimate_weights(&self, data: &ObservationMatrix, truths: &[f64]) -> Vec<f64> {
+        (0..data.num_users())
+            .map(|s| {
+                let mut sq_loss = 0.0;
+                let mut count = 0usize;
+                for (n, v) in data.observations_of_user(s) {
+                    let d = v - truths[n];
+                    sq_loss += d * d;
+                    count += 1;
+                }
+                self.chi2_factor(count) / sq_loss.max(LOSS_FLOOR)
+            })
+            .collect()
+    }
+}
+
+impl Default for Catd {
+    /// `significance = 0.05` (a 95% CI), default convergence.
+    fn default() -> Self {
+        Self {
+            significance: 0.05,
+            convergence: Convergence::default(),
+        }
+    }
+}
+
+impl TruthDiscoverer for Catd {
+    fn discover(&self, data: &ObservationMatrix) -> Result<TruthDiscoveryResult, TruthError> {
+        data.validate_coverage()?;
+        // Initialise truths with per-object medians (robust start, as in
+        // the CATD paper).
+        let mut truths: Vec<f64> = (0..data.num_objects())
+            .map(|n| {
+                let vals: Vec<f64> = data.observations_of_object(n).map(|(_, v)| v).collect();
+                dptd_stats::summary::median(&vals).expect("coverage validated")
+            })
+            .collect();
+        let mut weights = vec![1.0; data.num_users()];
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..self.convergence.max_iterations() {
+            iterations += 1;
+            weights = self.estimate_weights(data, &truths);
+            if weights.iter().all(|&w| w <= 0.0) {
+                return Err(TruthError::Degenerate {
+                    reason: "all CATD weights collapsed to zero",
+                });
+            }
+            let next: Vec<f64> = (0..data.num_objects())
+                .map(|n| {
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for (s, v) in data.observations_of_object(n) {
+                        num += weights[s] * v;
+                        den += weights[s];
+                    }
+                    if den > 0.0 {
+                        num / den
+                    } else {
+                        truths[n]
+                    }
+                })
+                .collect();
+            let done = self.convergence.is_converged(&truths, &next);
+            truths = next;
+            if done {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(TruthDiscoveryResult {
+            truths,
+            weights,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_stats::dist::{Continuous, Normal};
+
+    #[test]
+    fn validates_significance() {
+        assert!(Catd::new(0.0, Convergence::default()).is_err());
+        assert!(Catd::new(1.0, Convergence::default()).is_err());
+        assert!(Catd::new(0.05, Convergence::default()).is_ok());
+    }
+
+    #[test]
+    fn recovers_truths_and_downweights_outlier() {
+        let data = ObservationMatrix::from_dense(&[
+            &[1.0, 2.0, 3.0, 4.0][..],
+            &[1.05, 1.98, 3.02, 3.97],
+            &[2.5, 0.5, 4.5, 2.5],
+        ])
+        .unwrap();
+        let out = Catd::default().discover(&data).unwrap();
+        assert!(out.converged);
+        for (n, want) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            assert!((out.truths[n] - want).abs() < 0.2, "object {n}");
+        }
+        assert!(out.weights[2] < out.weights[0]);
+    }
+
+    #[test]
+    fn few_claim_users_are_distrusted() {
+        // Two users with identical per-claim accuracy, but user 1 has only
+        // one claim: CATD must weight user 1 lower than user 0 (per unit
+        // of evidence, the CI is wider).
+        let data = ObservationMatrix::from_sparse_rows(
+            6,
+            &[
+                vec![(0, 1.01), (1, 2.01), (2, 2.99), (3, 4.01), (4, 4.99), (5, 6.01)],
+                vec![(0, 1.01)],
+                // Anchors so every object stays covered.
+                vec![(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), (4, 5.0), (5, 6.0)],
+            ],
+        )
+        .unwrap();
+        let catd = Catd::default();
+        let truths = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let w = catd.estimate_weights(&data, &truths);
+        // Same per-claim squared error (1e-4) but 6 vs 1 claims; the χ²
+        // factor at 1 dof is far smaller relative to the loss.
+        let per_evidence_0 = w[0];
+        let per_evidence_1 = w[1] * 6.0; // scale up to equal loss mass
+        assert!(
+            per_evidence_0 > per_evidence_1,
+            "long-tail user over-trusted: {w:?}"
+        );
+    }
+
+    #[test]
+    fn chi2_factor_grows_with_claims() {
+        let catd = Catd::default();
+        let f1 = catd.chi2_factor(1);
+        let f10 = catd.chi2_factor(10);
+        let f100 = catd.chi2_factor(100);
+        assert!(f1 < f10 && f10 < f100);
+        assert_eq!(catd.chi2_factor(0), 0.0);
+    }
+
+    #[test]
+    fn works_under_perturbation_pipeline_shape() {
+        // CATD behaves like CRH/GTM under Gaussian perturbation: more
+        // noise, more utility loss, but bounded.
+        let mut rng = dptd_stats::seeded_rng(877);
+        let noise = Normal::new(0.0, 1.0).unwrap();
+        let truths: Vec<f64> = (0..15).map(|n| n as f64).collect();
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|_| truths.iter().map(|t| t + 0.1 * noise.sample(&mut rng)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = ObservationMatrix::from_dense(&refs).unwrap();
+
+        let clean = Catd::default().discover(&data).unwrap();
+        let noisy_data = data.map_observations(|_, _, v| v + noise.sample(&mut rng));
+        let noisy = Catd::default().discover(&noisy_data).unwrap();
+        let gap = dptd_stats::summary::mae(&clean.truths, &noisy.truths).unwrap();
+        assert!(gap < 0.6, "CATD noise gap {gap}");
+    }
+}

@@ -1,0 +1,409 @@
+//! CRH — Conflict Resolution on Heterogeneous data (Li et al., SIGMOD'14).
+//!
+//! The truth-discovery method used for all main experiments in the paper.
+//! Iterates:
+//!
+//! * **Truth update** (Eq. 1): `x*_n = Σ_s w_s·x^s_n / Σ_s w_s` over the
+//!   users that observed object `n`;
+//! * **Weight update** (Eq. 3):
+//!   `w_s = −log( Σ_n d(x^s_n, x*_n) / Σ_{s'} Σ_n d(x^{s'}_n, x*_n) )`,
+//!
+//! i.e. `f = −log` applied to each user's share of the total loss. A user
+//! whose claims sit close to the current truths takes a small share of the
+//! loss and receives a large weight.
+
+use crate::convergence::Convergence;
+use crate::loss::Loss;
+use crate::matrix::ObservationMatrix;
+use crate::{TruthDiscoverer, TruthDiscoveryResult, TruthError};
+
+/// Floor applied to each user's loss share before the logarithm, preventing
+/// an exactly-zero-loss user from acquiring infinite weight.
+const LOSS_SHARE_FLOOR: f64 = 1e-12;
+
+/// How the truth-update step combines weighted claims (the CRH paper
+/// derives the weighted mean for squared loss and the weighted median for
+/// absolute loss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Eq. 1's weighted mean — the paper's default.
+    #[default]
+    WeightedMean,
+    /// Weighted median: the smallest claim whose cumulative weight reaches
+    /// half the total. More robust to extreme perturbations.
+    WeightedMedian,
+}
+
+/// The CRH truth-discovery algorithm with a pluggable loss.
+///
+/// # Example
+///
+/// ```
+/// use dptd_truth::crh::Crh;
+/// use dptd_truth::{Convergence, Loss, ObservationMatrix, TruthDiscoverer};
+///
+/// # fn main() -> Result<(), dptd_truth::TruthError> {
+/// let data = ObservationMatrix::from_dense(&[
+///     &[10.0, 100.0][..],
+///     &[10.2, 101.0],
+///     &[30.0, 150.0], // outlier user
+/// ])?;
+/// let crh = Crh::new(Loss::NormalizedSquared, Convergence::new(1e-8, 200)?);
+/// let out = crh.discover(&data)?;
+/// assert!(out.weights[2] < out.weights[0].min(out.weights[1]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Crh {
+    loss: Loss,
+    convergence: Convergence,
+    aggregation: Aggregation,
+}
+
+impl Crh {
+    /// Create a CRH instance with the given loss and convergence policy
+    /// (weighted-mean aggregation).
+    pub fn new(loss: Loss, convergence: Convergence) -> Self {
+        Self {
+            loss,
+            convergence,
+            aggregation: Aggregation::WeightedMean,
+        }
+    }
+
+    /// Create a CRH instance with an explicit truth-update rule.
+    pub fn with_aggregation(
+        loss: Loss,
+        convergence: Convergence,
+        aggregation: Aggregation,
+    ) -> Self {
+        Self {
+            loss,
+            convergence,
+            aggregation,
+        }
+    }
+
+    /// The loss function in use.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// The convergence policy in use.
+    pub fn convergence(&self) -> Convergence {
+        self.convergence
+    }
+
+    /// The truth-update rule in use.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// One weight-estimation step (Eq. 3) given the current truths.
+    ///
+    /// Exposed so the experiment harness can compute "true weights" against
+    /// ground truth (Fig. 7) with exactly the same formula the algorithm
+    /// uses internally.
+    pub fn estimate_weights(
+        &self,
+        data: &ObservationMatrix,
+        truths: &[f64],
+        object_stds: &[f64],
+    ) -> Vec<f64> {
+        let per_user_loss: Vec<f64> = (0..data.num_users())
+            .map(|s| {
+                data.observations_of_user(s)
+                    .map(|(n, v)| self.loss.distance(v, truths[n], object_stds[n]))
+                    .sum::<f64>()
+            })
+            .collect();
+        let total: f64 = per_user_loss.iter().sum();
+        if total <= 0.0 {
+            // All users agree exactly with the truths: equal weights.
+            return vec![1.0; data.num_users()];
+        }
+        per_user_loss
+            .iter()
+            .map(|&l| -((l / total).max(LOSS_SHARE_FLOOR)).ln())
+            .collect()
+    }
+
+    /// One truth-aggregation step (Eq. 1, weighted mean) given the
+    /// current weights.
+    pub fn aggregate(data: &ObservationMatrix, weights: &[f64]) -> Result<Vec<f64>, TruthError> {
+        Self::aggregate_with(data, weights, Aggregation::WeightedMean)
+    }
+
+    /// One truth-aggregation step under an explicit rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::Degenerate`] if some object's total weight is
+    /// not positive.
+    pub fn aggregate_with(
+        data: &ObservationMatrix,
+        weights: &[f64],
+        aggregation: Aggregation,
+    ) -> Result<Vec<f64>, TruthError> {
+        (0..data.num_objects())
+            .map(|n| match aggregation {
+                Aggregation::WeightedMean => {
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for (s, v) in data.observations_of_object(n) {
+                        num += weights[s] * v;
+                        den += weights[s];
+                    }
+                    if den <= 0.0 {
+                        return Err(TruthError::Degenerate {
+                            reason: "total weight on an object is not positive",
+                        });
+                    }
+                    Ok(num / den)
+                }
+                Aggregation::WeightedMedian => {
+                    let mut claims: Vec<(f64, f64)> = data
+                        .observations_of_object(n)
+                        .map(|(s, v)| (v, weights[s]))
+                        .collect();
+                    claims.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite claims"));
+                    let total: f64 = claims.iter().map(|&(_, w)| w).sum();
+                    if total <= 0.0 {
+                        return Err(TruthError::Degenerate {
+                            reason: "total weight on an object is not positive",
+                        });
+                    }
+                    let mut acc = 0.0;
+                    for &(v, w) in &claims {
+                        acc += w;
+                        if acc >= total / 2.0 {
+                            return Ok(v);
+                        }
+                    }
+                    Ok(claims.last().expect("coverage validated").0)
+                }
+            })
+            .collect()
+    }
+}
+
+impl TruthDiscoverer for Crh {
+    fn discover(&self, data: &ObservationMatrix) -> Result<TruthDiscoveryResult, TruthError> {
+        data.validate_coverage()?;
+        let object_stds = data.object_std_devs();
+
+        // Initialise with uniform weights (Algorithm 1, step 1).
+        let mut weights = vec![1.0; data.num_users()];
+        let mut truths = Crh::aggregate_with(data, &weights, self.aggregation)?;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..self.convergence.max_iterations() {
+            iterations += 1;
+            weights = self.estimate_weights(data, &truths, &object_stds);
+            if weights.iter().all(|&w| w <= 0.0) {
+                return Err(TruthError::Degenerate {
+                    reason: "all CRH weights collapsed to zero",
+                });
+            }
+            let next = Crh::aggregate_with(data, &weights, self.aggregation)?;
+            let done = self.convergence.is_converged(&truths, &next);
+            truths = next;
+            if done {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(TruthDiscoveryResult {
+            truths,
+            weights,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_stats::dist::{Continuous, Normal};
+
+    fn reliable_vs_noisy() -> ObservationMatrix {
+        // Users 0/1 reliable, user 2 noisy, 4 objects with truths 1..4.
+        ObservationMatrix::from_dense(&[
+            &[1.01, 2.02, 2.98, 4.01][..],
+            &[0.99, 1.97, 3.03, 3.99],
+            &[1.9, 3.5, 1.2, 6.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_truths_and_orders_weights() {
+        let out = Crh::default().discover(&reliable_vs_noisy()).unwrap();
+        for (n, want) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            assert!(
+                (out.truths[n] - want).abs() < 0.1,
+                "object {n}: {} vs {want}",
+                out.truths[n]
+            );
+        }
+        assert!(out.weights[2] < out.weights[0]);
+        assert!(out.weights[2] < out.weights[1]);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn handles_sparse_observations() {
+        let data = ObservationMatrix::from_sparse_rows(
+            3,
+            &[
+                vec![(0, 1.0), (1, 2.0)],
+                vec![(1, 2.1), (2, 3.0)],
+                vec![(0, 1.05), (2, 2.95)],
+            ],
+        )
+        .unwrap();
+        let out = Crh::default().discover(&data).unwrap();
+        assert!((out.truths[0] - 1.0).abs() < 0.1);
+        assert!((out.truths[1] - 2.05).abs() < 0.1);
+        assert!((out.truths[2] - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_unobserved_object() {
+        let data = ObservationMatrix::from_sparse_rows(2, &[vec![(0, 1.0)]]).unwrap();
+        assert!(matches!(
+            Crh::default().discover(&data),
+            Err(TruthError::UnobservedObject { object: 1 })
+        ));
+    }
+
+    #[test]
+    fn identical_claims_give_equal_weights() {
+        let data =
+            ObservationMatrix::from_dense(&[&[5.0, 6.0][..], &[5.0, 6.0], &[5.0, 6.0]]).unwrap();
+        let out = Crh::default().discover(&data).unwrap();
+        assert_eq!(out.truths, vec![5.0, 6.0]);
+        let w0 = out.weights[0];
+        assert!(out.weights.iter().all(|&w| (w - w0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn single_user_is_passthrough() {
+        let data = ObservationMatrix::from_dense(&[&[7.0, 8.0][..]]).unwrap();
+        let out = Crh::default().discover(&data).unwrap();
+        assert_eq!(out.truths, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn weighted_aggregation_beats_mean_under_one_bad_user() {
+        // One adversarial user among ten honest ones: CRH's estimate must
+        // be closer to the truth than the plain mean.
+        let truth = 10.0;
+        let mut rng = dptd_stats::seeded_rng(113);
+        let honest = Normal::new(0.0, 0.1).unwrap();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..10 {
+            rows.push((0..5).map(|_| truth + honest.sample(&mut rng)).collect());
+        }
+        rows.push(vec![truth + 8.0; 5]); // adversary biased by +8
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = ObservationMatrix::from_dense(&refs).unwrap();
+
+        let crh = Crh::default().discover(&data).unwrap();
+        let mean_est: f64 = data.observations_of_object(0).map(|(_, v)| v).sum::<f64>()
+            / data.num_users() as f64;
+        let crh_err = (crh.truths[0] - truth).abs();
+        let mean_err = (mean_est - truth).abs();
+        assert!(
+            crh_err < mean_err,
+            "CRH error {crh_err} should beat mean error {mean_err}"
+        );
+    }
+
+    #[test]
+    fn all_losses_converge() {
+        for loss in [Loss::Squared, Loss::Absolute, Loss::NormalizedSquared] {
+            let crh = Crh::new(loss, Convergence::default());
+            let out = crh.discover(&reliable_vs_noisy()).unwrap();
+            assert!(out.converged, "loss {loss:?} did not converge");
+        }
+    }
+
+    #[test]
+    fn estimate_weights_is_nonincreasing_in_loss() {
+        // A user further from the truths must get a weight no larger than a
+        // closer user (Lemma 4.4's premise: f is monotonically decreasing).
+        let data = reliable_vs_noisy();
+        let crh = Crh::default();
+        let stds = data.object_std_devs();
+        let w = crh.estimate_weights(&data, &[1.0, 2.0, 3.0, 4.0], &stds);
+        assert!(w[0] > w[2]);
+        assert!(w[1] > w[2]);
+    }
+
+    #[test]
+    fn weighted_median_resists_extreme_outlier() {
+        // One absurd claim among five: the median variant must ignore it
+        // entirely while the mean variant shifts.
+        let data = ObservationMatrix::from_dense(&[
+            &[10.0][..],
+            &[10.1],
+            &[9.9],
+            &[10.05],
+            &[1000.0],
+        ])
+        .unwrap();
+        let mean_crh = Crh::default();
+        let median_crh = Crh::with_aggregation(
+            Loss::NormalizedSquared,
+            Convergence::default(),
+            Aggregation::WeightedMedian,
+        );
+        let mean_out = mean_crh.discover(&data).unwrap();
+        let median_out = median_crh.discover(&data).unwrap();
+        let mean_err = (mean_out.truths[0] - 10.0).abs();
+        let median_err = (median_out.truths[0] - 10.0).abs();
+        // Both CRH variants neutralise the outlier (weight estimation does
+        // the heavy lifting); the unweighted mean does not.
+        let plain_mean_err = ((10.0 + 10.1 + 9.9 + 10.05 + 1000.0) / 5.0 - 10.0f64).abs();
+        assert!(median_err < 0.2, "median err {median_err}");
+        assert!(mean_err < 0.2, "mean err {mean_err}");
+        assert!(median_err < plain_mean_err / 100.0);
+        // The weighted median lands exactly on one of the claims.
+        assert!([10.0, 10.1, 9.9, 10.05].contains(&median_out.truths[0]));
+    }
+
+    #[test]
+    fn weighted_median_reduces_to_plain_median_under_uniform_weights() {
+        let data =
+            ObservationMatrix::from_dense(&[&[1.0][..], &[2.0], &[3.0], &[4.0], &[5.0]]).unwrap();
+        let truths =
+            Crh::aggregate_with(&data, &[1.0; 5], Aggregation::WeightedMedian).unwrap();
+        assert_eq!(truths, vec![3.0]);
+    }
+
+    #[test]
+    fn weighted_median_follows_the_weight_mass() {
+        // Weight concentrated on the largest claim pulls the median there.
+        let data =
+            ObservationMatrix::from_dense(&[&[1.0][..], &[2.0], &[3.0]]).unwrap();
+        let truths =
+            Crh::aggregate_with(&data, &[0.1, 0.1, 10.0], Aggregation::WeightedMedian).unwrap();
+        assert_eq!(truths, vec![3.0]);
+    }
+
+    #[test]
+    fn zero_loss_user_gets_finite_weight() {
+        let data = ObservationMatrix::from_dense(&[&[1.0, 2.0][..], &[1.3, 2.3]]).unwrap();
+        let crh = Crh::default();
+        let stds = data.object_std_devs();
+        // Truths exactly equal user 0's claims → user 0 loss is zero.
+        let w = crh.estimate_weights(&data, &[1.0, 2.0], &stds);
+        assert!(w[0].is_finite());
+        assert!(w[0] > w[1]);
+    }
+}

@@ -1,0 +1,282 @@
+//! GTM — Gaussian Truth Model (Zhao & Han, QDB'12).
+//!
+//! The second continuous truth-discovery method the paper evaluates
+//! (Fig. 5). GTM is a probabilistic generative model:
+//!
+//! * truth prior: `μ_n ~ N(μ₀_n, σ₀²)`;
+//! * per-user quality: variance `σ_s²` with an inverse-Gamma(α, β) prior;
+//! * observations: `x^s_n ~ N(μ_n, σ_s²)`.
+//!
+//! Inference is EM-style coordinate ascent on the MAP objective:
+//!
+//! * **E/truth step**: posterior-mean truths
+//!   `μ_n = (μ₀/σ₀² + Σ_s x^s_n/σ_s²) / (1/σ₀² + Σ_s 1/σ_s²)`;
+//! * **M/quality step**: MAP variances
+//!   `σ_s² = (2β + Σ_n (x^s_n − μ_n)²) / (2(α + 1) + N_s)`.
+//!
+//! The reported weight of user `s` is the precision `1/σ_s²`, matching the
+//! general template (Eq. 2) with `f(t) = 1/((2β + t)/(2(α+1)+N_s))`, a
+//! monotonically decreasing function of the loss `t`.
+
+use crate::convergence::Convergence;
+use crate::matrix::ObservationMatrix;
+use crate::{TruthDiscoverer, TruthDiscoveryResult, TruthError};
+
+/// The GTM truth-discovery algorithm.
+///
+/// # Example
+///
+/// ```
+/// use dptd_truth::gtm::Gtm;
+/// use dptd_truth::{ObservationMatrix, TruthDiscoverer};
+///
+/// # fn main() -> Result<(), dptd_truth::TruthError> {
+/// let data = ObservationMatrix::from_dense(&[
+///     &[10.0, 20.0][..],
+///     &[10.1, 19.9],
+///     &[14.0, 26.0],
+/// ])?;
+/// let out = Gtm::default().discover(&data)?;
+/// assert!((out.truths[0] - 10.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gtm {
+    /// Inverse-Gamma shape prior on user variances.
+    alpha: f64,
+    /// Inverse-Gamma scale prior on user variances.
+    beta: f64,
+    /// Variance of the truth prior around the initial estimate; large
+    /// values mean a weak prior.
+    prior_variance: f64,
+    convergence: Convergence,
+}
+
+impl Gtm {
+    /// Create a GTM instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::InvalidParameter`] unless `alpha > 0`,
+    /// `beta > 0` and `prior_variance > 0`.
+    pub fn new(
+        alpha: f64,
+        beta: f64,
+        prior_variance: f64,
+        convergence: Convergence,
+    ) -> Result<Self, TruthError> {
+        for (name, value) in [
+            ("alpha", alpha),
+            ("beta", beta),
+            ("prior_variance", prior_variance),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(TruthError::InvalidParameter {
+                    name,
+                    value,
+                    constraint: "must be finite and > 0",
+                });
+            }
+        }
+        Ok(Self {
+            alpha,
+            beta,
+            prior_variance,
+            convergence,
+        })
+    }
+
+    /// The inverse-Gamma shape prior α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The inverse-Gamma scale prior β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The truth-prior variance σ₀².
+    pub fn prior_variance(&self) -> f64 {
+        self.prior_variance
+    }
+
+    /// Per-object median of claims — the initial truth estimate.
+    fn initial_truths(data: &ObservationMatrix) -> Vec<f64> {
+        (0..data.num_objects())
+            .map(|n| {
+                let vals: Vec<f64> = data.observations_of_object(n).map(|(_, v)| v).collect();
+                dptd_stats::summary::median(&vals).expect("coverage validated")
+            })
+            .collect()
+    }
+}
+
+impl Default for Gtm {
+    /// Weakly-informative defaults: `α = 1`, `β = 0.1`, `σ₀² = 100`.
+    ///
+    /// β acts as a floor on estimated user variances; keeping it small
+    /// lets high-quality users separate from noisy ones even on small
+    /// matrices (a large β washes out the weight signal).
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            beta: 0.1,
+            prior_variance: 100.0,
+            convergence: Convergence::default(),
+        }
+    }
+}
+
+impl TruthDiscoverer for Gtm {
+    fn discover(&self, data: &ObservationMatrix) -> Result<TruthDiscoveryResult, TruthError> {
+        data.validate_coverage()?;
+        let prior_means = Gtm::initial_truths(data);
+        let mut truths = prior_means.clone();
+        let mut variances = vec![1.0_f64; data.num_users()];
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..self.convergence.max_iterations() {
+            iterations += 1;
+
+            // M/quality step: MAP user variances given current truths.
+            for (s, variance) in variances.iter_mut().enumerate() {
+                let mut sq_loss = 0.0;
+                let mut count = 0usize;
+                for (n, v) in data.observations_of_user(s) {
+                    let d = v - truths[n];
+                    sq_loss += d * d;
+                    count += 1;
+                }
+                *variance =
+                    (2.0 * self.beta + sq_loss) / (2.0 * (self.alpha + 1.0) + count as f64);
+                if !variance.is_finite() || *variance <= 0.0 {
+                    return Err(TruthError::Degenerate {
+                        reason: "GTM user variance left the positive reals",
+                    });
+                }
+            }
+
+            // E/truth step: posterior-mean truths given user variances.
+            let next: Vec<f64> = (0..data.num_objects())
+                .map(|n| {
+                    let mut num = prior_means[n] / self.prior_variance;
+                    let mut den = 1.0 / self.prior_variance;
+                    for (s, v) in data.observations_of_object(n) {
+                        num += v / variances[s];
+                        den += 1.0 / variances[s];
+                    }
+                    num / den
+                })
+                .collect();
+
+            let done = self.convergence.is_converged(&truths, &next);
+            truths = next;
+            if done {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(TruthDiscoveryResult {
+            truths,
+            weights: variances.iter().map(|v| 1.0 / v).collect(),
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_stats::dist::{Continuous, Normal};
+
+    #[test]
+    fn validates_parameters() {
+        assert!(Gtm::new(0.0, 1.0, 1.0, Convergence::default()).is_err());
+        assert!(Gtm::new(1.0, -1.0, 1.0, Convergence::default()).is_err());
+        assert!(Gtm::new(1.0, 1.0, f64::NAN, Convergence::default()).is_err());
+    }
+
+    #[test]
+    fn recovers_truths() {
+        let data = ObservationMatrix::from_dense(&[
+            &[1.02, 2.01, 2.97][..],
+            &[0.98, 1.99, 3.02],
+            &[1.5, 2.6, 2.2],
+        ])
+        .unwrap();
+        let out = Gtm::default().discover(&data).unwrap();
+        assert!(out.converged);
+        for (n, want) in [1.0, 2.0, 3.0].iter().enumerate() {
+            assert!(
+                (out.truths[n] - want).abs() < 0.15,
+                "object {n}: {}",
+                out.truths[n]
+            );
+        }
+        assert!(out.weights[2] < out.weights[0]);
+    }
+
+    #[test]
+    fn weight_is_precision() {
+        // A user with big errors gets a big MAP variance → small weight.
+        let data = ObservationMatrix::from_dense(&[
+            &[0.0, 0.0, 0.0, 0.0][..],
+            &[0.1, -0.1, 0.1, -0.1],
+            &[5.0, -5.0, 5.0, -5.0],
+        ])
+        .unwrap();
+        let out = Gtm::default().discover(&data).unwrap();
+        assert!(out.weights[2] < out.weights[1]);
+    }
+
+    #[test]
+    fn sparse_coverage_works() {
+        let data = ObservationMatrix::from_sparse_rows(
+            2,
+            &[
+                vec![(0, 4.0)],
+                vec![(0, 4.2), (1, 9.0)],
+                vec![(1, 9.1)],
+            ],
+        )
+        .unwrap();
+        let out = Gtm::default().discover(&data).unwrap();
+        assert!((out.truths[0] - 4.1).abs() < 0.2);
+        assert!((out.truths[1] - 9.05).abs() < 0.2);
+    }
+
+    #[test]
+    fn gtm_close_to_crh_on_clean_data() {
+        // Both methods must land near the same truths on well-behaved data
+        // (the paper's Fig. 5 premise: the mechanism generalises across
+        // truth-discovery methods because they behave comparably).
+        use crate::crh::Crh;
+        let mut rng = dptd_stats::seeded_rng(127);
+        let noise = Normal::new(0.0, 0.2).unwrap();
+        let truths: Vec<f64> = (0..10).map(|n| n as f64).collect();
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|_| truths.iter().map(|t| t + noise.sample(&mut rng)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = ObservationMatrix::from_dense(&refs).unwrap();
+
+        let gtm = Gtm::default().discover(&data).unwrap();
+        let crh = Crh::default().discover(&data).unwrap();
+        let gap = dptd_stats::summary::mae(&gtm.truths, &crh.truths).unwrap();
+        assert!(gap < 0.05, "GTM and CRH disagree by {gap}");
+    }
+
+    #[test]
+    fn strong_prior_shrinks_towards_initial_median() {
+        let data = ObservationMatrix::from_dense(&[&[10.0][..], &[20.0]]).unwrap();
+        // Median initialisation = 15; a tiny prior variance pins the truth.
+        let strong = Gtm::new(1.0, 1.0, 1e-9, Convergence::default()).unwrap();
+        let out = strong.discover(&data).unwrap();
+        assert!((out.truths[0] - 15.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,230 @@
+//! Incremental truth discovery over batched object arrivals.
+//!
+//! Crowd-sensing tasks often arrive in waves (new hallway segments, new
+//! road links). Re-running batch truth discovery from scratch on the full
+//! history is `O(total objects)` per wave; this module keeps per-user
+//! cumulative losses and updates weights incrementally, so each new batch
+//! costs only `O(batch)`.
+//!
+//! The estimator mirrors CRH: weights are `−log` of each user's share of
+//! the *cumulative* loss, and each batch's truths are the weighted mean of
+//! that batch's claims under the current weights (one refinement pass per
+//! batch).
+
+use crate::loss::Loss;
+use crate::matrix::ObservationMatrix;
+use crate::{TruthError};
+
+/// Streaming CRH-style truth discovery.
+///
+/// # Example
+///
+/// ```
+/// use dptd_truth::streaming::StreamingCrh;
+/// use dptd_truth::{Loss, ObservationMatrix};
+///
+/// # fn main() -> Result<(), dptd_truth::TruthError> {
+/// let mut s = StreamingCrh::new(3, Loss::Squared)?;
+/// let batch1 = ObservationMatrix::from_dense(&[
+///     &[1.0][..], &[1.1], &[5.0],
+/// ])?;
+/// let truths1 = s.ingest(&batch1)?;
+/// assert!((truths1[0] - 1.0).abs() < 0.6);
+/// // After the first batch the outlier's weight has dropped, so batch 2
+/// // aggregates are cleaner.
+/// let batch2 = ObservationMatrix::from_dense(&[
+///     &[2.0][..], &[2.1], &[9.0],
+/// ])?;
+/// let truths2 = s.ingest(&batch2)?;
+/// assert!((truths2[0] - 2.0).abs() < 0.3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingCrh {
+    num_users: usize,
+    loss: Loss,
+    cumulative_loss: Vec<f64>,
+    batches_seen: usize,
+    weights: Vec<f64>,
+}
+
+impl StreamingCrh {
+    /// Create a streaming aggregator for a fixed population of
+    /// `num_users`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::EmptyMatrix`] if `num_users` is zero.
+    pub fn new(num_users: usize, loss: Loss) -> Result<Self, TruthError> {
+        if num_users == 0 {
+            return Err(TruthError::EmptyMatrix);
+        }
+        Ok(Self {
+            num_users,
+            loss,
+            cumulative_loss: vec![0.0; num_users],
+            batches_seen: 0,
+            weights: vec![1.0; num_users],
+        })
+    }
+
+    /// Current per-user weights (uniform before the first batch).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of batches ingested so far.
+    pub fn batches_seen(&self) -> usize {
+        self.batches_seen
+    }
+
+    /// Ingest one batch of new objects and return their estimated truths.
+    ///
+    /// The batch matrix must have exactly the population's user count; its
+    /// objects are new (disjoint from previous batches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::ObjectOutOfRange`] if the batch's user count
+    /// differs from the population, [`TruthError::UnobservedObject`] if an
+    /// object in the batch has no claims, and propagates aggregation
+    /// degeneracies.
+    pub fn ingest(&mut self, batch: &ObservationMatrix) -> Result<Vec<f64>, TruthError> {
+        if batch.num_users() != self.num_users {
+            return Err(TruthError::ObjectOutOfRange {
+                object: batch.num_users(),
+                num_objects: self.num_users,
+            });
+        }
+        batch.validate_coverage()?;
+        let stds = batch.object_std_devs();
+
+        // Aggregate the new batch under current weights.
+        let mut truths = weighted_truths(batch, &self.weights)?;
+
+        // One refinement pass: update cumulative losses with this batch,
+        // recompute weights, re-aggregate.
+        let mut trial_loss = self.cumulative_loss.clone();
+        accumulate_losses(batch, &truths, &stds, self.loss, &mut trial_loss);
+        let weights = share_weights(&trial_loss);
+        truths = weighted_truths(batch, &weights)?;
+
+        // Commit: final losses against the refined truths.
+        accumulate_losses(batch, &truths, &stds, self.loss, &mut self.cumulative_loss);
+        self.weights = share_weights(&self.cumulative_loss);
+        self.batches_seen += 1;
+        Ok(truths)
+    }
+}
+
+fn weighted_truths(batch: &ObservationMatrix, weights: &[f64]) -> Result<Vec<f64>, TruthError> {
+    (0..batch.num_objects())
+        .map(|n| {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (s, v) in batch.observations_of_object(n) {
+                num += weights[s] * v;
+                den += weights[s];
+            }
+            if den <= 0.0 {
+                return Err(TruthError::Degenerate {
+                    reason: "total weight on a streamed object is not positive",
+                });
+            }
+            Ok(num / den)
+        })
+        .collect()
+}
+
+fn accumulate_losses(
+    batch: &ObservationMatrix,
+    truths: &[f64],
+    stds: &[f64],
+    loss: Loss,
+    acc: &mut [f64],
+) {
+    for (s, user_loss) in acc.iter_mut().enumerate() {
+        for (n, v) in batch.observations_of_user(s) {
+            *user_loss += loss.distance(v, truths[n], stds[n]);
+        }
+    }
+}
+
+fn share_weights(losses: &[f64]) -> Vec<f64> {
+    let total: f64 = losses.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0; losses.len()];
+    }
+    losses
+        .iter()
+        .map(|&l| -((l / total).max(1e-12)).ln())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_stats::dist::{Continuous, Normal};
+
+    #[test]
+    fn rejects_empty_population() {
+        assert!(StreamingCrh::new(0, Loss::Squared).is_err());
+    }
+
+    #[test]
+    fn rejects_population_mismatch() {
+        let mut s = StreamingCrh::new(2, Loss::Squared).unwrap();
+        let batch = ObservationMatrix::from_dense(&[&[1.0][..], &[1.0], &[1.0]]).unwrap();
+        assert!(s.ingest(&batch).is_err());
+    }
+
+    #[test]
+    fn weights_sharpen_over_batches() {
+        // User 2 is consistently bad; its weight share must fall as
+        // batches accumulate evidence.
+        let mut rng = dptd_stats::seeded_rng(131);
+        let good = Normal::new(0.0, 0.05).unwrap();
+        let mut s = StreamingCrh::new(3, Loss::Squared).unwrap();
+        let mut bad_share_first = None;
+        for batch_idx in 0..6 {
+            let truth = batch_idx as f64;
+            let rows: Vec<Vec<f64>> = vec![
+                vec![truth + good.sample(&mut rng)],
+                vec![truth + good.sample(&mut rng)],
+                vec![truth + 3.0],
+            ];
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            s.ingest(&ObservationMatrix::from_dense(&refs).unwrap()).unwrap();
+            let w = s.weights();
+            let share = w[2] / (w[0] + w[1] + w[2]);
+            if batch_idx == 0 {
+                bad_share_first = Some(share);
+            } else if batch_idx == 5 {
+                assert!(
+                    share <= bad_share_first.unwrap() + 1e-9,
+                    "bad user share grew: {share} vs {:?}",
+                    bad_share_first
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_tracks_batch_truths() {
+        let mut s = StreamingCrh::new(4, Loss::Squared).unwrap();
+        let mut rng = dptd_stats::seeded_rng(137);
+        let noise = Normal::new(0.0, 0.1).unwrap();
+        for wave in 0..4 {
+            let truths: Vec<f64> = (0..5).map(|n| (wave * 5 + n) as f64).collect();
+            let rows: Vec<Vec<f64>> = (0..4)
+                .map(|_| truths.iter().map(|t| t + noise.sample(&mut rng)).collect())
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let est = s.ingest(&ObservationMatrix::from_dense(&refs).unwrap()).unwrap();
+            let err = dptd_stats::summary::mae(&est, &truths).unwrap();
+            assert!(err < 0.1, "wave {wave} err {err}");
+        }
+        assert_eq!(s.batches_seen(), 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for truth-discovery invariants.
+
+use dptd_truth::baselines::{MeanAggregator, MedianAggregator};
+use dptd_truth::crh::Crh;
+use dptd_truth::gtm::Gtm;
+use dptd_truth::{Convergence, Loss, ObservationMatrix, TruthDiscoverer};
+use proptest::prelude::*;
+
+/// Strategy: a dense matrix of S users × N objects with values in a box.
+fn dense_matrix() -> impl Strategy<Value = ObservationMatrix> {
+    (2usize..8, 1usize..6).prop_flat_map(|(s, n)| {
+        prop::collection::vec(prop::collection::vec(-100.0..100.0f64, n), s)
+            .prop_map(move |rows| {
+                let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                ObservationMatrix::from_dense(&refs).expect("valid dims")
+            })
+    })
+}
+
+/// Per-object claim bounds.
+fn claim_bounds(m: &ObservationMatrix) -> Vec<(f64, f64)> {
+    (0..m.num_objects())
+        .map(|n| {
+            let vals: Vec<f64> = m.observations_of_object(n).map(|(_, v)| v).collect();
+            (
+                vals.iter().cloned().fold(f64::INFINITY, f64::min),
+                vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn crh_truths_within_claim_range(m in dense_matrix()) {
+        // Weighted means with positive weights cannot leave the convex
+        // hull of the claims.
+        let out = Crh::default().discover(&m).unwrap();
+        for (n, (lo, hi)) in claim_bounds(&m).into_iter().enumerate() {
+            prop_assert!(
+                out.truths[n] >= lo - 1e-9 && out.truths[n] <= hi + 1e-9,
+                "object {}: {} outside [{}, {}]", n, out.truths[n], lo, hi
+            );
+        }
+    }
+
+    #[test]
+    fn crh_weights_finite_nonnegative(m in dense_matrix()) {
+        let out = Crh::default().discover(&m).unwrap();
+        for &w in &out.weights {
+            prop_assert!(w.is_finite() && w >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gtm_truths_within_claim_range_under_weak_prior(m in dense_matrix()) {
+        let gtm = Gtm::new(1.0, 0.1, 1e6, Convergence::default()).unwrap();
+        let out = gtm.discover(&m).unwrap();
+        for (n, (lo, hi)) in claim_bounds(&m).into_iter().enumerate() {
+            // The truth prior is centred at the median, which is inside
+            // the range, so posterior means stay inside too.
+            prop_assert!(
+                out.truths[n] >= lo - 1e-6 && out.truths[n] <= hi + 1e-6,
+                "object {}: {} outside [{}, {}]", n, out.truths[n], lo, hi
+            );
+        }
+    }
+
+    #[test]
+    fn mean_median_agree_on_symmetric_pairs(
+        base in -50.0..50.0f64,
+        offset in 0.0..10.0f64,
+        n in 1usize..5,
+    ) {
+        // Two users symmetric around `base`: mean == median == base.
+        let rows: Vec<Vec<f64>> = vec![vec![base - offset; n], vec![base + offset; n]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = ObservationMatrix::from_dense(&refs).unwrap();
+        let mean = MeanAggregator::new().discover(&m).unwrap();
+        let median = MedianAggregator::new().discover(&m).unwrap();
+        for k in 0..n {
+            prop_assert!((mean.truths[k] - base).abs() < 1e-9);
+            prop_assert!((median.truths[k] - base).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn crh_permutation_equivariant(m in dense_matrix(), seed in 0u64..100) {
+        // Shuffling user rows permutes weights identically and leaves
+        // truths unchanged.
+        use rand::seq::SliceRandom;
+        let mut perm: Vec<usize> = (0..m.num_users()).collect();
+        perm.shuffle(&mut dptd_stats::seeded_rng(seed));
+
+        let rows: Vec<Vec<f64>> = perm
+            .iter()
+            .map(|&s| (0..m.num_objects()).map(|n| m.value(s, n).unwrap()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let shuffled = ObservationMatrix::from_dense(&refs).unwrap();
+
+        let a = Crh::default().discover(&m).unwrap();
+        let b = Crh::default().discover(&shuffled).unwrap();
+        for n in 0..m.num_objects() {
+            prop_assert!((a.truths[n] - b.truths[n]).abs() < 1e-6);
+        }
+        for (new_idx, &old_idx) in perm.iter().enumerate() {
+            prop_assert!((b.weights[new_idx] - a.weights[old_idx]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn crh_translation_equivariant(m in dense_matrix(), shift in -100.0..100.0f64) {
+        // Adding a constant to every observation shifts truths by exactly
+        // that constant (for the scale-free normalized loss).
+        let shifted = m.map_observations(|_, _, v| v + shift);
+        let a = Crh::new(Loss::NormalizedSquared, Convergence::default())
+            .discover(&m)
+            .unwrap();
+        let b = Crh::new(Loss::NormalizedSquared, Convergence::default())
+            .discover(&shifted)
+            .unwrap();
+        for n in 0..m.num_objects() {
+            prop_assert!(
+                (a.truths[n] + shift - b.truths[n]).abs() < 1e-6,
+                "object {}: {} vs {}", n, a.truths[n] + shift, b.truths[n]
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_user_rows_copies_tie(m in dense_matrix()) {
+        // Doubling the population with identical claims shifts every CRH
+        // weight by +ln 2 (each user's share of the total loss halves) and
+        // thereby moves the fixed point, so neither truths nor weight
+        // *ordering* are invariants. What must hold: identical users get
+        // identical weights, and truths stay inside the claim hull.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for s in 0..m.num_users() {
+            let row: Vec<f64> = (0..m.num_objects()).map(|n| m.value(s, n).unwrap()).collect();
+            rows.push(row.clone());
+            rows.push(row);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let doubled = ObservationMatrix::from_dense(&refs).unwrap();
+        let a = Crh::default().discover(&m).unwrap();
+        let b = Crh::default().discover(&doubled).unwrap();
+        let _ = a;
+        for s in 0..m.num_users() {
+            prop_assert!((b.weights[2 * s] - b.weights[2 * s + 1]).abs() < 1e-9);
+        }
+        for (n, (lo, hi)) in claim_bounds(&m).into_iter().enumerate() {
+            prop_assert!(b.truths[n] >= lo - 1e-9 && b.truths[n] <= hi + 1e-9);
+        }
+    }
+}

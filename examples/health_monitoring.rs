@@ -1,0 +1,81 @@
+//! Wearable health-data aggregation with a negotiated privacy target.
+//!
+//! Run with: `cargo run --example health_monitoring`
+//!
+//! The paper's §1 motivates aggregating health data from wearables where
+//! individual readings are sensitive. This example starts from an
+//! `(ε, δ)`-LDP *requirement* and an `(α, β)`-utility *requirement*, asks
+//! Theorem 4.9 for a feasible noise level, configures the mechanism from
+//! it, and verifies both sides empirically — including a comparison
+//! against the fixed-variance Gaussian baseline at the same noise budget.
+
+use dptd::core::theory::{privacy, tradeoff};
+use dptd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = dptd::seeded_rng(2024);
+
+    // 400 wearables report resting heart rate over 20 daily windows.
+    let lambda1 = 2.0;
+    let cfg = SyntheticConfig {
+        num_users: 400,
+        num_objects: 20,
+        lambda1,
+        truth_low: 55.0,
+        truth_high: 75.0,
+    };
+    let dataset = cfg.generate(&mut rng)?;
+
+    // Requirements: (ε=1, δ=0.2)-LDP per user; (α=1 bpm, β=0.2)-utility.
+    let sensitivity = SensitivityBound::new(1.5, 0.9, lambda1)?;
+    let requirement = privacy::PrivacyRequirement::new(1.0, 0.2, sensitivity)?;
+    let (alpha, beta) = (1.0, 0.2);
+
+    let window = tradeoff::feasible_noise_window(alpha, beta, cfg.num_users, &requirement)?;
+    println!(
+        "Theorem 4.9 window for c = λ₁/λ₂: [{:.3}, {:.3}] — feasible: {}",
+        window.c_min,
+        window.c_max,
+        window.is_feasible()
+    );
+    let lambda2 = tradeoff::choose_lambda2(alpha, beta, cfg.num_users, &requirement)?;
+    println!("chosen hyper-parameter λ₂ = {lambda2:.4} (E[noise var] = {:.3})\n", 1.0 / lambda2);
+
+    // Run the paper's mechanism at the chosen operating point.
+    let pipeline = PrivatePipeline::new(Crh::default(), lambda2)?;
+    let run = pipeline.run(&dataset.observations, &mut rng)?;
+    println!(
+        "paper mechanism : noise {:.3} bpm, utility MAE {:.4} bpm (α target {alpha})",
+        run.noise.mean_abs_noise,
+        run.utility_mae()?
+    );
+
+    // Baseline: fixed-σ Gaussian with the same expected noise variance
+    // (E[δ²] = 1/λ₂) — same utility pipeline, but the noise level is
+    // public.
+    let sigma = (1.0 / lambda2).sqrt();
+    let fixed = FixedGaussianMechanism::from_sigma(sigma)?;
+    let mut perturbed = dataset.observations.clone();
+    for s in 0..dataset.num_users() {
+        let original: Vec<f64> = dataset
+            .observations
+            .observations_of_user(s)
+            .map(|(_, v)| v)
+            .collect();
+        let noisy = fixed.perturb_report(&original, &mut rng);
+        perturbed.replace_user_observations(s, &noisy);
+    }
+    let clean = Crh::default().discover(&dataset.observations)?;
+    let fixed_run = Crh::default().discover(&perturbed)?;
+    println!(
+        "fixed-σ baseline: noise σ {:.3} bpm, utility MAE {:.4} bpm (noise level public!)",
+        sigma,
+        mae(&clean.truths, &fixed_run.truths)?
+    );
+
+    println!(
+        "\nBoth perturbations keep aggregate error within the α target, but only\n\
+         the paper's mechanism keeps each user's realised noise level private."
+    );
+    Ok(())
+}

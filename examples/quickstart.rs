@@ -1,0 +1,52 @@
+//! Quickstart: the paper's pipeline end-to-end on synthetic data.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Generates the §5.1 world (150 users, 30 objects), runs
+//! privacy-preserving truth discovery at a few noise levels, and prints
+//! the utility loss next to the noise magnitude — the paper's headline
+//! "large noise, small utility loss" in one table.
+
+use dptd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = dptd::seeded_rng(42);
+
+    // The paper's synthetic world: σ_s² ~ Exp(λ₁ = 2).
+    let dataset = SyntheticConfig::default().generate(&mut rng)?;
+    println!(
+        "world: {} users × {} objects, ground truths in [0, 10)",
+        dataset.num_users(),
+        dataset.num_objects()
+    );
+
+    // Reference: truth discovery without any perturbation.
+    let clean = Crh::default().discover(&dataset.observations)?;
+    println!(
+        "unperturbed CRH vs ground truth: MAE = {:.4}\n",
+        dataset.mae_to_truth(&clean.truths)
+    );
+
+    println!(
+        "{:>10} {:>14} {:>16} {:>18}",
+        "lambda2", "mean |noise|", "utility MAE", "MAE vs truth"
+    );
+    for lambda2 in [50.0, 10.0, 2.0, 1.0, 0.5] {
+        let pipeline = PrivatePipeline::new(Crh::default(), lambda2)?;
+        let run = pipeline.run(&dataset.observations, &mut rng)?;
+        let metrics = RunMetrics::from_run(&run, Some(&dataset.ground_truths))?;
+        println!(
+            "{:>10.2} {:>14.4} {:>16.4} {:>18.4}",
+            lambda2,
+            metrics.mean_abs_noise,
+            metrics.utility_mae,
+            metrics.truth_mae_perturbed.unwrap(),
+        );
+    }
+
+    println!(
+        "\nEven at the noisiest setting the aggregate moved a fraction of the\n\
+         injected noise: weight estimation absorbed the perturbation."
+    );
+    Ok(())
+}

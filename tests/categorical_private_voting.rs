@@ -1,0 +1,94 @@
+//! Integration test for the categorical extension: randomized response on
+//! the user side + weighted voting on the server side — the companion
+//! pipeline to the paper's continuous mechanism (its reference [23]).
+
+use dptd::ldp::randomized_response::KRandomizedResponse;
+use dptd::truth::categorical::{majority_vote, weighted_vote, CategoricalMatrix};
+use dptd::truth::Convergence;
+
+/// Build a world of `users` × `objects` with `k` categories where the
+/// first `liars` users always report the wrong answer.
+fn private_votes(
+    users: usize,
+    objects: usize,
+    k: usize,
+    liars: usize,
+    epsilon: f64,
+    seed: u64,
+) -> (CategoricalMatrix, Vec<usize>) {
+    let mut rng = dptd::seeded_rng(seed);
+    let truths: Vec<usize> = (0..objects).map(|n| n % k).collect();
+    let rr = KRandomizedResponse::new(k, epsilon).unwrap();
+    let mut m = CategoricalMatrix::with_dims(users, objects, k).unwrap();
+    for s in 0..users {
+        for (n, &t) in truths.iter().enumerate() {
+            let honest_claim = if s < liars { (t + 1) % k } else { t };
+            let reported = rr.perturb(honest_claim, &mut rng).unwrap();
+            m.insert(s, n, reported).unwrap();
+        }
+    }
+    (m, truths)
+}
+
+fn accuracy(estimates: &[usize], truths: &[usize]) -> f64 {
+    let hits = estimates.iter().zip(truths).filter(|(a, b)| a == b).count();
+    hits as f64 / truths.len() as f64
+}
+
+#[test]
+fn private_majority_vote_recovers_truth_at_moderate_epsilon() {
+    let (m, truths) = private_votes(60, 40, 3, 0, 1.5, 3001);
+    let out = majority_vote(&m).unwrap();
+    assert!(accuracy(&out.truths, &truths) > 0.95);
+}
+
+#[test]
+fn weighted_vote_survives_liars_under_randomized_response() {
+    let (m, truths) = private_votes(60, 40, 3, 12, 1.5, 3002);
+    let weighted = weighted_vote(&m, &Convergence::default()).unwrap();
+    let majority = majority_vote(&m).unwrap();
+    let w_acc = accuracy(&weighted.truths, &truths);
+    let m_acc = accuracy(&majority.truths, &truths);
+    assert!(w_acc >= m_acc, "weighted {w_acc} vs majority {m_acc}");
+    assert!(w_acc > 0.9, "weighted accuracy {w_acc}");
+    // Liars end up with below-median weight.
+    let mut sorted = weighted.weights.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let liars_below = (0..12).filter(|&s| weighted.weights[s] < median).count();
+    assert!(liars_below >= 10, "only {liars_below}/12 liars below median weight");
+}
+
+#[test]
+fn stronger_privacy_costs_categorical_accuracy() {
+    // ε = 0.2 (strong) vs ε = 3 (weak): accuracy must be ordered.
+    let (m_strong, truths) = private_votes(40, 60, 4, 0, 0.2, 3003);
+    let (m_weak, _) = private_votes(40, 60, 4, 0, 3.0, 3003);
+    let strong = accuracy(&majority_vote(&m_strong).unwrap().truths, &truths);
+    let weak = accuracy(&majority_vote(&m_weak).unwrap().truths, &truths);
+    assert!(weak >= strong, "weak {weak} vs strong {strong}");
+    assert!(weak > 0.95);
+}
+
+#[test]
+fn frequency_debiasing_matches_vote_outcome() {
+    // The RR frequency estimator and the majority vote must agree on the
+    // plurality category for a single object with many reports.
+    let mut rng = dptd::seeded_rng(3004);
+    let rr = KRandomizedResponse::new(3, 1.0).unwrap();
+    let reports: Vec<usize> = (0..3000)
+        .map(|i| {
+            let truth = if i % 10 < 7 { 2 } else { 0 };
+            rr.perturb(truth, &mut rng).unwrap()
+        })
+        .collect();
+    let freqs = rr.estimate_frequencies(&reports).unwrap();
+    let plurality = freqs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(plurality, 2);
+    assert!((freqs[2] - 0.7).abs() < 0.1, "freqs {freqs:?}");
+}

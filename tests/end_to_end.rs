@@ -1,0 +1,143 @@
+//! End-to-end integration tests: the full Algorithm 2 pipeline across
+//! crates, on both of the paper's dataset families.
+
+use dptd::prelude::*;
+
+#[test]
+fn synthetic_pipeline_full_circle() {
+    // Generate the §5.1 world, run privacy-preserving truth discovery,
+    // verify utility and weight behaviour jointly.
+    let mut rng = dptd::seeded_rng(1001);
+    let dataset = SyntheticConfig::default().generate(&mut rng).unwrap();
+
+    let pipeline = PrivatePipeline::new(Crh::default(), 2.0).unwrap();
+    let run = pipeline.run(&dataset.observations, &mut rng).unwrap();
+
+    // The aggregate must track ground truth on both sides.
+    assert!(dataset.mae_to_truth(&run.unperturbed.truths) < 0.1);
+    assert!(dataset.mae_to_truth(&run.perturbed.truths) < 0.25);
+    // And the perturbation-induced shift must be well below the noise.
+    let mae = run.utility_mae().unwrap();
+    assert!(
+        mae < run.noise.mean_abs_noise / 2.0,
+        "utility MAE {mae} not well below noise {}",
+        run.noise.mean_abs_noise
+    );
+}
+
+#[test]
+fn floorplan_pipeline_full_circle() {
+    let mut rng = dptd::seeded_rng(1002);
+    let dataset = FloorplanConfig::default().generate(&mut rng).unwrap();
+
+    let pipeline = PrivatePipeline::new(Crh::default(), 1.0).unwrap();
+    let run = pipeline.run(&dataset.observations, &mut rng).unwrap();
+
+    // Hallway lengths are 5-40 m; private reconstruction stays sub-metre.
+    assert!(dataset.mae_to_truth(&run.perturbed.truths) < 1.0);
+}
+
+#[test]
+fn mechanism_is_algorithm_agnostic() {
+    // §3.1: the mechanism works with any continuous truth-discovery
+    // method. Same world, same noise draw pattern, four algorithms.
+    let mut rng = dptd::seeded_rng(1003);
+    let dataset = SyntheticConfig {
+        num_users: 80,
+        num_objects: 20,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+    .unwrap();
+
+    fn run_with<A: TruthDiscoverer + Copy>(
+        a: A,
+        data: &ObservationMatrix,
+        seed: u64,
+    ) -> f64 {
+        let pipeline = PrivatePipeline::new(a, 2.0).unwrap();
+        let mut rng = dptd::seeded_rng(seed);
+        pipeline.run(data, &mut rng).unwrap().utility_mae().unwrap()
+    }
+
+    let crh = run_with(Crh::default(), &dataset.observations, 77);
+    let gtm = run_with(Gtm::default(), &dataset.observations, 77);
+    let mean = run_with(MeanAggregator::new(), &dataset.observations, 77);
+    let median = run_with(MedianAggregator::new(), &dataset.observations, 77);
+    for (name, mae) in [("crh", crh), ("gtm", gtm), ("mean", mean), ("median", median)] {
+        assert!(mae.is_finite() && mae < 1.0, "{name} MAE {mae}");
+    }
+}
+
+#[test]
+fn theory_to_mechanism_to_audit_loop() {
+    // Choose (ε, δ) → λ₂ via Theorem 4.8 → mechanism → empirical audit
+    // must not reveal more than ε (+MC slack).
+    use dptd::ldp::audit::{audit_mechanism, AuditConfig};
+
+    let lambda1 = 2.0;
+    let (eps, delta) = (1.0, 0.25);
+    let sens = SensitivityBound::new(1.5, 0.9, lambda1).unwrap();
+    let req = theory::privacy::PrivacyRequirement::new(eps, delta, sens).unwrap();
+    let c = theory::privacy::min_noise_level(&req);
+    let lambda2 = theory::privacy::lambda2_for_noise_level(lambda1, c).unwrap();
+
+    let mech = RandomizedVarianceGaussian::new(lambda2).unwrap();
+    let distance = sens.delta_bound_paper();
+    let cfg = AuditConfig {
+        trials: 60_000,
+        bins: 20,
+        min_count: 300,
+        low: -5.0 * distance,
+        high: 6.0 * distance,
+    };
+    let mut rng = dptd::seeded_rng(1004);
+    let audit = audit_mechanism(&mech, 0.0, distance, &cfg, &mut rng).unwrap();
+    assert!(
+        audit.epsilon_hat <= eps + 0.5,
+        "audited ε̂ {} above target {eps}",
+        audit.epsilon_hat
+    );
+}
+
+#[test]
+fn seeds_reproduce_entire_experiments() {
+    // The whole experiment (world + noise + discovery) must be bit-stable
+    // under a fixed seed — the reproducibility contract of the harness.
+    let run = |seed: u64| {
+        let mut rng = dptd::seeded_rng(seed);
+        let ds = SyntheticConfig::default().generate(&mut rng).unwrap();
+        let pipeline = PrivatePipeline::new(Crh::default(), 1.0).unwrap();
+        let out = pipeline.run(&ds.observations, &mut rng).unwrap();
+        (out.perturbed.truths, out.noise.mean_abs_noise)
+    };
+    assert_eq!(run(555), run(555));
+    assert_ne!(run(555), run(556));
+}
+
+#[test]
+fn larger_noise_never_helps_utility_on_average() {
+    // Sweep λ₂ downwards (more noise); average utility MAE over seeds
+    // must be non-decreasing within tolerance.
+    let mut rng = dptd::seeded_rng(1005);
+    let dataset = SyntheticConfig::default().generate(&mut rng).unwrap();
+    let mut previous = 0.0;
+    for lambda2 in [100.0, 10.0, 1.0, 0.25] {
+        let pipeline = PrivatePipeline::new(Crh::default(), lambda2).unwrap();
+        let mut acc = 0.0;
+        for seed in 0..10 {
+            let mut rng = dptd::seeded_rng(9000 + seed);
+            acc += pipeline
+                .run(&dataset.observations, &mut rng)
+                .unwrap()
+                .utility_mae()
+                .unwrap();
+        }
+        let mae = acc / 10.0;
+        assert!(
+            mae >= previous - 0.01,
+            "MAE decreased when noise grew: {previous} -> {mae} at λ₂={lambda2}"
+        );
+        previous = mae;
+    }
+}

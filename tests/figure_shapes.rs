@@ -1,0 +1,155 @@
+//! Shape tests: compressed versions of every figure's sweep, asserting
+//! the qualitative claims the paper makes about each plot. These are the
+//! "does the reproduction reproduce" tests — they run the same code paths
+//! as the `dptd-bench` binaries with fewer replicates.
+
+use dptd::prelude::*;
+use dptd::stats::summary::RunningStats;
+
+/// ε → λ₂ map used by the trade-off figures (same as the bench harness).
+fn lambda2_for(eps: f64, delta: f64, lambda1: f64) -> f64 {
+    let sens = SensitivityBound::new(1.5, 0.9, lambda1).unwrap();
+    let req = theory::privacy::PrivacyRequirement::new(eps, delta, sens).unwrap();
+    let c = theory::privacy::min_noise_level(&req);
+    theory::privacy::lambda2_for_noise_level(lambda1, c).unwrap()
+}
+
+fn mean_metrics<A: TruthDiscoverer + Copy>(
+    algorithm: A,
+    cfg: &SyntheticConfig,
+    lambda2: f64,
+    reps: u64,
+) -> (f64, f64) {
+    let pipeline = PrivatePipeline::new(algorithm, lambda2).unwrap();
+    let mut mae = RunningStats::new();
+    let mut noise = RunningStats::new();
+    for rep in 0..reps {
+        let mut rng = dptd::seeded_rng(7000 + rep);
+        let ds = cfg.generate(&mut rng).unwrap();
+        let run = pipeline.run(&ds.observations, &mut rng).unwrap();
+        mae.push(run.utility_mae().unwrap());
+        noise.push(run.noise.mean_abs_noise);
+    }
+    (mae.mean(), noise.mean())
+}
+
+#[test]
+fn fig2_shape_mae_and_noise_fall_with_epsilon() {
+    let cfg = SyntheticConfig::default();
+    let (mae_tight, noise_tight) = mean_metrics(Crh::default(), &cfg, lambda2_for(0.25, 0.3, 2.0), 5);
+    let (mae_loose, noise_loose) = mean_metrics(Crh::default(), &cfg, lambda2_for(3.0, 0.3, 2.0), 5);
+    assert!(noise_tight > noise_loose, "noise: {noise_tight} vs {noise_loose}");
+    assert!(mae_tight > mae_loose, "mae: {mae_tight} vs {mae_loose}");
+    // The headline: noise ≈ 1 causes utility loss well under 0.1·noise… the
+    // paper states "less than 0.1 (only 1/10 of the noise)" at noise ≈ 1.
+    assert!(
+        mae_loose < noise_loose / 5.0,
+        "weighted aggregation should absorb most noise: {mae_loose} vs {noise_loose}"
+    );
+}
+
+#[test]
+fn fig2_shape_smaller_delta_needs_more_noise() {
+    let l_tight = lambda2_for(1.0, 0.2, 2.0);
+    let l_loose = lambda2_for(1.0, 0.5, 2.0);
+    // Smaller δ → smaller λ₂ → larger expected noise variance 1/λ₂.
+    assert!(l_tight < l_loose);
+}
+
+#[test]
+fn fig3_shape_better_quality_less_noise_and_mae() {
+    let (mae_low, noise_low) = {
+        let cfg = SyntheticConfig { lambda1: 0.5, ..Default::default() };
+        mean_metrics(Crh::default(), &cfg, lambda2_for(1.0, 0.3, 0.5), 5)
+    };
+    let (mae_high, noise_high) = {
+        let cfg = SyntheticConfig { lambda1: 8.0, ..Default::default() };
+        mean_metrics(Crh::default(), &cfg, lambda2_for(1.0, 0.3, 8.0), 5)
+    };
+    assert!(noise_high < noise_low);
+    assert!(mae_high < mae_low);
+}
+
+#[test]
+fn fig4_shape_more_users_less_mae_same_noise() {
+    let lambda2 = lambda2_for(1.0, 0.3, 2.0);
+    let (mae_small, noise_small) = {
+        let cfg = SyntheticConfig { num_users: 100, ..Default::default() };
+        mean_metrics(Crh::default(), &cfg, lambda2, 6)
+    };
+    let (mae_big, noise_big) = {
+        let cfg = SyntheticConfig { num_users: 600, ..Default::default() };
+        mean_metrics(Crh::default(), &cfg, lambda2, 6)
+    };
+    assert!(mae_big < mae_small, "mae: {mae_big} vs {mae_small}");
+    // Noise is independent of S (within MC tolerance).
+    assert!(
+        (noise_big - noise_small).abs() < 0.15 * noise_small,
+        "noise drifted with S: {noise_small} vs {noise_big}"
+    );
+}
+
+#[test]
+fn fig5_shape_holds_for_gtm_too() {
+    let cfg = SyntheticConfig::default();
+    let (mae_tight, _) = mean_metrics(Gtm::default(), &cfg, lambda2_for(0.25, 0.3, 2.0), 5);
+    let (mae_loose, noise_loose) = mean_metrics(Gtm::default(), &cfg, lambda2_for(3.0, 0.3, 2.0), 5);
+    assert!(mae_tight > mae_loose);
+    assert!(mae_loose < noise_loose / 5.0);
+}
+
+#[test]
+fn fig6_shape_holds_on_floorplan() {
+    let lambda2_tight = lambda2_for(0.25, 0.3, 1.0);
+    let lambda2_loose = lambda2_for(3.0, 0.3, 1.0);
+    let run = |lambda2: f64| {
+        let pipeline = PrivatePipeline::new(Crh::default(), lambda2).unwrap();
+        let mut mae = RunningStats::new();
+        for rep in 0..3 {
+            let mut rng = dptd::seeded_rng(7100 + rep);
+            let ds = FloorplanConfig::default().generate(&mut rng).unwrap();
+            let r = pipeline.run(&ds.observations, &mut rng).unwrap();
+            mae.push(r.utility_mae().unwrap());
+        }
+        mae.mean()
+    };
+    assert!(run(lambda2_tight) > run(lambda2_loose));
+}
+
+#[test]
+fn fig7_shape_estimated_weights_track_true_weights() {
+    let mut rng = dptd::seeded_rng(7200);
+    let ds = FloorplanConfig::default().generate(&mut rng).unwrap();
+    let crh = Crh::default();
+    let pipeline = PrivatePipeline::new(crh, 1.0).unwrap();
+    let run = pipeline.run(&ds.observations, &mut rng).unwrap();
+    let cmp = WeightComparison::compute(&ds, &run, &crh).unwrap();
+    assert!(cmp.rank_correlation_original() > 0.9);
+    assert!(cmp.rank_correlation_perturbed() > 0.9);
+}
+
+#[test]
+fn fig8_shape_iterations_stable_across_noise() {
+    // The efficiency claim reduces to: iteration count (the runtime
+    // driver) does not grow with the noise level.
+    let mut rng = dptd::seeded_rng(7300);
+    let ds = SyntheticConfig {
+        num_users: 100,
+        num_objects: 50,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+    .unwrap();
+    let mut iters = Vec::new();
+    for lambda2 in [100.0, 1.0, 0.25] {
+        let pipeline = PrivatePipeline::new(Crh::default(), lambda2).unwrap();
+        let run = pipeline.run(&ds.observations, &mut rng).unwrap();
+        iters.push(run.perturbed.iterations);
+    }
+    let max = *iters.iter().max().unwrap();
+    let min = *iters.iter().min().unwrap();
+    assert!(
+        max <= min + 3,
+        "iteration count trends with noise: {iters:?}"
+    );
+}
