@@ -1,0 +1,88 @@
+//! Throughput bench for the sharded streaming aggregation engine.
+//!
+//! The headline configuration drives **one million synthetic perturbed
+//! reports** (200 000 users × 5 epochs) through the full ingest path —
+//! open-loop load generation, shard routing over bounded queues, parallel
+//! dedup/deadline filtering, and the per-epoch cross-shard merge — and
+//! prints the engine's own metrics (throughput, p50/p99 ingest latency,
+//! queue depths) alongside the criterion timing. Smaller sweeps compare
+//! shard counts on a fixed 100k-report load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dptd_engine::{ArrivalProcess, Engine, EngineConfig, LoadGen, LoadGenConfig};
+
+fn load(num_users: usize, epochs: u64, seed: u64) -> LoadGen {
+    LoadGen::new(LoadGenConfig {
+        num_users,
+        num_objects: 8,
+        epochs,
+        duplicate_probability: 0.01,
+        straggler_fraction: 0.01,
+        arrival: ArrivalProcess::Poisson,
+        seed,
+        ..LoadGenConfig::default()
+    })
+    .expect("valid load config")
+}
+
+fn engine(num_users: usize, num_shards: usize) -> Engine {
+    Engine::new(EngineConfig {
+        num_users,
+        num_objects: 8,
+        num_shards,
+        workers: 0,
+        queue_capacity: 8_192,
+        epoch_deadline_us: 1_000_000,
+        ..EngineConfig::default()
+    })
+    .expect("valid engine config")
+}
+
+/// The acceptance-criteria run: ≥ 1,000,000 reports through one engine.
+fn bench_million_reports(c: &mut Criterion) {
+    let users = 200_000;
+    let epochs = 5;
+    let gen = load(users, epochs, 7);
+    let eng = engine(users, 16);
+
+    // One instrumented run up front so the engine's own metrics are
+    // visible regardless of how many timing iterations follow.
+    let report = eng.run(gen.stream()).expect("engine run succeeds");
+    assert!(
+        report.metrics.reports_submitted >= 1_000_000,
+        "bench must ingest at least 1M reports, got {}",
+        report.metrics.reports_submitted
+    );
+    println!(
+        "\nengine_throughput: {} reports in {:.2} s\n{}\n",
+        report.metrics.reports_submitted,
+        report.metrics.elapsed.as_secs_f64(),
+        report.metrics.render()
+    );
+
+    let mut group = c.benchmark_group("engine_1m_reports");
+    group.bench_function("ingest+merge", |b| {
+        b.iter(|| eng.run(gen.stream()).expect("engine run succeeds"))
+    });
+    group.finish();
+}
+
+/// Shard-count sweep on a fixed 100k-report load.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let users = 50_000;
+    let epochs = 2;
+    let gen = load(users, epochs, 11);
+
+    let mut group = c.benchmark_group("engine_shards_100k_reports");
+    for shards in [1usize, 4, 16] {
+        let eng = engine(users, shards);
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &eng, |b, eng| {
+            b.iter(|| eng.run(gen.stream()).expect("engine run succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_million_reports, bench_shard_scaling);
+criterion_main!(benches);

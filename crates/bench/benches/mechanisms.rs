@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use dptd_ldp::{
-    FixedGaussianMechanism, LaplaceMechanism, Mechanism, RandomizedVarianceGaussian,
-};
+use dptd_ldp::{FixedGaussianMechanism, LaplaceMechanism, Mechanism, RandomizedVarianceGaussian};
 
 fn bench_perturbation(c: &mut Criterion) {
     let report: Vec<f64> = (0..129).map(|i| i as f64).collect(); // floor-plan sized

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lambda2 = 1.0;
     let replicates = 10;
 
-    println!("# Ablations (S = {}, N = {}, lambda2 = {lambda2})", cfg.num_users, cfg.num_objects);
+    println!(
+        "# Ablations (S = {}, N = {}, lambda2 = {lambda2})",
+        cfg.num_users, cfg.num_objects
+    );
 
     // --- 1. Aggregator under identical noise ---
     println!("\n## 1. aggregator under noise (utility MAE, lower is better)\n");
@@ -46,7 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("absolute", Loss::Absolute),
         ("normalized-squared", Loss::NormalizedSquared),
     ] {
-        aggregator_row(name, Crh::new(loss, Convergence::default()), &cfg, lambda2, replicates)?;
+        aggregator_row(
+            name,
+            Crh::new(loss, Convergence::default()),
+            &cfg,
+            lambda2,
+            replicates,
+        )?;
     }
 
     // --- 3. randomized vs fixed variance at matched E[variance] ---
@@ -65,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fixed = FixedGaussianMechanism::from_sigma((1.0 / lambda2).sqrt())?;
         let mut perturbed = ds.observations.clone();
         for s in 0..ds.num_users() {
-            let orig: Vec<f64> = ds.observations.observations_of_user(s).map(|(_, v)| v).collect();
+            let orig: Vec<f64> = ds
+                .observations
+                .observations_of_user(s)
+                .map(|(_, v)| v)
+                .collect();
             perturbed.replace_user_observations(s, &fixed.perturb_report(&orig, &mut rng));
         }
         let out = Crh::default().discover(&perturbed)?;
@@ -73,8 +86,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("| mechanism | utility MAE |");
     println!("|:---|---:|");
-    println!("| randomized variance (private noise level) | {:.4} |", rand_acc.mean());
-    println!("| fixed variance (public noise level) | {:.4} |", fixed_acc.mean());
+    println!(
+        "| randomized variance (private noise level) | {:.4} |",
+        rand_acc.mean()
+    );
+    println!(
+        "| fixed variance (public noise level) | {:.4} |",
+        fixed_acc.mean()
+    );
 
     // --- 4. adversarial robustness ---
     println!("\n## 4. robustness to spammers (CRH under perturbation)\n");
@@ -99,7 +118,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mean_run = mean_pipeline.run(&observations, &mut rng)?;
             mean_acc.push(ds.mae_to_truth(&mean_run.perturbed.truths));
         }
-        println!("| {frac} | {:.4} | {:.4} |", crh_acc.mean(), mean_acc.mean());
+        println!(
+            "| {frac} | {:.4} | {:.4} |",
+            crh_acc.mean(),
+            mean_acc.mean()
+        );
     }
     Ok(())
 }
@@ -121,6 +144,10 @@ fn aggregator_row<A: TruthDiscoverer + Copy>(
         mae_acc.push(run.utility_mae()?);
         truth_acc.push(ds.mae_to_truth(&run.perturbed.truths));
     }
-    println!("| {name} | {:.4} | {:.4} |", mae_acc.mean(), truth_acc.mean());
+    println!(
+        "| {name} | {:.4} | {:.4} |",
+        mae_acc.mean(),
+        truth_acc.mean()
+    );
     Ok(())
 }

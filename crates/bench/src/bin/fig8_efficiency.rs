@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best_original = best_original.min(t0.elapsed().as_secs_f64());
         assert!(out.converged);
     }
-    println!("# Figure 8: efficiency (S = {}, N = {})\n", cfg.num_users, cfg.num_objects);
-    println!("original-data truth discovery: {:.4} s (best of {repeats})\n", best_original);
+    println!(
+        "# Figure 8: efficiency (S = {}, N = {})\n",
+        cfg.num_users, cfg.num_objects
+    );
+    println!(
+        "original-data truth discovery: {:.4} s (best of {repeats})\n",
+        best_original
+    );
 
     println!("| mean |noise| | runtime (s) | iterations |");
     println!("|---:|---:|---:|");

@@ -34,8 +34,8 @@ pub const SENSITIVITY_ETA: f64 = 0.9;
 ///
 /// Propagates parameter validation from the theory module.
 pub fn lambda2_for_privacy(epsilon: f64, delta: f64, lambda1: f64) -> Result<f64, CoreError> {
-    let sensitivity = SensitivityBound::new(SENSITIVITY_B, SENSITIVITY_ETA, lambda1)
-        .map_err(CoreError::from)?;
+    let sensitivity =
+        SensitivityBound::new(SENSITIVITY_B, SENSITIVITY_ETA, lambda1).map_err(CoreError::from)?;
     let req = PrivacyRequirement::new(epsilon, delta, sensitivity)?;
     let c = privacy::min_noise_level(&req);
     privacy::lambda2_for_noise_level(lambda1, c)
@@ -142,10 +142,7 @@ mod tests {
             num_objects: 5,
             ..Default::default()
         };
-        let p = sweep_point(1.0, 5.0, Crh::default(), 3, 7, |rng| {
-            Ok(cfg.generate(rng)?)
-        })
-        .unwrap();
+        let p = sweep_point(1.0, 5.0, Crh::default(), 3, 7, |rng| Ok(cfg.generate(rng)?)).unwrap();
         assert_eq!(p.replicates, 3);
         assert!(p.utility_mae >= 0.0);
         assert!(p.mean_abs_noise > 0.0);

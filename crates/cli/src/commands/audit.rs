@@ -51,8 +51,16 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
     let _ = writeln!(out);
     let _ = writeln!(out, "| quantity | value |");
     let _ = writeln!(out, "|:---|---:|");
-    let _ = writeln!(out, "| epsilon_hat (empirical lower bound) | {:.4} |", audit.epsilon_hat);
-    let _ = writeln!(out, "| excluded tail mass (empirical delta) | {:.4} |", audit.excluded_mass);
+    let _ = writeln!(
+        out,
+        "| epsilon_hat (empirical lower bound) | {:.4} |",
+        audit.epsilon_hat
+    );
+    let _ = writeln!(
+        out,
+        "| excluded tail mass (empirical delta) | {:.4} |",
+        audit.excluded_mass
+    );
     let _ = writeln!(out, "| bins used | {} |", audit.bins_used);
     let _ = writeln!(out);
     let _ = writeln!(

@@ -89,7 +89,13 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         )?,
         "gtm" => sweep(Gtm::default(), lambda2, replicates, seed, make_dataset)?,
         "catd" => sweep(Catd::default(), lambda2, replicates, seed, make_dataset)?,
-        "mean" => sweep(MeanAggregator::new(), lambda2, replicates, seed, make_dataset)?,
+        "mean" => sweep(
+            MeanAggregator::new(),
+            lambda2,
+            replicates,
+            seed,
+            make_dataset,
+        )?,
         "median" => sweep(
             MedianAggregator::new(),
             lambda2,
@@ -99,8 +105,8 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         )?,
         other => {
             return Err(CliError::Usage(format!(
-                "unknown algorithm `{other}` (expected crh | crh-median | gtm | catd | mean | median)"
-            )))
+            "unknown algorithm `{other}` (expected crh | crh-median | gtm | catd | mean | median)"
+        )))
         }
     };
 

@@ -74,8 +74,16 @@ mod tests {
     #[test]
     fn infeasible_configuration_reports_window_only() {
         let out = execute(&map(&[
-            "--alpha", "0.01", "--beta", "0.001", "--epsilon", "0.01", "--delta", "0.01",
-            "--users", "2",
+            "--alpha",
+            "0.01",
+            "--beta",
+            "0.001",
+            "--epsilon",
+            "0.01",
+            "--delta",
+            "0.01",
+            "--users",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("| feasible | false |"), "{out}");

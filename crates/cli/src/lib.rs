@@ -1,11 +1,12 @@
 //! Library backing the `dptd` command-line tool.
 //!
-//! Three subcommands, each usable without writing any Rust:
+//! Four subcommands, each usable without writing any Rust:
 //!
 //! ```text
 //! dptd run    --dataset synthetic --algorithm crh --epsilon 1.0 --delta 0.3
 //! dptd theory --alpha 0.5 --beta 0.1 --epsilon 1.0 --delta 0.3 --users 150
 //! dptd audit  --epsilon 1.0 --delta 0.3 --lambda1 2.0
+//! dptd engine --users 100000 --epochs 5 --shards 16 --pattern bursty
 //! ```
 //!
 //! All logic lives here (the binary is a thin `main`), so every command is
@@ -86,6 +87,21 @@ COMMANDS:
              --alpha --beta --epsilon --delta --lambda1 --users
     audit    empirically estimate the mechanism's privacy loss
              --epsilon --delta --lambda1 --trials [100000] --seed [42]
+    engine   drive the sharded streaming aggregation engine under load
+             --users      population size                    [10000]
+             --objects    objects per epoch                  [8]
+             --epochs     number of epochs                   [5]
+             --shards     ingestion shards                   [8]
+             --workers    drain threads (0 = auto)           [0]
+             --pattern    poisson | bursty | diurnal         [poisson]
+             --burst-size reports per burst (bursty)         [64]
+             --idle-gap-us virtual gap between bursts (bursty) [50000]
+             --periods    intensity peaks per epoch (diurnal) [2]
+             --dup        duplicate probability              [0.01]
+             --straggler  straggler fraction (late drops)    [0.01]
+             --coverage   per-object observation probability [1.0]
+             --queue-capacity per-shard queue depth          [4096]
+             --lambda2 / --epsilon --delta --lambda1, --seed as above
     help     show this message
 ";
 
@@ -103,6 +119,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "run" => commands::run::execute(&args::ArgMap::parse(rest)?),
         "theory" => commands::theory::execute(&args::ArgMap::parse(rest)?),
         "audit" => commands::audit::execute(&args::ArgMap::parse(rest)?),
+        "engine" => commands::engine::execute(&args::ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
@@ -155,6 +172,23 @@ mod tests {
     fn theory_smoke() {
         let out = dispatch(&argv(&["theory", "--alpha", "0.5", "--beta", "0.1"])).unwrap();
         assert!(out.contains("c window"), "output: {out}");
+    }
+
+    #[test]
+    fn engine_smoke() {
+        let out = dispatch(&argv(&[
+            "engine",
+            "--users",
+            "150",
+            "--objects",
+            "3",
+            "--epochs",
+            "2",
+            "--shards",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("throughput"), "output: {out}");
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace only uses serde as a *capability marker* — types derive
+//! `Serialize`/`Deserialize` so that a real wire format can be attached
+//! later, and a few tests assert the bounds hold. No actual serialisation
+//! happens in-tree, so this shim ships marker traits blanket-implemented
+//! for every type, plus no-op derive macros. Swapping in the real `serde`
+//! requires no source changes.
+
+#![deny(missing_docs)]
+
+/// Marker for serialisable types. Blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserialisable types. Blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Example {
+        _x: u32,
+    }
+
+    #[test]
+    fn bounds_hold() {
+        fn assert_serde<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+        assert_serde::<Example>();
+        assert_serde::<Vec<(usize, f64)>>();
+    }
+}

@@ -115,8 +115,7 @@ impl<A: TruthDiscoverer> PrivatePipeline<A> {
             }
             perturbed.replace_user_observations(s, &noisy);
         }
-        let mean_variance =
-            user_variances.iter().sum::<f64>() / user_variances.len().max(1) as f64;
+        let mean_variance = user_variances.iter().sum::<f64>() / user_variances.len().max(1) as f64;
         let stats = NoiseStats {
             user_variances,
             mean_abs_noise: abs_noise_sum / noise_count.max(1) as f64,
@@ -175,7 +174,11 @@ mod tests {
     fn perturbation_preserves_sparsity_and_counts() {
         let data = ObservationMatrix::from_sparse_rows(
             3,
-            &[vec![(0, 1.0), (2, 3.0)], vec![(1, 2.0)], vec![(0, 1.1), (1, 2.1), (2, 3.1)]],
+            &[
+                vec![(0, 1.0), (2, 3.0)],
+                vec![(1, 2.0)],
+                vec![(0, 1.1), (1, 2.1), (2, 3.1)],
+            ],
         )
         .unwrap();
         let p = PrivatePipeline::new(Crh::default(), 1.0).unwrap();
@@ -302,9 +305,9 @@ mod tests {
         for s in 0..4 {
             let variance = if s == 3 { 4.0 } else { 1e-6 };
             let original: Vec<f64> = data.observations_of_user(s).map(|(_, v)| v).collect();
-            let noisy =
-                p.mechanism()
-                    .perturb_report_with_variance(&original, variance, &mut rng);
+            let noisy = p
+                .mechanism()
+                .perturb_report_with_variance(&original, variance, &mut rng);
             perturbed.replace_user_observations(s, &noisy);
         }
         let out = Crh::default().discover(&perturbed).unwrap();

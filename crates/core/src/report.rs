@@ -137,11 +137,7 @@ fn spearman(a: &[f64], b: &[f64]) -> f64 {
     };
     let ra = rank(a);
     let rb = rank(b);
-    let d2: f64 = ra
-        .iter()
-        .zip(&rb)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum();
+    let d2: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - y) * (x - y)).sum();
     let n = n as f64;
     1.0 - 6.0 * d2 / (n * (n * n - 1.0))
 }
@@ -215,8 +211,14 @@ mod tests {
         let mut perturbed = ds.observations.clone();
         for s in 0..ds.num_users() {
             let var = if s == 0 { 9.0 } else { 1e-9 };
-            let orig: Vec<f64> = ds.observations.observations_of_user(s).map(|(_, v)| v).collect();
-            let noisy = p.mechanism().perturb_report_with_variance(&orig, var, &mut rng);
+            let orig: Vec<f64> = ds
+                .observations
+                .observations_of_user(s)
+                .map(|(_, v)| v)
+                .collect();
+            let noisy = p
+                .mechanism()
+                .perturb_report_with_variance(&orig, var, &mut rng);
             perturbed.replace_user_observations(s, &noisy);
         }
         let stds_orig = ds.observations.object_std_devs();

@@ -94,11 +94,7 @@ impl User {
         let noisy = mechanism.perturb_report_with_variance(&raw, variance, rng);
         Ok(PerturbedReport {
             user: self.id,
-            values: measurements
-                .iter()
-                .map(|&(n, _)| n)
-                .zip(noisy)
-                .collect(),
+            values: measurements.iter().map(|&(n, _)| n).zip(noisy).collect(),
         })
     }
 }
@@ -164,7 +160,10 @@ impl<A: TruthDiscoverer> Server<A> {
     /// Returns [`CoreError::InvalidParameter`] when no reports were
     /// collected, and propagates matrix/algorithm errors (duplicate
     /// observations, uncovered objects, …).
-    pub fn aggregate(&self, reports: &[PerturbedReport]) -> Result<TruthDiscoveryResult, CoreError> {
+    pub fn aggregate(
+        &self,
+        reports: &[PerturbedReport],
+    ) -> Result<TruthDiscoveryResult, CoreError> {
         if reports.is_empty() {
             return Err(CoreError::InvalidParameter {
                 name: "reports",
@@ -172,8 +171,7 @@ impl<A: TruthDiscoverer> Server<A> {
                 constraint: "need at least one report to aggregate",
             });
         }
-        let rows: Vec<Vec<(usize, f64)>> =
-            reports.iter().map(|r| r.values.clone()).collect();
+        let rows: Vec<Vec<(usize, f64)>> = reports.iter().map(|r| r.values.clone()).collect();
         let matrix = ObservationMatrix::from_sparse_rows(self.num_objects, &rows)?;
         Ok(self.algorithm.discover(&matrix)?)
     }
@@ -195,7 +193,11 @@ mod tests {
         let user = User::new(0);
         let mut rng = dptd_stats::seeded_rng(277);
         let report = user
-            .respond(&[(0, 1.0), (1, 2.0)], HyperParameter { lambda2: 0.5 }, &mut rng)
+            .respond(
+                &[(0, 1.0), (1, 2.0)],
+                HyperParameter { lambda2: 0.5 },
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(report.values.len(), 2);
         assert_eq!(report.values[0].0, 0);

@@ -39,11 +39,7 @@ impl PrivacyRequirement {
     ///
     /// Returns [`CoreError::InvalidParameter`] unless `ε > 0` and
     /// `δ ∈ (0, 1)`.
-    pub fn new(
-        epsilon: f64,
-        delta: f64,
-        sensitivity: SensitivityBound,
-    ) -> Result<Self, CoreError> {
+    pub fn new(epsilon: f64, delta: f64, sensitivity: SensitivityBound) -> Result<Self, CoreError> {
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(CoreError::InvalidParameter {
                 name: "epsilon",

@@ -136,8 +136,7 @@ pub fn alpha_threshold_paper(lambda1: f64, c: f64) -> Result<Option<f64>, CoreEr
         return Ok(None);
     }
     let lead = 2.0 * std::f64::consts::SQRT_2 / (lambda1 * (1.0 - c)).sqrt();
-    let inner = 0.75
-        - c * (c + c.sqrt() + 1.0) / (std::f64::consts::SQRT_2 * (1.0 + c.sqrt()));
+    let inner = 0.75 - c * (c + c.sqrt() + 1.0) / (std::f64::consts::SQRT_2 * (1.0 + c.sqrt()));
     Ok(Some(lead * inner))
 }
 
@@ -317,7 +316,10 @@ mod tests {
         let lambda1 = 2.0;
         let lambda2 = 1.0;
         let alpha = 0.5 * alpha_threshold(lambda1, lambda2).unwrap();
-        assert_eq!(utility_beta_bound(lambda1, lambda2, 100, alpha).unwrap(), 1.0);
+        assert_eq!(
+            utility_beta_bound(lambda1, lambda2, 100, alpha).unwrap(),
+            1.0
+        );
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! The sharded streaming aggregation engine.
+//!
+//! ```text
+//!                    ┌────────────┐  bounded   ┌──────────┐ ShardClaims
+//!  StampedReport ───▶│ router     │──queues───▶│ workers  │──────────┐
+//!  stream (caller)   │ user % S   │  (back-    │ dedup,   │          ▼
+//!                    └────────────┘  pressure) │ deadline,│   ┌────────────┐
+//!                                              │ local CRH│   │ merger:    │
+//!                                              └──────────┘   │ canonical  │
+//!                                                             │ StreamingCrh│
+//!                                                             └────────────┘
+//! ```
+//!
+//! One router (the calling thread) hashes each report to a shard queue; a
+//! capped worker pool drains the queues; at each epoch boundary every
+//! shard emits its canonical claims and the merger folds them — users in
+//! ascending id, independent of sharding — into one global
+//! [`StreamingCrh`]. Merged truths are therefore **bit-identical for any
+//! shard count and any worker count**, which
+//! `crates/engine/tests/proptests.rs` asserts for shard counts 1/4/16.
+
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+use dptd_protocol::message::StampedReport;
+use dptd_protocol::pool::WorkerPool;
+use dptd_truth::streaming::{ShardClaims, StreamingCrh};
+use dptd_truth::Loss;
+
+use crate::metrics::{EngineMetrics, LatencyHistogram};
+use crate::shard::{ShardEpochStats, ShardState};
+use crate::EngineError;
+
+/// Engine sizing and policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Fixed population size (user ids are `0..num_users`).
+    pub num_users: usize,
+    /// Objects per epoch (every epoch is a fresh wave of this many).
+    pub num_objects: usize,
+    /// Number of ingestion shards (`user % num_shards` routing).
+    pub num_shards: usize,
+    /// Worker threads draining shard queues; `0` means
+    /// `min(num_shards, available parallelism)`.
+    pub workers: usize,
+    /// Capacity of each shard's bounded queue; a full queue pushes back on
+    /// the router.
+    pub queue_capacity: usize,
+    /// Reports whose virtual send time exceeds this are dropped as late.
+    pub epoch_deadline_us: u64,
+    /// Loss function for the global (and per-shard) CRH estimators.
+    pub loss: Loss,
+}
+
+impl Default for EngineConfig {
+    /// 1 000 users, 8 objects, 4 shards, auto workers, 1 024-deep queues,
+    /// 1 s deadline, squared loss.
+    fn default() -> Self {
+        Self {
+            num_users: 1_000,
+            num_objects: 8,
+            num_shards: 4,
+            workers: 0,
+            queue_capacity: 1_024,
+            epoch_deadline_us: 1_000_000,
+            loss: Loss::Squared,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<(), EngineError> {
+        let checks = [
+            ("num_users", self.num_users as f64, self.num_users > 0),
+            ("num_objects", self.num_objects as f64, self.num_objects > 0),
+            (
+                "num_shards",
+                self.num_shards as f64,
+                self.num_shards > 0 && self.num_shards <= self.num_users,
+            ),
+            (
+                "queue_capacity",
+                self.queue_capacity as f64,
+                self.queue_capacity > 0,
+            ),
+            (
+                "epoch_deadline_us",
+                self.epoch_deadline_us as f64,
+                self.epoch_deadline_us > 0,
+            ),
+        ];
+        for (name, value, ok) in checks {
+            if !ok {
+                return Err(EngineError::InvalidParameter {
+                    name,
+                    value,
+                    constraint: "must be positive (and num_shards <= num_users)",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of one merged epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochOutcome {
+    /// The epoch id as stamped on its reports.
+    pub epoch: u64,
+    /// Merged truths, one per object — bit-identical to the single-shard
+    /// [`StreamingCrh`] reference.
+    pub truths: Vec<f64>,
+    /// Reports aggregated this epoch.
+    pub accepted: usize,
+    /// Duplicates discarded this epoch.
+    pub duplicates_discarded: usize,
+    /// Late reports dropped this epoch.
+    pub late_dropped: u64,
+    /// Mean absolute gap between the shards' local incremental estimates
+    /// and the merged truths, over shards whose users covered every object
+    /// (`None` if no shard had full local coverage).
+    pub shard_drift: Option<f64>,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Per-epoch outcomes in epoch order.
+    pub epochs: Vec<EpochOutcome>,
+    /// Final per-user weights of the global streaming estimator.
+    pub final_weights: Vec<f64>,
+    /// Counters, latency and throughput.
+    pub metrics: EngineMetrics,
+}
+
+enum ShardMsg {
+    Report(StampedReport, Instant),
+    EpochEnd(u64),
+}
+
+struct EpochClaims {
+    shard: usize,
+    epoch: u64,
+    claims: ShardClaims,
+    stats: ShardEpochStats,
+}
+
+enum MergeMsg {
+    Epoch(EpochClaims),
+    ShardDone { latency: LatencyHistogram },
+}
+
+/// The sharded streaming aggregation engine. See the module docs for the
+/// dataflow.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Create an engine from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidParameter`] for non-positive sizes or
+    /// more shards than users.
+    pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Drive a stream of stamped reports through the engine and merge
+    /// every epoch.
+    ///
+    /// The stream must be ordered by epoch (any order within an epoch);
+    /// reports for an epoch that has already been closed are counted as
+    /// `out_of_order_dropped`. The calling thread acts as the router and
+    /// blocks until every queue has drained and every epoch has merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidUser`] for a report outside the
+    /// population and propagates aggregation failures (e.g. an epoch in
+    /// which some object received no surviving report).
+    pub fn run<I>(&self, stream: I) -> Result<EngineReport, EngineError>
+    where
+        I: IntoIterator<Item = StampedReport>,
+    {
+        let cfg = self.config;
+        let started = Instant::now();
+
+        let num_shards = cfg.num_shards;
+        let workers = if cfg.workers == 0 {
+            WorkerPool::default().workers().min(num_shards)
+        } else {
+            cfg.workers.min(num_shards)
+        };
+        let pool = WorkerPool::new(workers);
+
+        let mut txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(num_shards);
+        // Receivers are parked in mutexed slots so each queue-drain worker
+        // can take exactly its own (run_partitioned hands every shard id
+        // to one worker).
+        let mut rx_slots: Vec<std::sync::Mutex<Option<Receiver<ShardMsg>>>> =
+            Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (tx, rx) = bounded::<ShardMsg>(cfg.queue_capacity);
+            txs.push(tx);
+            rx_slots.push(std::sync::Mutex::new(Some(rx)));
+        }
+        let (merge_tx, merge_rx) = unbounded::<MergeMsg>();
+        let worker_merge_tx = merge_tx.clone();
+
+        let mut router_metrics = RouterMetrics::default();
+        let mut router_err: Option<EngineError> = None;
+
+        let rx_slots_ref = &rx_slots;
+        let cfg_ref = &cfg;
+        let merger_out = thread::scope(|scope| {
+            // Merger: folds per-shard epoch claims into the global CRH.
+            let merger = scope.spawn(|| merge_loop(cfg_ref, num_shards, merge_rx));
+
+            // Workers: each drains a contiguous set of shard queues.
+            scope.spawn(move || {
+                let worker_merge_tx = worker_merge_tx;
+                pool.run_partitioned(num_shards, |shard_ids| {
+                    let my_shards: Vec<(usize, Receiver<ShardMsg>)> = shard_ids
+                        .iter()
+                        .map(|&s| {
+                            let rx = rx_slots_ref[s]
+                                .lock()
+                                .expect("rx slot lock")
+                                .take()
+                                .expect("each shard receiver is taken once");
+                            (s, rx)
+                        })
+                        .collect();
+                    drain_shards(cfg_ref, my_shards, worker_merge_tx.clone());
+                });
+            });
+
+            // Router (this thread): hash each report to its shard queue.
+            let mut open_epoch: Option<u64> = None;
+            for stamped in stream {
+                router_metrics.submitted += 1;
+
+                match open_epoch {
+                    None => open_epoch = Some(stamped.epoch),
+                    Some(open) if stamped.epoch > open => {
+                        for tx in &txs {
+                            if tx.send(ShardMsg::EpochEnd(open)).is_err() {
+                                router_err = Some(EngineError::Disconnected);
+                            }
+                        }
+                        open_epoch = Some(stamped.epoch);
+                    }
+                    Some(open) if stamped.epoch < open => {
+                        router_metrics.out_of_order += 1;
+                        continue;
+                    }
+                    Some(_) => {}
+                }
+                if router_err.is_some() {
+                    break;
+                }
+
+                let user = stamped.report.user;
+                if user >= cfg.num_users {
+                    router_err = Some(EngineError::InvalidUser {
+                        user,
+                        num_users: cfg.num_users,
+                    });
+                    break;
+                }
+                let shard = user % num_shards;
+
+                // Sample queue depth cheaply (every 64th report).
+                if router_metrics.submitted & 63 == 0 {
+                    router_metrics.max_queue_depth =
+                        router_metrics.max_queue_depth.max(txs[shard].len());
+                }
+
+                let msg = ShardMsg::Report(stamped, Instant::now());
+                match txs[shard].try_send(msg) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(msg)) => {
+                        // Backpressure: block until the drain catches up.
+                        router_metrics.backpressure += 1;
+                        router_metrics.max_queue_depth =
+                            router_metrics.max_queue_depth.max(cfg.queue_capacity);
+                        if txs[shard].send(msg).is_err() {
+                            router_err = Some(EngineError::Disconnected);
+                            break;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        router_err = Some(EngineError::Disconnected);
+                        break;
+                    }
+                }
+            }
+            if let Some(open) = open_epoch {
+                if router_err.is_none() {
+                    for tx in &txs {
+                        let _ = tx.send(ShardMsg::EpochEnd(open));
+                    }
+                }
+            }
+            drop(txs); // workers drain and exit
+            drop(merge_tx); // merger exits once the last worker clone drops
+
+            merger.join().expect("merger thread panicked")
+        });
+
+        if let Some(e) = router_err {
+            return Err(e);
+        }
+        let (epochs, final_weights, latency, merge_err) = merger_out;
+        if let Some(e) = merge_err {
+            return Err(e);
+        }
+
+        let mut metrics = EngineMetrics {
+            reports_submitted: router_metrics.submitted,
+            out_of_order_dropped: router_metrics.out_of_order,
+            backpressure_stalls: router_metrics.backpressure,
+            max_queue_depth: router_metrics.max_queue_depth,
+            epochs_merged: epochs.len() as u64,
+            ingest_latency: latency,
+            elapsed: started.elapsed(),
+            ..EngineMetrics::default()
+        };
+        for e in &epochs {
+            metrics.reports_accepted += e.accepted as u64;
+            metrics.duplicates_discarded += e.duplicates_discarded as u64;
+            metrics.late_dropped += e.late_dropped;
+        }
+
+        Ok(EngineReport {
+            epochs,
+            final_weights,
+            metrics,
+        })
+    }
+}
+
+#[derive(Default)]
+struct RouterMetrics {
+    submitted: u64,
+    out_of_order: u64,
+    backpressure: u64,
+    max_queue_depth: usize,
+}
+
+/// Drain loop for one worker owning `shards` (id, receiver) pairs.
+fn drain_shards(
+    cfg: &EngineConfig,
+    shards: Vec<(usize, Receiver<ShardMsg>)>,
+    merge_tx: Sender<MergeMsg>,
+) {
+    let mut states: Vec<ShardState> = shards
+        .iter()
+        .map(|&(id, _)| {
+            ShardState::new(
+                id,
+                cfg.num_shards,
+                cfg.num_users,
+                cfg.num_objects,
+                cfg.epoch_deadline_us,
+                cfg.loss,
+            )
+        })
+        .collect();
+    let mut latency = LatencyHistogram::new();
+    let mut open: Vec<bool> = vec![true; shards.len()];
+
+    // Fast path: a worker owning exactly one shard can block on recv.
+    if shards.len() == 1 {
+        let (shard_id, rx) = &shards[0];
+        while let Ok(msg) = rx.recv() {
+            handle(msg, &mut states[0], *shard_id, &mut latency, &merge_tx);
+        }
+    } else {
+        use crossbeam::channel::TryRecvError;
+        while open.iter().any(|&o| o) {
+            let mut progress = false;
+            for (i, (shard_id, rx)) in shards.iter().enumerate() {
+                if !open[i] {
+                    continue;
+                }
+                // Bounded burst per visit keeps shards fair under skew.
+                for _ in 0..256 {
+                    match rx.try_recv() {
+                        Ok(msg) => {
+                            progress = true;
+                            handle(msg, &mut states[i], *shard_id, &mut latency, &merge_tx);
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            open[i] = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !progress {
+                thread::sleep(Duration::from_micros(20));
+            }
+        }
+    }
+
+    let _ = merge_tx.send(MergeMsg::ShardDone { latency });
+}
+
+fn handle(
+    msg: ShardMsg,
+    state: &mut ShardState,
+    shard_id: usize,
+    latency: &mut LatencyHistogram,
+    merge_tx: &Sender<MergeMsg>,
+) {
+    match msg {
+        ShardMsg::Report(stamped, enqueued_at) => {
+            state.ingest(stamped);
+            latency.record(enqueued_at.elapsed());
+        }
+        ShardMsg::EpochEnd(epoch) => {
+            let (claims, stats) = state.finish_epoch();
+            let _ = merge_tx.send(MergeMsg::Epoch(EpochClaims {
+                shard: shard_id,
+                epoch,
+                claims,
+                stats,
+            }));
+        }
+    }
+}
+
+type MergeOut = (
+    Vec<EpochOutcome>,
+    Vec<f64>,
+    LatencyHistogram,
+    Option<EngineError>,
+);
+
+/// Collect per-shard epoch claims; when all shards reported an epoch, run
+/// the canonical cross-shard merge through the global streaming CRH.
+fn merge_loop(cfg: &EngineConfig, num_shards: usize, rx: Receiver<MergeMsg>) -> MergeOut {
+    let mut crh = match StreamingCrh::new(cfg.num_users, cfg.loss) {
+        Ok(c) => c,
+        Err(e) => {
+            return (
+                Vec::new(),
+                Vec::new(),
+                LatencyHistogram::new(),
+                Some(EngineError::Truth(e)),
+            )
+        }
+    };
+    let mut pending: BTreeMap<u64, Vec<EpochClaims>> = BTreeMap::new();
+    let mut outcomes: Vec<EpochOutcome> = Vec::new();
+    let mut latency = LatencyHistogram::new();
+    let mut error: Option<EngineError> = None;
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            MergeMsg::ShardDone { latency: l } => latency.merge(&l),
+            MergeMsg::Epoch(claims) => {
+                if error.is_some() {
+                    continue; // drain without merging after a failure
+                }
+                let epoch = claims.epoch;
+                let bucket = pending.entry(epoch).or_default();
+                bucket.push(claims);
+                if bucket.len() < num_shards {
+                    continue;
+                }
+                let batch = pending.remove(&epoch).expect("bucket exists");
+                match merge_epoch(cfg, &mut crh, epoch, batch) {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(e) => error = Some(e),
+                }
+            }
+        }
+    }
+
+    let weights = crh.weights().to_vec();
+    (outcomes, weights, latency, error)
+}
+
+fn merge_epoch(
+    cfg: &EngineConfig,
+    crh: &mut StreamingCrh,
+    epoch: u64,
+    batch: Vec<EpochClaims>,
+) -> Result<EpochOutcome, EngineError> {
+    debug_assert!(
+        {
+            let mut ids: Vec<usize> = batch.iter().map(|c| c.shard).collect();
+            ids.sort_unstable();
+            ids.windows(2).all(|w| w[0] != w[1])
+        },
+        "a shard reported the same epoch twice"
+    );
+    // Split the owned batch so the claims move into the merge without
+    // copying the population's claim vectors.
+    let (shard_claims, stats): (Vec<ShardClaims>, Vec<ShardEpochStats>) =
+        batch.into_iter().map(|c| (c.claims, c.stats)).unzip();
+    let truths = crh.ingest_sharded(cfg.num_objects, shard_claims)?;
+
+    let mut accepted = 0usize;
+    let mut duplicates = 0usize;
+    let mut late = 0u64;
+    let mut drift_sum = 0.0;
+    let mut drift_n = 0usize;
+    for s in &stats {
+        accepted += s.accepted;
+        duplicates += s.duplicates_discarded;
+        late += s.late_dropped;
+        if let Some(local) = &s.local_truths {
+            let gap: f64 = local
+                .iter()
+                .zip(&truths)
+                .map(|(l, t)| (l - t).abs())
+                .sum::<f64>()
+                / truths.len().max(1) as f64;
+            drift_sum += gap;
+            drift_n += 1;
+        }
+    }
+
+    Ok(EpochOutcome {
+        epoch,
+        truths,
+        accepted,
+        duplicates_discarded: duplicates,
+        late_dropped: late,
+        shard_drift: (drift_n > 0).then(|| drift_sum / drift_n as f64),
+    })
+}

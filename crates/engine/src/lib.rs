@@ -1,0 +1,140 @@
+//! Sharded streaming aggregation engine for million-user crowd sensing.
+//!
+//! The paper's deployment story is an untrusted server aggregating
+//! perturbed reports from a huge, unsynchronised population. The protocol
+//! crate demonstrates correctness at small scale (a discrete-event
+//! simulator and a threaded runtime that re-run truth discovery per
+//! round); this crate is the **scale path**: reports are ingested as a
+//! stream, hashed across shards, de-duplicated and deadline-filtered in
+//! parallel, and folded **incrementally** into a
+//! [`dptd_truth::streaming::StreamingCrh`] — per epoch, not per rerun.
+//!
+//! * [`engine`] — the [`Engine`]: bounded per-shard queues with
+//!   backpressure, a capped worker pool
+//!   ([`dptd_protocol::pool::WorkerPool`]), and a deterministic
+//!   cross-shard merge whose truths are bit-identical for any shard or
+//!   worker count.
+//! * [`loadgen`] — a deterministic open-loop load generator (Poisson,
+//!   bursty and diurnal arrival processes on a virtual event clock — no
+//!   thread per user) that can synthesise millions of stamped reports.
+//! * [`metrics`] — [`EngineMetrics`]: throughput, p50/p99 ingest latency,
+//!   queue depths, duplicate/late drop counters.
+//!
+//! # Example
+//!
+//! ```
+//! use dptd_engine::{Engine, EngineConfig, LoadGen, LoadGenConfig};
+//!
+//! # fn main() -> Result<(), dptd_engine::EngineError> {
+//! let load = LoadGen::new(LoadGenConfig {
+//!     num_users: 120,
+//!     num_objects: 4,
+//!     epochs: 3,
+//!     ..LoadGenConfig::default()
+//! })?;
+//! let engine = Engine::new(EngineConfig {
+//!     num_users: 120,
+//!     num_objects: 4,
+//!     num_shards: 4,
+//!     ..EngineConfig::default()
+//! })?;
+//! let report = engine.run(load.stream())?;
+//! assert_eq!(report.epochs.len(), 3);
+//! assert_eq!(report.final_weights.len(), 120);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod engine;
+pub mod loadgen;
+pub mod metrics;
+pub mod shard;
+
+use std::fmt;
+
+pub use engine::{Engine, EngineConfig, EngineReport, EpochOutcome};
+pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
+pub use metrics::{EngineMetrics, LatencyHistogram};
+
+/// Error type for the aggregation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A configuration parameter was outside its domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// The constraint that failed.
+        constraint: &'static str,
+    },
+    /// A report named a user outside the configured population.
+    InvalidUser {
+        /// The offending user id.
+        user: usize,
+        /// The population size.
+        num_users: usize,
+    },
+    /// An internal channel disconnected unexpectedly (a worker died).
+    Disconnected,
+    /// An aggregation failure (e.g. an epoch with an uncovered object).
+    Truth(dptd_truth::TruthError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid engine parameter {name} = {value}: {constraint}"),
+            EngineError::InvalidUser { user, num_users } => {
+                write!(
+                    f,
+                    "report from user {user} outside population of {num_users}"
+                )
+            }
+            EngineError::Disconnected => {
+                write!(f, "engine internal channel disconnected (worker died)")
+            }
+            EngineError::Truth(e) => write!(f, "aggregation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Truth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dptd_truth::TruthError> for EngineError {
+    fn from(e: dptd_truth::TruthError) -> Self {
+        EngineError::Truth(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_propagate() {
+        let e = EngineError::InvalidUser {
+            user: 9,
+            num_users: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        let e: EngineError = dptd_truth::TruthError::EmptyMatrix.into();
+        assert!(matches!(e, EngineError::Truth(_)));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

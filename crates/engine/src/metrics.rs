@@ -1,0 +1,274 @@
+//! Engine observability: latency histograms and run-level metrics.
+
+use std::time::Duration;
+
+/// A log-linear latency histogram (HDR-style: power-of-two octaves split
+/// into 16 sub-buckets), covering 1 ns .. ~584 years with ≤ 6.25% relative
+/// quantile error. Fixed 976-slot footprint, mergeable across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    max_ns: u64,
+    total_ns: u128,
+}
+
+const OCTAVE_SUB: u64 = 16;
+const LINEAR_CUTOFF: u64 = 16; // values below this get exact buckets
+const NUM_BUCKETS: usize = (LINEAR_CUTOFF + (64 - 4) * OCTAVE_SUB) as usize;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            max_ns: 0,
+            total_ns: 0,
+        }
+    }
+
+    fn bucket_index(value_ns: u64) -> usize {
+        if value_ns < LINEAR_CUTOFF {
+            value_ns as usize
+        } else {
+            let exp = 63 - value_ns.leading_zeros() as u64; // >= 4
+            let sub = (value_ns >> (exp - 4)) & (OCTAVE_SUB - 1);
+            (LINEAR_CUTOFF + (exp - 4) * OCTAVE_SUB + sub) as usize
+        }
+    }
+
+    /// The lower bound of the bucket holding `value_ns` (what quantile
+    /// queries report).
+    fn bucket_floor(index: usize) -> u64 {
+        let index = index as u64;
+        if index < LINEAR_CUTOFF {
+            index
+        } else {
+            let exp = (index - LINEAR_CUTOFF) / OCTAVE_SUB + 4;
+            let sub = (index - LINEAR_CUTOFF) % OCTAVE_SUB;
+            (1 << exp) + (sub << (exp - 4))
+        }
+    }
+
+    /// Record one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+        self.total_ns += ns as u128;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.total_ns += other.total_ns;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, or `None` when
+    /// empty. Reported at bucket granularity (≤ 6.25% relative error).
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(i).min(self.max_ns));
+            }
+        }
+        Some(self.max_ns)
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile_ns(0.50).map(Duration::from_nanos)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile_ns(0.99).map(Duration::from_nanos)
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Mean recorded latency.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(Duration::from_nanos(
+                u64::try_from(self.total_ns / self.count as u128).unwrap_or(u64::MAX),
+            ))
+        }
+    }
+}
+
+/// Counters and timings for one [`crate::Engine::run`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineMetrics {
+    /// Reports offered to the engine (including duplicates and lates).
+    pub reports_submitted: u64,
+    /// Reports accepted into an epoch batch after dedup/deadline checks.
+    pub reports_accepted: u64,
+    /// Duplicate submissions discarded (first-wins).
+    pub duplicates_discarded: u64,
+    /// Reports dropped because their virtual send time missed the epoch
+    /// deadline.
+    pub late_dropped: u64,
+    /// Reports dropped because they arrived for an already-closed epoch.
+    pub out_of_order_dropped: u64,
+    /// Producer-side stalls: a shard queue was full and the submit had to
+    /// block (backpressure engaged).
+    pub backpressure_stalls: u64,
+    /// Epochs that completed a cross-shard merge.
+    pub epochs_merged: u64,
+    /// Highest queue depth sampled across all shard queues.
+    pub max_queue_depth: usize,
+    /// Queue-wait + processing latency per accepted-or-rejected report.
+    pub ingest_latency: LatencyHistogram,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl EngineMetrics {
+    /// Reports offered to the engine per wall-clock second. Counts every
+    /// submission the router handled — including duplicates, lates, and
+    /// out-of-order drops — i.e. ingest-path throughput, not the number
+    /// of reports that reached an epoch batch (that is
+    /// `reports_accepted`).
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.reports_submitted as f64 / secs
+        }
+    }
+
+    /// Render a human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let fmt_lat = |d: Option<Duration>| match d {
+            Some(d) => format!("{:.3} µs", d.as_nanos() as f64 / 1e3),
+            None => "n/a".to_string(),
+        };
+        format!(
+            "reports submitted   {}\n\
+             reports accepted    {}\n\
+             duplicates dropped  {}\n\
+             late dropped        {}\n\
+             out-of-order drops  {}\n\
+             backpressure stalls {}\n\
+             epochs merged       {}\n\
+             max queue depth     {}\n\
+             ingest latency      p50 {}  p99 {}  max {}\n\
+             elapsed             {:.3} s\n\
+             throughput          {:.0} reports/s",
+            self.reports_submitted,
+            self.reports_accepted,
+            self.duplicates_discarded,
+            self.late_dropped,
+            self.out_of_order_dropped,
+            self.backpressure_stalls,
+            self.epochs_merged,
+            self.max_queue_depth,
+            fmt_lat(self.ingest_latency.p50()),
+            fmt_lat(self.ingest_latency.p99()),
+            fmt_lat(Some(self.ingest_latency.max())),
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics_at_bucket_granularity() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_ns(0.5).unwrap();
+        let p99 = h.quantile_ns(0.99).unwrap();
+        // ≤ 6.25% relative bucket error.
+        assert!(
+            (p50 as f64 - 500_000.0).abs() < 500_000.0 * 0.07,
+            "p50 {p50}"
+        );
+        assert!(
+            (p99 as f64 - 990_000.0).abs() < 990_000.0 * 0.07,
+            "p99 {p99}"
+        );
+        assert_eq!(h.max(), Duration::from_millis(1));
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_index() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u32::MAX as u64] {
+            let idx = LatencyHistogram::bucket_index(v);
+            let floor = LatencyHistogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // Next bucket's floor exceeds the value.
+            if idx + 1 < NUM_BUCKETS {
+                assert!(LatencyHistogram::bucket_floor(idx + 1) > v);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(30));
+        b.record(Duration::from_micros(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn metrics_render_mentions_key_counters() {
+        let m = EngineMetrics {
+            reports_submitted: 12345,
+            ..EngineMetrics::default()
+        };
+        let s = m.render();
+        assert!(s.contains("12345"));
+        assert!(s.contains("throughput"));
+    }
+}

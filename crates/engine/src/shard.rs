@@ -1,0 +1,245 @@
+//! Per-shard ingestion state.
+//!
+//! A shard owns the users whose id is congruent to its shard id modulo the
+//! shard count, stored under a **dense local index** (`user / num_shards`)
+//! so per-shard memory is proportional to the shard, not the population.
+//! Within an epoch a shard de-duplicates (first-wins, via
+//! [`dptd_protocol::dedup::DedupFilter`]), applies the epoch deadline, and
+//! buffers accepted claims. At the epoch boundary it emits the canonical
+//! [`ShardClaims`] for the cross-shard merge, and additionally runs its own
+//! **local** [`StreamingCrh`] over its sub-population — an incremental
+//! shard-level view whose drift from the merged global truths is a useful
+//! health signal (a shard whose users disagree with the population shows
+//! up here).
+
+use dptd_protocol::dedup::DedupFilter;
+use dptd_protocol::message::StampedReport;
+use dptd_truth::streaming::{ShardClaims, StreamingCrh};
+use dptd_truth::Loss;
+
+/// What a shard hands the merger at an epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardEpochStats {
+    /// Reports accepted into the epoch batch.
+    pub accepted: usize,
+    /// Duplicates discarded this epoch.
+    pub duplicates_discarded: usize,
+    /// Reports dropped for missing the epoch deadline.
+    pub late_dropped: u64,
+    /// The shard's local incremental truth estimate for the epoch, if its
+    /// own users covered every object (`None` otherwise — a small shard
+    /// legitimately may not).
+    pub local_truths: Option<Vec<f64>>,
+}
+
+/// Mutable state of one shard. Owned by exactly one worker thread; no
+/// internal synchronisation.
+#[derive(Debug)]
+pub struct ShardState {
+    shard_id: usize,
+    num_shards: usize,
+    num_objects: usize,
+    epoch_deadline_us: u64,
+    local_users: usize,
+    dedup: DedupFilter,
+    late_dropped: u64,
+    local_crh: StreamingCrh,
+}
+
+impl ShardState {
+    /// State for shard `shard_id` of `num_shards` over a population of
+    /// `num_users`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_id >= num_shards` or the shard owns no users —
+    /// the engine validates `num_shards <= num_users` up front.
+    pub fn new(
+        shard_id: usize,
+        num_shards: usize,
+        num_users: usize,
+        num_objects: usize,
+        epoch_deadline_us: u64,
+        loss: Loss,
+    ) -> Self {
+        assert!(shard_id < num_shards, "shard id out of range");
+        let local_users = num_users.saturating_sub(shard_id).div_ceil(num_shards);
+        assert!(local_users > 0, "shard {shard_id} owns no users");
+        Self {
+            shard_id,
+            num_shards,
+            num_objects,
+            epoch_deadline_us,
+            local_users,
+            dedup: DedupFilter::new(local_users),
+            late_dropped: 0,
+            local_crh: StreamingCrh::new(local_users, loss)
+                .expect("local population validated above"),
+        }
+    }
+
+    /// Number of users this shard owns.
+    pub fn local_users(&self) -> usize {
+        self.local_users
+    }
+
+    /// Whether this shard owns `user`.
+    pub fn owns(&self, user: usize) -> bool {
+        user % self.num_shards == self.shard_id
+    }
+
+    /// Ingest one report for the current epoch. Returns `true` if the
+    /// report was accepted into the batch (on time and first from its
+    /// user).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report's user is not owned by this shard (a routing
+    /// bug, not a data error).
+    pub fn ingest(&mut self, stamped: StampedReport) -> bool {
+        let user = stamped.report.user;
+        assert!(
+            self.owns(user),
+            "report for user {user} routed to wrong shard"
+        );
+        if stamped.sent_at_us > self.epoch_deadline_us {
+            self.late_dropped += 1;
+            return false;
+        }
+        self.dedup.accept(user / self.num_shards, stamped.report)
+    }
+
+    /// Close the current epoch: emit the canonical claims for the
+    /// cross-shard merge plus shard-level stats, and reset for the next
+    /// epoch. The local incremental CRH is updated as a side effect.
+    pub fn finish_epoch(&mut self) -> (ShardClaims, ShardEpochStats) {
+        let dedup = std::mem::replace(&mut self.dedup, DedupFilter::new(self.local_users));
+        let duplicates_discarded = dedup.duplicates_discarded();
+        let accepted = dedup.len();
+        let late_dropped = std::mem::take(&mut self.late_dropped);
+
+        let mut claims = ShardClaims::new();
+        let mut local_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.local_users];
+        for (local, report) in dedup.into_slot_ordered() {
+            local_rows[local] = report.values.clone();
+            let global = local * self.num_shards + self.shard_id;
+            debug_assert_eq!(global, report.user);
+            claims.push(report.user, report.values);
+        }
+
+        // Local incremental view: only possible when this shard's users
+        // alone cover every object of the epoch.
+        let local_truths = self
+            .local_crh
+            .ingest_sharded_rows(self.num_objects, &local_rows)
+            .ok();
+
+        (
+            claims,
+            ShardEpochStats {
+                accepted,
+                duplicates_discarded,
+                late_dropped,
+                local_truths,
+            },
+        )
+    }
+}
+
+/// Extension used by [`ShardState::finish_epoch`]: ingest pre-assembled
+/// sparse rows without the `ShardClaims` indirection.
+trait IngestRows {
+    fn ingest_sharded_rows(
+        &mut self,
+        num_objects: usize,
+        rows: &[Vec<(usize, f64)>],
+    ) -> Result<Vec<f64>, dptd_truth::TruthError>;
+}
+
+impl IngestRows for StreamingCrh {
+    fn ingest_sharded_rows(
+        &mut self,
+        num_objects: usize,
+        rows: &[Vec<(usize, f64)>],
+    ) -> Result<Vec<f64>, dptd_truth::TruthError> {
+        let batch = dptd_truth::ObservationMatrix::from_sparse_rows(num_objects, rows)?;
+        self.ingest(&batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_core::roles::PerturbedReport;
+
+    fn stamped(user: usize, sent_at_us: u64, values: Vec<(usize, f64)>) -> StampedReport {
+        StampedReport {
+            epoch: 0,
+            sent_at_us,
+            report: PerturbedReport { user, values },
+        }
+    }
+
+    #[test]
+    fn modulo_ownership_and_local_sizing() {
+        // 10 users over 4 shards: shards own 3, 3, 2, 2 users.
+        let sizes: Vec<usize> = (0..4)
+            .map(|s| ShardState::new(s, 4, 10, 2, 1000, Loss::Squared).local_users())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        let s1 = ShardState::new(1, 4, 10, 2, 1000, Loss::Squared);
+        assert!(s1.owns(1) && s1.owns(5) && s1.owns(9));
+        assert!(!s1.owns(0) && !s1.owns(2));
+    }
+
+    #[test]
+    fn late_and_duplicate_handling() {
+        let mut s = ShardState::new(0, 1, 3, 1, 100, Loss::Squared);
+        assert!(s.ingest(stamped(0, 50, vec![(0, 1.0)])));
+        assert!(!s.ingest(stamped(0, 60, vec![(0, 9.0)]))); // duplicate
+        assert!(!s.ingest(stamped(1, 101, vec![(0, 2.0)]))); // late
+        assert!(s.ingest(stamped(1, 100, vec![(0, 2.0)]))); // exactly at deadline: on time
+        assert!(s.ingest(stamped(2, 10, vec![(0, 3.0)])));
+        let (claims, stats) = s.finish_epoch();
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.duplicates_discarded, 1);
+        assert_eq!(stats.late_dropped, 1);
+        assert_eq!(claims.num_users(), 3);
+        // First-wins: user 0 kept 1.0, and the local CRH covered object 0.
+        let local = stats.local_truths.unwrap();
+        assert!(local[0] > 1.0 && local[0] < 3.0);
+    }
+
+    #[test]
+    fn epoch_reset_is_clean() {
+        let mut s = ShardState::new(0, 1, 2, 1, 100, Loss::Squared);
+        s.ingest(stamped(0, 1, vec![(0, 5.0)]));
+        s.ingest(stamped(1, 1, vec![(0, 5.0)]));
+        let (_, first) = s.finish_epoch();
+        assert_eq!(first.accepted, 2);
+        // Same users submit again next epoch: not duplicates.
+        assert!(s.ingest(stamped(0, 1, vec![(0, 6.0)])));
+        let (_, second) = s.finish_epoch();
+        assert_eq!(second.accepted, 1);
+        assert_eq!(second.duplicates_discarded, 0);
+    }
+
+    #[test]
+    fn local_truths_absent_without_coverage() {
+        // Shard 0 of 2 owns users {0, 2}; its users observe only object 0
+        // of 2, so the local view must be None while claims still flow.
+        let mut s = ShardState::new(0, 2, 4, 2, 100, Loss::Squared);
+        s.ingest(stamped(0, 1, vec![(0, 1.0)]));
+        s.ingest(stamped(2, 2, vec![(0, 1.2)]));
+        let (claims, stats) = s.finish_epoch();
+        assert!(stats.local_truths.is_none());
+        assert_eq!(claims.num_users(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong shard")]
+    fn misrouted_report_panics() {
+        let mut s = ShardState::new(0, 2, 4, 1, 100, Loss::Squared);
+        s.ingest(stamped(1, 0, vec![(0, 1.0)]));
+    }
+}

@@ -161,7 +161,11 @@ mod tests {
             audit.epsilon_hat
         );
         assert!(audit.epsilon_hat > 0.4, "audit should detect some loss");
-        assert!(audit.excluded_mass < 0.05, "excluded {}", audit.excluded_mass);
+        assert!(
+            audit.excluded_mass < 0.05,
+            "excluded {}",
+            audit.excluded_mass
+        );
     }
 
     #[test]

@@ -217,8 +217,7 @@ mod tests {
             assert!(err < 0.5, "round {round} streaming err {err}");
             // The protocol's own per-round aggregate should agree with the
             // streaming estimate to within the noise scale.
-            let gap =
-                dptd_stats::summary::mae(&out.streaming_truths, &out.outcome.truths).unwrap();
+            let gap = dptd_stats::summary::mae(&out.streaming_truths, &out.outcome.truths).unwrap();
             assert!(gap < 0.5, "round {round} streaming vs round gap {gap}");
         }
     }

@@ -10,10 +10,16 @@
 //!   latency/message-loss network model: reproducible rounds, fault
 //!   injection, and exact message accounting. Used by the robustness
 //!   experiments.
-//! * [`runtime`] — a **multi-threaded runtime** on crossbeam channels: one
-//!   OS thread per user, a collector thread for the server, real
-//!   wall-clock deadlines. Used to demonstrate the single round-trip /
-//!   no-coordination property under actual concurrency.
+//! * [`runtime`] — a **multi-threaded runtime** on crossbeam channels: a
+//!   capped [`pool::WorkerPool`] drives the users, a collector thread
+//!   gathers for the server under a real wall-clock deadline. Used to
+//!   demonstrate the single round-trip / no-coordination property under
+//!   actual concurrency.
+//!
+//! Shared infrastructure grew out of these runtimes and is reused by the
+//! `dptd-engine` streaming aggregator: [`pool`] (capped scoped worker
+//! pool), [`dedup`] (first-wins duplicate filtering) and
+//! [`message::StampedReport`] (an epoch/arrival-time-stamped report).
 //!
 //! Both drive the same [`dptd_core::roles`] types: the user-side
 //! perturbation happens inside the client, so raw values never cross the
@@ -48,10 +54,14 @@
 #![deny(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod dedup;
 pub mod message;
+pub mod pool;
 pub mod runtime;
 pub mod sim;
 
 mod error;
 
+pub use dedup::DedupFilter;
 pub use error::ProtocolError;
+pub use pool::WorkerPool;

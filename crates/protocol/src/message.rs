@@ -42,6 +42,24 @@ pub enum Message {
     },
 }
 
+/// A perturbed report stamped with its **epoch** (which wave of objects
+/// it belongs to) and its **virtual send time** within that epoch.
+///
+/// This is the unit of ingestion for the `dptd-engine` streaming
+/// aggregator: the epoch routes the report to the right aggregation
+/// batch, and the send time lets the server apply the same deadline
+/// cut-off the discrete-event simulator applies (`sent_at_us` past the
+/// epoch deadline ⇒ the report is dropped as late).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StampedReport {
+    /// Which epoch (object wave) the report answers.
+    pub epoch: u64,
+    /// Virtual microseconds since the epoch's round started.
+    pub sent_at_us: u64,
+    /// The perturbed payload (never raw values; see the module docs).
+    pub report: PerturbedReport,
+}
+
 /// A message in flight.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Envelope {

@@ -1,11 +1,15 @@
 //! Multi-threaded protocol runtime on crossbeam channels.
 //!
-//! One OS thread per user, all submitting concurrently through an
-//! unbounded channel to a collecting server with a wall-clock deadline.
-//! This demonstrates the paper's deployment claim under real concurrency:
-//! users never synchronise with each other (no barriers, no shared state
-//! beyond the submission channel) and the whole round is a single
-//! broadcast + gather.
+//! Users submit concurrently through an unbounded channel to a collecting
+//! server with a wall-clock deadline. Submission runs on a **capped
+//! [`WorkerPool`]** (by default one worker per hardware thread) rather
+//! than one OS thread per user, so a million-user round no longer
+//! exhausts OS threads; each worker drives a contiguous block of users,
+//! and every user still derives an independent RNG stream, so reports are
+//! identical to the thread-per-user original. This demonstrates the
+//! paper's deployment claim under real concurrency: users never
+//! synchronise with each other (no barriers, no shared state beyond the
+//! submission channel) and the whole round is a single broadcast + gather.
 
 use std::thread;
 use std::time::{Duration, Instant};
@@ -17,6 +21,7 @@ use rand::{Rng, SeedableRng};
 use dptd_core::roles::{HyperParameter, PerturbedReport, Server, User};
 use dptd_truth::{ObservationMatrix, TruthDiscoverer};
 
+use crate::pool::WorkerPool;
 use crate::ProtocolError;
 
 /// Configuration for the threaded round.
@@ -25,19 +30,25 @@ pub struct ThreadedConfig {
     /// Wall-clock deadline for collecting reports.
     pub deadline: Duration,
     /// Upper bound on the artificial per-user work delay (simulating
-    /// sensing time); each user sleeps a uniformly-random slice of this.
+    /// sensing time); each user's submission is scheduled a
+    /// uniformly-random slice of this after round start. Delays overlap
+    /// across users (as on real devices), so a round's wall time stays
+    /// ~`max_work_delay` regardless of population or worker count.
     pub max_work_delay: Duration,
     /// RNG seed; each user derives an independent stream from it.
     pub seed: u64,
+    /// Submission worker threads; `0` means one per hardware thread.
+    pub workers: usize,
 }
 
 impl Default for ThreadedConfig {
-    /// 2 s deadline, ≤5 ms simulated work, seed 0.
+    /// 2 s deadline, ≤5 ms simulated work, seed 0, hardware-sized pool.
     fn default() -> Self {
         Self {
             deadline: Duration::from_secs(2),
             max_work_delay: Duration::from_millis(5),
             seed: 0,
+            workers: 0,
         }
     }
 }
@@ -53,10 +64,10 @@ pub struct ThreadedOutcome {
     pub elapsed: Duration,
 }
 
-/// Run one round with a real thread per user.
+/// Run one round over a capped worker pool.
 ///
-/// Row `s` of `raw_data` is user `s`'s raw measurements; each user thread
-/// perturbs locally (Algorithm 2) and submits through a channel. The
+/// Row `s` of `raw_data` is user `s`'s raw measurements; each simulated
+/// user perturbs locally (Algorithm 2) and submits through a channel. The
 /// server aggregates whatever arrived by the deadline.
 ///
 /// # Errors
@@ -108,25 +119,63 @@ where
     let (tx, rx) = unbounded::<PerturbedReport>();
     let started = Instant::now();
 
-    // Shared audit log of user-side failures (none expected; a user thread
+    // Shared audit log of user-side failures (none expected; a user task
     // that fails to build its report records its id here).
     let failures: Mutex<Vec<usize>> = Mutex::new(Vec::new());
 
+    let pool = if config.workers == 0 {
+        WorkerPool::default()
+    } else {
+        WorkerPool::new(config.workers)
+    };
+
     let collected: Vec<PerturbedReport> = thread::scope(|scope| {
-        for s in 0..num_users {
-            let tx = tx.clone();
+        // Collector runs beside the pool; it stops at the deadline or when
+        // every submission worker has finished and dropped the sender.
+        let deadline = started + config.deadline;
+        let collector = scope.spawn(move || {
+            let mut reports = Vec::with_capacity(num_users);
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(r) => reports.push(r),
+                    Err(RecvTimeoutError::Disconnected) => break,
+                    Err(RecvTimeoutError::Timeout) => break,
+                }
+            }
+            reports
+        });
+
+        {
+            // Move `tx` into this block so it drops (disconnecting the
+            // collector) as soon as every user has been driven.
+            let tx = tx;
             let failures = &failures;
-            let measurements: Vec<(usize, f64)> = raw_data.observations_of_user(s).collect();
             let max_delay = config.max_work_delay;
             let seed = config.seed;
-            scope.spawn(move || {
+            pool.for_each_index(num_users, |s| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
                     seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
                 if !max_delay.is_zero() {
+                    // The delay models device-side sensing time, which
+                    // overlaps across real users. Anchoring the target to
+                    // the round start (rather than sleeping serially per
+                    // user) keeps a worker's total sleep bounded by
+                    // max_delay however many users it drives, so a capped
+                    // pool reproduces the thread-per-user wall-clock
+                    // behaviour.
                     let nanos = rng.gen_range(0..max_delay.as_nanos().max(1)) as u64;
-                    thread::sleep(Duration::from_nanos(nanos));
+                    let target = started + Duration::from_nanos(nanos);
+                    let now = Instant::now();
+                    if target > now {
+                        thread::sleep(target - now);
+                    }
                 }
+                let measurements: Vec<(usize, f64)> = raw_data.observations_of_user(s).collect();
                 match User::new(s).respond(&measurements, hyper, &mut rng) {
                     Ok(report) => {
                         // A closed channel means the deadline passed; the
@@ -137,23 +186,8 @@ where
                 }
             });
         }
-        drop(tx);
 
-        // Collect until deadline or all senders done.
-        let mut reports = Vec::with_capacity(num_users);
-        let deadline = started + config.deadline;
-        loop {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(r) => reports.push(r),
-                Err(RecvTimeoutError::Disconnected) => break,
-                Err(RecvTimeoutError::Timeout) => break,
-            }
-        }
-        reports
+        collector.join().expect("collector thread panicked")
     });
 
     if let Some(&user) = failures.lock().first() {
@@ -218,6 +252,7 @@ mod tests {
             deadline: Duration::from_nanos(1),
             max_work_delay: Duration::from_millis(50),
             seed: 1,
+            ..ThreadedConfig::default()
         };
         let err = run_threaded_round(Crh::default(), 1.0, &raw_data(6, 2), &cfg).unwrap_err();
         assert!(matches!(err, ProtocolError::InsufficientCoverage { .. }));
@@ -242,18 +277,64 @@ mod tests {
     }
 
     #[test]
+    fn large_population_runs_on_capped_pool() {
+        // 2000 users used to mean 2000 OS threads; the pool caps this at
+        // the configured worker count while still collecting everyone.
+        let out = run_threaded_round(
+            Crh::default(),
+            10.0,
+            &raw_data(2000, 3),
+            &ThreadedConfig {
+                max_work_delay: Duration::ZERO,
+                deadline: Duration::from_secs(30),
+                workers: 4,
+                ..ThreadedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.reports_collected, 2000);
+        assert_eq!(out.truths.len(), 3);
+    }
+
+    #[test]
+    fn explicit_worker_counts_reproduce_reports() {
+        // The per-user RNG stream is independent of the pool shape, so
+        // different worker counts aggregate the same report multiset.
+        let data = raw_data(40, 4);
+        let run = |workers| {
+            run_threaded_round(
+                Crh::default(),
+                5.0,
+                &data,
+                &ThreadedConfig {
+                    max_work_delay: Duration::ZERO,
+                    workers,
+                    ..ThreadedConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(8);
+        // Arrival order (and so the matrix row order) depends on thread
+        // interleaving, which perturbs floating-point summation order;
+        // the aggregates agree to well below any meaningful tolerance.
+        let gap = dptd_stats::summary::mae(&a.truths, &b.truths).unwrap();
+        assert!(gap < 1e-9, "worker-count-dependent truths: gap {gap}");
+        assert_eq!(a.reports_collected, b.reports_collected);
+    }
+
+    #[test]
     fn concurrent_rounds_are_independent() {
         // Two rounds on different data in parallel threads — no shared
         // mutable state, results uncorrupted.
         let d1 = raw_data(10, 3);
         let d2 = raw_data(12, 4);
         let (r1, r2) = thread::scope(|s| {
-            let h1 = s.spawn(|| {
-                run_threaded_round(Crh::default(), 5.0, &d1, &ThreadedConfig::default())
-            });
-            let h2 = s.spawn(|| {
-                run_threaded_round(Crh::default(), 5.0, &d2, &ThreadedConfig::default())
-            });
+            let h1 = s
+                .spawn(|| run_threaded_round(Crh::default(), 5.0, &d1, &ThreadedConfig::default()));
+            let h2 = s
+                .spawn(|| run_threaded_round(Crh::default(), 5.0, &d2, &ThreadedConfig::default()));
             (h1.join().unwrap(), h2.join().unwrap())
         });
         assert_eq!(r1.unwrap().truths.len(), 3);

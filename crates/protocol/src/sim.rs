@@ -14,6 +14,7 @@ use rand::Rng;
 use dptd_core::roles::{HyperParameter, PerturbedReport, Server, TaskAssignment, User};
 use dptd_truth::{ObservationMatrix, TruthDiscoverer};
 
+use crate::dedup::DedupFilter;
 use crate::message::{Envelope, Message, NodeId};
 use crate::ProtocolError;
 
@@ -238,9 +239,7 @@ impl<A: TruthDiscoverer + Clone> SimHarness<A> {
         let mut messages_sent = 0usize;
         let mut messages_dropped = 0usize;
 
-        let push = |queue: &mut BinaryHeap<Reverse<QueuedEvent>>,
-                    env: Envelope,
-                    seq: &mut u64| {
+        let push = |queue: &mut BinaryHeap<Reverse<QueuedEvent>>, env: Envelope, seq: &mut u64| {
             *seq += 1;
             queue.push(Reverse(QueuedEvent {
                 at: env.deliver_at_us,
@@ -276,16 +275,22 @@ impl<A: TruthDiscoverer + Clone> SimHarness<A> {
             );
         }
 
-        // Event loop.
-        let mut received: Vec<Option<PerturbedReport>> = vec![None; num_users];
-        let mut arrival_order: Vec<usize> = Vec::new();
-        let mut duplicates_discarded = 0usize;
+        // Event loop. De-duplication is first-wins, shared with the
+        // streaming engine through [`crate::dedup::DedupFilter`].
+        let mut dedup = DedupFilter::new(num_users);
         let mut clock = 0u64;
 
         while let Some(Reverse(QueuedEvent { at, env, .. })) = queue.pop() {
             clock = clock.max(at);
             match (env.to, env.payload) {
-                (NodeId::User(s), Message::Assign { tasks, hyper, deadline_us }) => {
+                (
+                    NodeId::User(s),
+                    Message::Assign {
+                        tasks,
+                        hyper,
+                        deadline_us,
+                    },
+                ) => {
                     // The client performs its micro-tasks, perturbs
                     // locally, and replies.
                     let mut think = if round.max_think_time_us == 0 {
@@ -331,23 +336,17 @@ impl<A: TruthDiscoverer + Clone> SimHarness<A> {
                     if at > round.deadline_us {
                         continue; // late: discarded
                     }
-                    let s = report.user;
-                    if received[s].is_some() {
-                        duplicates_discarded += 1;
-                        continue;
-                    }
-                    arrival_order.push(s);
-                    received[s] = Some(report);
+                    let slot = report.user;
+                    dedup.accept(slot, report);
                 }
                 _ => {}
             }
         }
 
-        let reports: Vec<PerturbedReport> = arrival_order
-            .iter()
-            .map(|&s| received[s].clone().expect("arrival order implies stored"))
-            .collect();
-        let missing: Vec<usize> = (0..num_users).filter(|&s| received[s].is_none()).collect();
+        let arrival_order = dedup.participants().to_vec();
+        let missing = dedup.missing();
+        let duplicates_discarded = dedup.duplicates_discarded();
+        let reports = dedup.into_reports();
 
         // Coverage check before aggregation so the caller gets a protocol
         // level error (which object starved) rather than a matrix error.
@@ -420,7 +419,9 @@ mod tests {
         let h = SimHarness::new(Crh::default(), 100.0, NetworkConfig::default()).unwrap();
         let mut rng = dptd_stats::seeded_rng(419);
         let data = raw_data(15, 4);
-        let out = h.run_round(&data, &RoundConfig::default(), &mut rng).unwrap();
+        let out = h
+            .run_round(&data, &RoundConfig::default(), &mut rng)
+            .unwrap();
         assert_eq!(out.participants.len(), 15);
         assert!(out.missing.is_empty());
         assert_eq!(out.truths.len(), 4);
@@ -434,10 +435,18 @@ mod tests {
         let h = SimHarness::new(Crh::default(), 2.0, NetworkConfig::default()).unwrap();
         let data = raw_data(10, 3);
         let a = h
-            .run_round(&data, &RoundConfig::default(), &mut dptd_stats::seeded_rng(421))
+            .run_round(
+                &data,
+                &RoundConfig::default(),
+                &mut dptd_stats::seeded_rng(421),
+            )
             .unwrap();
         let b = h
-            .run_round(&data, &RoundConfig::default(), &mut dptd_stats::seeded_rng(421))
+            .run_round(
+                &data,
+                &RoundConfig::default(),
+                &mut dptd_stats::seeded_rng(421),
+            )
             .unwrap();
         assert_eq!(a, b);
     }
@@ -451,7 +460,9 @@ mod tests {
         let h = SimHarness::new(Crh::default(), 100.0, net).unwrap();
         let mut rng = dptd_stats::seeded_rng(431);
         let data = raw_data(60, 5);
-        let out = h.run_round(&data, &RoundConfig::default(), &mut rng).unwrap();
+        let out = h
+            .run_round(&data, &RoundConfig::default(), &mut rng)
+            .unwrap();
         assert!(out.messages_dropped > 0);
         assert!(!out.missing.is_empty());
         assert!(out.participants.len() < 60);
@@ -461,7 +472,10 @@ mod tests {
     #[test]
     fn stragglers_miss_tight_deadline() {
         let round = RoundConfig {
-            deadline_us: 260_000, // think ≤ 200ms + latency ≤ 50ms fits; 10x think doesn't
+            // An honest user's worst case is assign latency (≤50ms) + think
+            // (≤200ms) + submit latency (≤50ms) = 300ms, so with a 320ms
+            // deadline only 10x-think stragglers can miss.
+            deadline_us: 320_000,
             straggler_fraction: 0.2,
             ..RoundConfig::default()
         };
@@ -510,7 +524,9 @@ mod tests {
         let h = SimHarness::new(Crh::default(), 1e7, NetworkConfig::default()).unwrap();
         let mut rng = dptd_stats::seeded_rng(449);
         let data = raw_data(25, 6);
-        let out = h.run_round(&data, &RoundConfig::default(), &mut rng).unwrap();
+        let out = h
+            .run_round(&data, &RoundConfig::default(), &mut rng)
+            .unwrap();
         let direct = Crh::default().discover(&data).unwrap();
         let gap = dptd_stats::summary::mae(&out.truths, &direct.truths).unwrap();
         assert!(gap < 0.01, "protocol vs direct gap {gap}");

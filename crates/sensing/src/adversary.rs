@@ -137,19 +137,17 @@ mod tests {
     use dptd_truth::{crh::Crh, TruthDiscoverer};
 
     fn matrix() -> ObservationMatrix {
-        ObservationMatrix::from_dense(&[
-            &[1.0, 2.0, 3.0][..],
-            &[1.1, 2.1, 3.1],
-            &[0.9, 1.9, 2.9],
-        ])
-        .unwrap()
+        ObservationMatrix::from_dense(&[&[1.0, 2.0, 3.0][..], &[1.1, 2.1, 3.1], &[0.9, 1.9, 2.9]])
+            .unwrap()
     }
 
     #[test]
     fn spammer_flattens_claims() {
         let mut m = matrix();
         let mut rng = dptd_stats::seeded_rng(223);
-        Spammer { value: 42.0 }.corrupt(&mut m, &[1], &mut rng).unwrap();
+        Spammer { value: 42.0 }
+            .corrupt(&mut m, &[1], &mut rng)
+            .unwrap();
         assert_eq!(m.value(1, 0), Some(42.0));
         assert_eq!(m.value(1, 2), Some(42.0));
         assert_eq!(m.value(0, 0), Some(1.0)); // others untouched
@@ -159,7 +157,9 @@ mod tests {
     fn colluder_shifts_claims() {
         let mut m = matrix();
         let mut rng = dptd_stats::seeded_rng(227);
-        Colluder { offset: 10.0 }.corrupt(&mut m, &[0, 2], &mut rng).unwrap();
+        Colluder { offset: 10.0 }
+            .corrupt(&mut m, &[0, 2], &mut rng)
+            .unwrap();
         assert_eq!(m.value(0, 0), Some(11.0));
         assert_eq!(m.value(2, 2), Some(12.9));
         assert_eq!(m.value(1, 0), Some(1.1));
@@ -184,8 +184,12 @@ mod tests {
     fn adversaries_validate_user_indices() {
         let mut m = matrix();
         let mut rng = dptd_stats::seeded_rng(233);
-        assert!(Spammer { value: 0.0 }.corrupt(&mut m, &[7], &mut rng).is_err());
-        assert!(Colluder { offset: 1.0 }.corrupt(&mut m, &[3], &mut rng).is_err());
+        assert!(Spammer { value: 0.0 }
+            .corrupt(&mut m, &[7], &mut rng)
+            .is_err());
+        assert!(Colluder { offset: 1.0 }
+            .corrupt(&mut m, &[3], &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -199,7 +203,9 @@ mod tests {
             .collect();
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let mut m = ObservationMatrix::from_dense(&refs).unwrap();
-        Spammer { value: 50.0 }.corrupt(&mut m, &[8, 9], &mut rng).unwrap();
+        Spammer { value: 50.0 }
+            .corrupt(&mut m, &[8, 9], &mut rng)
+            .unwrap();
 
         let out = Crh::default().discover(&m).unwrap();
         let honest_min = out.weights[..8]

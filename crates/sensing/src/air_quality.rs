@@ -131,8 +131,7 @@ impl AirQualityConfig {
         for (cell, &truth) in truths.iter().enumerate() {
             if observations.observations_of_object(cell).next().is_none() {
                 let s = cell % self.num_users;
-                let noise =
-                    Normal::new(0.0, (self.relative_noise * truth).max(1e-6))?.sample(rng);
+                let noise = Normal::new(0.0, (self.relative_noise * truth).max(1e-6))?.sample(rng);
                 observations.insert(s, cell, (truth + biases[s] + noise).max(0.0))?;
             }
         }
@@ -141,9 +140,7 @@ impl AirQualityConfig {
         let mean_level = truths.iter().sum::<f64>() / n_cells as f64;
         let variances: Vec<f64> = biases
             .iter()
-            .map(|b| {
-                (b * b + (self.relative_noise * mean_level).powi(2)).max(1e-9)
-            })
+            .map(|b| (b * b + (self.relative_noise * mean_level).powi(2)).max(1e-9))
             .collect();
 
         Ok(SensingDataset {
@@ -193,10 +190,22 @@ mod tests {
     fn validation() {
         let mut rng = dptd_stats::seeded_rng(941);
         for cfg in [
-            AirQualityConfig { side: 0, ..Default::default() },
-            AirQualityConfig { num_users: 0, ..Default::default() },
-            AirQualityConfig { bias_std: 0.0, ..Default::default() },
-            AirQualityConfig { relative_noise: -1.0, ..Default::default() },
+            AirQualityConfig {
+                side: 0,
+                ..Default::default()
+            },
+            AirQualityConfig {
+                num_users: 0,
+                ..Default::default()
+            },
+            AirQualityConfig {
+                bias_std: 0.0,
+                ..Default::default()
+            },
+            AirQualityConfig {
+                relative_noise: -1.0,
+                ..Default::default()
+            },
         ] {
             assert!(cfg.generate(&mut rng).is_err());
         }

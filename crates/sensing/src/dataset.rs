@@ -51,8 +51,7 @@ mod tests {
 
     #[test]
     fn accessors_and_mae() {
-        let observations =
-            ObservationMatrix::from_dense(&[&[1.0, 2.0][..], &[3.0, 4.0]]).unwrap();
+        let observations = ObservationMatrix::from_dense(&[&[1.0, 2.0][..], &[3.0, 4.0]]).unwrap();
         let ds = SensingDataset {
             ground_truths: vec![1.0, 2.0],
             population: Population::from_variances(vec![0.1, 0.2]).unwrap(),

@@ -98,8 +98,7 @@ impl FloorplanConfig {
         let count_noise = Normal::new(0.0, self.count_noise_std)?;
         let jitter = Normal::new(0.0, self.jitter_std)?;
 
-        let mut observations =
-            ObservationMatrix::with_dims(self.num_users, self.num_segments)?;
+        let mut observations = ObservationMatrix::with_dims(self.num_users, self.num_segments)?;
         for (s, &ratio) in ratios.iter().enumerate() {
             for (n, &len) in ground_truths.iter().enumerate() {
                 if rng.gen::<f64>() > self.coverage {
@@ -116,8 +115,7 @@ impl FloorplanConfig {
         for (n, &len) in ground_truths.iter().enumerate() {
             if observations.observations_of_object(n).next().is_none() {
                 let s = n % self.num_users;
-                let walked =
-                    len * ratios[s] * (1.0 + count_noise.sample(rng)) + jitter.sample(rng);
+                let walked = len * ratios[s] * (1.0 + count_noise.sample(rng)) + jitter.sample(rng);
                 observations.insert(s, n, walked.max(0.0))?;
             }
         }

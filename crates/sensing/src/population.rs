@@ -156,9 +156,7 @@ mod tests {
         let mut rng = dptd_stats::seeded_rng(151);
         let low_quality = Population::sample(2000, 0.5, &mut rng).unwrap();
         let high_quality = Population::sample(2000, 5.0, &mut rng).unwrap();
-        let mean = |p: &Population| {
-            p.error_variances().iter().sum::<f64>() / p.len() as f64
-        };
+        let mean = |p: &Population| p.error_variances().iter().sum::<f64>() / p.len() as f64;
         assert!(mean(&high_quality) < mean(&low_quality));
     }
 

@@ -57,7 +57,10 @@ impl fmt::Display for StatsError {
                 write!(f, "need at least {required} data points, got {actual}")
             }
             StatsError::LengthMismatch { left, right } => {
-                write!(f, "paired slices have mismatched lengths {left} and {right}")
+                write!(
+                    f,
+                    "paired slices have mismatched lengths {left} and {right}"
+                )
             }
         }
     }

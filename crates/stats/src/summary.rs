@@ -195,11 +195,7 @@ impl FromIterator<f64> for RunningStats {
 /// ```
 pub fn mae(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
     paired(a, b)?;
-    Ok(a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
-        / a.len() as f64)
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64)
 }
 
 /// Root mean squared error between two paired slices.
@@ -210,12 +206,7 @@ pub fn mae(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
 /// [`StatsError::NotEnoughData`] if they are empty.
 pub fn rmse(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
     paired(a, b)?;
-    let mse = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        / a.len() as f64;
+    let mse = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64;
     Ok(mse.sqrt())
 }
 
@@ -334,8 +325,8 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
         let r: RunningStats = xs.iter().copied().collect();
         let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let naive_var = xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>()
-            / (xs.len() - 1) as f64;
+        let naive_var =
+            xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((r.mean() - naive_mean).abs() < 1e-12);
         assert!((r.sample_variance() - naive_var).abs() < 1e-10);
     }

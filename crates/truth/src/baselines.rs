@@ -104,9 +104,8 @@ mod tests {
 
     #[test]
     fn sparse_mean_uses_observed_only() {
-        let m =
-            ObservationMatrix::from_sparse_rows(2, &[vec![(0, 2.0)], vec![(0, 4.0), (1, 8.0)]])
-                .unwrap();
+        let m = ObservationMatrix::from_sparse_rows(2, &[vec![(0, 2.0)], vec![(0, 4.0), (1, 8.0)]])
+            .unwrap();
         let out = MeanAggregator::new().discover(&m).unwrap();
         assert_eq!(out.truths, vec![3.0, 8.0]);
     }

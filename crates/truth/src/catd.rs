@@ -210,7 +210,14 @@ mod tests {
         let data = ObservationMatrix::from_sparse_rows(
             6,
             &[
-                vec![(0, 1.01), (1, 2.01), (2, 2.99), (3, 4.01), (4, 4.99), (5, 6.01)],
+                vec![
+                    (0, 1.01),
+                    (1, 2.01),
+                    (2, 2.99),
+                    (3, 4.01),
+                    (4, 4.99),
+                    (5, 6.01),
+                ],
                 vec![(0, 1.01)],
                 // Anchors so every object stays covered.
                 vec![(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), (4, 5.0), (5, 6.0)],
@@ -248,7 +255,12 @@ mod tests {
         let noise = Normal::new(0.0, 1.0).unwrap();
         let truths: Vec<f64> = (0..15).map(|n| n as f64).collect();
         let rows: Vec<Vec<f64>> = (0..40)
-            .map(|_| truths.iter().map(|t| t + 0.1 * noise.sample(&mut rng)).collect())
+            .map(|_| {
+                truths
+                    .iter()
+                    .map(|t| t + 0.1 * noise.sample(&mut rng))
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let data = ObservationMatrix::from_dense(&refs).unwrap();

@@ -55,7 +55,12 @@ impl CategoricalMatrix {
     /// # Panics
     ///
     /// Panics if `user` is out of range.
-    pub fn insert(&mut self, user: usize, object: usize, category: usize) -> Result<(), TruthError> {
+    pub fn insert(
+        &mut self,
+        user: usize,
+        object: usize,
+        category: usize,
+    ) -> Result<(), TruthError> {
         assert!(user < self.num_users, "user index {user} out of range");
         if object >= self.num_objects {
             return Err(TruthError::ObjectOutOfRange {
@@ -104,9 +109,8 @@ impl CategoricalMatrix {
 
     /// Iterate `(user, category)` claims on one object.
     fn claims_on(&self, object: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.num_users).filter_map(move |s| {
-            self.cells[s * self.num_objects + object].map(|c| (s, c as usize))
-        })
+        (0..self.num_users)
+            .filter_map(move |s| self.cells[s * self.num_objects + object].map(|c| (s, c as usize)))
     }
 
     /// Check every object has at least one claim.

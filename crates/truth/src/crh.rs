@@ -314,8 +314,8 @@ mod tests {
         let data = ObservationMatrix::from_dense(&refs).unwrap();
 
         let crh = Crh::default().discover(&data).unwrap();
-        let mean_est: f64 = data.observations_of_object(0).map(|(_, v)| v).sum::<f64>()
-            / data.num_users() as f64;
+        let mean_est: f64 =
+            data.observations_of_object(0).map(|(_, v)| v).sum::<f64>() / data.num_users() as f64;
         let crh_err = (crh.truths[0] - truth).abs();
         let mean_err = (mean_est - truth).abs();
         assert!(
@@ -349,14 +349,9 @@ mod tests {
     fn weighted_median_resists_extreme_outlier() {
         // One absurd claim among five: the median variant must ignore it
         // entirely while the mean variant shifts.
-        let data = ObservationMatrix::from_dense(&[
-            &[10.0][..],
-            &[10.1],
-            &[9.9],
-            &[10.05],
-            &[1000.0],
-        ])
-        .unwrap();
+        let data =
+            ObservationMatrix::from_dense(&[&[10.0][..], &[10.1], &[9.9], &[10.05], &[1000.0]])
+                .unwrap();
         let mean_crh = Crh::default();
         let median_crh = Crh::with_aggregation(
             Loss::NormalizedSquared,
@@ -381,16 +376,14 @@ mod tests {
     fn weighted_median_reduces_to_plain_median_under_uniform_weights() {
         let data =
             ObservationMatrix::from_dense(&[&[1.0][..], &[2.0], &[3.0], &[4.0], &[5.0]]).unwrap();
-        let truths =
-            Crh::aggregate_with(&data, &[1.0; 5], Aggregation::WeightedMedian).unwrap();
+        let truths = Crh::aggregate_with(&data, &[1.0; 5], Aggregation::WeightedMedian).unwrap();
         assert_eq!(truths, vec![3.0]);
     }
 
     #[test]
     fn weighted_median_follows_the_weight_mass() {
         // Weight concentrated on the largest claim pulls the median there.
-        let data =
-            ObservationMatrix::from_dense(&[&[1.0][..], &[2.0], &[3.0]]).unwrap();
+        let data = ObservationMatrix::from_dense(&[&[1.0][..], &[2.0], &[3.0]]).unwrap();
         let truths =
             Crh::aggregate_with(&data, &[0.1, 0.1, 10.0], Aggregation::WeightedMedian).unwrap();
         assert_eq!(truths, vec![3.0]);

@@ -12,6 +12,14 @@ pub enum TruthError {
         /// Declared number of objects.
         num_objects: usize,
     },
+    /// A user index was outside the fixed population (sharded streaming
+    /// ingestion over a known population size).
+    UserOutOfRange {
+        /// The offending user index.
+        user: usize,
+        /// Declared population size.
+        num_users: usize,
+    },
     /// An object has no observations from any user, so no truth can be
     /// estimated for it.
     UnobservedObject {
@@ -60,6 +68,10 @@ impl fmt::Display for TruthError {
             } => write!(
                 f,
                 "object index {object} out of range for {num_objects} objects"
+            ),
+            TruthError::UserOutOfRange { user, num_users } => write!(
+                f,
+                "user index {user} out of range for a population of {num_users} users"
             ),
             TruthError::UnobservedObject { object } => {
                 write!(f, "object {object} has no observations")

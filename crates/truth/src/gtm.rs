@@ -150,8 +150,7 @@ impl TruthDiscoverer for Gtm {
                     sq_loss += d * d;
                     count += 1;
                 }
-                *variance =
-                    (2.0 * self.beta + sq_loss) / (2.0 * (self.alpha + 1.0) + count as f64);
+                *variance = (2.0 * self.beta + sq_loss) / (2.0 * (self.alpha + 1.0) + count as f64);
                 if !variance.is_finite() || *variance <= 0.0 {
                     return Err(TruthError::Degenerate {
                         reason: "GTM user variance left the positive reals",
@@ -238,11 +237,7 @@ mod tests {
     fn sparse_coverage_works() {
         let data = ObservationMatrix::from_sparse_rows(
             2,
-            &[
-                vec![(0, 4.0)],
-                vec![(0, 4.2), (1, 9.0)],
-                vec![(1, 9.1)],
-            ],
+            &[vec![(0, 4.0)], vec![(0, 4.2), (1, 9.0)], vec![(1, 9.1)]],
         )
         .unwrap();
         let out = Gtm::default().discover(&data).unwrap();

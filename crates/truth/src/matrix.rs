@@ -189,9 +189,8 @@ impl ObservationMatrix {
             object < self.num_objects,
             "object index {object} out of range"
         );
-        (0..self.num_users).filter_map(move |s| {
-            self.cells[s * self.num_objects + object].map(|v| (s, v))
-        })
+        (0..self.num_users)
+            .filter_map(move |s| self.cells[s * self.num_objects + object].map(|v| (s, v)))
     }
 
     /// Check that every object has at least one observation — the minimum
@@ -329,9 +328,8 @@ mod tests {
 
     #[test]
     fn sparse_rows_roundtrip() {
-        let m =
-            ObservationMatrix::from_sparse_rows(3, &[vec![(0, 1.0), (2, 3.0)], vec![(1, 2.0)]])
-                .unwrap();
+        let m = ObservationMatrix::from_sparse_rows(3, &[vec![(0, 1.0), (2, 3.0)], vec![(1, 2.0)]])
+            .unwrap();
         assert_eq!(m.value(0, 0), Some(1.0));
         assert_eq!(m.value(0, 1), None);
         assert_eq!(m.value(1, 1), Some(2.0));

@@ -13,7 +13,7 @@
 
 use crate::loss::Loss;
 use crate::matrix::ObservationMatrix;
-use crate::{TruthError};
+use crate::TruthError;
 
 /// Streaming CRH-style truth discovery.
 ///
@@ -79,6 +79,73 @@ impl StreamingCrh {
         self.batches_seen
     }
 
+    /// The loss function in use.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// The population size this aggregator was created for.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Per-user cumulative losses accumulated so far.
+    pub fn cumulative_losses(&self) -> &[f64] {
+        &self.cumulative_loss
+    }
+
+    /// Ingest one epoch that was collected **sharded**: each
+    /// [`ShardClaims`] holds the claims of a disjoint subset of users.
+    ///
+    /// The shards are merged into one canonical batch — users in ascending
+    /// id, regardless of which shard owned them or in which order the
+    /// shards are passed — and that batch goes through the exact code path
+    /// of [`StreamingCrh::ingest`]. The result is therefore **bit
+    /// identical** to the single-shard reference for any shard count: this
+    /// is the cross-shard weight-merge step of the `dptd-engine`
+    /// aggregation engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::UserOutOfRange`] if a shard claims a user
+    /// outside the population, [`TruthError::DuplicateObservation`] if two
+    /// shards (or two claims) cover the same cell, plus everything
+    /// [`StreamingCrh::ingest`] can return.
+    pub fn ingest_sharded(
+        &mut self,
+        num_objects: usize,
+        shards: Vec<ShardClaims>,
+    ) -> Result<Vec<f64>, TruthError> {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.num_users];
+        // Occupancy is tracked separately from the rows: a user with an
+        // empty claim list still occupies its slot, so overlapping shards
+        // are rejected even when the first entry carried no claims. The
+        // shards are consumed, so claim vectors move into the canonical
+        // batch without copying — this runs on the engine's per-epoch
+        // merge hot path.
+        let mut seen = vec![false; self.num_users];
+        for shard in shards {
+            for (user, claims) in shard.claims {
+                if user >= self.num_users {
+                    return Err(TruthError::UserOutOfRange {
+                        user,
+                        num_users: self.num_users,
+                    });
+                }
+                if seen[user] {
+                    return Err(TruthError::DuplicateObservation {
+                        user,
+                        object: claims.first().map(|&(n, _)| n).unwrap_or(0),
+                    });
+                }
+                seen[user] = true;
+                rows[user] = claims;
+            }
+        }
+        let batch = ObservationMatrix::from_sparse_rows(num_objects, &rows)?;
+        self.ingest(&batch)
+    }
+
     /// Ingest one batch of new objects and return their estimated truths.
     ///
     /// The batch matrix must have exactly the population's user count; its
@@ -115,6 +182,42 @@ impl StreamingCrh {
         self.weights = share_weights(&self.cumulative_loss);
         self.batches_seen += 1;
         Ok(truths)
+    }
+}
+
+/// The claims one shard collected for one epoch: `(user, sorted claims)`
+/// for a disjoint subset of the population. Produced by the `dptd-engine`
+/// shards and consumed by [`StreamingCrh::ingest_sharded`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardClaims {
+    claims: Vec<(usize, Vec<(usize, f64)>)>,
+}
+
+impl ShardClaims {
+    /// An empty claim set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `claims` (`(object, value)` pairs) for `user`. Each user must
+    /// be pushed at most once per epoch (shards de-duplicate upstream).
+    pub fn push(&mut self, user: usize, claims: Vec<(usize, f64)>) {
+        self.claims.push((user, claims));
+    }
+
+    /// Number of users with recorded claims.
+    pub fn num_users(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Total number of `(object, value)` claims across users.
+    pub fn num_claims(&self) -> usize {
+        self.claims.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    /// Whether no user has recorded claims.
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
     }
 }
 
@@ -195,7 +298,8 @@ mod tests {
                 vec![truth + 3.0],
             ];
             let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-            s.ingest(&ObservationMatrix::from_dense(&refs).unwrap()).unwrap();
+            s.ingest(&ObservationMatrix::from_dense(&refs).unwrap())
+                .unwrap();
             let w = s.weights();
             let share = w[2] / (w[0] + w[1] + w[2]);
             if batch_idx == 0 {
@@ -211,6 +315,77 @@ mod tests {
     }
 
     #[test]
+    fn sharded_ingest_is_bit_identical_to_single_matrix() {
+        // 7 users, 3 objects, two epochs; users sharded 3 ways by id % 3.
+        let mut rng = dptd_stats::seeded_rng(139);
+        let noise = Normal::new(0.0, 0.3).unwrap();
+        let mut reference = StreamingCrh::new(7, Loss::Squared).unwrap();
+        let mut sharded = StreamingCrh::new(7, Loss::Squared).unwrap();
+        for epoch in 0..2 {
+            let rows: Vec<Vec<f64>> = (0..7)
+                .map(|_| {
+                    (0..3)
+                        .map(|n| (epoch * 3 + n) as f64 + noise.sample(&mut rng))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let batch = ObservationMatrix::from_dense(&refs).unwrap();
+
+            let mut shards = vec![ShardClaims::new(); 3];
+            // Deliberately push users in a scrambled order within shards.
+            for &user in &[6usize, 0, 4, 2, 5, 1, 3] {
+                shards[user % 3].push(user, batch.observations_of_user(user).collect());
+            }
+
+            let a = reference.ingest(&batch).unwrap();
+            let b = sharded.ingest_sharded(3, shards).unwrap();
+            assert_eq!(a, b, "epoch {epoch}: sharded truths diverged");
+            assert_eq!(reference.weights(), sharded.weights());
+            assert_eq!(reference.cumulative_losses(), sharded.cumulative_losses());
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_rejects_cross_shard_duplicates() {
+        let mut s = StreamingCrh::new(2, Loss::Squared).unwrap();
+        let mut a = ShardClaims::new();
+        a.push(0, vec![(0, 1.0)]);
+        let mut b = ShardClaims::new();
+        b.push(0, vec![(0, 2.0)]);
+        b.push(1, vec![(0, 1.5)]);
+        assert!(matches!(
+            s.ingest_sharded(1, vec![a, b]),
+            Err(TruthError::DuplicateObservation { user: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_ingest_rejects_duplicates_even_with_empty_claim_lists() {
+        // An empty claim list still occupies the user's slot: a second
+        // shard claiming the same user must be rejected, not silently
+        // overwrite.
+        let mut s = StreamingCrh::new(2, Loss::Squared).unwrap();
+        let mut a = ShardClaims::new();
+        a.push(0, vec![]);
+        let mut b = ShardClaims::new();
+        b.push(0, vec![(0, 2.0)]);
+        b.push(1, vec![(0, 1.5)]);
+        assert!(matches!(
+            s.ingest_sharded(1, vec![a, b]),
+            Err(TruthError::DuplicateObservation { user: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_ingest_rejects_out_of_population_user() {
+        let mut s = StreamingCrh::new(2, Loss::Squared).unwrap();
+        let mut a = ShardClaims::new();
+        a.push(5, vec![(0, 1.0)]);
+        assert!(s.ingest_sharded(1, vec![a]).is_err());
+    }
+
+    #[test]
     fn streaming_tracks_batch_truths() {
         let mut s = StreamingCrh::new(4, Loss::Squared).unwrap();
         let mut rng = dptd_stats::seeded_rng(137);
@@ -221,7 +396,9 @@ mod tests {
                 .map(|_| truths.iter().map(|t| t + noise.sample(&mut rng)).collect())
                 .collect();
             let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-            let est = s.ingest(&ObservationMatrix::from_dense(&refs).unwrap()).unwrap();
+            let est = s
+                .ingest(&ObservationMatrix::from_dense(&refs).unwrap())
+                .unwrap();
             let err = dptd_stats::summary::mae(&est, &truths).unwrap();
             assert!(err < 0.1, "wave {wave} err {err}");
         }

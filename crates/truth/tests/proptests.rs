@@ -9,11 +9,10 @@ use proptest::prelude::*;
 /// Strategy: a dense matrix of S users × N objects with values in a box.
 fn dense_matrix() -> impl Strategy<Value = ObservationMatrix> {
     (2usize..8, 1usize..6).prop_flat_map(|(s, n)| {
-        prop::collection::vec(prop::collection::vec(-100.0..100.0f64, n), s)
-            .prop_map(move |rows| {
-                let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-                ObservationMatrix::from_dense(&refs).expect("valid dims")
-            })
+        prop::collection::vec(prop::collection::vec(-100.0..100.0f64, n), s).prop_map(move |rows| {
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            ObservationMatrix::from_dense(&refs).expect("valid dims")
+        })
     })
 }
 

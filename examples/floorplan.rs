@@ -25,9 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = pipeline.run(&dataset.observations, &mut rng)?;
     let metrics = RunMetrics::from_run(&run, Some(&dataset.ground_truths))?;
 
-    println!("mean |noise| injected      : {:.3} m", metrics.mean_abs_noise);
-    println!("reconstruction MAE (clean) : {:.3} m", metrics.truth_mae_unperturbed.unwrap());
-    println!("reconstruction MAE (priv)  : {:.3} m", metrics.truth_mae_perturbed.unwrap());
+    println!(
+        "mean |noise| injected      : {:.3} m",
+        metrics.mean_abs_noise
+    );
+    println!(
+        "reconstruction MAE (clean) : {:.3} m",
+        metrics.truth_mae_unperturbed.unwrap()
+    );
+    println!(
+        "reconstruction MAE (priv)  : {:.3} m",
+        metrics.truth_mae_perturbed.unwrap()
+    );
     println!("aggregate shift (utility)  : {:.3} m", metrics.utility_mae);
 
     // Fig. 7: true vs estimated weights for 7 sample users.

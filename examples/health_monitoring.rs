@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         window.is_feasible()
     );
     let lambda2 = tradeoff::choose_lambda2(alpha, beta, cfg.num_users, &requirement)?;
-    println!("chosen hyper-parameter λ₂ = {lambda2:.4} (E[noise var] = {:.3})\n", 1.0 / lambda2);
+    println!(
+        "chosen hyper-parameter λ₂ = {lambda2:.4} (E[noise var] = {:.3})\n",
+        1.0 / lambda2
+    );
 
     // Run the paper's mechanism at the chosen operating point.
     let pipeline = PrivatePipeline::new(Crh::default(), lambda2)?;

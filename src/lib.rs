@@ -19,6 +19,7 @@
 //! | [`sensing`] | synthetic + indoor-floor-plan simulators, adversaries |
 //! | [`core`] | the paper's mechanism (Algorithm 2) + Theorems 4.3/4.8/4.9 |
 //! | [`protocol`] | discrete-event and threaded crowd-sensing runtimes |
+//! | [`engine`] | sharded streaming aggregation engine for million-user rounds |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@
 #![deny(missing_docs)]
 
 pub use dptd_core as core;
+pub use dptd_engine as engine;
 pub use dptd_ldp as ldp;
 pub use dptd_protocol as protocol;
 pub use dptd_sensing as sensing;
@@ -62,6 +64,9 @@ pub mod prelude {
     pub use dptd_core::roles::{HyperParameter, PerturbedReport, Server, User};
     pub use dptd_core::theory;
     pub use dptd_core::CoreError;
+    pub use dptd_engine::{
+        ArrivalProcess, Engine, EngineConfig, EngineMetrics, LoadGen, LoadGenConfig,
+    };
     pub use dptd_ldp::{
         FixedGaussianMechanism, LaplaceMechanism, Mechanism, PrivacyLoss,
         RandomizedVarianceGaussian, SensitivityBound,

@@ -56,7 +56,10 @@ fn weighted_vote_survives_liars_under_randomized_response() {
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = sorted[sorted.len() / 2];
     let liars_below = (0..12).filter(|&s| weighted.weights[s] < median).count();
-    assert!(liars_below >= 10, "only {liars_below}/12 liars below median weight");
+    assert!(
+        liars_below >= 10,
+        "only {liars_below}/12 liars below median weight"
+    );
 }
 
 #[test]

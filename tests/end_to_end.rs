@@ -50,11 +50,7 @@ fn mechanism_is_algorithm_agnostic() {
     .generate(&mut rng)
     .unwrap();
 
-    fn run_with<A: TruthDiscoverer + Copy>(
-        a: A,
-        data: &ObservationMatrix,
-        seed: u64,
-    ) -> f64 {
+    fn run_with<A: TruthDiscoverer + Copy>(a: A, data: &ObservationMatrix, seed: u64) -> f64 {
         let pipeline = PrivatePipeline::new(a, 2.0).unwrap();
         let mut rng = dptd::seeded_rng(seed);
         pipeline.run(data, &mut rng).unwrap().utility_mae().unwrap()
@@ -64,7 +60,12 @@ fn mechanism_is_algorithm_agnostic() {
     let gtm = run_with(Gtm::default(), &dataset.observations, 77);
     let mean = run_with(MeanAggregator::new(), &dataset.observations, 77);
     let median = run_with(MedianAggregator::new(), &dataset.observations, 77);
-    for (name, mae) in [("crh", crh), ("gtm", gtm), ("mean", mean), ("median", median)] {
+    for (name, mae) in [
+        ("crh", crh),
+        ("gtm", gtm),
+        ("mean", mean),
+        ("median", median),
+    ] {
         assert!(mae.is_finite() && mae < 1.0, "{name} MAE {mae}");
     }
 }

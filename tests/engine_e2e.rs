@@ -1,0 +1,88 @@
+//! End-to-end: the sharded streaming engine through the umbrella crate's
+//! public API, cross-checked against the single-shard streaming reference.
+
+use dptd::engine::{ArrivalProcess, Engine, EngineConfig, LoadGen, LoadGenConfig};
+use dptd::truth::streaming::StreamingCrh;
+use dptd::truth::Loss;
+
+#[test]
+fn engine_round_trip_matches_streaming_reference() {
+    let users = 300;
+    let objects = 6;
+    let epochs = 4;
+    let load = LoadGen::new(LoadGenConfig {
+        num_users: users,
+        num_objects: objects,
+        epochs,
+        duplicate_probability: 0.05,
+        straggler_fraction: 0.05,
+        arrival: ArrivalProcess::Bursty {
+            burst_size: 32,
+            idle_gap_us: 20_000,
+        },
+        seed: 99,
+        ..LoadGenConfig::default()
+    })
+    .unwrap();
+
+    let engine = Engine::new(EngineConfig {
+        num_users: users,
+        num_objects: objects,
+        num_shards: 8,
+        queue_capacity: 128,
+        epoch_deadline_us: load.config().epoch_len_us,
+        ..EngineConfig::default()
+    })
+    .unwrap();
+    let report = engine.run(load.stream()).unwrap();
+    assert_eq!(report.epochs.len() as u64, epochs);
+
+    let mut reference = StreamingCrh::new(users, Loss::Squared).unwrap();
+    for (e, outcome) in report.epochs.iter().enumerate() {
+        let truths = reference
+            .ingest(&load.epoch_matrix(e as u64).unwrap())
+            .unwrap();
+        assert_eq!(outcome.truths, truths, "epoch {e} diverged");
+    }
+    assert_eq!(report.final_weights, reference.weights());
+
+    // The engine's estimates track the known ground truths.
+    for outcome in &report.epochs {
+        let mae =
+            dptd::stats::summary::mae(&outcome.truths, &load.ground_truths(outcome.epoch)).unwrap();
+        assert!(mae < 1.0, "epoch {}: truth MAE {mae}", outcome.epoch);
+    }
+}
+
+#[test]
+fn engine_surfaces_ingest_metrics() {
+    let load = LoadGen::new(LoadGenConfig {
+        num_users: 200,
+        num_objects: 4,
+        epochs: 2,
+        duplicate_probability: 0.2,
+        straggler_fraction: 0.2,
+        ..LoadGenConfig::default()
+    })
+    .unwrap();
+    let engine = Engine::new(EngineConfig {
+        num_users: 200,
+        num_objects: 4,
+        num_shards: 4,
+        queue_capacity: 16, // tiny queues: force backpressure accounting
+        epoch_deadline_us: load.config().epoch_len_us,
+        ..EngineConfig::default()
+    })
+    .unwrap();
+    let report = engine.run(load.stream()).unwrap();
+    let m = &report.metrics;
+    assert!(m.duplicates_discarded > 0, "{m:?}");
+    assert!(m.late_dropped > 0, "{m:?}");
+    assert_eq!(
+        m.reports_submitted,
+        m.reports_accepted + m.duplicates_discarded + m.late_dropped + m.out_of_order_dropped
+    );
+    assert!(m.ingest_latency.p99() >= m.ingest_latency.p50());
+    assert!(m.throughput_rps() > 0.0);
+    assert!(m.max_queue_depth <= 16);
+}

@@ -36,9 +36,14 @@ fn mean_metrics<A: TruthDiscoverer + Copy>(
 #[test]
 fn fig2_shape_mae_and_noise_fall_with_epsilon() {
     let cfg = SyntheticConfig::default();
-    let (mae_tight, noise_tight) = mean_metrics(Crh::default(), &cfg, lambda2_for(0.25, 0.3, 2.0), 5);
-    let (mae_loose, noise_loose) = mean_metrics(Crh::default(), &cfg, lambda2_for(3.0, 0.3, 2.0), 5);
-    assert!(noise_tight > noise_loose, "noise: {noise_tight} vs {noise_loose}");
+    let (mae_tight, noise_tight) =
+        mean_metrics(Crh::default(), &cfg, lambda2_for(0.25, 0.3, 2.0), 5);
+    let (mae_loose, noise_loose) =
+        mean_metrics(Crh::default(), &cfg, lambda2_for(3.0, 0.3, 2.0), 5);
+    assert!(
+        noise_tight > noise_loose,
+        "noise: {noise_tight} vs {noise_loose}"
+    );
     assert!(mae_tight > mae_loose, "mae: {mae_tight} vs {mae_loose}");
     // The headline: noise ≈ 1 causes utility loss well under 0.1·noise… the
     // paper states "less than 0.1 (only 1/10 of the noise)" at noise ≈ 1.
@@ -59,11 +64,17 @@ fn fig2_shape_smaller_delta_needs_more_noise() {
 #[test]
 fn fig3_shape_better_quality_less_noise_and_mae() {
     let (mae_low, noise_low) = {
-        let cfg = SyntheticConfig { lambda1: 0.5, ..Default::default() };
+        let cfg = SyntheticConfig {
+            lambda1: 0.5,
+            ..Default::default()
+        };
         mean_metrics(Crh::default(), &cfg, lambda2_for(1.0, 0.3, 0.5), 5)
     };
     let (mae_high, noise_high) = {
-        let cfg = SyntheticConfig { lambda1: 8.0, ..Default::default() };
+        let cfg = SyntheticConfig {
+            lambda1: 8.0,
+            ..Default::default()
+        };
         mean_metrics(Crh::default(), &cfg, lambda2_for(1.0, 0.3, 8.0), 5)
     };
     assert!(noise_high < noise_low);
@@ -74,11 +85,17 @@ fn fig3_shape_better_quality_less_noise_and_mae() {
 fn fig4_shape_more_users_less_mae_same_noise() {
     let lambda2 = lambda2_for(1.0, 0.3, 2.0);
     let (mae_small, noise_small) = {
-        let cfg = SyntheticConfig { num_users: 100, ..Default::default() };
+        let cfg = SyntheticConfig {
+            num_users: 100,
+            ..Default::default()
+        };
         mean_metrics(Crh::default(), &cfg, lambda2, 6)
     };
     let (mae_big, noise_big) = {
-        let cfg = SyntheticConfig { num_users: 600, ..Default::default() };
+        let cfg = SyntheticConfig {
+            num_users: 600,
+            ..Default::default()
+        };
         mean_metrics(Crh::default(), &cfg, lambda2, 6)
     };
     assert!(mae_big < mae_small, "mae: {mae_big} vs {mae_small}");
@@ -93,7 +110,8 @@ fn fig4_shape_more_users_less_mae_same_noise() {
 fn fig5_shape_holds_for_gtm_too() {
     let cfg = SyntheticConfig::default();
     let (mae_tight, _) = mean_metrics(Gtm::default(), &cfg, lambda2_for(0.25, 0.3, 2.0), 5);
-    let (mae_loose, noise_loose) = mean_metrics(Gtm::default(), &cfg, lambda2_for(3.0, 0.3, 2.0), 5);
+    let (mae_loose, noise_loose) =
+        mean_metrics(Gtm::default(), &cfg, lambda2_for(3.0, 0.3, 2.0), 5);
     assert!(mae_tight > mae_loose);
     assert!(mae_loose < noise_loose / 5.0);
 }

@@ -143,7 +143,9 @@ fn round_with_everything_hostile_still_completes() {
         duplicate_probability: 0.1,
     };
     let mut rng = dptd::seeded_rng(2600);
-    let out = harness.run_round(&ds.observations, &round, &mut rng).unwrap();
+    let out = harness
+        .run_round(&ds.observations, &round, &mut rng)
+        .unwrap();
     assert!(out.participants.len() >= 100);
     assert!(ds.mae_to_truth(&out.truths) < 0.5);
 }
