@@ -1,0 +1,123 @@
+//! Throughput bench for multi-round campaigns through the streaming
+//! engine.
+//!
+//! The headline configuration drives a 50 000-user population through 5
+//! campaign rounds (churn, duplicates and stragglers enabled) with
+//! per-user privacy budget accounting on every round, and prints the
+//! engine's accumulated metrics alongside the criterion timing. A second
+//! group compares the `sim` and `engine` backends on the same fixed
+//! mid-size load.
+//!
+//! Setting `DPTD_BENCH_SMOKE=1` shrinks the population so CI can execute
+//! the full bench binary as a regression smoke test for the multi-round
+//! path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dptd_engine::{Engine, EngineBackend, EngineConfig, LoadGen, LoadGenConfig};
+use dptd_ldp::PrivacyLoss;
+use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend, SimBackend};
+use dptd_truth::Loss;
+
+fn smoke() -> bool {
+    std::env::var_os("DPTD_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn load(num_users: usize, rounds: u64, seed: u64) -> LoadGen {
+    LoadGen::new(LoadGenConfig {
+        num_users,
+        num_objects: 8,
+        epochs: rounds,
+        duplicate_probability: 0.01,
+        straggler_fraction: 0.01,
+        churn: 0.1,
+        seed,
+        ..LoadGenConfig::default()
+    })
+    .expect("valid load config")
+}
+
+fn campaign_config(rounds_affordable: f64) -> CampaignConfig {
+    // Budget sized so refusal stays off the hot path unless requested.
+    CampaignConfig {
+        num_objects: 8,
+        deadline_us: 1_000_000,
+        per_round_loss: PrivacyLoss::new(0.5, 0.01).expect("valid loss"),
+        budget: PrivacyLoss::new(0.5 * rounds_affordable, 0.01 * rounds_affordable)
+            .expect("valid budget"),
+    }
+}
+
+fn engine_backend(num_users: usize, shards: usize) -> EngineBackend {
+    let engine = Engine::new(EngineConfig {
+        num_users,
+        num_objects: 8,
+        num_shards: shards,
+        workers: 0,
+        queue_capacity: 8_192,
+        epoch_deadline_us: 1_000_000,
+        loss: Loss::Squared,
+    })
+    .expect("valid engine config");
+    EngineBackend::new(engine).expect("valid backend")
+}
+
+fn run_campaign<B: RoundBackend>(backend: B, gen: &LoadGen) -> CampaignDriver<B> {
+    let mut driver =
+        CampaignDriver::new(backend, campaign_config(16.0)).expect("valid campaign config");
+    for epoch in 0..gen.config().epochs {
+        driver
+            .run_round(epoch, gen.epoch_reports(epoch))
+            .expect("round succeeds");
+    }
+    driver
+}
+
+/// The headline run: a large population over 5 budget-accounted rounds.
+fn bench_campaign_rounds(c: &mut Criterion) {
+    let (users, rounds) = if smoke() { (400, 2) } else { (50_000, 5) };
+    let gen = load(users, rounds, 7);
+
+    // One instrumented run up front so the accumulated engine metrics are
+    // visible regardless of how many timing iterations follow.
+    let driver = run_campaign(engine_backend(users, 16), &gen);
+    let backend = driver.into_backend();
+    println!(
+        "\ncampaign_throughput: {} rounds, {} reports in {:.2} s\n{}\n",
+        backend.rounds(),
+        backend.metrics().reports_submitted,
+        backend.metrics().elapsed.as_secs_f64(),
+        backend.metrics().render()
+    );
+
+    let mut group = c.benchmark_group("campaign_rounds");
+    group.bench_function("engine_backend", |b| {
+        b.iter(|| run_campaign(engine_backend(users, 16), &gen))
+    });
+    group.finish();
+}
+
+/// Backend comparison on one fixed mid-size load.
+fn bench_backend_comparison(c: &mut Criterion) {
+    let (users, rounds) = if smoke() { (300, 2) } else { (10_000, 4) };
+    let gen = load(users, rounds, 11);
+
+    let mut group = c.benchmark_group("campaign_backends");
+    group.bench_function("sim", |b| {
+        b.iter(|| {
+            run_campaign(
+                SimBackend::new(users, Loss::Squared).expect("valid backend"),
+                &gen,
+            )
+        })
+    });
+    for shards in [4usize, 16] {
+        group.bench_function(format!("engine/{shards}_shards"), |b| {
+            b.iter(|| run_campaign(engine_backend(users, shards), &gen))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_rounds, bench_backend_comparison);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! `dptd campaign` — run a multi-round campaign with per-user privacy
+//! budgets through a selectable round backend.
+//!
+//! `--backend sim` executes rounds on the in-process reference
+//! ([`SimBackend`]); `--backend engine` routes each round through the
+//! sharded streaming engine ([`EngineBackend`]). Both consume the same
+//! deterministic multi-round load, so for a fixed seed the two backends
+//! print identical truths, weights and acceptance counts — the trailing
+//! `weights digest` line makes the bit-level equivalence easy to diff
+//! from the shell.
+
+use std::fmt::Write as _;
+
+use dptd_engine::{Engine, EngineBackend, EngineConfig, LoadGen, LoadGenConfig};
+use dptd_ldp::PrivacyLoss;
+use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend, SimBackend};
+use dptd_stats::summary::mae;
+use dptd_truth::Loss;
+
+use crate::args::ArgMap;
+use crate::CliError;
+
+/// Execute `dptd campaign`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for an unknown backend or invalid sizing,
+/// and propagates protocol/engine failures (including the round where so
+/// many budgets are exhausted that coverage collapses).
+pub fn execute(args: &ArgMap) -> Result<String, CliError> {
+    let (lambda2, lambda2_desc) = super::resolve_lambda2(args)?;
+
+    let load_cfg = LoadGenConfig {
+        num_users: args.usize_or("users", 5_000)?,
+        num_objects: args.usize_or("objects", 8)?,
+        epochs: args.u64_or("rounds", 5)?,
+        lambda2,
+        coverage: args.f64_or("coverage", 1.0)?,
+        duplicate_probability: args.f64_or("dup", 0.01)?,
+        straggler_fraction: args.f64_or("straggler", 0.01)?,
+        churn: args.f64_or("churn", 0.1)?,
+        seed: args.u64_or("seed", 42)?,
+        ..LoadGenConfig::default()
+    };
+    let load = LoadGen::new(load_cfg).map_err(box_err)?;
+
+    let per_round_loss = PrivacyLoss::new(
+        args.f64_or("round-epsilon", 0.5)?,
+        args.f64_or("round-delta", 0.02)?,
+    )?;
+    let budget = PrivacyLoss::new(
+        args.f64_or("budget-epsilon", 5.0)?,
+        args.f64_or("budget-delta", 0.2)?,
+    )?;
+    let campaign_cfg = CampaignConfig {
+        num_objects: load_cfg.num_objects,
+        deadline_us: load_cfg.epoch_len_us,
+        per_round_loss,
+        budget,
+    };
+
+    let backend_name = args.str_or("backend", "engine");
+    match backend_name {
+        "sim" => {
+            let backend = SimBackend::new(load_cfg.num_users, Loss::Squared).map_err(box_err)?;
+            let (out, _) = drive(backend, &load, campaign_cfg, &lambda2_desc)?;
+            Ok(out)
+        }
+        "engine" => {
+            let engine = Engine::new(EngineConfig {
+                num_users: load_cfg.num_users,
+                num_objects: load_cfg.num_objects,
+                num_shards: args.usize_or("shards", 8)?,
+                workers: args.usize_or("workers", 0)?,
+                queue_capacity: args.usize_or("queue-capacity", 4_096)?,
+                epoch_deadline_us: load_cfg.epoch_len_us,
+                loss: Loss::Squared,
+            })
+            .map_err(box_err)?;
+            let backend = EngineBackend::new(engine).map_err(box_err)?;
+            let (mut out, backend) = drive(backend, &load, campaign_cfg, &lambda2_desc)?;
+            let _ = writeln!(out, "\n{}", backend.metrics().render());
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown backend `{other}` (expected sim | engine)"
+        ))),
+    }
+}
+
+/// Run every round of `load` through `backend` and render the report.
+fn drive<B: RoundBackend>(
+    backend: B,
+    load: &LoadGen,
+    config: CampaignConfig,
+    lambda2_desc: &str,
+) -> Result<(String, B), CliError> {
+    let name = backend.name();
+    let mut driver = CampaignDriver::new(backend, config).map_err(box_err)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# dptd campaign — multi-round, `{name}` backend\n");
+    let _ = writeln!(out, "{lambda2_desc}");
+    let _ = writeln!(
+        out,
+        "population {} users × {} objects × {} rounds; per-round (ε, δ) = ({}, {}), budget = ({}, {}) → {} affordable rounds per user\n",
+        load.config().num_users,
+        load.config().num_objects,
+        load.config().epochs,
+        config.per_round_loss.epsilon(),
+        config.per_round_loss.delta(),
+        config.budget.epsilon(),
+        config.budget.delta(),
+        driver.accountant().affordable_rounds(),
+    );
+
+    let _ = writeln!(
+        out,
+        "| round | accepted | refused | dup | late | truth MAE | max ε spent |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|");
+    let mut last_weights: Vec<f64> = Vec::new();
+    for epoch in 0..load.config().epochs {
+        let round = driver
+            .run_round(epoch, load.epoch_reports(epoch))
+            .map_err(box_err)?;
+        let truth_mae = mae(&round.truths, &load.ground_truths(epoch))
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|_| "n/a".to_string());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {:.3} |",
+            round.epoch,
+            round.accepted,
+            round.refused_users,
+            round.duplicates_discarded,
+            round.late_dropped,
+            truth_mae,
+            round.max_spent.epsilon(),
+        );
+        last_weights = round.weights;
+    }
+
+    let ledger = driver.accountant();
+    let _ = writeln!(
+        out,
+        "\nexhausted users     {} / {}",
+        ledger.exhausted_count(),
+        ledger.num_users(),
+    );
+    let _ = writeln!(
+        out,
+        "max spent           (ε, δ) = ({:.3}, {:.3}) of ({}, {})",
+        ledger.max_spent().epsilon(),
+        ledger.max_spent().delta(),
+        ledger.budget().epsilon(),
+        ledger.budget().delta(),
+    );
+    // FNV-1a over the weights' bit patterns: backend-independent by the
+    // engine's bit-identical merge guarantee, so `sim` and `engine` runs
+    // on the same seed print the same digest.
+    let _ = writeln!(
+        out,
+        "weights digest      {:016x}",
+        dptd_stats::digest::fnv1a_f64s(&last_weights)
+    );
+    Ok((out, driver.into_backend()))
+}
+
+fn box_err<E: std::error::Error + Send + Sync + 'static>(e: E) -> CliError {
+    CliError::Pipeline(Box::new(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(words: &[&str]) -> ArgMap {
+        ArgMap::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    const SMALL: &[&str] = &[
+        "--users",
+        "120",
+        "--objects",
+        "4",
+        "--rounds",
+        "3",
+        "--shards",
+        "4",
+        "--churn",
+        "0.2",
+    ];
+
+    #[test]
+    fn backends_render_identical_round_tables() {
+        let sim = execute(&map(&[SMALL, &["--backend", "sim"]].concat())).unwrap();
+        let eng = execute(&map(&[SMALL, &["--backend", "engine"]].concat())).unwrap();
+        // Identical truths/weights on a fixed seed: same table rows and
+        // the same weights digest, differing only in the header and the
+        // engine's extra metrics block.
+        let rows = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.starts_with('|') || l.starts_with("weights digest"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(rows(&sim), rows(&eng), "sim:\n{sim}\nengine:\n{eng}");
+        assert!(eng.contains("throughput"), "engine metrics missing: {eng}");
+        assert!(
+            !sim.contains("throughput"),
+            "sim should not print engine metrics"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let out = execute(&map(&[
+            "--users",
+            "60",
+            "--objects",
+            "3",
+            "--rounds",
+            "2",
+            "--backend",
+            "sim",
+            "--round-epsilon",
+            "1.0",
+            "--budget-epsilon",
+            "2.0",
+            "--round-delta",
+            "0.0",
+            "--budget-delta",
+            "0.0",
+            "--churn",
+            "0.0",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 affordable rounds"), "{out}");
+        assert!(out.contains("exhausted users"), "{out}");
+    }
+
+    #[test]
+    fn unknown_backend_is_usage_error() {
+        let err = execute(&map(&["--backend", "quantum"])).unwrap_err();
+        assert!(err.to_string().contains("unknown backend"));
+    }
+}

@@ -2,6 +2,7 @@
 //! returns the rendered report as a `String` (testable, printable).
 
 pub mod audit;
+pub mod campaign;
 pub mod engine;
 pub mod run;
 pub mod theory;

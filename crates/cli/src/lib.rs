@@ -1,12 +1,13 @@
 //! Library backing the `dptd` command-line tool.
 //!
-//! Four subcommands, each usable without writing any Rust:
+//! Five subcommands, each usable without writing any Rust:
 //!
 //! ```text
-//! dptd run    --dataset synthetic --algorithm crh --epsilon 1.0 --delta 0.3
-//! dptd theory --alpha 0.5 --beta 0.1 --epsilon 1.0 --delta 0.3 --users 150
-//! dptd audit  --epsilon 1.0 --delta 0.3 --lambda1 2.0
-//! dptd engine --users 100000 --epochs 5 --shards 16 --pattern bursty
+//! dptd run      --dataset synthetic --algorithm crh --epsilon 1.0 --delta 0.3
+//! dptd theory   --alpha 0.5 --beta 0.1 --epsilon 1.0 --delta 0.3 --users 150
+//! dptd audit    --epsilon 1.0 --delta 0.3 --lambda1 2.0
+//! dptd campaign --backend engine --users 5000 --rounds 5 --churn 0.1
+//! dptd engine   --users 100000 --epochs 5 --shards 16 --pattern bursty
 //! ```
 //!
 //! All logic lives here (the binary is a thin `main`), so every command is
@@ -87,6 +88,16 @@ COMMANDS:
              --alpha --beta --epsilon --delta --lambda1 --users
     audit    empirically estimate the mechanism's privacy loss
              --epsilon --delta --lambda1 --trials [100000] --seed [42]
+    campaign run a multi-round campaign with per-user privacy budgets
+             --backend    sim | engine                       [engine]
+             --users      population size                    [5000]
+             --objects    objects per round                  [8]
+             --rounds     campaign rounds                    [5]
+             --churn      per-round participation churn      [0.1]
+             --round-epsilon / --round-delta per-round loss  [0.5 / 0.02]
+             --budget-epsilon / --budget-delta user budget   [5.0 / 0.2]
+             --shards --workers --queue-capacity (engine backend, as below)
+             --dup --straggler --coverage --seed as below
     engine   drive the sharded streaming aggregation engine under load
              --users      population size                    [10000]
              --objects    objects per epoch                  [8]
@@ -119,6 +130,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "run" => commands::run::execute(&args::ArgMap::parse(rest)?),
         "theory" => commands::theory::execute(&args::ArgMap::parse(rest)?),
         "audit" => commands::audit::execute(&args::ArgMap::parse(rest)?),
+        "campaign" => commands::campaign::execute(&args::ArgMap::parse(rest)?),
         "engine" => commands::engine::execute(&args::ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
@@ -189,6 +201,27 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("throughput"), "output: {out}");
+    }
+
+    #[test]
+    fn campaign_smoke() {
+        for backend in ["sim", "engine"] {
+            let out = dispatch(&argv(&[
+                "campaign",
+                "--backend",
+                backend,
+                "--users",
+                "100",
+                "--objects",
+                "3",
+                "--rounds",
+                "2",
+                "--shards",
+                "4",
+            ]))
+            .unwrap();
+            assert!(out.contains("weights digest"), "{backend}: {out}");
+        }
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! The engine-powered campaign round backend.
+//!
+//! [`EngineBackend`] adapts the sharded streaming [`Engine`] to the
+//! protocol crate's [`RoundBackend`] trait: every campaign round becomes
+//! one engine epoch, the global [`StreamingCrh`] is carried between
+//! rounds (via [`Engine::run_with_state`]) so user weights sharpen across
+//! the campaign, and [`EngineMetrics`] accumulate over rounds.
+//!
+//! Because the engine's cross-shard merge is bit-identical to the
+//! single-shard streaming reference, a campaign driven through this
+//! backend produces **exactly** the truths and weights of the in-process
+//! [`dptd_protocol::campaign::SimBackend`] on the same stream — the
+//! equivalence the campaign proptests pin down for 1/4/16 shards and
+//! 1–8 workers.
+
+use dptd_protocol::campaign::{RoundBackend, RoundInput, RoundOutput};
+use dptd_protocol::ProtocolError;
+use dptd_truth::streaming::StreamingCrh;
+
+use crate::engine::{Engine, EpochOutcome};
+use crate::metrics::EngineMetrics;
+use crate::EngineError;
+
+/// A [`RoundBackend`] that executes each campaign round as one epoch of
+/// the sharded streaming [`Engine`].
+///
+/// # Example
+///
+/// ```
+/// use dptd_engine::{Engine, EngineBackend, EngineConfig};
+/// use dptd_protocol::campaign::{RoundBackend, RoundInput};
+/// use dptd_core::roles::PerturbedReport;
+/// use dptd_protocol::message::StampedReport;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = Engine::new(EngineConfig {
+///     num_users: 4,
+///     num_objects: 1,
+///     num_shards: 2,
+///     epoch_deadline_us: 1_000,
+///     ..EngineConfig::default()
+/// })?;
+/// let mut backend = EngineBackend::new(engine)?;
+/// let reports = (0..4)
+///     .map(|user| StampedReport {
+///         epoch: 0,
+///         sent_at_us: 10,
+///         report: PerturbedReport { user, values: vec![(0, user as f64)] },
+///     })
+///     .collect();
+/// let out = backend.run_round(RoundInput {
+///     epoch: 0,
+///     num_objects: 1,
+///     deadline_us: 1_000,
+///     reports,
+/// })?;
+/// assert_eq!(out.accepted_users, vec![0, 1, 2, 3]);
+/// assert_eq!(backend.metrics().epochs_merged, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EngineBackend {
+    engine: Engine,
+    /// The carried-over global estimator. A failed round restores the
+    /// pre-round checkpoint — a single-epoch run only mutates the
+    /// estimator when its merge succeeds, so the backend recovers from a
+    /// starved round exactly like the sim backend. `None` only if a
+    /// previous call panicked mid-round.
+    state: Option<StreamingCrh>,
+    metrics: EngineMetrics,
+    rounds: u64,
+}
+
+impl EngineBackend {
+    /// Wrap `engine` with fresh (uniform) carried-over weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator construction failures.
+    pub fn new(engine: Engine) -> Result<Self, EngineError> {
+        let cfg = engine.config();
+        let state = StreamingCrh::new(cfg.num_users, cfg.loss)?;
+        Ok(Self {
+            engine,
+            state: Some(state),
+            metrics: EngineMetrics::default(),
+            rounds: 0,
+        })
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Metrics accumulated over every round run so far.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    fn engine_err(e: EngineError) -> ProtocolError {
+        ProtocolError::Backend {
+            backend: "engine",
+            message: e.to_string(),
+        }
+    }
+}
+
+impl RoundBackend for EngineBackend {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn num_users(&self) -> usize {
+        self.engine.config().num_users
+    }
+
+    fn run_round(&mut self, input: RoundInput) -> Result<RoundOutput, ProtocolError> {
+        let cfg = *self.engine.config();
+        if input.num_objects != cfg.num_objects {
+            return Err(ProtocolError::InvalidParameter {
+                name: "num_objects",
+                value: input.num_objects as f64,
+                constraint: "round must match the engine's objects-per-epoch",
+            });
+        }
+        if input.deadline_us != cfg.epoch_deadline_us {
+            return Err(ProtocolError::InvalidParameter {
+                name: "deadline_us",
+                value: input.deadline_us as f64,
+                constraint: "round must match the engine's epoch deadline",
+            });
+        }
+        // One campaign round is exactly one engine epoch. A mixed-epoch
+        // stream would make the router open several epochs (mutating the
+        // carried estimator more than once), so reject it before running.
+        if let Some(stray) = input.reports.iter().find(|r| r.epoch != input.epoch) {
+            return Err(ProtocolError::InvalidParameter {
+                name: "report.epoch",
+                value: stray.epoch as f64,
+                constraint: "every report in a campaign round must carry the round's epoch",
+            });
+        }
+        let state = self.state.take().ok_or(ProtocolError::Backend {
+            backend: "engine",
+            message: "backend poisoned by an earlier panicked round".to_string(),
+        })?;
+
+        // Checkpoint so a failed round (e.g. coverage starvation once
+        // budgets bite) leaves the campaign resumable: the failed epoch
+        // never merged, so the pre-round estimator is the true state.
+        let checkpoint = state.clone();
+        let (mut report, state) = match self.engine.run_with_state(state, input.reports) {
+            Ok(out) => out,
+            Err(e) => {
+                self.state = Some(checkpoint);
+                return Err(Self::engine_err(e));
+            }
+        };
+        self.state = Some(state);
+
+        // A campaign round is exactly one epoch; an empty merge means the
+        // round starved (nothing survived to reach the merger). Counted
+        // as not executed: no metrics, no round increment.
+        if report.epochs.len() != 1 {
+            return Err(ProtocolError::InsufficientCoverage {
+                object: 0,
+                reports_received: 0,
+            });
+        }
+        self.metrics.absorb(&report.metrics);
+        self.rounds += 1;
+        let EpochOutcome {
+            truths,
+            accepted_users,
+            duplicates_discarded,
+            late_dropped,
+            ..
+        } = report.epochs.pop().expect("length checked above");
+
+        Ok(RoundOutput {
+            truths,
+            weights: report.final_weights,
+            accepted_users,
+            duplicates_discarded: duplicates_discarded as u64,
+            late_dropped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use dptd_core::roles::PerturbedReport;
+    use dptd_protocol::message::StampedReport;
+
+    fn backend(users: usize, objects: usize, shards: usize) -> EngineBackend {
+        let engine = Engine::new(EngineConfig {
+            num_users: users,
+            num_objects: objects,
+            num_shards: shards,
+            epoch_deadline_us: 1_000,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        EngineBackend::new(engine).unwrap()
+    }
+
+    fn stamped(epoch: u64, user: usize, sent_at_us: u64, v: f64) -> StampedReport {
+        StampedReport {
+            epoch,
+            sent_at_us,
+            report: PerturbedReport {
+                user,
+                values: vec![(0, v)],
+            },
+        }
+    }
+
+    #[test]
+    fn rounds_carry_weights_between_epochs() {
+        let mut b = backend(3, 1, 2);
+        let r0 = b
+            .run_round(RoundInput {
+                epoch: 0,
+                num_objects: 1,
+                deadline_us: 1_000,
+                reports: vec![
+                    stamped(0, 0, 1, 1.0),
+                    stamped(0, 1, 2, 1.1),
+                    stamped(0, 2, 3, 9.0),
+                ],
+            })
+            .unwrap();
+        let r1 = b
+            .run_round(RoundInput {
+                epoch: 1,
+                num_objects: 1,
+                deadline_us: 1_000,
+                reports: vec![
+                    stamped(1, 0, 1, 2.0),
+                    stamped(1, 1, 2, 2.1),
+                    stamped(1, 2, 3, 12.0),
+                ],
+            })
+            .unwrap();
+        // The outlier's weight share falls as evidence accumulates.
+        let share = |w: &[f64]| w[2] / (w[0] + w[1] + w[2]);
+        assert!(share(&r1.weights) <= share(&r0.weights) + 1e-9);
+        assert_eq!(b.metrics().epochs_merged, 2);
+        assert_eq!(b.metrics().reports_accepted, 6);
+        assert_eq!(b.rounds(), 2);
+    }
+
+    #[test]
+    fn sizing_mismatches_are_rejected_before_running() {
+        let mut b = backend(3, 2, 2);
+        let bad_objects = RoundInput {
+            epoch: 0,
+            num_objects: 1,
+            deadline_us: 1_000,
+            reports: vec![],
+        };
+        assert!(matches!(
+            b.run_round(bad_objects),
+            Err(ProtocolError::InvalidParameter { .. })
+        ));
+        let bad_deadline = RoundInput {
+            epoch: 0,
+            num_objects: 2,
+            deadline_us: 7,
+            reports: vec![],
+        };
+        assert!(matches!(
+            b.run_round(bad_deadline),
+            Err(ProtocolError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_epoch_stream_is_rejected_without_mutating_state() {
+        let mut b = backend(2, 1, 1);
+        let err = b
+            .run_round(RoundInput {
+                epoch: 1,
+                num_objects: 1,
+                deadline_us: 1_000,
+                reports: vec![stamped(1, 0, 1, 1.0), stamped(0, 1, 2, 2.0)],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::InvalidParameter { .. }));
+        // The backend is not poisoned: a clean round still runs.
+        assert_eq!(b.rounds(), 0);
+        let ok = b.run_round(RoundInput {
+            epoch: 1,
+            num_objects: 1,
+            deadline_us: 1_000,
+            reports: vec![stamped(1, 0, 1, 1.0), stamped(1, 1, 2, 2.0)],
+        });
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn starved_round_is_insufficient_coverage_and_recoverable() {
+        let mut b = backend(2, 1, 1);
+        let err = b
+            .run_round(RoundInput {
+                epoch: 0,
+                num_objects: 1,
+                deadline_us: 1_000,
+                reports: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::InsufficientCoverage { .. }));
+        // The failed round executed nothing: not counted, no metrics.
+        assert_eq!(b.rounds(), 0);
+        assert_eq!(b.metrics().epochs_merged, 0);
+
+        // All-late rounds starve inside the merge; the checkpoint restores
+        // the pre-round estimator so the campaign can continue.
+        let err = b
+            .run_round(RoundInput {
+                epoch: 1,
+                num_objects: 1,
+                deadline_us: 1_000,
+                reports: vec![stamped(1, 0, 5_000, 1.0), stamped(1, 1, 5_000, 2.0)],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Backend { .. }), "{err:?}");
+        assert_eq!(b.rounds(), 0);
+
+        let ok = b
+            .run_round(RoundInput {
+                epoch: 2,
+                num_objects: 1,
+                deadline_us: 1_000,
+                reports: vec![stamped(2, 0, 1, 1.0), stamped(2, 1, 2, 2.0)],
+            })
+            .unwrap();
+        assert_eq!(ok.accepted_users, vec![0, 1]);
+        assert_eq!(b.rounds(), 1);
+    }
+}

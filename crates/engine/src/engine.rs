@@ -115,6 +115,10 @@ pub struct EpochOutcome {
     pub truths: Vec<f64>,
     /// Reports aggregated this epoch.
     pub accepted: usize,
+    /// Users whose report was aggregated this epoch, ascending —
+    /// independent of sharding. Consumed by the campaign layer's per-user
+    /// privacy accounting (only aggregated reports are debited).
+    pub accepted_users: Vec<usize>,
     /// Duplicates discarded this epoch.
     pub duplicates_discarded: usize,
     /// Late reports dropped this epoch.
@@ -194,6 +198,51 @@ impl Engine {
     where
         I: IntoIterator<Item = StampedReport>,
     {
+        let crh = StreamingCrh::new(self.config.num_users, self.config.loss)?;
+        self.run_with_state(crh, stream).map(|(report, _)| report)
+    }
+
+    /// Like [`Engine::run`], but resume from a carried-over global
+    /// streaming estimator (weights and cumulative losses) instead of a
+    /// fresh one, and hand the updated estimator back.
+    ///
+    /// This is the multi-round campaign entry point: each campaign round
+    /// is one engine epoch, and the estimator carried between calls is
+    /// what makes user weights sharpen across rounds exactly as a single
+    /// continuous [`Engine::run`] over the concatenated stream would.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Engine::run`] returns, plus
+    /// [`EngineError::InvalidParameter`] when `state` does not match the
+    /// engine's population size or loss function. On error the estimator
+    /// is not returned. The epoch whose merge failed never mutated it
+    /// ([`StreamingCrh::ingest`] validates before touching any state),
+    /// but earlier epochs of the same stream may have merged first —
+    /// callers that need to resume after a failure should clone the
+    /// estimator per epoch, as the campaign backend does.
+    pub fn run_with_state<I>(
+        &self,
+        state: StreamingCrh,
+        stream: I,
+    ) -> Result<(EngineReport, StreamingCrh), EngineError>
+    where
+        I: IntoIterator<Item = StampedReport>,
+    {
+        if state.num_users() != self.config.num_users {
+            return Err(EngineError::InvalidParameter {
+                name: "state.num_users",
+                value: state.num_users() as f64,
+                constraint: "carried-over state must match the engine population",
+            });
+        }
+        if state.loss() != self.config.loss {
+            return Err(EngineError::InvalidParameter {
+                name: "state.loss",
+                value: f64::NAN,
+                constraint: "carried-over state must use the engine's loss function",
+            });
+        }
         let cfg = self.config;
         let started = Instant::now();
 
@@ -226,7 +275,7 @@ impl Engine {
         let cfg_ref = &cfg;
         let merger_out = thread::scope(|scope| {
             // Merger: folds per-shard epoch claims into the global CRH.
-            let merger = scope.spawn(|| merge_loop(cfg_ref, num_shards, merge_rx));
+            let merger = scope.spawn(move || merge_loop(cfg_ref, state, num_shards, merge_rx));
 
             // Workers: each drains a contiguous set of shard queues.
             scope.spawn(move || {
@@ -323,10 +372,11 @@ impl Engine {
         if let Some(e) = router_err {
             return Err(e);
         }
-        let (epochs, final_weights, latency, merge_err) = merger_out;
+        let (epochs, crh, latency, merge_err) = merger_out;
         if let Some(e) = merge_err {
             return Err(e);
         }
+        let final_weights = crh.weights().to_vec();
 
         let mut metrics = EngineMetrics {
             reports_submitted: router_metrics.submitted,
@@ -344,11 +394,14 @@ impl Engine {
             metrics.late_dropped += e.late_dropped;
         }
 
-        Ok(EngineReport {
-            epochs,
-            final_weights,
-            metrics,
-        })
+        Ok((
+            EngineReport {
+                epochs,
+                final_weights,
+                metrics,
+            },
+            crh,
+        ))
     }
 }
 
@@ -446,25 +499,20 @@ fn handle(
 
 type MergeOut = (
     Vec<EpochOutcome>,
-    Vec<f64>,
+    StreamingCrh,
     LatencyHistogram,
     Option<EngineError>,
 );
 
 /// Collect per-shard epoch claims; when all shards reported an epoch, run
-/// the canonical cross-shard merge through the global streaming CRH.
-fn merge_loop(cfg: &EngineConfig, num_shards: usize, rx: Receiver<MergeMsg>) -> MergeOut {
-    let mut crh = match StreamingCrh::new(cfg.num_users, cfg.loss) {
-        Ok(c) => c,
-        Err(e) => {
-            return (
-                Vec::new(),
-                Vec::new(),
-                LatencyHistogram::new(),
-                Some(EngineError::Truth(e)),
-            )
-        }
-    };
+/// the canonical cross-shard merge through the global streaming CRH
+/// (carried over from the caller, so campaigns resume mid-stream).
+fn merge_loop(
+    cfg: &EngineConfig,
+    mut crh: StreamingCrh,
+    num_shards: usize,
+    rx: Receiver<MergeMsg>,
+) -> MergeOut {
     let mut pending: BTreeMap<u64, Vec<EpochClaims>> = BTreeMap::new();
     let mut outcomes: Vec<EpochOutcome> = Vec::new();
     let mut latency = LatencyHistogram::new();
@@ -492,8 +540,7 @@ fn merge_loop(cfg: &EngineConfig, num_shards: usize, rx: Receiver<MergeMsg>) -> 
         }
     }
 
-    let weights = crh.weights().to_vec();
-    (outcomes, weights, latency, error)
+    (outcomes, crh, latency, error)
 }
 
 fn merge_epoch(
@@ -514,6 +561,8 @@ fn merge_epoch(
     // copying the population's claim vectors.
     let (shard_claims, stats): (Vec<ShardClaims>, Vec<ShardEpochStats>) =
         batch.into_iter().map(|c| (c.claims, c.stats)).unzip();
+    let mut accepted_users: Vec<usize> = shard_claims.iter().flat_map(|c| c.users()).collect();
+    accepted_users.sort_unstable();
     let truths = crh.ingest_sharded(cfg.num_objects, shard_claims)?;
 
     let mut accepted = 0usize;
@@ -541,6 +590,7 @@ fn merge_epoch(
         epoch,
         truths,
         accepted,
+        accepted_users,
         duplicates_discarded: duplicates,
         late_dropped: late,
         shard_drift: (drift_n > 0).then(|| drift_sum / drift_n as f64),

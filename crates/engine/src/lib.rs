@@ -19,6 +19,10 @@
 //!   thread per user) that can synthesise millions of stamped reports.
 //! * [`metrics`] — [`EngineMetrics`]: throughput, p50/p99 ingest latency,
 //!   queue depths, duplicate/late drop counters.
+//! * [`backend`] — [`EngineBackend`]: adapts the engine to the protocol
+//!   crate's campaign layer, executing each multi-round campaign round as
+//!   one engine epoch with carried-over weights
+//!   ([`Engine::run_with_state`]) and accumulated metrics.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod backend;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
@@ -55,6 +60,7 @@ pub mod shard;
 
 use std::fmt;
 
+pub use backend::EngineBackend;
 pub use engine::{Engine, EngineConfig, EngineReport, EpochOutcome};
 pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
 pub use metrics::{EngineMetrics, LatencyHistogram};

@@ -168,6 +168,23 @@ impl EngineMetrics {
         }
     }
 
+    /// Fold another run's metrics into this one: counters add, queue
+    /// depths take the max, latency histograms merge, and elapsed times
+    /// sum. Used by the campaign backend, which drives one engine run per
+    /// round but reports one campaign-wide metrics block.
+    pub fn absorb(&mut self, other: &EngineMetrics) {
+        self.reports_submitted += other.reports_submitted;
+        self.reports_accepted += other.reports_accepted;
+        self.duplicates_discarded += other.duplicates_discarded;
+        self.late_dropped += other.late_dropped;
+        self.out_of_order_dropped += other.out_of_order_dropped;
+        self.backpressure_stalls += other.backpressure_stalls;
+        self.epochs_merged += other.epochs_merged;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.ingest_latency.merge(&other.ingest_latency);
+        self.elapsed += other.elapsed;
+    }
+
     /// Render a human-readable multi-line summary.
     pub fn render(&self) -> String {
         let fmt_lat = |d: Option<Duration>| match d {
@@ -259,6 +276,31 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn absorb_accumulates_runs() {
+        let mut total = EngineMetrics::default();
+        let mut round = EngineMetrics {
+            reports_submitted: 10,
+            reports_accepted: 8,
+            late_dropped: 2,
+            epochs_merged: 1,
+            max_queue_depth: 5,
+            elapsed: Duration::from_millis(3),
+            ..EngineMetrics::default()
+        };
+        round.ingest_latency.record(Duration::from_micros(7));
+        total.absorb(&round);
+        round.max_queue_depth = 2;
+        total.absorb(&round);
+        assert_eq!(total.reports_submitted, 20);
+        assert_eq!(total.reports_accepted, 16);
+        assert_eq!(total.late_dropped, 4);
+        assert_eq!(total.epochs_merged, 2);
+        assert_eq!(total.max_queue_depth, 5);
+        assert_eq!(total.ingest_latency.count(), 2);
+        assert_eq!(total.elapsed, Duration::from_millis(6));
     }
 
     #[test]

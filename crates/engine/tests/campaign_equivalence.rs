@@ -1,0 +1,116 @@
+//! The campaign layer's headline property: a multi-round campaign driven
+//! through the sharded streaming engine is **bit-identical** to the same
+//! campaign on the in-process sim backend — truths, weights, acceptance,
+//! refusals and privacy spend — for any shard count (1/4/16), any worker
+//! count (1–8) and 1–10 rounds, under churn, duplicates, stragglers and
+//! per-user budget refusal.
+
+use proptest::prelude::*;
+
+use dptd_engine::{Engine, EngineBackend, EngineConfig, LoadGen, LoadGenConfig};
+use dptd_ldp::PrivacyLoss;
+use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, SimBackend};
+use dptd_truth::Loss;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sim_and_engine_campaigns_are_bit_identical(
+        users in 16usize..48,
+        objects in 1usize..4,
+        rounds in 1u64..11,
+        workers in 1usize..9,
+        affordable in 2u32..8,
+        dup in 0.0..0.3f64,
+        straggle in 0.0..0.3f64,
+        churn in 0.0..0.4f64,
+        seed in 0u64..1000,
+    ) {
+        let load = LoadGen::new(LoadGenConfig {
+            num_users: users,
+            num_objects: objects,
+            epochs: rounds,
+            duplicate_probability: dup,
+            straggler_fraction: straggle,
+            churn,
+            coverage: 0.8,
+            seed,
+            ..LoadGenConfig::default()
+        }).unwrap();
+
+        let per_round = PrivacyLoss::new(0.4, 0.02).unwrap();
+        let config = CampaignConfig {
+            num_objects: objects,
+            deadline_us: load.config().epoch_len_us,
+            per_round_loss: per_round,
+            // A budget most users exhaust mid-campaign when rounds >
+            // affordable, so the refusal path is part of the equivalence.
+            budget: per_round.compose_k(affordable),
+        };
+
+        let mut sim = CampaignDriver::new(
+            SimBackend::new(users, Loss::Squared).unwrap(),
+            config,
+        ).unwrap();
+        let mut engines: Vec<CampaignDriver<EngineBackend>> = [1usize, 4, 16]
+            .into_iter()
+            .map(|shards| {
+                let engine = Engine::new(EngineConfig {
+                    num_users: users,
+                    num_objects: objects,
+                    num_shards: shards,
+                    workers,
+                    queue_capacity: 64,
+                    epoch_deadline_us: load.config().epoch_len_us,
+                    loss: Loss::Squared,
+                }).unwrap();
+                CampaignDriver::new(EngineBackend::new(engine).unwrap(), config).unwrap()
+            })
+            .collect();
+
+        for epoch in 0..rounds {
+            let reports = load.epoch_reports(epoch);
+            let sim_round = sim.run_round(epoch, reports.clone());
+            let engine_rounds: Vec<_> = engines
+                .iter_mut()
+                .map(|driver| driver.run_round(epoch, reports.clone()))
+                .collect();
+
+            match sim_round {
+                Ok(reference) => {
+                    for (i, round) in engine_rounds.into_iter().enumerate() {
+                        let round = round.unwrap();
+                        // DriverRound compares truths, weights, accepted,
+                        // refusals, drop counters and max spend — all must
+                        // be bit-identical, shard layout and worker count
+                        // notwithstanding.
+                        prop_assert_eq!(
+                            &round, &reference,
+                            "engine layout #{} diverged at epoch {}", i, epoch
+                        );
+                    }
+                    for driver in &engines {
+                        prop_assert_eq!(
+                            driver.accountant(), sim.accountant(),
+                            "ledger diverged at epoch {}", epoch
+                        );
+                    }
+                }
+                Err(_) => {
+                    // Budget exhaustion starved the round: every backend
+                    // must agree it failed, leave its estimator untouched
+                    // (sim never mutates on error; the engine backend
+                    // restores its pre-round checkpoint) and keep the
+                    // campaign resumable — so keep comparing rounds.
+                    for round in engine_rounds {
+                        prop_assert!(round.is_err(), "engines accepted a starved epoch {}", epoch);
+                    }
+                    for driver in &engines {
+                        prop_assert_eq!(driver.accountant(), sim.accountant());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -25,6 +25,14 @@ pub enum ProtocolError {
         /// Index of the failed user thread.
         user: usize,
     },
+    /// A campaign round backend failed outside the protocol's own error
+    /// domain (e.g. the streaming engine's ingestion layer).
+    Backend {
+        /// Which backend failed (`"sim"`, `"engine"`, …).
+        backend: &'static str,
+        /// Human-readable failure description.
+        message: String,
+    },
     /// An error from the core pipeline.
     Core(dptd_core::CoreError),
 }
@@ -46,6 +54,9 @@ impl fmt::Display for ProtocolError {
             ),
             ProtocolError::WorkerFailed { user } => {
                 write!(f, "user thread {user} failed or disconnected")
+            }
+            ProtocolError::Backend { backend, message } => {
+                write!(f, "{backend} backend failed: {message}")
             }
             ProtocolError::Core(e) => write!(f, "pipeline error: {e}"),
         }

@@ -21,6 +21,13 @@
 //! pool), [`dedup`] (first-wins duplicate filtering) and
 //! [`message::StampedReport`] (an epoch/arrival-time-stamped report).
 //!
+//! Multi-round campaigns live in [`campaign`]: a backend-abstracted
+//! [`campaign::CampaignDriver`] executes each round through a pluggable
+//! [`campaign::RoundBackend`] (the in-process [`campaign::SimBackend`]
+//! here, or the sharded `dptd-engine` backend) while [`budget`] enforces
+//! per-user privacy budgets — exhausted users refuse, and dropped/late
+//! reports debit nothing.
+//!
 //! Both drive the same [`dptd_core::roles`] types: the user-side
 //! perturbation happens inside the client, so raw values never cross the
 //! transport — the trust boundary is visible in the message enum
@@ -53,6 +60,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod budget;
 pub mod campaign;
 pub mod dedup;
 pub mod message;

@@ -1,0 +1,97 @@
+//! Deterministic 64-bit digests (FNV-1a) for reproducibility checks.
+//!
+//! Several layers of the workspace need a cheap, platform-independent
+//! fingerprint of a numeric sequence: the load generator pins its golden
+//! stream digests, and the CLI prints a `weights digest` so two campaign
+//! backends can be diffed from the shell. They must all agree on the
+//! algorithm and byte order, so the fold lives here once.
+
+/// An incremental FNV-1a hasher over little-endian encodings.
+///
+/// # Example
+///
+/// ```
+/// use dptd_stats::digest::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write_u64(7);
+/// h.write_f64(1.5);
+/// let a = h.finish();
+/// let mut h = Fnv1a::new();
+/// h.write_u64(7);
+/// h.write_f64(1.5);
+/// assert_eq!(a, h.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Fold one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Fold a `u64` as its 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Fold an `f64` by its IEEE-754 bit pattern (little-endian), so the
+    /// digest is exact — no rounding, `-0.0 != 0.0`.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot digest of a float slice by bit pattern.
+pub fn fnv1a_f64s(values: &[f64]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &v in values {
+        h.write_f64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // FNV-1a of the empty input is the offset basis; of b"a" it is
+        // the published 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write_u8(b'a');
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn order_and_bits_matter() {
+        assert_ne!(fnv1a_f64s(&[1.0, 2.0]), fnv1a_f64s(&[2.0, 1.0]));
+        assert_ne!(fnv1a_f64s(&[0.0]), fnv1a_f64s(&[-0.0]));
+        assert_eq!(fnv1a_f64s(&[]), Fnv1a::new().finish());
+    }
+}

@@ -14,6 +14,8 @@
 //!   by the test-suite to validate the samplers and by the privacy tests to
 //!   compare perturbed-output distributions.
 //! * [`histogram`] — fixed-width binning used by the empirical LDP checks.
+//! * [`digest`] — deterministic FNV-1a fingerprints for reproducibility
+//!   checks (golden stream digests, backend-equivalence diffing).
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod bootstrap;
+pub mod digest;
 pub mod dist;
 pub mod gof;
 pub mod histogram;

@@ -219,6 +219,11 @@ impl ShardClaims {
     pub fn is_empty(&self) -> bool {
         self.claims.is_empty()
     }
+
+    /// The users with recorded claims, in push order.
+    pub fn users(&self) -> impl Iterator<Item = usize> + '_ {
+        self.claims.iter().map(|&(user, _)| user)
+    }
 }
 
 fn weighted_truths(batch: &ObservationMatrix, weights: &[f64]) -> Result<Vec<f64>, TruthError> {

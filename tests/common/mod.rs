@@ -1,0 +1,74 @@
+//! Shared builders for the umbrella integration tests: deterministic
+//! load-generator streams and engines sized to match them. Used by
+//! `engine_e2e.rs` (single-run streaming) and `campaign_e2e.rs`
+//! (multi-round campaigns).
+
+// Each test binary compiles this module independently and uses a
+// different subset of the builders.
+#![allow(dead_code)]
+
+use dptd::engine::{ArrivalProcess, Engine, EngineConfig, LoadGen, LoadGenConfig};
+
+/// A bursty, stressy stream: duplicates and stragglers on flash-crowd
+/// arrivals.
+pub fn bursty_load(
+    users: usize,
+    objects: usize,
+    epochs: u64,
+    dup: f64,
+    straggler: f64,
+    seed: u64,
+) -> LoadGen {
+    LoadGen::new(LoadGenConfig {
+        num_users: users,
+        num_objects: objects,
+        epochs,
+        duplicate_probability: dup,
+        straggler_fraction: straggler,
+        arrival: ArrivalProcess::Bursty {
+            burst_size: 32,
+            idle_gap_us: 20_000,
+        },
+        seed,
+        ..LoadGenConfig::default()
+    })
+    .expect("valid load config")
+}
+
+/// A Poisson stream with per-round participation churn — the multi-round
+/// campaign workload.
+pub fn churny_load(
+    users: usize,
+    objects: usize,
+    epochs: u64,
+    churn: f64,
+    dup: f64,
+    straggler: f64,
+    seed: u64,
+) -> LoadGen {
+    LoadGen::new(LoadGenConfig {
+        num_users: users,
+        num_objects: objects,
+        epochs,
+        churn,
+        duplicate_probability: dup,
+        straggler_fraction: straggler,
+        seed,
+        ..LoadGenConfig::default()
+    })
+    .expect("valid load config")
+}
+
+/// An engine sized to consume `load`'s stream: population, objects and
+/// epoch deadline are derived so the two cannot drift apart.
+pub fn engine_for(load: &LoadGen, shards: usize, queue_capacity: usize) -> Engine {
+    Engine::new(EngineConfig {
+        num_users: load.config().num_users,
+        num_objects: load.config().num_objects,
+        num_shards: shards,
+        queue_capacity,
+        epoch_deadline_us: load.config().epoch_len_us,
+        ..EngineConfig::default()
+    })
+    .expect("valid engine config")
+}

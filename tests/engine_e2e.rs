@@ -1,7 +1,8 @@
 //! End-to-end: the sharded streaming engine through the umbrella crate's
 //! public API, cross-checked against the single-shard streaming reference.
 
-use dptd::engine::{ArrivalProcess, Engine, EngineConfig, LoadGen, LoadGenConfig};
+mod common;
+
 use dptd::truth::streaming::StreamingCrh;
 use dptd::truth::Loss;
 
@@ -10,30 +11,9 @@ fn engine_round_trip_matches_streaming_reference() {
     let users = 300;
     let objects = 6;
     let epochs = 4;
-    let load = LoadGen::new(LoadGenConfig {
-        num_users: users,
-        num_objects: objects,
-        epochs,
-        duplicate_probability: 0.05,
-        straggler_fraction: 0.05,
-        arrival: ArrivalProcess::Bursty {
-            burst_size: 32,
-            idle_gap_us: 20_000,
-        },
-        seed: 99,
-        ..LoadGenConfig::default()
-    })
-    .unwrap();
+    let load = common::bursty_load(users, objects, epochs, 0.05, 0.05, 99);
+    let engine = common::engine_for(&load, 8, 128);
 
-    let engine = Engine::new(EngineConfig {
-        num_users: users,
-        num_objects: objects,
-        num_shards: 8,
-        queue_capacity: 128,
-        epoch_deadline_us: load.config().epoch_len_us,
-        ..EngineConfig::default()
-    })
-    .unwrap();
     let report = engine.run(load.stream()).unwrap();
     assert_eq!(report.epochs.len() as u64, epochs);
 
@@ -56,24 +36,9 @@ fn engine_round_trip_matches_streaming_reference() {
 
 #[test]
 fn engine_surfaces_ingest_metrics() {
-    let load = LoadGen::new(LoadGenConfig {
-        num_users: 200,
-        num_objects: 4,
-        epochs: 2,
-        duplicate_probability: 0.2,
-        straggler_fraction: 0.2,
-        ..LoadGenConfig::default()
-    })
-    .unwrap();
-    let engine = Engine::new(EngineConfig {
-        num_users: 200,
-        num_objects: 4,
-        num_shards: 4,
-        queue_capacity: 16, // tiny queues: force backpressure accounting
-        epoch_deadline_us: load.config().epoch_len_us,
-        ..EngineConfig::default()
-    })
-    .unwrap();
+    let load = common::churny_load(200, 4, 2, 0.0, 0.2, 0.2, 42);
+    // Tiny queues: force backpressure accounting.
+    let engine = common::engine_for(&load, 4, 16);
     let report = engine.run(load.stream()).unwrap();
     let m = &report.metrics;
     assert!(m.duplicates_discarded > 0, "{m:?}");
