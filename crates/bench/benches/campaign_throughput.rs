@@ -5,8 +5,9 @@
 //! campaign rounds (churn, duplicates and stragglers enabled) with
 //! per-user privacy budget accounting on every round, and prints the
 //! engine's accumulated metrics alongside the criterion timing. A second
-//! group compares the `sim` and `engine` backends on the same fixed
-//! mid-size load.
+//! group measures write-ahead-log overhead (no WAL vs in-memory vs
+//! fsynced file), and a third compares the `sim` and `engine` backends
+//! on the same fixed mid-size load.
 //!
 //! Setting `DPTD_BENCH_SMOKE=1` shrinks the population so CI can execute
 //! the full bench binary as a regression smoke test for the multi-round
@@ -14,7 +15,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use dptd_engine::{Engine, EngineBackend, EngineConfig, LoadGen, LoadGenConfig};
+use dptd_engine::{
+    Engine, EngineBackend, EngineConfig, FileWal, LoadGen, LoadGenConfig, MemWal, WalPolicy,
+    WalSink,
+};
 use dptd_ldp::PrivacyLoss;
 use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend, SimBackend};
 use dptd_truth::Loss;
@@ -48,8 +52,8 @@ fn campaign_config(rounds_affordable: f64) -> CampaignConfig {
     }
 }
 
-fn engine_backend(num_users: usize, shards: usize) -> EngineBackend {
-    let engine = Engine::new(EngineConfig {
+fn bench_engine(num_users: usize, shards: usize) -> Engine {
+    Engine::new(EngineConfig {
         num_users,
         num_objects: 8,
         num_shards: shards,
@@ -58,8 +62,11 @@ fn engine_backend(num_users: usize, shards: usize) -> EngineBackend {
         epoch_deadline_us: 1_000_000,
         loss: Loss::Squared,
     })
-    .expect("valid engine config");
-    EngineBackend::new(engine).expect("valid backend")
+    .expect("valid engine config")
+}
+
+fn engine_backend(num_users: usize, shards: usize) -> EngineBackend {
+    EngineBackend::new(bench_engine(num_users, shards)).expect("valid backend")
 }
 
 fn run_campaign<B: RoundBackend>(backend: B, gen: &LoadGen) -> CampaignDriver<B> {
@@ -97,6 +104,62 @@ fn bench_campaign_rounds(c: &mut Criterion) {
     group.finish();
 }
 
+/// Write-ahead-log overhead: the same engine campaign bare, logging to
+/// memory, and logging to an fsynced segment file. The gap between the
+/// first and the last is the full durability cost per round.
+fn bench_wal_overhead(c: &mut Criterion) {
+    let (users, rounds) = if smoke() { (300, 2) } else { (10_000, 4) };
+    let gen = load(users, rounds, 13);
+
+    fn run_walled(
+        users: usize,
+        sink: Box<dyn WalSink>,
+        gen: &LoadGen,
+    ) -> CampaignDriver<EngineBackend> {
+        let engine = bench_engine(users, 8);
+        let config = campaign_config(16.0);
+        let (backend, recovered) =
+            EngineBackend::with_wal(engine, sink, WalPolicy::from_campaign(&config))
+                .expect("fresh wal");
+        let mut driver = CampaignDriver::resume(
+            backend,
+            config,
+            recovered.rounds_debited,
+            recovered.records_applied as u32,
+        )
+        .expect("valid campaign config");
+        for epoch in 0..gen.config().epochs {
+            driver
+                .run_round(epoch, gen.epoch_reports(epoch))
+                .expect("round succeeds");
+        }
+        driver
+    }
+
+    let mut group = c.benchmark_group("campaign_wal");
+    group.bench_function("no_wal", |b| {
+        b.iter(|| run_campaign(engine_backend(users, 8), &gen))
+    });
+    group.bench_function("mem_wal", |b| {
+        b.iter(|| run_walled(users, Box::new(MemWal::new()), &gen))
+    });
+    let dir = std::env::temp_dir().join(format!("dptd-bench-wal-{}", std::process::id()));
+    group.bench_function("file_wal_fsync", |b| {
+        b.iter(|| {
+            // A fresh log per iteration: resuming a complete log would
+            // skip every round and measure nothing.
+            let _ = std::fs::remove_dir_all(&dir);
+            run_walled(
+                users,
+                Box::new(FileWal::open(&dir).expect("temp wal")),
+                &gen,
+            )
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
 /// Backend comparison on one fixed mid-size load.
 fn bench_backend_comparison(c: &mut Criterion) {
     let (users, rounds) = if smoke() { (300, 2) } else { (10_000, 4) };
@@ -119,5 +182,10 @@ fn bench_backend_comparison(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign_rounds, bench_backend_comparison);
+criterion_group!(
+    benches,
+    bench_campaign_rounds,
+    bench_wal_overhead,
+    bench_backend_comparison
+);
 criterion_main!(benches);

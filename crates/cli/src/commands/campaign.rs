@@ -8,10 +8,19 @@
 //! print identical truths, weights and acceptance counts — the trailing
 //! `weights digest` line makes the bit-level equivalence easy to diff
 //! from the shell.
+//!
+//! `--wal <dir>` (engine backend only) makes every round durable: each
+//! merged epoch appends one checksummed record to the directory's
+//! write-ahead log, and re-running the same command after a crash
+//! replays the log, resumes at the next round, and lands on the **same**
+//! weights digest an uninterrupted run prints.
 
 use std::fmt::Write as _;
+use std::path::Path;
 
-use dptd_engine::{Engine, EngineBackend, EngineConfig, LoadGen, LoadGenConfig};
+use dptd_engine::{
+    Engine, EngineBackend, EngineConfig, FileWal, LoadGen, LoadGenConfig, WalPolicy,
+};
 use dptd_ldp::PrivacyLoss;
 use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend, SimBackend};
 use dptd_stats::summary::mae;
@@ -62,8 +71,14 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
     let backend_name = args.str_or("backend", "engine");
     match backend_name {
         "sim" => {
+            if args.get("wal").is_some() {
+                return Err(CliError::Usage(
+                    "--wal requires the engine backend (`--backend engine`)".to_string(),
+                ));
+            }
             let backend = SimBackend::new(load_cfg.num_users, Loss::Squared).map_err(box_err)?;
-            let (out, _) = drive(backend, &load, campaign_cfg, &lambda2_desc)?;
+            let driver = CampaignDriver::new(backend, campaign_cfg).map_err(box_err)?;
+            let (out, _) = drive(driver, &load, 0, Vec::new(), &lambda2_desc, None)?;
             Ok(out)
         }
         "engine" => {
@@ -77,8 +92,64 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
                 loss: Loss::Squared,
             })
             .map_err(box_err)?;
-            let backend = EngineBackend::new(engine).map_err(box_err)?;
-            let (mut out, backend) = drive(backend, &load, campaign_cfg, &lambda2_desc)?;
+            let (driver, start_epoch, initial_weights, banner) = match args.get("wal") {
+                None => {
+                    let backend = EngineBackend::new(engine).map_err(box_err)?;
+                    let driver = CampaignDriver::new(backend, campaign_cfg).map_err(box_err)?;
+                    (driver, 0, Vec::new(), None)
+                }
+                Some(dir) => {
+                    let sink = FileWal::open(Path::new(dir)).map_err(box_err)?;
+                    // The policy stamped into every record: a later resume
+                    // with different (ε, δ) flags — or a different input
+                    // stream (seed/churn/…, fingerprinted below) — is
+                    // rejected instead of silently reinterpreting the
+                    // debit ledger or printing a digest no uninterrupted
+                    // run would produce. `--rounds` is deliberately NOT
+                    // fingerprinted: extending a finished campaign by more
+                    // rounds of the same stream is a legitimate resume.
+                    let policy = WalPolicy::from_campaign(&campaign_cfg)
+                        .with_stream_tag(stream_tag(&load_cfg));
+                    let (backend, recovered) =
+                        EngineBackend::with_wal(engine, Box::new(sink), policy).map_err(box_err)?;
+                    let banner = format!(
+                        "wal: {} record(s) replayed from `{dir}` ({} stale skipped, {} torn byte(s) truncated) → resuming at round {}",
+                        recovered.records_applied,
+                        recovered.duplicates_skipped,
+                        recovered.truncated_bytes,
+                        recovered.next_epoch(),
+                    );
+                    let start = recovered.next_epoch();
+                    // A log holding MORE rounds than requested is not a
+                    // resume of this command: the digest printed would
+                    // belong to the logged campaign, not the smaller one
+                    // the header describes.
+                    if start > load_cfg.epochs {
+                        return Err(CliError::Usage(format!(
+                            "wal already holds {start} round(s) but --rounds is {}; \
+                             re-run with --rounds >= {start} (or a fresh --wal dir)",
+                            load_cfg.epochs
+                        )));
+                    }
+                    let weights = recovered.crh.weights().to_vec();
+                    let driver = CampaignDriver::resume(
+                        backend,
+                        campaign_cfg,
+                        recovered.rounds_debited,
+                        recovered.records_applied.min(u64::from(u32::MAX)) as u32,
+                    )
+                    .map_err(box_err)?;
+                    (driver, start, weights, Some(banner))
+                }
+            };
+            let (mut out, backend) = drive(
+                driver,
+                &load,
+                start_epoch,
+                initial_weights,
+                &lambda2_desc,
+                banner,
+            )?;
             let _ = writeln!(out, "\n{}", backend.metrics().render());
             Ok(out)
         }
@@ -88,19 +159,41 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
     }
 }
 
-/// Run every round of `load` through `backend` and render the report.
+/// Fingerprint of everything that shapes the per-round report stream —
+/// a WAL written under one fingerprint refuses to resume under another.
+/// `epochs` (the round count) is excluded on purpose; see the call site.
+fn stream_tag(cfg: &LoadGenConfig) -> u64 {
+    let mut h = dptd_stats::digest::Fnv1a::new();
+    h.write_u64(cfg.seed);
+    h.write_u64(cfg.num_users as u64);
+    h.write_u64(cfg.num_objects as u64);
+    h.write_u64(cfg.epoch_len_us);
+    h.write_f64(cfg.lambda2);
+    h.write_f64(cfg.coverage);
+    h.write_f64(cfg.duplicate_probability);
+    h.write_f64(cfg.straggler_fraction);
+    h.write_f64(cfg.churn);
+    h.finish()
+}
+
+/// Run rounds `start_epoch..` of `load` through `driver` and render the
+/// report. `initial_weights` seed the digest when no round runs (a
+/// resumed campaign that was already complete); `banner` is the WAL
+/// recovery summary, printed under the header when present.
 fn drive<B: RoundBackend>(
-    backend: B,
+    mut driver: CampaignDriver<B>,
     load: &LoadGen,
-    config: CampaignConfig,
+    start_epoch: u64,
+    initial_weights: Vec<f64>,
     lambda2_desc: &str,
+    banner: Option<String>,
 ) -> Result<(String, B), CliError> {
-    let name = backend.name();
-    let mut driver = CampaignDriver::new(backend, config).map_err(box_err)?;
+    let name = driver.backend().name();
 
     let mut out = String::new();
     let _ = writeln!(out, "# dptd campaign — multi-round, `{name}` backend\n");
     let _ = writeln!(out, "{lambda2_desc}");
+    let config = *driver.config();
     let _ = writeln!(
         out,
         "population {} users × {} objects × {} rounds; per-round (ε, δ) = ({}, {}), budget = ({}, {}) → {} affordable rounds per user\n",
@@ -113,14 +206,17 @@ fn drive<B: RoundBackend>(
         config.budget.delta(),
         driver.accountant().affordable_rounds(),
     );
+    if let Some(banner) = banner {
+        let _ = writeln!(out, "{banner}\n");
+    }
 
     let _ = writeln!(
         out,
         "| round | accepted | refused | dup | late | truth MAE | max ε spent |"
     );
     let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|");
-    let mut last_weights: Vec<f64> = Vec::new();
-    for epoch in 0..load.config().epochs {
+    let mut last_weights: Vec<f64> = initial_weights;
+    for epoch in start_epoch..load.config().epochs {
         let round = driver
             .run_round(epoch, load.epoch_reports(epoch))
             .map_err(box_err)?;
@@ -244,5 +340,116 @@ mod tests {
     fn unknown_backend_is_usage_error() {
         let err = execute(&map(&["--backend", "quantum"])).unwrap_err();
         assert!(err.to_string().contains("unknown backend"));
+    }
+
+    #[test]
+    fn wal_requires_engine_backend() {
+        let err = execute(&map(&[
+            SMALL,
+            &["--backend", "sim", "--wal", "/tmp/never-created"],
+        ]
+        .concat()))
+        .unwrap_err();
+        assert!(err.to_string().contains("--wal requires"), "{err}");
+    }
+
+    #[test]
+    fn wal_campaign_resumes_to_the_uninterrupted_digest() {
+        let dir = std::env::temp_dir().join(format!(
+            "dptd-cli-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = dir.to_str().unwrap().to_string();
+
+        let digest_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("weights digest"))
+                .expect("digest line")
+                .to_string()
+        };
+
+        // Uninterrupted 3-round reference (no WAL).
+        let reference = execute(&map(&[SMALL, &["--backend", "engine"]].concat())).unwrap();
+
+        // "Crash" after 2 rounds (run only 2), then resume to 3 on the
+        // same log.
+        let partial_args: Vec<&str> = SMALL
+            .iter()
+            .map(|&s| if s == "3" { "2" } else { s })
+            .collect();
+        let partial = execute(&map(&[
+            &partial_args[..],
+            &["--backend", "engine", "--wal", &wal],
+        ]
+        .concat()))
+        .unwrap();
+        assert!(partial.contains("resuming at round 0"), "{partial}");
+        let resumed = execute(&map(
+            &[SMALL, &["--backend", "engine", "--wal", &wal]].concat()
+        ))
+        .unwrap();
+        assert!(
+            resumed.contains("2 record(s) replayed") && resumed.contains("resuming at round 2"),
+            "{resumed}"
+        );
+        assert_eq!(digest_line(&reference), digest_line(&resumed));
+
+        // Re-running once complete replays all rounds and prints the same
+        // digest without executing anything new.
+        let complete = execute(&map(
+            &[SMALL, &["--backend", "engine", "--wal", &wal]].concat()
+        ))
+        .unwrap();
+        assert!(complete.contains("3 record(s) replayed"), "{complete}");
+        assert_eq!(digest_line(&reference), digest_line(&complete));
+
+        // Resuming the same log under a different per-round ε is refused:
+        // the debit ledger only means something under its original policy.
+        let err = execute(&map(&[
+            SMALL,
+            &[
+                "--backend",
+                "engine",
+                "--wal",
+                &wal,
+                "--round-epsilon",
+                "0.1",
+            ],
+        ]
+        .concat()))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("privacy parameters"),
+            "expected a policy-mismatch error, got: {err}"
+        );
+
+        // Same for a different input stream: a new --seed would replay
+        // the ledger against reports it never accounted.
+        let err = execute(&map(&[
+            SMALL,
+            &["--backend", "engine", "--wal", &wal, "--seed", "43"],
+        ]
+        .concat()))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("privacy parameters"),
+            "expected a stream-tag mismatch error, got: {err}"
+        );
+
+        // And shrinking --rounds below what the log holds is refused —
+        // the printed digest would not belong to the described campaign.
+        let err = execute(&map(&[
+            &partial_args[..],
+            &["--backend", "engine", "--wal", &wal],
+        ]
+        .concat()))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("already holds"),
+            "expected a rounds-shrink error, got: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

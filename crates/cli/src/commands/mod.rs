@@ -4,6 +4,7 @@
 pub mod audit;
 pub mod campaign;
 pub mod engine;
+pub mod recover;
 pub mod run;
 pub mod theory;
 

@@ -1,0 +1,213 @@
+//! `dptd recover` — inspect a campaign write-ahead log.
+//!
+//! Replays the log in `--wal <dir>` **strictly read-only** (no
+//! truncation, no appends — the segment file is read directly, and a
+//! missing log is an error rather than a freshly created one) and prints
+//! one row per committed epoch — accepted users, total debits, the
+//! restored weights digest — plus the recovery summary a resumed
+//! `dptd campaign --wal` would start from. The digest of the last row is
+//! exactly the `weights digest` the interrupted campaign would have
+//! printed, which makes "did the log capture the run?" a shell-level
+//! diff.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dptd_engine::wal::{self, SEGMENT_FILE};
+use dptd_engine::RecoveredState;
+use dptd_truth::streaming::StreamingCrh;
+
+use crate::args::ArgMap;
+use crate::CliError;
+
+/// Execute `dptd recover`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when `--wal` is missing or names a
+/// directory with no log in it, and propagates log I/O, corruption and
+/// inconsistency failures.
+pub fn execute(args: &ArgMap) -> Result<String, CliError> {
+    let Some(dir) = args.get("wal") else {
+        return Err(CliError::Usage(
+            "dptd recover needs `--wal <dir>` (the campaign's write-ahead log directory)"
+                .to_string(),
+        ));
+    };
+    // Read-only by construction: a typo'd path must error, not fabricate
+    // an empty log (which FileWal::open would create for a writer).
+    let segment = Path::new(dir).join(SEGMENT_FILE);
+    let bytes = match std::fs::read(&segment) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(CliError::Usage(format!(
+                "no write-ahead log at `{}` (is --wal the directory a campaign wrote?)",
+                segment.display()
+            )));
+        }
+        Err(e) => {
+            return Err(CliError::Usage(format!(
+                "cannot read `{}`: {e}",
+                segment.display()
+            )));
+        }
+    };
+    let replay = wal::replay(&bytes).map_err(box_err)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# dptd recover — write-ahead log inspection\n");
+    let _ = writeln!(out, "log                 {}", segment.display());
+    let _ = writeln!(out, "size                {} bytes", bytes.len());
+    let _ = writeln!(out, "committed records   {}", replay.records.len());
+    let _ = writeln!(
+        out,
+        "torn tail           {} byte(s)",
+        replay.truncated_bytes
+    );
+
+    let Some(first) = replay.records.first() else {
+        let _ = writeln!(out, "\nempty log: a resumed campaign starts at round 0");
+        return Ok(out);
+    };
+    let num_users = first.num_users();
+    let loss = first.loss;
+    let _ = writeln!(out, "population          {num_users} users, {loss:?} loss");
+    let _ = writeln!(
+        out,
+        "privacy policy      per-round (ε, δ) = ({}, {}), budget = ({}, {}), stream tag {:016x}",
+        first.policy.per_round_epsilon,
+        first.policy.per_round_delta,
+        first.policy.budget_epsilon,
+        first.policy.budget_delta,
+        first.policy.stream_tag,
+    );
+
+    let _ = writeln!(
+        out,
+        "\n| epoch | accepted | total debits | weights digest |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|");
+    for record in &replay.records {
+        // Rebuild the estimator each snapshot describes; its weights
+        // digest is what the live campaign printed after that round.
+        let digest = StreamingCrh::from_parts(
+            record.loss,
+            record.cumulative_losses.clone(),
+            record.batches_seen as usize,
+        )
+        .map(|crh| format!("{:016x}", dptd_stats::digest::fnv1a_f64s(crh.weights())))
+        .unwrap_or_else(|_| "invalid".to_string());
+        let total_debits: u64 = record.rounds_debited.iter().map(|&d| u64::from(d)).sum();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            record.epoch,
+            record.accepted_users.len(),
+            total_debits,
+            digest,
+        );
+    }
+
+    // The full recovery path (dedup + ledger cross-check), exactly as a
+    // resuming campaign would run it.
+    let recovered: RecoveredState =
+        dptd_engine::recovery::recover_replay(&replay, num_users, loss, None).map_err(box_err)?;
+    let _ = writeln!(
+        out,
+        "\nledger              consistent ({} debit(s) across {} user(s), {} stale record(s) skipped)",
+        recovered.rounds_debited.iter().map(|&d| u64::from(d)).sum::<u64>(),
+        recovered.rounds_debited.iter().filter(|&&d| d > 0).count(),
+        recovered.duplicates_skipped,
+    );
+    let _ = writeln!(out, "resume point        round {}", recovered.next_epoch());
+    let _ = writeln!(
+        out,
+        "weights digest      {:016x}",
+        dptd_stats::digest::fnv1a_f64s(recovered.crh.weights())
+    );
+    Ok(out)
+}
+
+fn box_err<E: std::error::Error + Send + Sync + 'static>(e: E) -> CliError {
+    CliError::Pipeline(Box::new(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(words: &[&str]) -> ArgMap {
+        ArgMap::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "dptd-recover-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn missing_wal_flag_is_usage_error() {
+        let err = execute(&map(&[])).unwrap_err();
+        assert!(err.to_string().contains("--wal"), "{err}");
+    }
+
+    #[test]
+    fn missing_log_is_an_error_and_nothing_is_created() {
+        let dir = temp_wal("missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = execute(&map(&["--wal", dir.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("no write-ahead log"), "{err}");
+        // Strictly read-only: the typo'd directory was not fabricated.
+        assert!(!dir.exists(), "recover must not create the log directory");
+    }
+
+    #[test]
+    fn empty_log_reports_round_zero() {
+        let dir = temp_wal("empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        // A writer created the log but no round ever committed.
+        let _ = dptd_engine::FileWal::open(&dir).unwrap();
+        let out = execute(&map(&["--wal", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("committed records   0"), "{out}");
+        assert!(out.contains("starts at round 0"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inspects_a_campaign_log_and_matches_its_digest() {
+        let dir = temp_wal("inspect");
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = dir.to_str().unwrap().to_string();
+        let campaign = crate::commands::campaign::execute(&map(&[
+            "--users",
+            "80",
+            "--objects",
+            "3",
+            "--rounds",
+            "2",
+            "--shards",
+            "2",
+            "--backend",
+            "engine",
+            "--wal",
+            &wal,
+        ]))
+        .unwrap();
+        let out = execute(&map(&["--wal", &wal])).unwrap();
+        assert!(out.contains("committed records   2"), "{out}");
+        assert!(out.contains("resume point        round 2"), "{out}");
+        assert!(out.contains("ledger              consistent"), "{out}");
+        // The recovered digest equals the one the live campaign printed.
+        let digest = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("weights digest"))
+                .expect("digest line")
+                .to_string()
+        };
+        assert_eq!(digest(&campaign), digest(&out));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,13 +1,14 @@
 //! Library backing the `dptd` command-line tool.
 //!
-//! Five subcommands, each usable without writing any Rust:
+//! Six subcommands, each usable without writing any Rust:
 //!
 //! ```text
 //! dptd run      --dataset synthetic --algorithm crh --epsilon 1.0 --delta 0.3
 //! dptd theory   --alpha 0.5 --beta 0.1 --epsilon 1.0 --delta 0.3 --users 150
 //! dptd audit    --epsilon 1.0 --delta 0.3 --lambda1 2.0
-//! dptd campaign --backend engine --users 5000 --rounds 5 --churn 0.1
+//! dptd campaign --backend engine --users 5000 --rounds 5 --wal wal/
 //! dptd engine   --users 100000 --epochs 5 --shards 16 --pattern bursty
+//! dptd recover  --wal wal/
 //! ```
 //!
 //! All logic lives here (the binary is a thin `main`), so every command is
@@ -97,7 +98,11 @@ COMMANDS:
              --round-epsilon / --round-delta per-round loss  [0.5 / 0.02]
              --budget-epsilon / --budget-delta user budget   [5.0 / 0.2]
              --shards --workers --queue-capacity (engine backend, as below)
+             --wal        write-ahead-log dir: log every round durably
+                          and resume after a crash (engine backend)
              --dup --straggler --coverage --seed as below
+    recover  inspect a campaign write-ahead log (read-only)
+             --wal        the log directory a campaign wrote
     engine   drive the sharded streaming aggregation engine under load
              --users      population size                    [10000]
              --objects    objects per epoch                  [8]
@@ -132,6 +137,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "audit" => commands::audit::execute(&args::ArgMap::parse(rest)?),
         "campaign" => commands::campaign::execute(&args::ArgMap::parse(rest)?),
         "engine" => commands::engine::execute(&args::ArgMap::parse(rest)?),
+        "recover" => commands::recover::execute(&args::ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

@@ -19,6 +19,8 @@ use dptd_truth::streaming::StreamingCrh;
 
 use crate::engine::{Engine, EpochOutcome};
 use crate::metrics::EngineMetrics;
+use crate::recovery::{recover_replay, RecoveredState};
+use crate::wal::{EpochRecord, WalPolicy, WalSink, WalWriter};
 use crate::EngineError;
 
 /// A [`RoundBackend`] that executes each campaign round as one epoch of
@@ -70,6 +72,28 @@ pub struct EngineBackend {
     state: Option<StreamingCrh>,
     metrics: EngineMetrics,
     rounds: u64,
+    /// Durability state, present only when a write-ahead log was
+    /// requested — non-WAL backends carry none of it (in particular not
+    /// the `O(num_users)` debit mirror). A round is committed iff its
+    /// record is durably appended: an append failure rolls the in-memory
+    /// state back to the pre-round checkpoint, so memory never runs
+    /// ahead of the log.
+    wal: Option<WalState>,
+}
+
+/// Everything the backend tracks only because it is logging.
+#[derive(Debug)]
+struct WalState {
+    writer: WalWriter,
+    /// The privacy policy stamped into every record.
+    policy: WalPolicy,
+    /// Mirror of the campaign driver's per-user debit ledger (one debit
+    /// per accepted report — the driver's contract), persisted in every
+    /// record so recovery can restore privacy accounting.
+    debits: Vec<u32>,
+    /// Last epoch durably logged; WAL-enabled rounds must use strictly
+    /// increasing epochs so replay stays unambiguous.
+    last_epoch: Option<u64>,
 }
 
 impl EngineBackend {
@@ -86,7 +110,50 @@ impl EngineBackend {
             state: Some(state),
             metrics: EngineMetrics::default(),
             rounds: 0,
+            wal: None,
         })
+    }
+
+    /// Wrap `engine` with an epoch write-ahead log: replay (and
+    /// torn-tail-repair) whatever `sink` already holds, resume from the
+    /// recovered mid-campaign state, and append one durable
+    /// [`EpochRecord`] per successful round from here on.
+    ///
+    /// `policy` is the privacy policy the campaign accounts debits under
+    /// (the driver's per-round loss and budget); it is stamped into every
+    /// record, and a log whose records were accounted under a
+    /// **different** policy is rejected rather than silently
+    /// reinterpreted — the debit counts would misstate real spend.
+    ///
+    /// Returns the recovered state alongside the backend so the caller
+    /// can resume the campaign layer too (`CampaignDriver::resume` wants
+    /// the debit ledger and the next epoch id).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log I/O, replay and recovery failures, including the
+    /// policy mismatch above.
+    pub fn with_wal(
+        engine: Engine,
+        sink: Box<dyn WalSink>,
+        policy: WalPolicy,
+    ) -> Result<(Self, RecoveredState), EngineError> {
+        let cfg = *engine.config();
+        let (writer, replay) = WalWriter::open(sink).map_err(EngineError::Wal)?;
+        let recovered = recover_replay(&replay, cfg.num_users, cfg.loss, Some(&policy))?;
+        let backend = Self {
+            engine,
+            state: Some(recovered.crh.clone()),
+            metrics: EngineMetrics::default(),
+            rounds: recovered.records_applied,
+            wal: Some(WalState {
+                writer,
+                policy,
+                debits: recovered.rounds_debited.clone(),
+                last_epoch: recovered.last_epoch,
+            }),
+        };
+        Ok((backend, recovered))
     }
 
     /// The wrapped engine.
@@ -99,9 +166,23 @@ impl EngineBackend {
         &self.metrics
     }
 
-    /// Rounds executed so far.
+    /// Rounds committed so far — including, after
+    /// [`EngineBackend::with_wal`] on a non-empty log, the rounds the
+    /// crashed run had already durably committed.
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// The carried estimator's current per-user weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous round panicked mid-flight (poisoned backend).
+    pub fn current_weights(&self) -> &[f64] {
+        self.state
+            .as_ref()
+            .expect("backend poisoned by an earlier panicked round")
+            .weights()
     }
 
     fn engine_err(e: EngineError) -> ProtocolError {
@@ -136,6 +217,22 @@ impl RoundBackend for EngineBackend {
                 value: input.deadline_us as f64,
                 constraint: "round must match the engine's epoch deadline",
             });
+        }
+        // A WAL-enabled backend requires strictly increasing epoch ids:
+        // re-running an already-logged epoch would append a duplicate
+        // record, and replay (which skips duplicates to avoid
+        // double-charging budgets) would then disagree with the live
+        // ledger.
+        if let Some(wal) = &self.wal {
+            if let Some(last) = wal.last_epoch {
+                if input.epoch <= last {
+                    return Err(ProtocolError::InvalidParameter {
+                        name: "epoch",
+                        value: input.epoch as f64,
+                        constraint: "a WAL-enabled round must use an epoch past the logged ones",
+                    });
+                }
+            }
         }
         // One campaign round is exactly one engine epoch. A mixed-epoch
         // stream would make the router open several epochs (mutating the
@@ -174,8 +271,6 @@ impl RoundBackend for EngineBackend {
                 reports_received: 0,
             });
         }
-        self.metrics.absorb(&report.metrics);
-        self.rounds += 1;
         let EpochOutcome {
             truths,
             accepted_users,
@@ -183,6 +278,45 @@ impl RoundBackend for EngineBackend {
             late_dropped,
             ..
         } = report.epochs.pop().expect("length checked above");
+
+        // Durability barrier: the round commits iff its record reaches
+        // the log. On append failure the pre-round checkpoint is
+        // restored, so the in-memory campaign never runs ahead of what a
+        // crash could recover.
+        if let Some(wal) = &mut self.wal {
+            for &user in &accepted_users {
+                wal.debits[user] += 1;
+            }
+            let record = EpochRecord {
+                epoch: input.epoch,
+                batches_seen: self
+                    .state
+                    .as_ref()
+                    .expect("state present: set above")
+                    .batches_seen() as u64,
+                loss: cfg.loss,
+                policy: wal.policy,
+                accepted_users: accepted_users.clone(),
+                cumulative_losses: self
+                    .state
+                    .as_ref()
+                    .expect("state present: set above")
+                    .cumulative_losses()
+                    .to_vec(),
+                rounds_debited: wal.debits.clone(),
+            };
+            if let Err(e) = wal.writer.append(&record) {
+                for &user in &accepted_users {
+                    wal.debits[user] -= 1;
+                }
+                self.state = Some(checkpoint);
+                return Err(Self::engine_err(EngineError::Wal(e)));
+            }
+            wal.last_epoch = Some(input.epoch);
+        }
+
+        self.metrics.absorb(&report.metrics);
+        self.rounds += 1;
 
         Ok(RoundOutput {
             truths,
@@ -305,6 +439,120 @@ mod tests {
             reports: vec![stamped(1, 0, 1, 1.0), stamped(1, 1, 2, 2.0)],
         });
         assert!(ok.is_ok());
+    }
+
+    fn test_policy() -> crate::wal::WalPolicy {
+        crate::wal::WalPolicy {
+            per_round_epsilon: 0.5,
+            per_round_delta: 0.0,
+            budget_epsilon: 5.0,
+            budget_delta: 0.0,
+            stream_tag: 0,
+        }
+    }
+
+    #[test]
+    fn wal_backend_logs_rounds_and_resumes_bit_identically() {
+        use crate::wal::MemWal;
+
+        let engine = |users, objects, shards| {
+            Engine::new(EngineConfig {
+                num_users: users,
+                num_objects: objects,
+                num_shards: shards,
+                epoch_deadline_us: 1_000,
+                ..EngineConfig::default()
+            })
+            .unwrap()
+        };
+        let mem = MemWal::new();
+        let (mut b, recovered) =
+            EngineBackend::with_wal(engine(3, 1, 2), Box::new(mem.clone()), test_policy()).unwrap();
+        assert_eq!(recovered.next_epoch(), 0);
+        let round = |epoch| RoundInput {
+            epoch,
+            num_objects: 1,
+            deadline_us: 1_000,
+            reports: vec![
+                stamped(epoch, 0, 1, 1.0),
+                stamped(epoch, 1, 2, 1.1),
+                stamped(epoch, 2, 3, 9.0),
+            ],
+        };
+        let r0 = b.run_round(round(0)).unwrap();
+        let r1 = b.run_round(round(1)).unwrap();
+
+        // "Crash": drop the backend, reopen over the surviving bytes.
+        drop(b);
+        let (mut resumed, recovered) =
+            EngineBackend::with_wal(engine(3, 1, 2), Box::new(mem.clone()), test_policy()).unwrap();
+        assert_eq!(recovered.last_epoch, Some(1));
+        assert_eq!(recovered.rounds_debited, vec![2, 2, 2]);
+        assert_eq!(resumed.rounds(), 2);
+        assert_eq!(resumed.current_weights(), r1.weights.as_slice());
+        let _ = r0;
+
+        // Replaying an already-logged epoch is rejected; the next one runs.
+        let err = resumed.run_round(round(1)).unwrap_err();
+        assert!(matches!(err, ProtocolError::InvalidParameter { .. }));
+        let r2 = resumed.run_round(round(2)).unwrap();
+
+        // An uninterrupted twin produces bit-identical weights.
+        let mut twin = EngineBackend::new(engine(3, 1, 2)).unwrap();
+        for e in 0..3 {
+            let out = twin.run_round(round(e)).unwrap();
+            if e == 2 {
+                assert_eq!(out.weights, r2.weights);
+            }
+        }
+    }
+
+    #[test]
+    fn wal_append_failure_rolls_the_round_back() {
+        use crate::wal::{FailingWal, MemWal};
+
+        let engine = Engine::new(EngineConfig {
+            num_users: 2,
+            num_objects: 1,
+            num_shards: 1,
+            epoch_deadline_us: 1_000,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let mem = MemWal::new();
+        // Budget: the 8-byte header plus 10 bytes — the first record tears.
+        let failing = FailingWal::new(mem.clone(), 8 + 10);
+        let (mut b, _) = EngineBackend::with_wal(engine, Box::new(failing), test_policy()).unwrap();
+        let weights_before = b.current_weights().to_vec();
+        let err = b
+            .run_round(RoundInput {
+                epoch: 0,
+                num_objects: 1,
+                deadline_us: 1_000,
+                reports: vec![stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Backend { .. }), "{err:?}");
+        // Nothing committed: no round, no debit mirror, estimator restored.
+        assert_eq!(b.rounds(), 0);
+        assert_eq!(b.current_weights(), weights_before.as_slice());
+        // The torn 10 bytes are on "disk"; a reopen repairs and restarts
+        // from scratch.
+        let (_, recovered) = EngineBackend::with_wal(
+            Engine::new(EngineConfig {
+                num_users: 2,
+                num_objects: 1,
+                num_shards: 1,
+                epoch_deadline_us: 1_000,
+                ..EngineConfig::default()
+            })
+            .unwrap(),
+            Box::new(MemWal::from_bytes(mem.snapshot())),
+            test_policy(),
+        )
+        .unwrap();
+        assert_eq!(recovered.truncated_bytes, 10);
+        assert_eq!(recovered.last_epoch, None);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   crate's campaign layer, executing each multi-round campaign round as
 //!   one engine epoch with carried-over weights
 //!   ([`Engine::run_with_state`]) and accumulated metrics.
+//! * [`wal`] — the epoch write-ahead log: checksummed, length-prefixed
+//!   [`EpochRecord`]s through a [`WalSink`] ([`FileWal`] on disk,
+//!   [`MemWal`] in tests, [`FailingWal`] for crash injection).
+//! * [`recovery`] — [`Engine::recover`]/[`RecoveredState`]: replay a log
+//!   to rebuild the carried estimator and the per-user budget ledger
+//!   bit-identically after a crash.
 //!
 //! # Example
 //!
@@ -56,7 +62,9 @@ pub mod backend;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
+pub mod recovery;
 pub mod shard;
+pub mod wal;
 
 use std::fmt;
 
@@ -64,6 +72,8 @@ pub use backend::EngineBackend;
 pub use engine::{Engine, EngineConfig, EngineReport, EpochOutcome};
 pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
 pub use metrics::{EngineMetrics, LatencyHistogram};
+pub use recovery::RecoveredState;
+pub use wal::{EpochRecord, FailingWal, FileWal, MemWal, WalError, WalPolicy, WalSink, WalWriter};
 
 /// Error type for the aggregation engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +98,9 @@ pub enum EngineError {
     Disconnected,
     /// An aggregation failure (e.g. an epoch with an uncovered object).
     Truth(dptd_truth::TruthError),
+    /// A write-ahead-log failure (I/O, corruption, or an inconsistent
+    /// replay).
+    Wal(wal::WalError),
 }
 
 impl fmt::Display for EngineError {
@@ -108,6 +121,7 @@ impl fmt::Display for EngineError {
                 write!(f, "engine internal channel disconnected (worker died)")
             }
             EngineError::Truth(e) => write!(f, "aggregation failed: {e}"),
+            EngineError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
         }
     }
 }
@@ -116,6 +130,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Truth(e) => Some(e),
+            EngineError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -124,6 +139,12 @@ impl std::error::Error for EngineError {
 impl From<dptd_truth::TruthError> for EngineError {
     fn from(e: dptd_truth::TruthError) -> Self {
         EngineError::Truth(e)
+    }
+}
+
+impl From<wal::WalError> for EngineError {
+    fn from(e: wal::WalError) -> Self {
+        EngineError::Wal(e)
     }
 }
 

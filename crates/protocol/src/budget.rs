@@ -83,6 +83,36 @@ impl BudgetAccountant {
         })
     }
 
+    /// Rebuild a ledger from a persisted per-user debit snapshot — the
+    /// write-ahead-log recovery path. The restored ledger is exactly the
+    /// one that would result from replaying every recorded debit through
+    /// [`BudgetAccountant::debit`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`BudgetAccountant::new`] rejects, plus
+    /// [`ProtocolError::InvalidParameter`] if any user's recorded spend
+    /// already overshoots the budget — a ledger the live accounting could
+    /// never have produced, so the snapshot is corrupt, not resumable.
+    pub fn resume(
+        per_round: PrivacyLoss,
+        budget: PrivacyLoss,
+        rounds_debited: Vec<u32>,
+    ) -> Result<Self, ProtocolError> {
+        let mut ledger = Self::new(rounds_debited.len(), per_round, budget)?;
+        for &debits in &rounds_debited {
+            if !per_round.compose_k(debits).satisfies(&budget) {
+                return Err(ProtocolError::InvalidParameter {
+                    name: "rounds_debited",
+                    value: debits as f64,
+                    constraint: "a restored user spend must stay within the budget",
+                });
+            }
+        }
+        ledger.rounds_debited = rounds_debited;
+        Ok(ledger)
+    }
+
     /// The population size.
     pub fn num_users(&self) -> usize {
         self.rounds_debited.len()
@@ -178,6 +208,23 @@ impl BudgetAccountant {
         k
     }
 
+    /// The serializable ledger snapshot: per-user debit counts in user
+    /// order. Together with [`BudgetAccountant::per_round`] this is the
+    /// ledger's whole state — what the engine's write-ahead log persists
+    /// and [`BudgetAccountant::resume`] restores.
+    pub fn debits_by_user(&self) -> &[u32] {
+        &self.rounds_debited
+    }
+
+    /// Per-user cumulative privacy losses, in user order (basic
+    /// composition of each user's debits).
+    pub fn spent_by_user(&self) -> Vec<PrivacyLoss> {
+        self.rounds_debited
+            .iter()
+            .map(|&k| self.per_round.compose_k(k))
+            .collect()
+    }
+
     /// The worst cumulative loss across the population.
     pub fn max_spent(&self) -> PrivacyLoss {
         let worst = self.rounds_debited.iter().copied().max().unwrap_or(0);
@@ -232,6 +279,38 @@ mod tests {
         let mut a = BudgetAccountant::new(1, loss(1.0, 0.0), loss(1.0, 0.0)).unwrap();
         a.debit(0);
         a.debit(0);
+    }
+
+    #[test]
+    fn resume_restores_the_exact_ledger() {
+        let mut live = BudgetAccountant::new(3, loss(0.5, 0.0), loss(2.0, 0.0)).unwrap();
+        live.debit(0);
+        live.debit(0);
+        live.debit(2);
+        let restored = BudgetAccountant::resume(
+            live.per_round(),
+            live.budget(),
+            live.debits_by_user().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored, live);
+        assert_eq!(restored.debits_by_user(), &[2, 0, 1]);
+        let spent = restored.spent_by_user();
+        assert!((spent[0].epsilon() - 1.0).abs() < 1e-12);
+        assert!((spent[1].epsilon() - 0.0).abs() < 1e-12);
+        assert!((spent[2].epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resume_rejects_an_overshooting_snapshot() {
+        // 5 debits of ε=0.5 against a 2.0 budget could never have been
+        // accounted live; the snapshot is corrupt.
+        let err = BudgetAccountant::resume(loss(0.5, 0.0), loss(2.0, 0.0), vec![5, 0]);
+        assert!(err.is_err());
+        // An exactly-exhausted user is fine (the live path allows it).
+        let ok = BudgetAccountant::resume(loss(0.5, 0.0), loss(2.0, 0.0), vec![4, 0]).unwrap();
+        assert!(!ok.can_spend(0));
+        assert!(ok.can_spend(1));
     }
 
     #[test]

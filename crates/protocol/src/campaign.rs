@@ -440,6 +440,36 @@ impl<B: RoundBackend> CampaignDriver<B> {
         })
     }
 
+    /// Resume a campaign from recovered mid-campaign state: a backend
+    /// already carrying the replayed estimator, the per-user debit ledger
+    /// the write-ahead log restored, and the number of rounds the crashed
+    /// run completed (so round indices continue where they stopped).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`CampaignDriver::new`] rejects, plus
+    /// [`ProtocolError::InvalidParameter`] when the ledger snapshot does
+    /// not match the backend population or overshoots the budget.
+    pub fn resume(
+        backend: B,
+        config: CampaignConfig,
+        rounds_debited: Vec<u32>,
+        rounds_run: u32,
+    ) -> Result<Self, ProtocolError> {
+        if rounds_debited.len() != backend.num_users() {
+            return Err(ProtocolError::InvalidParameter {
+                name: "rounds_debited",
+                value: rounds_debited.len() as f64,
+                constraint: "ledger snapshot must cover the backend population",
+            });
+        }
+        let mut driver = Self::new(backend, config)?;
+        driver.accountant =
+            BudgetAccountant::resume(config.per_round_loss, config.budget, rounds_debited)?;
+        driver.rounds_run = rounds_run;
+        Ok(driver)
+    }
+
     /// The wrapped backend.
     pub fn backend(&self) -> &B {
         &self.backend
@@ -710,6 +740,35 @@ mod tests {
         assert!(matches!(err, ProtocolError::Core(_)), "{err:?}");
         assert_eq!(driver.accountant().rounds_debited(0), 1);
         assert_eq!(driver.accountant().exhausted_count(), 2);
+    }
+
+    #[test]
+    fn driver_resume_restores_ledger_and_round_count() {
+        let config = driver_config((0.5, 0.0), (1.0, 0.0));
+        let mut original =
+            CampaignDriver::new(SimBackend::new(2, Loss::Squared).unwrap(), config).unwrap();
+        original
+            .run_round(0, vec![stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)])
+            .unwrap();
+
+        let resumed = CampaignDriver::resume(
+            SimBackend::new(2, Loss::Squared).unwrap(),
+            config,
+            original.accountant().debits_by_user().to_vec(),
+            original.rounds_run(),
+        )
+        .unwrap();
+        assert_eq!(resumed.accountant(), original.accountant());
+        assert_eq!(resumed.rounds_run(), 1);
+
+        // A snapshot sized for a different population is rejected.
+        let err = CampaignDriver::resume(
+            SimBackend::new(2, Loss::Squared).unwrap(),
+            config,
+            vec![0; 5],
+            1,
+        );
+        assert!(err.is_err());
     }
 
     #[test]

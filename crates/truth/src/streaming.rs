@@ -69,6 +69,42 @@ impl StreamingCrh {
         })
     }
 
+    /// Rebuild an estimator from a persisted snapshot of its cumulative
+    /// losses — the write-ahead-log recovery path.
+    ///
+    /// Weights are a pure function of the cumulative losses (recomputed
+    /// here exactly as [`StreamingCrh::ingest`] commits them), so an
+    /// estimator restored from the losses a crashed run logged is
+    /// **bit-identical** to one that lived through the same batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::EmptyMatrix`] for an empty snapshot and
+    /// [`TruthError::Degenerate`] if any stored loss is negative or not
+    /// finite (a fresh estimator has all-zero losses, so zero is valid).
+    pub fn from_parts(
+        loss: Loss,
+        cumulative_losses: Vec<f64>,
+        batches_seen: usize,
+    ) -> Result<Self, TruthError> {
+        if cumulative_losses.is_empty() {
+            return Err(TruthError::EmptyMatrix);
+        }
+        if cumulative_losses.iter().any(|l| !l.is_finite() || *l < 0.0) {
+            return Err(TruthError::Degenerate {
+                reason: "a restored cumulative loss is negative or not finite",
+            });
+        }
+        let weights = share_weights(&cumulative_losses);
+        Ok(Self {
+            num_users: cumulative_losses.len(),
+            loss,
+            cumulative_loss: cumulative_losses,
+            batches_seen,
+            weights,
+        })
+    }
+
     /// Current per-user weights (uniform before the first batch).
     pub fn weights(&self) -> &[f64] {
         &self.weights
@@ -388,6 +424,58 @@ mod tests {
         let mut a = ShardClaims::new();
         a.push(5, vec![(0, 1.0)]);
         assert!(s.ingest_sharded(1, vec![a]).is_err());
+    }
+
+    #[test]
+    fn from_parts_restores_bit_identical_state() {
+        let mut rng = dptd_stats::seeded_rng(149);
+        let noise = Normal::new(0.0, 0.4).unwrap();
+        let mut live = StreamingCrh::new(5, Loss::NormalizedSquared).unwrap();
+        for epoch in 0..3 {
+            let rows: Vec<Vec<f64>> = (0..5)
+                .map(|_| {
+                    (0..2)
+                        .map(|_| epoch as f64 + noise.sample(&mut rng))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            live.ingest(&ObservationMatrix::from_dense(&refs).unwrap())
+                .unwrap();
+        }
+        // Snapshot → restore → both halves continue identically.
+        let mut restored = StreamingCrh::from_parts(
+            live.loss(),
+            live.cumulative_losses().to_vec(),
+            live.batches_seen(),
+        )
+        .unwrap();
+        assert_eq!(restored.weights(), live.weights());
+        assert_eq!(restored.batches_seen(), live.batches_seen());
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|_| (0..2).map(|_| noise.sample(&mut rng)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let batch = ObservationMatrix::from_dense(&refs).unwrap();
+        assert_eq!(
+            live.ingest(&batch).unwrap(),
+            restored.ingest(&batch).unwrap()
+        );
+        assert_eq!(restored.weights(), live.weights());
+        assert_eq!(restored.cumulative_losses(), live.cumulative_losses());
+    }
+
+    #[test]
+    fn from_parts_restores_fresh_state_and_rejects_garbage() {
+        // All-zero losses restore the pre-first-batch uniform weights.
+        let fresh = StreamingCrh::from_parts(Loss::Squared, vec![0.0; 3], 0).unwrap();
+        assert_eq!(
+            fresh.weights(),
+            StreamingCrh::new(3, Loss::Squared).unwrap().weights()
+        );
+        assert!(StreamingCrh::from_parts(Loss::Squared, vec![], 0).is_err());
+        assert!(StreamingCrh::from_parts(Loss::Squared, vec![1.0, -0.5], 1).is_err());
+        assert!(StreamingCrh::from_parts(Loss::Squared, vec![f64::NAN], 1).is_err());
     }
 
     #[test]
