@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use dptd_engine::{
-    Engine, EngineBackend, EngineConfig, FileWal, LoadGen, LoadGenConfig, WalPolicy,
+    Engine, EngineBackend, EngineConfig, FileWal, LoadGen, LoadGenConfig, WalLock, WalPolicy,
 };
 use dptd_ldp::PrivacyLoss;
 use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend, SimBackend};
@@ -92,13 +92,19 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
                 loss: Loss::Squared,
             })
             .map_err(box_err)?;
-            let (driver, start_epoch, initial_weights, banner) = match args.get("wal") {
+            let (driver, start_epoch, initial_weights, banner, _wal_lock) = match args.get("wal") {
                 None => {
                     let backend = EngineBackend::new(engine).map_err(box_err)?;
                     let driver = CampaignDriver::new(backend, campaign_cfg).map_err(box_err)?;
-                    (driver, 0, Vec::new(), None)
+                    (driver, 0, Vec::new(), None, None)
                 }
                 Some(dir) => {
+                    // Advisory single-writer lock, held until the run
+                    // finishes: a concurrent live writer (another
+                    // campaign process, a `dptd serve` hosting this
+                    // directory) is refused here at open instead of
+                    // corrupting the ledger and being caught at recovery.
+                    let lock = WalLock::acquire(Path::new(dir)).map_err(box_err)?;
                     let sink = FileWal::open(Path::new(dir)).map_err(box_err)?;
                     // The policy stamped into every record: a later resume
                     // with different (ε, δ) flags — or a different input
@@ -139,7 +145,7 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
                         recovered.records_applied.min(u64::from(u32::MAX)) as u32,
                     )
                     .map_err(box_err)?;
-                    (driver, start, weights, Some(banner))
+                    (driver, start, weights, Some(banner), Some(lock))
                 }
             };
             let (mut out, backend) = drive(
@@ -162,7 +168,9 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
 /// Fingerprint of everything that shapes the per-round report stream —
 /// a WAL written under one fingerprint refuses to resume under another.
 /// `epochs` (the round count) is excluded on purpose; see the call site.
-fn stream_tag(cfg: &LoadGenConfig) -> u64 {
+/// Shared with `dptd submit`, which stamps the same tag into a served
+/// campaign's WAL via the wire spec.
+pub(crate) fn stream_tag(cfg: &LoadGenConfig) -> u64 {
     let mut h = dptd_stats::digest::Fnv1a::new();
     h.write_u64(cfg.seed);
     h.write_u64(cfg.num_users as u64);
@@ -351,6 +359,33 @@ mod tests {
         .concat()))
         .unwrap_err();
         assert!(err.to_string().contains("--wal requires"), "{err}");
+    }
+
+    #[test]
+    fn wal_campaign_refuses_a_directory_held_by_a_live_writer() {
+        let dir = std::env::temp_dir().join(format!(
+            "dptd-cli-wal-locked-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = dir.to_str().unwrap().to_string();
+        // Another live writer (same process, e.g. a serving campaign)
+        // holds the advisory lock: the campaign must refuse at open.
+        let held = WalLock::acquire(&dir).unwrap();
+        let err = execute(&map(
+            &[SMALL, &["--backend", "engine", "--wal", &wal]].concat()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("locked"), "{err}");
+        drop(held);
+        // Once released, the same command runs.
+        let out = execute(&map(
+            &[SMALL, &["--backend", "engine", "--wal", &wal]].concat()
+        ))
+        .unwrap();
+        assert!(out.contains("weights digest"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,6 +6,8 @@ pub mod campaign;
 pub mod engine;
 pub mod recover;
 pub mod run;
+pub mod serve;
+pub mod submit;
 pub mod theory;
 
 use crate::CliError;

@@ -15,6 +15,7 @@ use std::path::Path;
 
 use dptd_engine::wal::{self, SEGMENT_FILE};
 use dptd_engine::RecoveredState;
+use dptd_protocol::budget::BudgetAccountant;
 use dptd_truth::streaming::StreamingCrh;
 
 use crate::args::ArgMap;
@@ -125,6 +126,72 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         "weights digest      {:016x}",
         dptd_stats::digest::fnv1a_f64s(recovered.crh.weights())
     );
+
+    if let Some(scope) = args.get("budgets") {
+        out.push_str(&render_budgets(scope, first.policy, &recovered)?);
+    }
+    Ok(out)
+}
+
+/// Render the per-user budget audit (`--budgets spent|all`): remaining
+/// budget per user under the policy every record was accounted with —
+/// strictly read-only, via [`BudgetAccountant::spent_by_user`].
+fn render_budgets(
+    scope: &str,
+    policy: dptd_engine::WalPolicy,
+    recovered: &RecoveredState,
+) -> Result<String, CliError> {
+    let all = match scope {
+        "all" => true,
+        "spent" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "flag `--budgets` expects spent | all, got `{other}`"
+            )));
+        }
+    };
+    let per_round = dptd_ldp::PrivacyLoss::new(policy.per_round_epsilon, policy.per_round_delta)
+        .map_err(box_err)?;
+    let budget =
+        dptd_ldp::PrivacyLoss::new(policy.budget_epsilon, policy.budget_delta).map_err(box_err)?;
+    let ledger = BudgetAccountant::resume(per_round, budget, recovered.rounds_debited.clone())
+        .map_err(box_err)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n| user | debits | spent ε | spent δ | remaining ε | remaining δ | status |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---|");
+    let mut untouched = 0usize;
+    for (user, spent) in ledger.spent_by_user().into_iter().enumerate() {
+        let debits = ledger.rounds_debited(user);
+        if debits == 0 && !all {
+            untouched += 1;
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "| {user} | {debits} | {:.3} | {:.3} | {:.3} | {:.3} | {} |",
+            spent.epsilon(),
+            spent.delta(),
+            (budget.epsilon() - spent.epsilon()).max(0.0),
+            (budget.delta() - spent.delta()).max(0.0),
+            if ledger.can_spend(user) {
+                "ok"
+            } else {
+                "exhausted"
+            },
+        );
+    }
+    if untouched > 0 {
+        let _ = writeln!(
+            out,
+            "\n{untouched} untouched user(s) hold the full ({}, {}) budget",
+            budget.epsilon(),
+            budget.delta(),
+        );
+    }
     Ok(out)
 }
 
@@ -173,6 +240,68 @@ mod tests {
         let out = execute(&map(&["--wal", dir.to_str().unwrap()])).unwrap();
         assert!(out.contains("committed records   0"), "{out}");
         assert!(out.contains("starts at round 0"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgets_flag_audits_per_user_remaining_budget() {
+        let dir = temp_wal("budgets");
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = dir.to_str().unwrap().to_string();
+        crate::commands::campaign::execute(&map(&[
+            "--users",
+            "12",
+            "--objects",
+            "3",
+            "--rounds",
+            "2",
+            "--shards",
+            "2",
+            "--churn",
+            "0.3",
+            "--backend",
+            "engine",
+            "--wal",
+            &wal,
+            "--round-epsilon",
+            "1.0",
+            "--round-delta",
+            "0.0",
+            "--budget-epsilon",
+            "2.0",
+            "--budget-delta",
+            "0.0",
+        ]))
+        .unwrap();
+
+        // `spent` lists only debited users; `all` lists everyone.
+        let spent = execute(&map(&["--wal", &wal, "--budgets", "spent"])).unwrap();
+        assert!(spent.contains("| user | debits |"), "{spent}");
+        assert!(spent.contains("exhausted"), "{spent}"); // 2 rounds of ε=1 vs budget 2
+        let all = execute(&map(&["--wal", &wal, "--budgets", "all"])).unwrap();
+        let data_rows = |s: &str| {
+            let (_, table) = s.split_once("| user | debits |").expect("budgets table");
+            table
+                .lines()
+                .filter(|l| l.starts_with("| ") && l.as_bytes()[2].is_ascii_digit())
+                .count()
+        };
+        assert_eq!(data_rows(&all), 12, "{all}");
+        assert!(data_rows(&spent) <= 12);
+        // Remaining budget column: a user with 2 debits of ε=1 against a
+        // budget of 2 has 0 remaining.
+        assert!(
+            all.contains("| 2 | 2.000 | 0.000 | 0.000 | 0.000 | exhausted |"),
+            "{all}"
+        );
+
+        // Strictly read-only: the audit leaves the log bytes untouched.
+        let before = std::fs::read(dir.join(SEGMENT_FILE)).unwrap();
+        execute(&map(&["--wal", &wal, "--budgets", "all"])).unwrap();
+        assert_eq!(before, std::fs::read(dir.join(SEGMENT_FILE)).unwrap());
+
+        let err = execute(&map(&["--wal", &wal, "--budgets", "everyone"])).unwrap_err();
+        assert!(err.to_string().contains("spent | all"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

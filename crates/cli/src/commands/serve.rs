@@ -1,0 +1,162 @@
+//! `dptd serve` — host concurrent campaigns over TCP.
+//!
+//! Starts the [`dptd_server::Server`] on `--listen <addr>` and serves
+//! the v1 wire protocol (`CreateCampaign`, batched `SubmitReports`,
+//! `CloseRound`, `QueryTruths`, `QueryBudget`) until **stdin reaches
+//! EOF** — `dptd serve < /dev/null` exits immediately, `Ctrl-D` stops an
+//! interactive run, and a supervisor stops the service by closing the
+//! pipe. The bound address is announced on stderr as soon as the
+//! listener is up (stdout carries only the shutdown summary, so scripts
+//! can parse it).
+//!
+//! `--wal <root>` enables durable campaigns: a campaign created with
+//! `durable` logs every round to `<root>/<campaign-id>` behind the
+//! advisory single-writer lock, and re-creating it after a crash
+//! resumes from that log.
+
+use std::path::PathBuf;
+
+use dptd_server::registry::RegistryConfig;
+use dptd_server::{Server, ServerConfig};
+
+use crate::args::ArgMap;
+use crate::CliError;
+
+/// Execute `dptd serve`: serve until stdin reaches EOF.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed flags and
+/// [`CliError::Pipeline`] when the listen address cannot be bound.
+pub fn execute(args: &ArgMap) -> Result<String, CliError> {
+    run(args, || {
+        use std::io::Read;
+        let mut sink = [0u8; 4096];
+        let stdin = std::io::stdin();
+        let mut stdin = stdin.lock();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) => break, // EOF: the operator closed the pipe
+                Ok(_) => continue,
+                // A signal (SIGCHLD under a supervisor, SIGWINCH, …) is
+                // not a shutdown request.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+/// The testable core: `wait` blocks until the service should stop.
+fn run(args: &ArgMap, wait: impl FnOnce()) -> Result<String, CliError> {
+    let listen = args.str_or("listen", "127.0.0.1:7878").to_string();
+    let config = ServerConfig {
+        listen,
+        max_connections: args.usize_or("max-connections", 64)?,
+        registry: RegistryConfig {
+            wal_root: args.get("wal").map(PathBuf::from),
+            max_campaigns: args.usize_or("max-campaigns", 1024)?,
+            max_users_per_campaign: args.u64_or("max-users", 4 << 20)?,
+        },
+    };
+    let wal_desc = config
+        .registry
+        .wal_root
+        .as_ref()
+        .map_or("disabled (volatile campaigns only)".to_string(), |p| {
+            format!("{} (durable campaigns resume per directory)", p.display())
+        });
+    let server = Server::start(config).map_err(|e| CliError::Pipeline(Box::new(e)))?;
+    // Announce on stderr immediately: with `--listen 127.0.0.1:0` the
+    // real port exists only now, and stdout is reserved for the final
+    // summary.
+    eprintln!(
+        "dptd serve: listening on {} (wal root: {wal_desc}); close stdin to stop",
+        server.local_addr()
+    );
+
+    wait();
+
+    let addr = server.local_addr();
+    let stats = server.shutdown();
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# dptd serve — shutdown summary\n");
+    let _ = writeln!(out, "listened on         {addr}");
+    let _ = writeln!(out, "campaigns created   {}", stats.campaigns_created);
+    let _ = writeln!(out, "reports submitted   {}", stats.reports_submitted);
+    let _ = writeln!(out, "rounds closed       {}", stats.rounds_closed);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(words: &[&str]) -> ArgMap {
+        ArgMap::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn serves_until_the_waiter_returns() {
+        let out = run(&map(&["--listen", "127.0.0.1:0"]), || {}).unwrap();
+        assert!(out.contains("shutdown summary"), "{out}");
+        assert!(out.contains("campaigns created   0"), "{out}");
+    }
+
+    #[test]
+    fn serves_a_round_trip_before_shutdown() {
+        use dptd_server::{CampaignSpec, Client};
+
+        // Start on an ephemeral port, talk to it from the waiter, then
+        // let the command shut down and summarise.
+        let out = run(&map(&["--listen", "127.0.0.1:0"]), || {
+            // The bound address is not observable from here (it went to
+            // stderr), so bind discovery is covered by the library
+            // tests; this waiter only exercises the wait hook.
+        })
+        .unwrap();
+        assert!(out.contains("rounds closed       0"), "{out}");
+
+        // Full loop against a directly-started server, matching what
+        // the command wires together.
+        let server = dptd_server::Server::start(dptd_server::ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .create_campaign(
+                "smoke",
+                CampaignSpec {
+                    num_users: 2,
+                    num_objects: 1,
+                    num_shards: 1,
+                    workers: 0,
+                    engine_queue: 64,
+                    deadline_us: 1_000,
+                    submission_capacity: 16,
+                    per_round_epsilon: 0.5,
+                    per_round_delta: 0.0,
+                    budget_epsilon: 5.0,
+                    budget_delta: 0.0,
+                    stream_tag: 0,
+                    durable: false,
+                },
+            )
+            .unwrap();
+        drop(client);
+        let stats = server.shutdown();
+        assert_eq!(stats.campaigns_created, 1);
+    }
+
+    #[test]
+    fn bad_listen_address_is_an_error() {
+        let err = run(&map(&["--listen", "not-an-address"]), || {
+            panic!("must not start serving")
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("failed"), "{err}");
+    }
+}

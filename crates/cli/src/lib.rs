@@ -1,6 +1,6 @@
 //! Library backing the `dptd` command-line tool.
 //!
-//! Six subcommands, each usable without writing any Rust:
+//! Eight subcommands, each usable without writing any Rust:
 //!
 //! ```text
 //! dptd run      --dataset synthetic --algorithm crh --epsilon 1.0 --delta 0.3
@@ -8,7 +8,9 @@
 //! dptd audit    --epsilon 1.0 --delta 0.3 --lambda1 2.0
 //! dptd campaign --backend engine --users 5000 --rounds 5 --wal wal/
 //! dptd engine   --users 100000 --epochs 5 --shards 16 --pattern bursty
-//! dptd recover  --wal wal/
+//! dptd serve    --listen 127.0.0.1:7878 --wal wal-root/
+//! dptd submit   --connect 127.0.0.1:7878 --campaign air-quality --rounds 5
+//! dptd recover  --wal wal/ --budgets spent
 //! ```
 //!
 //! All logic lives here (the binary is a thin `main`), so every command is
@@ -101,8 +103,28 @@ COMMANDS:
              --wal        write-ahead-log dir: log every round durably
                           and resume after a crash (engine backend)
              --dup --straggler --coverage --seed as below
+    serve    host concurrent campaigns over TCP (runs until stdin EOF)
+             --listen     bind address                      [127.0.0.1:7878]
+             --max-connections connection worker budget     [64]
+             --max-campaigns   live campaign cap            [1024]
+             --max-users       per-campaign population cap  [4194304]
+             --wal        root dir for durable campaigns (per-campaign
+                          subdirectory, advisory single-writer locked)
+    submit   drive a campaign against a running `dptd serve` over TCP
+             --connect    server address (required)
+             --campaign   campaign id                       [campaign]
+             --durable    true | false: log rounds server-side [false]
+             --batch      reports per SubmitReports frame   [1024]
+             --submission-capacity server-side queue bound  [65536]
+             --users --objects --rounds --churn --shards --workers
+             --queue-capacity --round-epsilon --round-delta
+             --budget-epsilon --budget-delta --dup --straggler
+             --coverage --seed as for campaign (same defaults, so a
+             submit run and a `dptd campaign` run print the same
+             round table and weights digest on one seed)
     recover  inspect a campaign write-ahead log (read-only)
              --wal        the log directory a campaign wrote
+             --budgets    spent | all: per-user remaining-budget audit
     engine   drive the sharded streaming aggregation engine under load
              --users      population size                    [10000]
              --objects    objects per epoch                  [8]
@@ -137,6 +159,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "audit" => commands::audit::execute(&args::ArgMap::parse(rest)?),
         "campaign" => commands::campaign::execute(&args::ArgMap::parse(rest)?),
         "engine" => commands::engine::execute(&args::ArgMap::parse(rest)?),
+        "serve" => commands::serve::execute(&args::ArgMap::parse(rest)?),
+        "submit" => commands::submit::execute(&args::ArgMap::parse(rest)?),
         "recover" => commands::recover::execute(&args::ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
@@ -228,6 +252,12 @@ mod tests {
             .unwrap();
             assert!(out.contains("weights digest"), "{backend}: {out}");
         }
+    }
+
+    #[test]
+    fn submit_without_connect_is_usage_error() {
+        let err = dispatch(&argv(&["submit"])).unwrap_err();
+        assert!(err.to_string().contains("--connect"), "{err}");
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub use engine::{Engine, EngineConfig, EngineReport, EpochOutcome};
 pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
 pub use metrics::{EngineMetrics, LatencyHistogram};
 pub use recovery::RecoveredState;
-pub use wal::{EpochRecord, FailingWal, FileWal, MemWal, WalError, WalPolicy, WalSink, WalWriter};
+pub use wal::{
+    EpochRecord, FailingWal, FileWal, MemWal, WalError, WalLock, WalPolicy, WalSink, WalWriter,
+};
 
 /// Error type for the aggregation engine.
 #[derive(Debug, Clone, PartialEq)]

@@ -44,14 +44,18 @@
 //! `crates/engine/tests/wal_proptests.rs`.
 //!
 //! **Single-writer contract**: a log directory belongs to one campaign
-//! process at a time. [`FileWal`] takes no OS-level lock (std-only, and
-//! a lock file that survives the crash would block the very recovery
-//! this module exists for), so two live writers interleaving records is
-//! an operator error — recovery *detects* it (a non-increasing epoch
-//! whose record differs from the one already applied refuses as
-//! [`WalError::Inconsistent`]) rather than silently merging or dropping
-//! privacy ledgers. Advisory locking is a roadmap follow-on alongside
-//! segment rotation.
+//! process at a time. [`WalLock`] enforces it advisorily with an OS
+//! file lock (flock-style, PID-stamped `LOCK` file for diagnostics), so
+//! a second live writer is refused **at open** ([`WalError::Locked`])
+//! instead of only detected at recovery — while a lock whose holder
+//! died releases with the process, so a crash never blocks the very
+//! recovery this module exists for. [`FileWal`] itself stays lock-free
+//! so read-only inspection (`dptd recover`) never contends; writers —
+//! the campaign CLI and the network server's per-campaign WAL dirs —
+//! acquire the lock around it. Recovery additionally still *detects*
+//! interleaved writers after the fact (a non-increasing epoch whose
+//! record differs from the one already applied refuses as
+//! [`WalError::Inconsistent`]).
 
 use std::fmt;
 use std::fs;
@@ -68,6 +72,9 @@ pub const WAL_MAGIC: [u8; 8] = *b"DPTDWAL\x01";
 /// Name of the (single, for now) segment file inside a WAL directory.
 /// Compacting snapshots into rotated segments is a planned follow-on.
 pub const SEGMENT_FILE: &str = "segment-000.wal";
+
+/// Name of the advisory single-writer lock file inside a WAL directory.
+pub const LOCK_FILE: &str = "LOCK";
 
 /// Bytes of frame overhead before each record payload (length prefix,
 /// length self-check, checksum).
@@ -104,6 +111,13 @@ pub enum WalError {
         /// What disagreed.
         reason: &'static str,
     },
+    /// Another live writer holds the directory's advisory [`WalLock`].
+    Locked {
+        /// PID recorded in the lock file (0 if unreadable).
+        pid: u32,
+        /// The lock file's path, for the operator.
+        path: String,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -115,6 +129,11 @@ impl fmt::Display for WalError {
                 write!(f, "wal corrupt at byte {offset}: {reason}")
             }
             WalError::Inconsistent { reason } => write!(f, "wal records inconsistent: {reason}"),
+            WalError::Locked { pid, path } => write!(
+                f,
+                "wal directory locked by live writer pid {pid} (OS lock on `{path}`; \
+                 it releases when that process exits)"
+            ),
         }
     }
 }
@@ -204,6 +223,90 @@ impl WalSink for FileWal {
             .map_err(|e| io_err("truncate", e))?;
         file.set_len(len).map_err(|e| io_err("truncate", e))?;
         file.sync_data().map_err(|e| io_err("truncate", e))
+    }
+}
+
+/// Advisory single-writer lock on a WAL directory.
+///
+/// The authoritative exclusion is an **OS file lock**
+/// ([`std::fs::File::try_lock`], flock-style) on `dir/LOCK`, so it dies
+/// with the holding process: a crashed campaign can never block its own
+/// recovery, and there is no stale-lock reclaim (and therefore no
+/// reclaim race) to get wrong. The file's content is the holder's PID,
+/// written purely as a diagnostic for the refusal message; the file
+/// itself is left in place on drop — its *presence* means nothing, only
+/// the live OS lock does.
+///
+/// Two live writers on one directory are refused at open
+/// ([`WalError::Locked`]) rather than only detected at recovery. This
+/// also holds within a single process: each acquisition opens its own
+/// file description, and the OS denies a second lock through a second
+/// descriptor.
+///
+/// The lock is advisory: read-only inspection ([`FileWal::load`],
+/// `dptd recover`) deliberately ignores it.
+#[derive(Debug)]
+pub struct WalLock {
+    /// Holding this open descriptor IS the lock; closing it (drop)
+    /// releases.
+    file: fs::File,
+    path: PathBuf,
+}
+
+impl WalLock {
+    /// Acquire the single-writer lock on `dir`, creating the directory if
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Locked`] when another live writer (any process,
+    /// including this one through another handle) holds the lock;
+    /// [`WalError::Io`] for filesystem failures.
+    pub fn acquire(dir: &Path) -> Result<Self, WalError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
+        let path = dir.join(LOCK_FILE);
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open lock", e))?;
+        match file.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                // Read the holder's PID (best effort, diagnostics only).
+                let pid = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok())
+                    .unwrap_or(0);
+                return Err(WalError::Locked {
+                    pid,
+                    path: path.display().to_string(),
+                });
+            }
+            Err(std::fs::TryLockError::Error(e)) => return Err(io_err("lock", e)),
+        }
+        // Locked: stamp our PID over whatever a previous holder left.
+        file.set_len(0).map_err(|e| io_err("write lock", e))?;
+        file.write_all(std::process::id().to_string().as_bytes())
+            .map_err(|e| io_err("write lock", e))?;
+        file.sync_all().map_err(|e| io_err("write lock", e))?;
+        Ok(Self { file, path })
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for WalLock {
+    fn drop(&mut self) {
+        // Explicit for clarity; closing the descriptor would release the
+        // OS lock anyway. The file stays behind — presence is not the
+        // signal, the lock is.
+        let _ = self.file.unlock();
     }
 }
 
@@ -1075,6 +1178,54 @@ mod tests {
         assert_eq!(r.truncated_bytes, 10);
         // The dead process stays dead.
         assert!(failing.append(&frame).is_err());
+    }
+
+    #[test]
+    fn wal_lock_refuses_a_second_live_writer_and_releases_on_drop() {
+        let dir = std::env::temp_dir().join(format!(
+            "dptd-wal-lock-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let lock = WalLock::acquire(&dir).unwrap();
+        assert!(lock.path().exists());
+        // Same directory, same process, second handle: refused — this is
+        // exactly the two-live-writers case the lock exists to stop.
+        match WalLock::acquire(&dir) {
+            Err(WalError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // Dropping releases; the next writer acquires cleanly.
+        drop(lock);
+        let relock = WalLock::acquire(&dir).unwrap();
+        drop(relock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_lock_file_left_by_a_dead_writer_never_blocks() {
+        let dir = std::env::temp_dir().join(format!(
+            "dptd-wal-stale-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // A LOCK file left behind by a crashed writer (any content, even
+        // garbage): the OS lock died with the process, so the file's
+        // mere presence must not block — this is what lets a crashed
+        // campaign recover without operator intervention.
+        fs::write(dir.join(LOCK_FILE), "not-a-pid").unwrap();
+        let lock = WalLock::acquire(&dir).expect("an unheld lock file must not block");
+        // The new holder stamped its own PID over the leftovers.
+        assert_eq!(
+            fs::read_to_string(lock.path()).unwrap().trim(),
+            std::process::id().to_string()
+        );
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

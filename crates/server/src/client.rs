@@ -1,0 +1,410 @@
+//! Blocking client for the campaign service.
+//!
+//! [`Client`] is what `dptd submit` runs, what the loopback e2e harness
+//! drives, and what the `server_throughput` bench times: one TCP
+//! connection, the v1 hello exchange, then synchronous
+//! request/response. Convenience wrappers return typed outcomes and
+//! turn [`Response::Error`] replies into [`ServerError::Remote`].
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dptd_protocol::message::StampedReport;
+
+use crate::server::{complete_frame, read_frame_body, write_frame};
+use crate::wire::{self, CampaignSpec, Request, Response};
+use crate::{io_err, ServerError};
+
+/// Default reports per `SubmitReports` frame for
+/// [`Client::submit_chunked`].
+pub const DEFAULT_SUBMIT_CHUNK: usize = 1024;
+
+/// What a successful `CloseRound` reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// The epoch that closed.
+    pub epoch: u64,
+    /// Reports aggregated.
+    pub accepted: u64,
+    /// Users refused on budget.
+    pub refused: u64,
+    /// Duplicates discarded.
+    pub duplicates: u64,
+    /// Late drops.
+    pub late: u64,
+    /// Truths for the round's objects.
+    pub truths: Vec<f64>,
+    /// Post-round weights digest.
+    pub weights_digest: u64,
+    /// Worst cumulative ε after the round.
+    pub max_spent_epsilon: f64,
+    /// Worst cumulative δ after the round.
+    pub max_spent_delta: f64,
+}
+
+/// What `QueryTruths` returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthsOutcome {
+    /// Rounds completed.
+    pub rounds_run: u64,
+    /// Truths from the last closed round.
+    pub truths: Vec<f64>,
+    /// Current weights digest.
+    pub weights_digest: u64,
+}
+
+/// What `QueryBudget` returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetOutcome {
+    /// Users who can afford no further round.
+    pub exhausted: u64,
+    /// Worst cumulative ε spent.
+    pub max_spent_epsilon: f64,
+    /// Worst cumulative δ spent.
+    pub max_spent_delta: f64,
+    /// Per-user debit counts.
+    pub debits: Vec<u32>,
+}
+
+/// Whether a submission batch was queued or pushed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The batch was enqueued; the campaign now holds this many pending
+    /// reports.
+    Queued(u64),
+    /// Backpressure: nothing was enqueued.
+    Busy {
+        /// Reports currently pending.
+        queued: u64,
+        /// The submission queue's capacity.
+        capacity: u64,
+    },
+}
+
+/// A blocking connection to a campaign server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and perform the hello exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Busy`] when the server refuses at its connection
+    /// budget, [`ServerError::BadHello`] for a non-protocol peer,
+    /// [`ServerError::Io`] for socket failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServerError> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream.set_nodelay(true).map_err(|e| io_err("connect", e))?;
+        stream
+            .write_all(&wire::HELLO)
+            .map_err(|e| io_err("send hello", e))?;
+
+        let mut reply = [0u8; wire::HELLO.len()];
+        stream
+            .read_exact(&mut reply)
+            .map_err(|e| io_err("read hello", e))?;
+        if reply == wire::HELLO {
+            return Ok(Self { stream });
+        }
+        // Not the hello: an over-budget server answers the connect with
+        // one error frame instead. The 8 bytes read are its header's
+        // first half; complete the frame and surface it typed.
+        let Ok(body) = complete_frame(&reply, &mut stream) else {
+            return Err(ServerError::BadHello);
+        };
+        match Response::decode(&body) {
+            Ok(Response::Error {
+                code: wire::ErrorCode::ServerBusy,
+                ..
+            }) => Err(ServerError::Busy),
+            Ok(Response::Error { code, message }) => Err(ServerError::Remote { code, message }),
+            _ => Err(ServerError::BadHello),
+        }
+    }
+
+    /// Send one request and read its reply.
+    ///
+    /// # Errors
+    ///
+    /// Socket and wire failures; a typed [`Response::Error`] is returned
+    /// as a normal `Ok` response (use the convenience wrappers to have
+    /// it converted into [`ServerError::Remote`]).
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServerError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame_body(&mut self.stream)? {
+            Some(body) => Ok(Response::decode(&body)?),
+            None => Err(ServerError::Io {
+                op: "read response",
+                message: "connection closed before the reply".to_string(),
+            }),
+        }
+    }
+
+    fn expect(&mut self, request: &Request) -> Result<Response, ServerError> {
+        match self.request(request)? {
+            Response::Error { code, message } => Err(ServerError::Remote { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Create (or, when durable, resume) a campaign. Returns the rounds
+    /// already committed in its WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Remote`] for typed refusals, plus socket/wire
+    /// failures.
+    pub fn create_campaign(
+        &mut self,
+        campaign: &str,
+        spec: CampaignSpec,
+    ) -> Result<u64, ServerError> {
+        match self.expect(&Request::CreateCampaign {
+            campaign: campaign.to_string(),
+            spec,
+        })? {
+            Response::Created { resumed_rounds } => Ok(resumed_rounds),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Submit one batch as a single frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::create_campaign`]; `Busy` is an `Ok` outcome, not an
+    /// error — backpressure is the caller's to handle.
+    pub fn submit(
+        &mut self,
+        campaign: &str,
+        reports: Vec<StampedReport>,
+    ) -> Result<SubmitOutcome, ServerError> {
+        match self.expect(&Request::SubmitReports {
+            campaign: campaign.to_string(),
+            reports,
+        })? {
+            Response::Submitted { queued } => Ok(SubmitOutcome::Queued(queued)),
+            Response::Busy { queued, capacity } => Ok(SubmitOutcome::Busy { queued, capacity }),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Submit a round's stream in frames of `chunk` reports (order
+    /// preserved — what keeps a served round bit-identical to an
+    /// in-process one). Returns the reports queued server-side.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Busy`] if any chunk hits backpressure (nothing of
+    /// that chunk was enqueued), plus everything [`Client::submit`]
+    /// raises.
+    pub fn submit_chunked(
+        &mut self,
+        campaign: &str,
+        reports: &[StampedReport],
+        chunk: usize,
+    ) -> Result<u64, ServerError> {
+        let chunk = chunk.max(1);
+        let mut queued = 0;
+        for batch in reports.chunks(chunk) {
+            match self.submit(campaign, batch.to_vec())? {
+                SubmitOutcome::Queued(q) => queued = q,
+                SubmitOutcome::Busy { .. } => return Err(ServerError::Busy),
+            }
+        }
+        Ok(queued)
+    }
+
+    /// Close the campaign's current round.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Remote`] for typed refusals (wrong epoch, starved
+    /// coverage, exhausted budgets), plus socket/wire failures.
+    pub fn close_round(&mut self, campaign: &str, epoch: u64) -> Result<RoundOutcome, ServerError> {
+        match self.expect(&Request::CloseRound {
+            campaign: campaign.to_string(),
+            epoch,
+        })? {
+            Response::RoundClosed {
+                epoch,
+                accepted,
+                refused,
+                duplicates,
+                late,
+                truths,
+                weights_digest,
+                max_spent_epsilon,
+                max_spent_delta,
+            } => Ok(RoundOutcome {
+                epoch,
+                accepted,
+                refused,
+                duplicates,
+                late,
+                truths,
+                weights_digest,
+                max_spent_epsilon,
+                max_spent_delta,
+            }),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Read the latest truths and weights digest.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`].
+    pub fn query_truths(&mut self, campaign: &str) -> Result<TruthsOutcome, ServerError> {
+        match self.expect(&Request::QueryTruths {
+            campaign: campaign.to_string(),
+        })? {
+            Response::Truths {
+                rounds_run,
+                truths,
+                weights_digest,
+            } => Ok(TruthsOutcome {
+                rounds_run,
+                truths,
+                weights_digest,
+            }),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Read the privacy-budget ledger.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`].
+    pub fn query_budget(&mut self, campaign: &str) -> Result<BudgetOutcome, ServerError> {
+        match self.expect(&Request::QueryBudget {
+            campaign: campaign.to_string(),
+        })? {
+            Response::Budget {
+                exhausted,
+                max_spent_epsilon,
+                max_spent_delta,
+                debits,
+            } => Ok(BudgetOutcome {
+                exhausted,
+                max_spent_epsilon,
+                max_spent_delta,
+                debits,
+            }),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use crate::server::{Server, ServerConfig};
+    use dptd_core::roles::PerturbedReport;
+
+    fn spec(users: u64, capacity: u64) -> CampaignSpec {
+        CampaignSpec {
+            num_users: users,
+            num_objects: 1,
+            num_shards: 2,
+            workers: 0,
+            engine_queue: 1024,
+            deadline_us: 1_000,
+            submission_capacity: capacity,
+            per_round_epsilon: 0.5,
+            per_round_delta: 0.0,
+            budget_epsilon: 5.0,
+            budget_delta: 0.0,
+            stream_tag: 0,
+            durable: false,
+        }
+    }
+
+    fn stamped(epoch: u64, user: usize, sent_at_us: u64, v: f64) -> StampedReport {
+        StampedReport {
+            epoch,
+            sent_at_us,
+            report: PerturbedReport {
+                user,
+                values: vec![(0, v)],
+            },
+        }
+    }
+
+    fn start() -> Server {
+        Server::start(ServerConfig {
+            registry: RegistryConfig::default(),
+            ..ServerConfig::default()
+        })
+        .expect("server starts on loopback")
+    }
+
+    #[test]
+    fn loopback_round_trip_through_real_sockets() {
+        let server = start();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.create_campaign("c", spec(2, 64)).unwrap(), 0);
+        let queued = client
+            .submit_chunked("c", &[stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)], 1)
+            .unwrap();
+        assert_eq!(queued, 2);
+        let round = client.close_round("c", 0).unwrap();
+        assert_eq!(round.accepted, 2);
+        assert_eq!(round.truths.len(), 1);
+        let budget = client.query_budget("c").unwrap();
+        assert_eq!(budget.debits, vec![1, 1]);
+        let truths = client.query_truths("c").unwrap();
+        assert_eq!(truths.rounds_run, 1);
+        assert_eq!(truths.weights_digest, round.weights_digest);
+        let stats = server.shutdown();
+        assert_eq!(stats.rounds_closed, 1);
+        assert_eq!(stats.reports_submitted, 2);
+    }
+
+    #[test]
+    fn typed_refusals_reach_the_client() {
+        let server = start();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let err = client.close_round("ghost", 0).unwrap_err();
+        match err {
+            ServerError::Remote { code, .. } => {
+                assert_eq!(code, crate::wire::ErrorCode::UnknownCampaign)
+            }
+            other => panic!("expected Remote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_budget_refuses_with_server_busy() {
+        let server = Server::start(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let held = Client::connect(server.local_addr()).unwrap();
+        // Second connection: over budget. The refusal can race the
+        // acceptor's reaping, so allow a few tries.
+        let mut refused = false;
+        for _ in 0..10 {
+            match Client::connect(server.local_addr()) {
+                Err(ServerError::Busy) => {
+                    refused = true;
+                    break;
+                }
+                Err(other) => panic!("expected Busy, got {other:?}"),
+                Ok(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        assert!(
+            refused,
+            "a held connection must trip the 1-connection budget"
+        );
+        drop(held);
+    }
+}

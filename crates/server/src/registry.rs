@@ -1,0 +1,742 @@
+//! The multi-campaign registry: one process, many live campaigns.
+//!
+//! [`CampaignRegistry`] maps campaign ids to independent campaign
+//! slots. Each slot owns a
+//! [`CampaignDriver`]`<`[`EngineBackend`]`>` — its own sharded engine,
+//! carried weights and per-user privacy ledger, optionally durable
+//! through a per-campaign WAL directory — plus a **bounded** submission
+//! queue: `SubmitReports` batches accumulate until `CloseRound` drains
+//! them through one engine epoch, and a batch that would overflow the
+//! queue is refused with [`Response::Busy`] (taken atomically or not at
+//! all — the server never buffers unboundedly and never tears a batch).
+//!
+//! Slots serialize their own operations behind one mutex each, so
+//! campaigns proceed fully concurrently while a single campaign's
+//! rounds stay deterministic: the reports a round aggregates are exactly
+//! the submitted stream in submission order, which is what makes a
+//! served campaign's weights digest and budget ledger **bit-identical**
+//! to an in-process [`CampaignDriver`] run on the same stream.
+//!
+//! Privacy enforcement is the campaign layer's, unchanged: exhausted
+//! users are refused by the [`BudgetAccountant`] before their reports
+//! reach the engine, and a round in which *every* submitter is refused
+//! surfaces as a typed [`ErrorCode::BudgetExhausted`] wire error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dptd_engine::{Engine, EngineBackend, EngineConfig, FileWal, WalLock, WalPolicy};
+use dptd_ldp::PrivacyLoss;
+use dptd_protocol::budget::BudgetAccountant;
+use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend};
+use dptd_protocol::message::StampedReport;
+use dptd_protocol::ProtocolError;
+use dptd_stats::digest::fnv1a_f64s;
+use dptd_truth::Loss;
+
+use crate::wire::{validate_campaign_id, CampaignSpec, ErrorCode, Request, Response};
+
+/// Server-side limits and the WAL root.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Root directory for durable campaigns; campaign `id` logs to
+    /// `<root>/<id>`. `None` refuses durable creates.
+    pub wal_root: Option<PathBuf>,
+    /// Hard cap on concurrently hosted campaigns.
+    pub max_campaigns: usize,
+    /// Hard cap on a single campaign's population (a `CreateCampaign`
+    /// claiming more is refused before the server allocates `O(users)`).
+    pub max_users_per_campaign: u64,
+}
+
+impl Default for RegistryConfig {
+    /// No WAL root, 1024 campaigns, 4 Mi users per campaign.
+    fn default() -> Self {
+        Self {
+            wal_root: None,
+            max_campaigns: 1024,
+            max_users_per_campaign: 4 << 20,
+        }
+    }
+}
+
+/// One hosted campaign. The slot mutex serializes submissions and round
+/// closes for this campaign only.
+#[derive(Debug)]
+struct CampaignSlot {
+    state: Mutex<CampaignState>,
+}
+
+#[derive(Debug)]
+struct CampaignState {
+    driver: CampaignDriver<EngineBackend>,
+    /// Reports awaiting the next `CloseRound`, in submission order.
+    pending: Vec<StampedReport>,
+    /// The bounded queue's capacity.
+    capacity: usize,
+    /// The epoch the next round will run as (advances only on a
+    /// successful close, so a failed round can be retried).
+    next_epoch: u64,
+    /// Truths from the last successful round (empty before the first).
+    last_truths: Vec<f64>,
+    /// Held for the campaign's lifetime when durable: a second live
+    /// writer on the same WAL directory is refused at create.
+    _wal_lock: Option<WalLock>,
+}
+
+/// Aggregate counters across every campaign (for the `dptd serve`
+/// shutdown summary and the throughput bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Campaigns created (including WAL resumes).
+    pub campaigns_created: u64,
+    /// Reports accepted into submission queues.
+    pub reports_submitted: u64,
+    /// Rounds successfully closed.
+    pub rounds_closed: u64,
+}
+
+/// The shared multi-campaign state behind the TCP front end.
+#[derive(Debug)]
+pub struct CampaignRegistry {
+    config: RegistryConfig,
+    campaigns: Mutex<BTreeMap<String, Arc<CampaignSlot>>>,
+    campaigns_created: AtomicU64,
+    reports_submitted: AtomicU64,
+    rounds_closed: AtomicU64,
+}
+
+fn refuse(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Map a campaign-layer failure onto a stable wire error code.
+fn protocol_refusal(e: &ProtocolError) -> Response {
+    let code = match e {
+        ProtocolError::InvalidParameter { .. } => ErrorCode::InvalidRequest,
+        ProtocolError::InsufficientCoverage { .. } => ErrorCode::InsufficientCoverage,
+        ProtocolError::Backend { message, .. } if message.contains("write-ahead log") => {
+            ErrorCode::WalRefused
+        }
+        _ => ErrorCode::Internal,
+    };
+    refuse(code, e.to_string())
+}
+
+impl CampaignRegistry {
+    /// An empty registry under `config`.
+    pub fn new(config: RegistryConfig) -> Self {
+        Self {
+            config,
+            campaigns: Mutex::new(BTreeMap::new()),
+            campaigns_created: AtomicU64::new(0),
+            reports_submitted: AtomicU64::new(0),
+            rounds_closed: AtomicU64::new(0),
+        }
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            campaigns_created: self.campaigns_created.load(Ordering::Relaxed),
+            reports_submitted: self.reports_submitted.load(Ordering::Relaxed),
+            rounds_closed: self.rounds_closed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Campaigns currently hosted.
+    pub fn campaign_count(&self) -> usize {
+        self.campaigns.lock().expect("registry lock").len()
+    }
+
+    /// Execute one request. Every failure is a typed
+    /// [`Response::Error`] — the connection layer only transports.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::CreateCampaign { campaign, spec } => self.create(&campaign, &spec),
+            Request::SubmitReports { campaign, reports } => self.submit(&campaign, reports),
+            Request::CloseRound { campaign, epoch } => self.close_round(&campaign, epoch),
+            Request::QueryTruths { campaign } => self.query_truths(&campaign),
+            Request::QueryBudget { campaign } => self.query_budget(&campaign),
+        }
+    }
+
+    fn slot(&self, campaign: &str) -> Result<Arc<CampaignSlot>, Response> {
+        self.campaigns
+            .lock()
+            .expect("registry lock")
+            .get(campaign)
+            .cloned()
+            .ok_or_else(|| {
+                refuse(
+                    ErrorCode::UnknownCampaign,
+                    format!("no campaign `{campaign}`"),
+                )
+            })
+    }
+
+    fn create(&self, campaign: &str, spec: &CampaignSpec) -> Response {
+        if let Err(e) = validate_campaign_id(campaign) {
+            return refuse(ErrorCode::InvalidRequest, e.to_string());
+        }
+        if spec.num_users > self.config.max_users_per_campaign {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "population {} exceeds the server's {}-user cap",
+                    spec.num_users, self.config.max_users_per_campaign
+                ),
+            );
+        }
+        if spec.submission_capacity == 0 {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                "submission_capacity must be positive",
+            );
+        }
+        // Fast-fail on a taken id before building an engine; the
+        // authoritative check is the insert below.
+        {
+            let map = self.campaigns.lock().expect("registry lock");
+            if map.contains_key(campaign) {
+                return refuse(
+                    ErrorCode::CampaignExists,
+                    format!("campaign `{campaign}` is already live"),
+                );
+            }
+            if map.len() >= self.config.max_campaigns {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    format!("server at its {}-campaign cap", self.config.max_campaigns),
+                );
+            }
+        }
+
+        let per_round_loss = match PrivacyLoss::new(spec.per_round_epsilon, spec.per_round_delta) {
+            Ok(l) => l,
+            Err(e) => return refuse(ErrorCode::InvalidRequest, e.to_string()),
+        };
+        let budget = match PrivacyLoss::new(spec.budget_epsilon, spec.budget_delta) {
+            Ok(l) => l,
+            Err(e) => return refuse(ErrorCode::InvalidRequest, e.to_string()),
+        };
+        let campaign_cfg = CampaignConfig {
+            num_objects: spec.num_objects as usize,
+            deadline_us: spec.deadline_us,
+            per_round_loss,
+            budget,
+        };
+        let engine = match Engine::new(EngineConfig {
+            num_users: spec.num_users as usize,
+            num_objects: spec.num_objects as usize,
+            num_shards: spec.num_shards as usize,
+            workers: spec.workers as usize,
+            queue_capacity: spec.engine_queue as usize,
+            epoch_deadline_us: spec.deadline_us,
+            loss: Loss::Squared,
+        }) {
+            Ok(e) => e,
+            Err(e) => return refuse(ErrorCode::InvalidRequest, e.to_string()),
+        };
+
+        let (driver, next_epoch, resumed_rounds, wal_lock) = if spec.durable {
+            let Some(root) = &self.config.wal_root else {
+                return refuse(
+                    ErrorCode::WalRefused,
+                    "durable campaigns need a server started with --wal <root>",
+                );
+            };
+            let dir = root.join(campaign);
+            // Advisory single-writer lock, held for the campaign's
+            // lifetime: a second live writer (another server, a CLI
+            // campaign) on this directory is refused here, at open.
+            let lock = match WalLock::acquire(&dir) {
+                Ok(l) => l,
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            let sink = match FileWal::open(&dir) {
+                Ok(s) => s,
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            // Stamp the client's stream fingerprint into every record:
+            // resuming this log under a different stream (or different
+            // privacy flags) is refused by recovery instead of silently
+            // reinterpreting the ledger.
+            let policy = WalPolicy::from_campaign(&campaign_cfg).with_stream_tag(spec.stream_tag);
+            let (backend, recovered) = match EngineBackend::with_wal(engine, Box::new(sink), policy)
+            {
+                Ok(out) => out,
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            let next = recovered.next_epoch();
+            let applied = recovered.records_applied;
+            let driver = match CampaignDriver::resume(
+                backend,
+                campaign_cfg,
+                recovered.rounds_debited,
+                applied.min(u64::from(u32::MAX)) as u32,
+            ) {
+                Ok(d) => d,
+                Err(e) => return protocol_refusal(&e),
+            };
+            (driver, next, applied, Some(lock))
+        } else {
+            let backend = match EngineBackend::new(engine) {
+                Ok(b) => b,
+                Err(e) => return refuse(ErrorCode::InvalidRequest, e.to_string()),
+            };
+            let driver = match CampaignDriver::new(backend, campaign_cfg) {
+                Ok(d) => d,
+                Err(e) => return protocol_refusal(&e),
+            };
+            (driver, 0, 0, None)
+        };
+
+        let slot = Arc::new(CampaignSlot {
+            state: Mutex::new(CampaignState {
+                driver,
+                pending: Vec::new(),
+                capacity: spec.submission_capacity as usize,
+                next_epoch,
+                last_truths: Vec::new(),
+                _wal_lock: wal_lock,
+            }),
+        });
+        let mut map = self.campaigns.lock().expect("registry lock");
+        // Authoritative re-checks: the fast-fail above ran before the
+        // engine was built, and a concurrent create may have won either
+        // the id or the last cap slot in the meantime.
+        if map.contains_key(campaign) {
+            return refuse(
+                ErrorCode::CampaignExists,
+                format!("campaign `{campaign}` is already live"),
+            );
+        }
+        if map.len() >= self.config.max_campaigns {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!("server at its {}-campaign cap", self.config.max_campaigns),
+            );
+        }
+        map.insert(campaign.to_string(), slot);
+        drop(map);
+        self.campaigns_created.fetch_add(1, Ordering::Relaxed);
+        Response::Created { resumed_rounds }
+    }
+
+    fn submit(&self, campaign: &str, reports: Vec<StampedReport>) -> Response {
+        let slot = match self.slot(campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let mut state = slot.state.lock().expect("campaign lock");
+        let num_users = state.driver.backend().num_users();
+        for r in &reports {
+            if r.epoch != state.next_epoch {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    format!(
+                        "report for epoch {} but campaign `{campaign}` is on round {}",
+                        r.epoch, state.next_epoch
+                    ),
+                );
+            }
+            if r.report.user >= num_users {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    format!(
+                        "user {} outside the {num_users}-user population",
+                        r.report.user
+                    ),
+                );
+            }
+        }
+        // Bounded queue, batch-atomic: either the whole batch fits or
+        // nothing is taken and the client sees explicit backpressure.
+        if state.pending.len() + reports.len() > state.capacity {
+            return Response::Busy {
+                queued: state.pending.len() as u64,
+                capacity: state.capacity as u64,
+            };
+        }
+        let batch = reports.len() as u64;
+        state.pending.extend(reports);
+        self.reports_submitted.fetch_add(batch, Ordering::Relaxed);
+        Response::Submitted {
+            queued: state.pending.len() as u64,
+        }
+    }
+
+    fn close_round(&self, campaign: &str, epoch: u64) -> Response {
+        let slot = match self.slot(campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let mut state = slot.state.lock().expect("campaign lock");
+        if epoch != state.next_epoch {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "cannot close epoch {epoch}: campaign `{campaign}` is on round {}",
+                    state.next_epoch
+                ),
+            );
+        }
+        let reports = std::mem::take(&mut state.pending);
+        // Surface an all-refused round as the budget error it is, before
+        // the engine turns it into a bare coverage failure. Observable
+        // state is identical either way: nothing is debited, the round
+        // does not advance, and the submitted batch is consumed.
+        if !reports.is_empty() {
+            let ledger = state.driver.accountant();
+            if reports.iter().all(|r| !ledger.can_spend(r.report.user)) {
+                return refuse(
+                    ErrorCode::BudgetExhausted,
+                    format!(
+                        "every submitting user's privacy budget is exhausted \
+                         ({} of {} users spent out)",
+                        ledger.exhausted_count(),
+                        ledger.num_users()
+                    ),
+                );
+            }
+        }
+        match state.driver.run_round(epoch, reports) {
+            Ok(round) => {
+                state.next_epoch += 1;
+                state.last_truths = round.truths.clone();
+                self.rounds_closed.fetch_add(1, Ordering::Relaxed);
+                Response::RoundClosed {
+                    epoch,
+                    accepted: round.accepted as u64,
+                    refused: round.refused_users as u64,
+                    duplicates: round.duplicates_discarded,
+                    late: round.late_dropped,
+                    truths: round.truths,
+                    weights_digest: fnv1a_f64s(&round.weights),
+                    max_spent_epsilon: round.max_spent.epsilon(),
+                    max_spent_delta: round.max_spent.delta(),
+                }
+            }
+            Err(e) => protocol_refusal(&e),
+        }
+    }
+
+    fn query_truths(&self, campaign: &str) -> Response {
+        let slot = match self.slot(campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let state = slot.state.lock().expect("campaign lock");
+        Response::Truths {
+            rounds_run: u64::from(state.driver.rounds_run()),
+            truths: state.last_truths.clone(),
+            weights_digest: fnv1a_f64s(state.driver.backend().current_weights()),
+        }
+    }
+
+    fn query_budget(&self, campaign: &str) -> Response {
+        let slot = match self.slot(campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let state = slot.state.lock().expect("campaign lock");
+        let ledger: &BudgetAccountant = state.driver.accountant();
+        Response::Budget {
+            exhausted: ledger.exhausted_count() as u64,
+            max_spent_epsilon: ledger.max_spent().epsilon(),
+            max_spent_delta: ledger.max_spent().delta(),
+            debits: ledger.debits_by_user().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_core::roles::PerturbedReport;
+
+    fn spec(users: u64, capacity: u64) -> CampaignSpec {
+        CampaignSpec {
+            num_users: users,
+            num_objects: 1,
+            num_shards: 2,
+            workers: 0,
+            engine_queue: 1024,
+            deadline_us: 1_000,
+            submission_capacity: capacity,
+            per_round_epsilon: 0.5,
+            per_round_delta: 0.0,
+            budget_epsilon: 1.0,
+            budget_delta: 0.0,
+            stream_tag: 0,
+            durable: false,
+        }
+    }
+
+    fn stamped(epoch: u64, user: usize, sent_at_us: u64, v: f64) -> StampedReport {
+        StampedReport {
+            epoch,
+            sent_at_us,
+            report: PerturbedReport {
+                user,
+                values: vec![(0, v)],
+            },
+        }
+    }
+
+    fn registry() -> CampaignRegistry {
+        CampaignRegistry::new(RegistryConfig::default())
+    }
+
+    fn create(reg: &CampaignRegistry, id: &str, s: CampaignSpec) -> Response {
+        reg.handle(Request::CreateCampaign {
+            campaign: id.to_string(),
+            spec: s,
+        })
+    }
+
+    #[test]
+    fn campaign_lifecycle_round_trips() {
+        let reg = registry();
+        assert_eq!(
+            create(&reg, "c", spec(2, 64)),
+            Response::Created { resumed_rounds: 0 }
+        );
+        assert_eq!(reg.campaign_count(), 1);
+
+        let resp = reg.handle(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)],
+        });
+        assert_eq!(resp, Response::Submitted { queued: 2 });
+
+        let resp = reg.handle(Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 0,
+        });
+        let Response::RoundClosed {
+            epoch, accepted, ..
+        } = resp
+        else {
+            panic!("expected RoundClosed, got {resp:?}");
+        };
+        assert_eq!((epoch, accepted), (0, 2));
+
+        let resp = reg.handle(Request::QueryBudget {
+            campaign: "c".to_string(),
+        });
+        let Response::Budget { debits, .. } = resp else {
+            panic!("expected Budget, got {resp:?}");
+        };
+        assert_eq!(debits, vec![1, 1]);
+        assert_eq!(reg.stats().rounds_closed, 1);
+        assert_eq!(reg.stats().reports_submitted, 2);
+    }
+
+    #[test]
+    fn duplicate_ids_and_unknown_campaigns_are_typed_errors() {
+        let reg = registry();
+        create(&reg, "c", spec(2, 64));
+        let resp = create(&reg, "c", spec(2, 64));
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::CampaignExists,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        let resp = reg.handle(Request::QueryTruths {
+            campaign: "ghost".to_string(),
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::UnknownCampaign,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn submission_queue_is_bounded_and_batch_atomic() {
+        let reg = registry();
+        create(&reg, "c", spec(8, 3));
+        let batch: Vec<_> = (0..3).map(|u| stamped(0, u, 1, u as f64)).collect();
+        assert_eq!(
+            reg.handle(Request::SubmitReports {
+                campaign: "c".to_string(),
+                reports: batch,
+            }),
+            Response::Submitted { queued: 3 }
+        );
+        // One more report would overflow: Busy, and nothing taken.
+        assert_eq!(
+            reg.handle(Request::SubmitReports {
+                campaign: "c".to_string(),
+                reports: vec![stamped(0, 3, 1, 3.0)],
+            }),
+            Response::Busy {
+                queued: 3,
+                capacity: 3
+            }
+        );
+        // Closing drains the queue; submissions flow again.
+        let resp = reg.handle(Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 0,
+        });
+        assert!(matches!(resp, Response::RoundClosed { .. }), "{resp:?}");
+        assert_eq!(
+            reg.handle(Request::SubmitReports {
+                campaign: "c".to_string(),
+                reports: vec![stamped(1, 3, 1, 3.0)],
+            }),
+            Response::Submitted { queued: 1 }
+        );
+    }
+
+    #[test]
+    fn wrong_epoch_submissions_and_closes_are_refused() {
+        let reg = registry();
+        create(&reg, "c", spec(2, 64));
+        let resp = reg.handle(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(5, 0, 1, 1.0)],
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::InvalidRequest,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        let resp = reg.handle(Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 3,
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::InvalidRequest,
+                ..
+            }
+        ));
+        // Out-of-population users are refused at submit, with nothing
+        // queued.
+        let resp = reg.handle(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(0, 99, 1, 1.0)],
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::InvalidRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_as_a_typed_wire_error() {
+        let reg = registry();
+        // (0.5, 0) per round against a (1.0, 0) budget: two rounds each.
+        create(&reg, "c", spec(2, 64));
+        for epoch in 0..2u64 {
+            reg.handle(Request::SubmitReports {
+                campaign: "c".to_string(),
+                reports: vec![stamped(epoch, 0, 1, 1.0), stamped(epoch, 1, 2, 2.0)],
+            });
+            let resp = reg.handle(Request::CloseRound {
+                campaign: "c".to_string(),
+                epoch,
+            });
+            assert!(matches!(resp, Response::RoundClosed { .. }), "{resp:?}");
+        }
+        // Round 3: everyone is spent out — a typed BudgetExhausted, and
+        // the round stays retryable (epoch does not advance).
+        reg.handle(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(2, 0, 1, 1.0), stamped(2, 1, 2, 2.0)],
+        });
+        let resp = reg.handle(Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 2,
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::BudgetExhausted,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        let resp = reg.handle(Request::QueryBudget {
+            campaign: "c".to_string(),
+        });
+        let Response::Budget {
+            exhausted, debits, ..
+        } = resp
+        else {
+            panic!("expected Budget, got {resp:?}");
+        };
+        assert_eq!(exhausted, 2);
+        assert_eq!(debits, vec![2, 2]); // the failed round debited nothing
+    }
+
+    #[test]
+    fn durable_creates_need_a_wal_root_and_take_the_writer_lock() {
+        let reg = registry();
+        let durable = CampaignSpec {
+            stream_tag: 0,
+            durable: true,
+            ..spec(2, 64)
+        };
+        let resp = create(&reg, "c", durable);
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::WalRefused,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+
+        let root = std::env::temp_dir().join(format!(
+            "dptd-registry-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let reg = CampaignRegistry::new(RegistryConfig {
+            wal_root: Some(root.clone()),
+            ..RegistryConfig::default()
+        });
+        assert_eq!(
+            create(&reg, "c", durable),
+            Response::Created { resumed_rounds: 0 }
+        );
+        // The campaign's WAL dir is locked: an external writer is
+        // refused while the campaign lives.
+        assert!(matches!(
+            WalLock::acquire(&root.join("c")),
+            Err(dptd_engine::WalError::Locked { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

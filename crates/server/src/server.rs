@@ -1,0 +1,316 @@
+//! The TCP front end: a thread-per-connection accept loop with a hard
+//! connection worker budget.
+//!
+//! Connections are cheap blocking threads (std-only — no async runtime),
+//! but never unbounded: past [`ServerConfig::max_connections`] live
+//! connections the acceptor writes one typed
+//! [`ErrorCode::ServerBusy`](crate::wire::ErrorCode::ServerBusy) frame
+//! and closes, so an overload is **refused**, not queued. Every
+//! connection speaks the [`crate::wire`] v1 protocol: an 8-byte hello
+//! exchange, then request/response frames. All campaign semantics live
+//! in the shared [`CampaignRegistry`]; this module only transports.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::registry::{CampaignRegistry, RegistryConfig, RegistryStats};
+use crate::wire::{self, ErrorCode, Request, Response, WireError};
+use crate::{io_err, ServerError};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port — the
+    /// bound address is [`Server::local_addr`]).
+    pub listen: String,
+    /// Connection worker budget: live connections past this are refused
+    /// with `ServerBusy`.
+    pub max_connections: usize,
+    /// Campaign-level limits and the WAL root.
+    pub registry: RegistryConfig,
+}
+
+impl Default for ServerConfig {
+    /// Loopback ephemeral port, 64 connections, default registry.
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+/// Complete and validate one frame whose first `prefix.len()` bytes
+/// were already read off `stream`, returning the verified body. This is
+/// the single place the header-then-body socket read lives: the
+/// request/response loops enter it with an empty-ish prefix, and the
+/// client's connect path enters it with the 8 bytes it read while
+/// expecting a hello.
+pub(crate) fn complete_frame(
+    prefix: &[u8],
+    stream: &mut impl Read,
+) -> Result<Vec<u8>, ServerError> {
+    let mut frame = prefix.to_vec();
+    if frame.len() < wire::FRAME_HEADER_LEN {
+        let mut rest = vec![0u8; wire::FRAME_HEADER_LEN - frame.len()];
+        stream
+            .read_exact(&mut rest)
+            .map_err(|e| io_err("read frame header", e))?;
+        frame.extend_from_slice(&rest);
+    }
+    // Validate the header exactly as the pure decoder does, without yet
+    // having the body: splice it through `split_frame` — only a
+    // Truncated outcome means "valid so far, body still on the wire".
+    let full_len = match wire::split_frame(&frame) {
+        // A zero-length body: the header bytes are the whole frame.
+        Ok((body, _)) => return Ok(body.to_vec()),
+        Err(WireError::Truncated { needed, .. }) => needed,
+        Err(e) => return Err(ServerError::Wire(e)),
+    };
+    let mut body = vec![0u8; full_len - frame.len()];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| io_err("read frame body", e))?;
+    frame.extend_from_slice(&body);
+    let (checked, _) = wire::split_frame(&frame)?;
+    Ok(checked.to_vec())
+}
+
+/// Read one frame body off `stream`. `Ok(None)` is a clean close at a
+/// frame boundary; dying mid-frame (the torn-write case) is an I/O
+/// error; header/checksum violations are typed [`WireError`]s.
+pub(crate) fn read_frame_body(stream: &mut impl Read) -> Result<Option<Vec<u8>>, ServerError> {
+    // Distinguish clean EOF (nothing to read) from a torn frame: pull
+    // the first byte separately.
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(1) => break,
+            Ok(_) => unreachable!("read into a 1-byte buffer"),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_err("read frame header", e)),
+        }
+    }
+    complete_frame(&first, stream).map(Some)
+}
+
+/// Write one already-encoded frame.
+pub(crate) fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), ServerError> {
+    stream
+        .write_all(frame)
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_err("write frame", e))
+}
+
+/// Live connections: the stream (so shutdown can force an EOF under a
+/// blocked worker) paired with its worker's handle (so shutdown joins).
+type ConnectionList = Arc<Mutex<Vec<(Arc<TcpStream>, JoinHandle<()>)>>>;
+
+/// A running campaign service. Dropping (or [`Server::shutdown`])
+/// stops the acceptor, force-closes live connections, and joins every
+/// worker thread.
+#[derive(Debug)]
+pub struct Server {
+    registry: Arc<CampaignRegistry>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: ConnectionList,
+}
+
+impl Server {
+    /// Bind `config.listen` and start accepting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] when the address cannot be bound.
+    pub fn start(config: ServerConfig) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(
+            config
+                .listen
+                .to_socket_addrs()
+                .map_err(|e| io_err("resolve listen address", e))?
+                .next()
+                .ok_or_else(|| ServerError::Io {
+                    op: "resolve listen address",
+                    message: format!("`{}` resolves to nothing", config.listen),
+                })?,
+        )
+        .map_err(|e| io_err("bind", e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("local addr", e))?;
+
+        let registry = Arc::new(CampaignRegistry::new(config.registry));
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: ConnectionList = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_registry = Arc::clone(&registry);
+        let accept_stop = Arc::clone(&stop);
+        let accept_connections = Arc::clone(&connections);
+        let max_connections = config.max_connections.max(1);
+        let accept_thread = std::thread::Builder::new()
+            .name("dptd-accept".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let _ = stream.set_nodelay(true);
+
+                    let mut conns = accept_connections.lock().expect("connection list");
+                    // Reap finished workers so the budget counts only
+                    // live connections.
+                    let mut live = Vec::with_capacity(conns.len());
+                    for (s, h) in conns.drain(..) {
+                        if h.is_finished() {
+                            let _ = h.join();
+                        } else {
+                            live.push((s, h));
+                        }
+                    }
+                    *conns = live;
+
+                    if conns.len() >= max_connections {
+                        // Over the worker budget: refuse with a typed
+                        // frame instead of queueing or hanging.
+                        let mut s = &stream;
+                        let frame = Response::Error {
+                            code: ErrorCode::ServerBusy,
+                            message: format!("server at its {max_connections}-connection budget"),
+                        }
+                        .encode();
+                        let _ = write_frame(&mut s, &frame);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
+
+                    let stream = Arc::new(stream);
+                    let worker_stream = Arc::clone(&stream);
+                    let worker_registry = Arc::clone(&accept_registry);
+                    let handle = std::thread::Builder::new()
+                        .name("dptd-conn".to_string())
+                        .spawn(move || {
+                            serve_connection(&worker_stream, &worker_registry);
+                            // Close the TCP side eagerly: the acceptor's
+                            // bookkeeping still holds the stream handle
+                            // until the next reap, and the peer must see
+                            // EOF when its worker is done, not later.
+                            let _ = worker_stream.shutdown(std::net::Shutdown::Both);
+                        })
+                        .expect("spawn connection worker");
+                    conns.push((stream, handle));
+                }
+            })
+            .map_err(|e| io_err("spawn acceptor", e))?;
+
+        Ok(Self {
+            registry,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared campaign registry (e.g. for stats).
+    pub fn registry(&self) -> &CampaignRegistry {
+        &self.registry
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Force-close live connections so their workers see EOF.
+        let conns = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for (stream, handle) in conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop accepting, close every connection, join all workers, and
+    /// return the registry's aggregate counters.
+    pub fn shutdown(mut self) -> RegistryStats {
+        self.stop_threads();
+        self.registry.stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// One connection worker: hello exchange, then a request/response loop
+/// until the peer closes, dies mid-frame, or desynchronises.
+fn serve_connection(stream: &Arc<TcpStream>, registry: &CampaignRegistry) {
+    let mut reader: &TcpStream = stream;
+    let mut writer: &TcpStream = stream;
+
+    // Hello: the client leads; anything else is not our protocol.
+    let mut hello = [0u8; wire::HELLO.len()];
+    if reader.read_exact(&mut hello).is_err() || hello != wire::HELLO {
+        let frame = Response::Error {
+            code: ErrorCode::InvalidRequest,
+            message: "expected the dptd v1 hello".to_string(),
+        }
+        .encode();
+        let _ = write_frame(&mut writer, &frame);
+        return;
+    }
+    if writer.write_all(&wire::HELLO).is_err() {
+        return;
+    }
+
+    loop {
+        match read_frame_body(&mut reader) {
+            Ok(None) => return, // clean close
+            Ok(Some(body)) => {
+                // A well-framed body that fails to decode leaves the
+                // stream in sync: reply with a typed error and keep
+                // serving.
+                let response = match Request::decode(&body) {
+                    Ok(request) => registry.handle(request),
+                    Err(e) => Response::Error {
+                        code: ErrorCode::InvalidRequest,
+                        message: e.to_string(),
+                    },
+                };
+                if write_frame(&mut writer, &response.encode()).is_err() {
+                    return;
+                }
+            }
+            Err(ServerError::Wire(e)) => {
+                // Header or checksum violation: sync with the peer is
+                // lost, so answer once and hang up.
+                let frame = Response::Error {
+                    code: ErrorCode::InvalidRequest,
+                    message: e.to_string(),
+                }
+                .encode();
+                let _ = write_frame(&mut writer, &frame);
+                return;
+            }
+            // I/O failure or a peer that died mid-frame (torn write):
+            // nothing sensible to reply to.
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,1081 @@
+//! The campaign service's binary wire protocol (version 1).
+//!
+//! Everything on the socket is a **frame**: a fixed 16-byte header
+//! followed by a checksummed body, mirroring the engine's write-ahead
+//! log framing so both binary formats in the workspace share one
+//! discipline (length prefix with an XOR self-check, FNV-1a checksum,
+//! size-bounded decode).
+//!
+//! # On-the-wire layout (version 1, pinned by a golden test)
+//!
+//! ```text
+//! hello  := "DPTDNET" 0x01                    (8 bytes, client → server,
+//!                                              echoed back on accept)
+//! frame  := body_len:u32 len_check:u32 checksum:u64 body
+//! body   := kind:u8 payload                   (all little-endian)
+//! ```
+//!
+//! `len_check` is `body_len ^ "NET1"`; `checksum` is FNV-1a over the
+//! body. A header whose self-check fails, a body whose checksum fails,
+//! or a length past [`MAX_FRAME_LEN`] is a typed [`WireError`] — never a
+//! panic, and never an allocation driven by an unvalidated length: every
+//! count a payload claims is bounded against the bytes actually present
+//! before any `Vec` is sized (the same hardening as the WAL decode).
+//!
+//! Request kinds are `0x01..`, response kinds `0x81..`; an unknown kind
+//! is [`WireError::UnknownKind`]. Strings (campaign ids) are
+//! length-prefixed UTF-8, bounded by [`MAX_CAMPAIGN_ID_LEN`] and
+//! restricted to `[A-Za-z0-9._-]` (they name per-campaign WAL
+//! directories, so path separators must be unrepresentable).
+
+use std::fmt;
+
+use dptd_core::roles::PerturbedReport;
+use dptd_protocol::message::StampedReport;
+use dptd_stats::digest::Fnv1a;
+
+/// The 8-byte connection hello: 7 ASCII magic bytes plus the protocol
+/// version. Sent by the client on connect, echoed by the server.
+pub const HELLO: [u8; 8] = *b"DPTDNET\x01";
+
+/// Bytes of frame overhead before each body (length prefix, length
+/// self-check, checksum).
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 8;
+
+/// Upper bound on a frame body. Large submissions must be chunked by the
+/// client ([`crate::client::Client::submit_chunked`]); the bound is what
+/// lets the server reject a length-lying header before allocating.
+pub const MAX_FRAME_LEN: usize = 32 << 20;
+
+/// Upper bound on a campaign id, in bytes.
+pub const MAX_CAMPAIGN_ID_LEN: usize = 64;
+
+/// XOR mask for the frame header's length self-check.
+const LEN_XOR: u32 = u32::from_le_bytes(*b"NET1");
+
+/// Typed wire-level failures. Every way a byte stream can be malformed
+/// maps here; the codec never panics and never over-allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does (stream truncated mid-frame
+    /// — e.g. a peer that died mid-write).
+    Truncated {
+        /// Bytes the frame needs.
+        needed: usize,
+        /// Bytes present.
+        have: usize,
+    },
+    /// The header claims a body larger than [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The claimed body length.
+        claimed: u64,
+    },
+    /// The length prefix failed its XOR self-check — a corrupted or
+    /// non-protocol header.
+    LenCheck,
+    /// The body checksum did not match its header.
+    Checksum,
+    /// The body's kind byte names no known message.
+    UnknownKind(
+        /// The offending kind byte.
+        u8,
+    ),
+    /// The payload violates its kind's structure (a claimed count larger
+    /// than the bytes present, an over-long or ill-charactered campaign
+    /// id, trailing bytes, …).
+    Malformed(
+        /// What was wrong.
+        &'static str,
+    ),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "frame truncated: needs {needed} bytes, got {have}")
+            }
+            WireError::TooLarge { claimed } => {
+                write!(
+                    f,
+                    "frame body of {claimed} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+            WireError::LenCheck => write!(f, "frame length prefix failed its self-check"),
+            WireError::Checksum => write!(f, "frame checksum mismatch"),
+            WireError::UnknownKind(kind) => write!(f, "unknown frame kind 0x{kind:02x}"),
+            WireError::Malformed(reason) => write!(f, "malformed frame payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why the server refused a request, as a stable wire-level code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// No campaign under that id.
+    UnknownCampaign = 1,
+    /// A live campaign already holds that id.
+    CampaignExists = 2,
+    /// The request was structurally valid but semantically wrong (wrong
+    /// epoch, bad sizing, ill-formed campaign id, …).
+    InvalidRequest = 3,
+    /// The round starved: after deadline/dedup/refusal filtering some
+    /// object had no surviving report.
+    InsufficientCoverage = 4,
+    /// Every submitting user's privacy budget is exhausted — the
+    /// [`dptd_protocol::budget::BudgetAccountant`] refused them all.
+    BudgetExhausted = 5,
+    /// The campaign's write-ahead log refused the operation (locked by
+    /// another writer, corrupt, policy mismatch, or durability was
+    /// requested on a server with no WAL root).
+    WalRefused = 6,
+    /// The server is at its connection worker budget.
+    ServerBusy = 7,
+    /// Anything else (engine/internal failures).
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_u8(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::UnknownCampaign,
+            2 => ErrorCode::CampaignExists,
+            3 => ErrorCode::InvalidRequest,
+            4 => ErrorCode::InsufficientCoverage,
+            5 => ErrorCode::BudgetExhausted,
+            6 => ErrorCode::WalRefused,
+            7 => ErrorCode::ServerBusy,
+            8 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::UnknownCampaign => "unknown-campaign",
+            ErrorCode::CampaignExists => "campaign-exists",
+            ErrorCode::InvalidRequest => "invalid-request",
+            ErrorCode::InsufficientCoverage => "insufficient-coverage",
+            ErrorCode::BudgetExhausted => "budget-exhausted",
+            ErrorCode::WalRefused => "wal-refused",
+            ErrorCode::ServerBusy => "server-busy",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Sizing and privacy policy for a campaign created over the wire —
+/// everything the server needs to build the engine, the campaign driver
+/// and (optionally) the per-campaign write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignSpec {
+    /// Population size.
+    pub num_users: u64,
+    /// Objects per round.
+    pub num_objects: u64,
+    /// Engine ingestion shards.
+    pub num_shards: u64,
+    /// Engine drain workers (0 = auto).
+    pub workers: u64,
+    /// Engine per-shard queue depth.
+    pub engine_queue: u64,
+    /// Per-round submission deadline (virtual µs).
+    pub deadline_us: u64,
+    /// Cap on reports buffered between `SubmitReports` and `CloseRound`;
+    /// past it the server replies `Busy` instead of growing the queue.
+    pub submission_capacity: u64,
+    /// ε one aggregated report costs its user.
+    pub per_round_epsilon: f64,
+    /// δ one aggregated report costs its user.
+    pub per_round_delta: f64,
+    /// The campaign-wide ε ceiling per user.
+    pub budget_epsilon: f64,
+    /// The campaign-wide δ ceiling per user.
+    pub budget_delta: f64,
+    /// Opaque fingerprint of the input stream driving this campaign
+    /// (`0` when unused). Stamped into every durable WAL record: a
+    /// re-create that would resume the log under a **different** stream
+    /// (e.g. `dptd submit` with a new `--seed`) is refused instead of
+    /// silently replaying the ledger against reports it never
+    /// accounted — the same guard `dptd campaign --wal` applies.
+    pub stream_tag: u64,
+    /// Whether the campaign logs every round to its own WAL directory
+    /// under the server's WAL root (and resumes from it when re-created).
+    pub durable: bool,
+}
+
+/// A client→server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a new campaign (or resume a durable one from its WAL).
+    CreateCampaign {
+        /// The campaign id (also its WAL directory name when durable).
+        campaign: String,
+        /// Sizing and privacy policy.
+        spec: CampaignSpec,
+    },
+    /// Append a batch of stamped reports to the campaign's bounded
+    /// submission queue. All reports must carry the campaign's next
+    /// epoch; the batch is taken atomically or refused (`Busy`).
+    SubmitReports {
+        /// Target campaign.
+        campaign: String,
+        /// The batch, in stream order.
+        reports: Vec<StampedReport>,
+    },
+    /// Execute the campaign's next round over everything submitted since
+    /// the previous close.
+    CloseRound {
+        /// Target campaign.
+        campaign: String,
+        /// The epoch being closed (must be the campaign's next epoch —
+        /// a stale retry is refused instead of silently re-running).
+        epoch: u64,
+    },
+    /// Read the latest truths and the current weights digest.
+    QueryTruths {
+        /// Target campaign.
+        campaign: String,
+    },
+    /// Read the privacy-budget ledger.
+    QueryBudget {
+        /// Target campaign.
+        campaign: String,
+    },
+}
+
+/// A server→client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Campaign registered.
+    Created {
+        /// Rounds already durably committed (non-zero only when a
+        /// durable campaign resumed from its WAL).
+        resumed_rounds: u64,
+    },
+    /// Batch accepted into the submission queue.
+    Submitted {
+        /// Reports now pending for the next close.
+        queued: u64,
+    },
+    /// Backpressure: the submission queue cannot take the batch. Nothing
+    /// was enqueued — the client must retry after a `CloseRound` drains
+    /// the queue (the server never buffers unboundedly).
+    Busy {
+        /// Reports currently pending.
+        queued: u64,
+        /// The queue's capacity.
+        capacity: u64,
+    },
+    /// A round executed.
+    RoundClosed {
+        /// The epoch that closed.
+        epoch: u64,
+        /// Reports aggregated.
+        accepted: u64,
+        /// Users refused because their budget was exhausted.
+        refused: u64,
+        /// Duplicates discarded (first-wins).
+        duplicates: u64,
+        /// Reports dropped as late.
+        late: u64,
+        /// Estimated truths for the round's objects.
+        truths: Vec<f64>,
+        /// FNV-1a digest of the post-round weights' bit patterns — the
+        /// same digest `dptd campaign` prints, so wire and in-process
+        /// runs diff from the shell.
+        weights_digest: u64,
+        /// Worst cumulative ε across the population after the round.
+        max_spent_epsilon: f64,
+        /// Worst cumulative δ across the population after the round.
+        max_spent_delta: f64,
+    },
+    /// Current truths.
+    Truths {
+        /// Rounds completed so far.
+        rounds_run: u64,
+        /// Truths from the last closed round (empty before the first).
+        truths: Vec<f64>,
+        /// FNV-1a digest of the current weights.
+        weights_digest: u64,
+    },
+    /// The privacy ledger.
+    Budget {
+        /// Users whose budget affords no further round.
+        exhausted: u64,
+        /// Worst cumulative ε spent.
+        max_spent_epsilon: f64,
+        /// Worst cumulative δ spent.
+        max_spent_delta: f64,
+        /// Per-user debit counts, user order — the exact snapshot
+        /// [`dptd_protocol::budget::BudgetAccountant::debits_by_user`]
+        /// exposes, so a wire ledger can be compared bit-for-bit with an
+        /// in-process one.
+        debits: Vec<u32>,
+    },
+    /// The request was refused.
+    Error {
+        /// Stable machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const KIND_CREATE: u8 = 0x01;
+const KIND_SUBMIT: u8 = 0x02;
+const KIND_CLOSE: u8 = 0x03;
+const KIND_QUERY_TRUTHS: u8 = 0x04;
+const KIND_QUERY_BUDGET: u8 = 0x05;
+const KIND_CREATED: u8 = 0x81;
+const KIND_SUBMITTED: u8 = 0x82;
+const KIND_BUSY: u8 = 0x83;
+const KIND_ROUND_CLOSED: u8 = 0x84;
+const KIND_TRUTHS: u8 = 0x85;
+const KIND_BUDGET: u8 = 0x86;
+const KIND_ERROR: u8 = 0x87;
+
+fn checksum(body: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &b in body {
+        h.write_u8(b);
+    }
+    h.finish()
+}
+
+/// Wrap an encoded body in the v1 frame header.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME_LEN, "oversized frame produced");
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&((body.len() as u32) ^ LEN_XOR).to_le_bytes());
+    out.extend_from_slice(&checksum(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Split one frame off the front of `buf`.
+///
+/// Returns the frame body and the total bytes consumed. This is the pure
+/// decode the socket layer and the malformed-input proptests share: any
+/// byte string either yields a body, a typed [`WireError`], or
+/// [`WireError::Truncated`] (more bytes needed) — never a panic, and the
+/// body allocation is bounded by the bytes actually present.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when `buf` holds less than a full frame;
+/// [`WireError::LenCheck`], [`WireError::TooLarge`], or
+/// [`WireError::Checksum`] for an invalid header or body.
+pub fn split_frame(buf: &[u8]) -> Result<(&[u8], usize), WireError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: FRAME_HEADER_LEN,
+            have: buf.len(),
+        });
+    }
+    let body_len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    let len_check = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if body_len ^ LEN_XOR != len_check {
+        return Err(WireError::LenCheck);
+    }
+    if body_len as usize > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge {
+            claimed: u64::from(body_len),
+        });
+    }
+    let stored_sum = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let total = FRAME_HEADER_LEN + body_len as usize;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            have: buf.len(),
+        });
+    }
+    let body = &buf[FRAME_HEADER_LEN..total];
+    if checksum(body) != stored_sum {
+        return Err(WireError::Checksum);
+    }
+    Ok((body, total))
+}
+
+/// Validate a campaign id: non-empty, at most [`MAX_CAMPAIGN_ID_LEN`]
+/// bytes, characters from `[A-Za-z0-9._-]`, not starting with a dot.
+/// Ids name per-campaign WAL directories, so nothing path-like may pass.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] describing the violated rule.
+pub fn validate_campaign_id(id: &str) -> Result<(), WireError> {
+    if id.is_empty() {
+        return Err(WireError::Malformed("campaign id is empty"));
+    }
+    if id.len() > MAX_CAMPAIGN_ID_LEN {
+        return Err(WireError::Malformed("campaign id too long"));
+    }
+    if id.starts_with('.') {
+        return Err(WireError::Malformed("campaign id starts with a dot"));
+    }
+    if !id
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+    {
+        return Err(WireError::Malformed(
+            "campaign id may only use [A-Za-z0-9._-]",
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Body writer/reader
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u8) -> Self {
+        Self { buf: vec![kind] }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize);
+        self.buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Malformed("payload shorter than its fields"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// A claimed element count, bounded by the bytes still present: each
+    /// element needs at least `min_elem_bytes`, so a count the remaining
+    /// buffer cannot possibly hold is malformed — checked **before** any
+    /// allocation sized by it.
+    fn bounded_count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let claimed = self.u32()? as usize;
+        let need = claimed
+            .checked_mul(min_elem_bytes)
+            .ok_or(WireError::Malformed("element count overflows"))?;
+        if self.buf.len() < need {
+            return Err(WireError::Malformed(
+                "claimed count larger than the payload",
+            ));
+        }
+        Ok(claimed)
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2")) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string is not UTF-8"))
+    }
+    fn campaign_id(&mut self) -> Result<String, WireError> {
+        let id = self.str()?;
+        validate_campaign_id(&id)?;
+        Ok(id)
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after the payload"))
+        }
+    }
+}
+
+/// Minimum encoded size of one [`StampedReport`] (epoch + sent_at + user
+/// + value count, with zero values).
+const MIN_REPORT_BYTES: usize = 8 + 8 + 8 + 4;
+/// Encoded size of one report value (object:u32 + value:f64).
+const VALUE_BYTES: usize = 4 + 8;
+
+fn write_report(w: &mut Writer, r: &StampedReport) {
+    w.u64(r.epoch);
+    w.u64(r.sent_at_us);
+    w.u64(r.report.user as u64);
+    w.u32(r.report.values.len() as u32);
+    for &(object, value) in &r.report.values {
+        w.u32(object as u32);
+        w.f64(value);
+    }
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<StampedReport, WireError> {
+    let epoch = r.u64()?;
+    let sent_at_us = r.u64()?;
+    let user = usize::try_from(r.u64()?).map_err(|_| WireError::Malformed("user overflows"))?;
+    let nvals = r.bounded_count(VALUE_BYTES)?;
+    let mut values = Vec::with_capacity(nvals);
+    for _ in 0..nvals {
+        let object =
+            usize::try_from(r.u32()?).map_err(|_| WireError::Malformed("object overflows"))?;
+        values.push((object, r.f64()?));
+    }
+    Ok(StampedReport {
+        epoch,
+        sent_at_us,
+        report: PerturbedReport { user, values },
+    })
+}
+
+fn write_f64s(w: &mut Writer, vs: &[f64]) {
+    w.u32(vs.len() as u32);
+    for &v in vs {
+        w.f64(v);
+    }
+}
+
+fn read_f64s(r: &mut Reader<'_>) -> Result<Vec<f64>, WireError> {
+    let n = r.bounded_count(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.f64()?);
+    }
+    Ok(out)
+}
+
+impl CampaignSpec {
+    fn write(&self, w: &mut Writer) {
+        w.u64(self.num_users);
+        w.u64(self.num_objects);
+        w.u64(self.num_shards);
+        w.u64(self.workers);
+        w.u64(self.engine_queue);
+        w.u64(self.deadline_us);
+        w.u64(self.submission_capacity);
+        w.f64(self.per_round_epsilon);
+        w.f64(self.per_round_delta);
+        w.f64(self.budget_epsilon);
+        w.f64(self.budget_delta);
+        w.u64(self.stream_tag);
+        w.u8(u8::from(self.durable));
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            num_users: r.u64()?,
+            num_objects: r.u64()?,
+            num_shards: r.u64()?,
+            workers: r.u64()?,
+            engine_queue: r.u64()?,
+            deadline_us: r.u64()?,
+            submission_capacity: r.u64()?,
+            per_round_epsilon: r.f64()?,
+            per_round_delta: r.f64()?,
+            budget_epsilon: r.f64()?,
+            budget_delta: r.f64()?,
+            stream_tag: r.u64()?,
+            durable: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("durable flag is not 0/1")),
+            },
+        })
+    }
+}
+
+impl Request {
+    /// Encode as one complete frame (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w;
+        match self {
+            Request::CreateCampaign { campaign, spec } => {
+                w = Writer::new(KIND_CREATE);
+                w.str(campaign);
+                spec.write(&mut w);
+            }
+            Request::SubmitReports { campaign, reports } => {
+                w = Writer::new(KIND_SUBMIT);
+                w.str(campaign);
+                w.u32(reports.len() as u32);
+                for r in reports {
+                    write_report(&mut w, r);
+                }
+            }
+            Request::CloseRound { campaign, epoch } => {
+                w = Writer::new(KIND_CLOSE);
+                w.str(campaign);
+                w.u64(*epoch);
+            }
+            Request::QueryTruths { campaign } => {
+                w = Writer::new(KIND_QUERY_TRUTHS);
+                w.str(campaign);
+            }
+            Request::QueryBudget { campaign } => {
+                w = Writer::new(KIND_QUERY_BUDGET);
+                w.str(campaign);
+            }
+        }
+        frame(w.buf)
+    }
+
+    /// Decode a frame body (as returned by [`split_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownKind`] for a non-request kind,
+    /// [`WireError::Malformed`] for structural violations.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { buf: body };
+        let kind = r.u8()?;
+        let req = match kind {
+            KIND_CREATE => Request::CreateCampaign {
+                campaign: r.campaign_id()?,
+                spec: CampaignSpec::read(&mut r)?,
+            },
+            KIND_SUBMIT => {
+                let campaign = r.campaign_id()?;
+                let count = r.bounded_count(MIN_REPORT_BYTES)?;
+                let mut reports = Vec::with_capacity(count);
+                for _ in 0..count {
+                    reports.push(read_report(&mut r)?);
+                }
+                Request::SubmitReports { campaign, reports }
+            }
+            KIND_CLOSE => Request::CloseRound {
+                campaign: r.campaign_id()?,
+                epoch: r.u64()?,
+            },
+            KIND_QUERY_TRUTHS => Request::QueryTruths {
+                campaign: r.campaign_id()?,
+            },
+            KIND_QUERY_BUDGET => Request::QueryBudget {
+                campaign: r.campaign_id()?,
+            },
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode as one complete frame (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w;
+        match self {
+            Response::Created { resumed_rounds } => {
+                w = Writer::new(KIND_CREATED);
+                w.u64(*resumed_rounds);
+            }
+            Response::Submitted { queued } => {
+                w = Writer::new(KIND_SUBMITTED);
+                w.u64(*queued);
+            }
+            Response::Busy { queued, capacity } => {
+                w = Writer::new(KIND_BUSY);
+                w.u64(*queued);
+                w.u64(*capacity);
+            }
+            Response::RoundClosed {
+                epoch,
+                accepted,
+                refused,
+                duplicates,
+                late,
+                truths,
+                weights_digest,
+                max_spent_epsilon,
+                max_spent_delta,
+            } => {
+                w = Writer::new(KIND_ROUND_CLOSED);
+                w.u64(*epoch);
+                w.u64(*accepted);
+                w.u64(*refused);
+                w.u64(*duplicates);
+                w.u64(*late);
+                write_f64s(&mut w, truths);
+                w.u64(*weights_digest);
+                w.f64(*max_spent_epsilon);
+                w.f64(*max_spent_delta);
+            }
+            Response::Truths {
+                rounds_run,
+                truths,
+                weights_digest,
+            } => {
+                w = Writer::new(KIND_TRUTHS);
+                w.u64(*rounds_run);
+                write_f64s(&mut w, truths);
+                w.u64(*weights_digest);
+            }
+            Response::Budget {
+                exhausted,
+                max_spent_epsilon,
+                max_spent_delta,
+                debits,
+            } => {
+                w = Writer::new(KIND_BUDGET);
+                w.u64(*exhausted);
+                w.f64(*max_spent_epsilon);
+                w.f64(*max_spent_delta);
+                w.u32(debits.len() as u32);
+                for &d in debits {
+                    w.u32(d);
+                }
+            }
+            Response::Error { code, message } => {
+                w = Writer::new(KIND_ERROR);
+                w.u8(*code as u8);
+                w.str(message);
+            }
+        }
+        frame(w.buf)
+    }
+
+    /// Decode a frame body (as returned by [`split_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownKind`] for a non-response kind,
+    /// [`WireError::Malformed`] for structural violations.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { buf: body };
+        let kind = r.u8()?;
+        let resp = match kind {
+            KIND_CREATED => Response::Created {
+                resumed_rounds: r.u64()?,
+            },
+            KIND_SUBMITTED => Response::Submitted { queued: r.u64()? },
+            KIND_BUSY => Response::Busy {
+                queued: r.u64()?,
+                capacity: r.u64()?,
+            },
+            KIND_ROUND_CLOSED => Response::RoundClosed {
+                epoch: r.u64()?,
+                accepted: r.u64()?,
+                refused: r.u64()?,
+                duplicates: r.u64()?,
+                late: r.u64()?,
+                truths: read_f64s(&mut r)?,
+                weights_digest: r.u64()?,
+                max_spent_epsilon: r.f64()?,
+                max_spent_delta: r.f64()?,
+            },
+            KIND_TRUTHS => Response::Truths {
+                rounds_run: r.u64()?,
+                truths: read_f64s(&mut r)?,
+                weights_digest: r.u64()?,
+            },
+            KIND_BUDGET => {
+                let exhausted = r.u64()?;
+                let max_spent_epsilon = r.f64()?;
+                let max_spent_delta = r.f64()?;
+                let n = r.bounded_count(4)?;
+                let mut debits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    debits.push(r.u32()?);
+                }
+                Response::Budget {
+                    exhausted,
+                    max_spent_epsilon,
+                    max_spent_delta,
+                    debits,
+                }
+            }
+            KIND_ERROR => Response::Error {
+                code: ErrorCode::from_u8(r.u8()?)
+                    .ok_or(WireError::Malformed("unknown error code"))?,
+                message: r.str()?,
+            },
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            num_users: 100,
+            num_objects: 4,
+            num_shards: 8,
+            workers: 0,
+            engine_queue: 4096,
+            deadline_us: 1_000_000,
+            submission_capacity: 65_536,
+            per_round_epsilon: 0.5,
+            per_round_delta: 0.02,
+            budget_epsilon: 5.0,
+            budget_delta: 0.2,
+            stream_tag: 0x5EED_5EED,
+            durable: true,
+        }
+    }
+
+    fn stamped(
+        epoch: u64,
+        user: usize,
+        sent_at_us: u64,
+        values: Vec<(usize, f64)>,
+    ) -> StampedReport {
+        StampedReport {
+            epoch,
+            sent_at_us,
+            report: PerturbedReport { user, values },
+        }
+    }
+
+    fn roundtrip_request(req: Request) {
+        let bytes = req.encode();
+        let (body, consumed) = split_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(Request::decode(body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = resp.encode();
+        let (body, consumed) = split_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(Response::decode(body).unwrap(), resp);
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        roundtrip_request(Request::CreateCampaign {
+            campaign: "air-quality_7".to_string(),
+            spec: spec(),
+        });
+        roundtrip_request(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![
+                stamped(3, 0, 10, vec![(0, 1.5), (2, -0.5)]),
+                stamped(3, 1, 20, vec![]),
+            ],
+        });
+        roundtrip_request(Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 9,
+        });
+        roundtrip_request(Request::QueryTruths {
+            campaign: "c".to_string(),
+        });
+        roundtrip_request(Request::QueryBudget {
+            campaign: "c".to_string(),
+        });
+
+        roundtrip_response(Response::Created { resumed_rounds: 2 });
+        roundtrip_response(Response::Submitted { queued: 17 });
+        roundtrip_response(Response::Busy {
+            queued: 64,
+            capacity: 64,
+        });
+        roundtrip_response(Response::RoundClosed {
+            epoch: 4,
+            accepted: 90,
+            refused: 3,
+            duplicates: 2,
+            late: 1,
+            truths: vec![20.5, 19.75],
+            weights_digest: 0xDEAD_BEEF,
+            max_spent_epsilon: 2.5,
+            max_spent_delta: 0.1,
+        });
+        roundtrip_response(Response::Truths {
+            rounds_run: 4,
+            truths: vec![1.0],
+            weights_digest: 7,
+        });
+        roundtrip_response(Response::Budget {
+            exhausted: 5,
+            max_spent_epsilon: 5.0,
+            max_spent_delta: 0.2,
+            debits: vec![10, 0, 3],
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::BudgetExhausted,
+            message: "everyone is out of budget".to_string(),
+        });
+    }
+
+    #[test]
+    fn golden_wire_layout_is_pinned() {
+        // Version-1 layout, byte for byte. If this fails you have changed
+        // the wire format: bump the HELLO version byte and keep decoders
+        // for the old one — deployed clients must not be misread.
+        assert_eq!(HELLO, *b"DPTDNET\x01");
+
+        let bytes = Request::CloseRound {
+            campaign: "cafe".to_string(),
+            epoch: 7,
+        }
+        .encode();
+        // body := kind(0x03) idlen:u16 "cafe" epoch:u64  → 1+2+4+8 = 15
+        let body: Vec<u8> = [
+            vec![0x03],
+            4u16.to_le_bytes().to_vec(),
+            b"cafe".to_vec(),
+            7u64.to_le_bytes().to_vec(),
+        ]
+        .concat();
+        let golden: Vec<u8> = [
+            15u32.to_le_bytes().to_vec(),
+            (15u32 ^ u32::from_le_bytes(*b"NET1"))
+                .to_le_bytes()
+                .to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "wire v1 frame layout changed");
+        // And the checksum itself is pinned (FNV-1a over the body).
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            0xb072_23e2_7d00_7524,
+            "checksum constant changed: {:#x}",
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap())
+        );
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more_bytes() {
+        let bytes = Request::QueryTruths {
+            campaign: "c".to_string(),
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            match split_frame(&bytes[..cut]) {
+                Err(WireError::Truncated { needed, have }) => {
+                    assert_eq!(have, cut);
+                    assert!(needed > cut);
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_headers_and_bodies_are_typed_errors() {
+        let good = Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 1,
+        }
+        .encode();
+
+        // Flip a length-prefix bit: self-check catches it.
+        let mut bad_len = good.clone();
+        bad_len[1] ^= 0x40;
+        assert_eq!(split_frame(&bad_len), Err(WireError::LenCheck));
+
+        // Flip a body bit: checksum catches it.
+        let mut bad_body = good.clone();
+        *bad_body.last_mut().unwrap() ^= 0x01;
+        assert_eq!(split_frame(&bad_body), Err(WireError::Checksum));
+
+        // A consistent header claiming more than the cap is TooLarge —
+        // rejected before any allocation.
+        let huge = (MAX_FRAME_LEN as u32) + 1;
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&huge.to_le_bytes());
+        lying.extend_from_slice(&(huge ^ LEN_XOR).to_le_bytes());
+        lying.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            split_frame(&lying),
+            Err(WireError::TooLarge {
+                claimed: u64::from(huge)
+            })
+        );
+    }
+
+    #[test]
+    fn claimed_counts_are_bounded_before_allocation() {
+        // A submit body claiming 2^32-1 reports in a tiny payload must
+        // be Malformed, not a 4-billion-element Vec::with_capacity.
+        let mut w = Writer::new(KIND_SUBMIT);
+        w.str("c");
+        w.u32(u32::MAX);
+        let body = w.buf;
+        assert_eq!(
+            Request::decode(&body),
+            Err(WireError::Malformed(
+                "claimed count larger than the payload"
+            ))
+        );
+        // Same for a modest but still payload-exceeding claim.
+        let mut w = Writer::new(KIND_SUBMIT);
+        w.str("c");
+        w.u32(1_000);
+        let body = w.buf;
+        assert_eq!(
+            Request::decode(&body),
+            Err(WireError::Malformed(
+                "claimed count larger than the payload"
+            ))
+        );
+    }
+
+    #[test]
+    fn campaign_ids_are_path_safe() {
+        assert!(validate_campaign_id("air-quality_7.v2").is_ok());
+        for bad in ["", ".hidden", "a/b", "a\\b", "a b", "ü", "x\0"] {
+            assert!(
+                validate_campaign_id(bad).is_err(),
+                "{bad:?} must be refused"
+            );
+        }
+        let long = "x".repeat(MAX_CAMPAIGN_ID_LEN + 1);
+        assert!(validate_campaign_id(&long).is_err());
+        let max = "x".repeat(MAX_CAMPAIGN_ID_LEN);
+        assert!(validate_campaign_id(&max).is_ok());
+    }
+
+    #[test]
+    fn unknown_kinds_and_trailing_bytes_are_refused() {
+        assert_eq!(Request::decode(&[0x7f]), Err(WireError::UnknownKind(0x7f)));
+        assert_eq!(Response::decode(&[0x01]), Err(WireError::UnknownKind(0x01)));
+        // A valid message with trailing garbage.
+        let mut w = Writer::new(KIND_CREATED);
+        w.u64(0);
+        w.u8(0xaa);
+        assert_eq!(
+            Response::decode(&w.buf),
+            Err(WireError::Malformed("trailing bytes after the payload"))
+        );
+    }
+}

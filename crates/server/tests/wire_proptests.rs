@@ -1,0 +1,280 @@
+//! Malformed-frame hardening for the wire protocol.
+//!
+//! The server's framing faces arbitrary internet bytes, so the decode
+//! path must be total: **any** byte string yields a typed
+//! [`WireError`] or a valid message — never a panic, and never an
+//! allocation driven by an unvalidated length (mirroring the WAL
+//! decode's size bounding). Alongside the pure-codec properties, a
+//! socket-level test pins the torn-write case: a peer that dies
+//! mid-frame must not take the server (or even its own connection
+//! handler's peers) down.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+
+use proptest::prelude::*;
+
+use dptd_core::roles::PerturbedReport;
+use dptd_protocol::message::StampedReport;
+use dptd_server::registry::RegistryConfig;
+use dptd_server::wire::{self, split_frame, Request, Response, WireError};
+use dptd_server::{CampaignSpec, Client, Server, ServerConfig, ServerError};
+
+fn decode_all(bytes: &[u8]) {
+    // Exercise the whole decode surface; outcomes are irrelevant, the
+    // property is "total and bounded".
+    if let Ok((body, consumed)) = split_frame(bytes) {
+        assert!(consumed <= bytes.len());
+        let _ = Request::decode(body);
+        let _ = Response::decode(body);
+    }
+    let _ = Request::decode(bytes);
+    let _ = Response::decode(bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        decode_all(&bytes);
+    }
+
+    #[test]
+    fn valid_frames_survive_roundtrip_and_any_flip_is_caught(
+        users in prop::collection::vec((0u64..1_000, 0u64..50, 0u64..1_000_000), 0..12),
+        value_bits in 0u64..u64::MAX,
+        epoch in 0u64..1_000,
+        flip_at in 0usize..10_000,
+        flip_mask in 1u8..=255,
+    ) {
+        let reports: Vec<StampedReport> = users
+            .iter()
+            .map(|&(user, nv, sent)| StampedReport {
+                epoch,
+                sent_at_us: sent,
+                report: PerturbedReport {
+                    user: user as usize,
+                    values: (0..nv as usize % 5)
+                        .map(|o| (o, f64::from_bits(value_bits ^ o as u64)))
+                        .collect(),
+                },
+            })
+            .collect();
+        let request = Request::SubmitReports {
+            campaign: "prop-campaign".to_string(),
+            reports,
+        };
+        let frame = request.encode();
+
+        // Clean roundtrip (bit-exact, including NaN payload values).
+        let (body, consumed) = split_frame(&frame).unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(&Request::decode(body).unwrap(), &request);
+
+        // Any single-byte corruption is caught by the header self-check
+        // or the checksum — typed, not silent and not a panic.
+        let mut mutated = frame.clone();
+        let at = flip_at % mutated.len();
+        mutated[at] ^= flip_mask;
+        match split_frame(&mutated) {
+            Ok((body, _)) => {
+                // Only a flip inside the stored checksum AND a colliding
+                // body could land here; FNV over an identical-length body
+                // differing in one byte never collides with a flipped
+                // stored sum. So reaching Ok means the flip must have
+                // been... nowhere. Refuse.
+                prop_assert!(false, "flip at {} went unnoticed: {:?}", at, body.len());
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(
+                        e,
+                        WireError::LenCheck
+                            | WireError::Checksum
+                            | WireError::TooLarge { .. }
+                            | WireError::Truncated { .. }
+                    ),
+                    "unexpected error class for flip at {}: {:?}",
+                    at,
+                    e
+                );
+            }
+        }
+
+        // Every truncation of a valid frame asks for more bytes.
+        let cut = flip_at % (frame.len() + 1);
+        if cut < frame.len() {
+            match split_frame(&frame[..cut]) {
+                Err(WireError::Truncated { needed, have }) => {
+                    prop_assert_eq!(have, cut);
+                    prop_assert!(needed > cut);
+                }
+                other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+            }
+        }
+    }
+
+    #[test]
+    fn length_lying_headers_are_refused_before_allocation(
+        claimed in 0u32..u32::MAX,
+        junk in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        // A header whose self-check is *consistent* but whose claimed
+        // length is a lie: the decoder must answer from the header alone
+        // (TooLarge past the cap, Truncated otherwise) without touching
+        // a `claimed`-sized buffer.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&claimed.to_le_bytes());
+        bytes.extend_from_slice(&(claimed ^ u32::from_le_bytes(*b"NET1")).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&junk);
+        match split_frame(&bytes) {
+            Err(WireError::TooLarge { claimed: c }) => {
+                prop_assert!(c as usize > wire::MAX_FRAME_LEN);
+            }
+            Err(WireError::Truncated { needed, .. }) => {
+                prop_assert_eq!(needed, wire::FRAME_HEADER_LEN + claimed as usize);
+            }
+            Err(WireError::Checksum) => {
+                // The junk happened to complete the tiny claimed frame
+                // but cannot match the zero checksum... unless it can:
+                // an empty body hashes to the FNV offset basis, never 0.
+                prop_assert!(claimed as usize <= junk.len());
+            }
+            Ok((body, _)) => {
+                // Only reachable when the claimed frame genuinely fits
+                // in `junk` AND the zeroed checksum matches — impossible
+                // for FNV-1a (no input hashes to 0 in 64 bits with these
+                // lengths), so refuse.
+                prop_assert!(false, "lying header accepted: {} bytes", body.len());
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {:?}", e),
+        }
+    }
+}
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        num_users: 2,
+        num_objects: 1,
+        num_shards: 1,
+        workers: 0,
+        engine_queue: 64,
+        deadline_us: 1_000,
+        submission_capacity: 16,
+        per_round_epsilon: 0.5,
+        per_round_delta: 0.0,
+        budget_epsilon: 5.0,
+        budget_delta: 0.0,
+        stream_tag: 0,
+        durable: false,
+    }
+}
+
+fn stamped(epoch: u64, user: usize, v: f64) -> StampedReport {
+    StampedReport {
+        epoch,
+        sent_at_us: 1 + user as u64,
+        report: PerturbedReport {
+            user,
+            values: vec![(0, v)],
+        },
+    }
+}
+
+/// A peer that dies mid-frame (the network twin of a torn WAL write)
+/// must neither hang nor crash the server; concurrent and subsequent
+/// clients keep full service.
+#[test]
+fn torn_write_mid_frame_disconnect_leaves_the_server_serving() {
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        registry: RegistryConfig::default(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A healthy campaign first, so the torn writer shares the process
+    // with live state.
+    let mut healthy = Client::connect(addr).unwrap();
+    healthy.create_campaign("healthy", tiny_spec()).unwrap();
+
+    // The torn writer: hello, then half a valid frame, then death.
+    for torn_cut in [1usize, 7, 16, 20] {
+        let frame = Request::SubmitReports {
+            campaign: "healthy".to_string(),
+            reports: vec![stamped(0, 0, 1.0)],
+        }
+        .encode();
+        assert!(torn_cut < frame.len());
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&wire::HELLO).unwrap();
+        raw.write_all(&frame[..torn_cut]).unwrap();
+        drop(raw); // mid-frame disconnect
+    }
+
+    // Garbage after the hello gets a typed error reply, then hangup.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&wire::HELLO).unwrap();
+    raw.write_all(&[0xde; 64]).unwrap();
+    {
+        use std::io::Read as _;
+        let mut reply = Vec::new();
+        raw.read_to_end(&mut reply).unwrap(); // server closes after replying
+        let (body, _) = split_frame(&reply[8..]).expect("one error frame after the hello echo");
+        match Response::decode(body).unwrap() {
+            Response::Error { code, .. } => {
+                assert_eq!(code, dptd_server::ErrorCode::InvalidRequest)
+            }
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+    }
+
+    // A non-hello peer is answered and dropped without echo.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n").unwrap();
+    {
+        use std::io::Read as _;
+        let mut reply = Vec::new();
+        raw.read_to_end(&mut reply).unwrap();
+        let (body, _) = split_frame(&reply).expect("typed refusal for a non-protocol peer");
+        assert!(matches!(
+            Response::decode(body).unwrap(),
+            Response::Error { .. }
+        ));
+    }
+
+    // Through all of it, the original connection and fresh ones serve.
+    healthy
+        .submit("healthy", vec![stamped(0, 0, 1.0), stamped(0, 1, 2.0)])
+        .unwrap();
+    let round = healthy.close_round("healthy", 0).unwrap();
+    assert_eq!(round.accepted, 2);
+    let mut fresh = Client::connect(addr).unwrap();
+    let budget = fresh.query_budget("healthy").unwrap();
+    assert_eq!(budget.debits, vec![1, 1]);
+    server.shutdown();
+}
+
+/// The client side of the same coin: a server that vanishes mid-reply
+/// surfaces as a typed I/O error, not a hang or panic.
+#[test]
+fn server_death_mid_reply_is_a_typed_client_error() {
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.create_campaign("doomed", tiny_spec()).unwrap();
+    // Kill the server, then use the now-dead connection.
+    server.shutdown();
+    let err = client.query_budget("doomed").unwrap_err();
+    assert!(
+        matches!(err, ServerError::Io { .. } | ServerError::Wire(_)),
+        "{err:?}"
+    );
+}

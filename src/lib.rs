@@ -20,6 +20,7 @@
 //! | [`core`] | the paper's mechanism (Algorithm 2) + Theorems 4.3/4.8/4.9 |
 //! | [`protocol`] | discrete-event and threaded crowd-sensing runtimes |
 //! | [`engine`] | sharded streaming aggregation engine for million-user rounds |
+//! | [`server`] | multi-campaign network service over a binary TCP wire protocol |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use dptd_engine as engine;
 pub use dptd_ldp as ldp;
 pub use dptd_protocol as protocol;
 pub use dptd_sensing as sensing;
+pub use dptd_server as server;
 pub use dptd_stats as stats;
 pub use dptd_truth as truth;
 
