@@ -1,0 +1,149 @@
+//! Recovery-time bench for the segmented snapshot store: how long a
+//! crashed long-horizon campaign takes to replay, and how much disk its
+//! log occupies, with compaction **on** versus **off**.
+//!
+//! Builds two on-disk logs of the same many-round campaign — one under
+//! the default-style compaction thresholds, one with compaction
+//! disabled (the old single-segment growth profile, now across rotated
+//! segments) — prints their on-disk byte totals and replayed record
+//! counts, then benches the full recovery path (`SegmentStore::open` +
+//! `recover_replay`) against each. Compaction should hold both numbers
+//! roughly flat in campaign length, while the uncompacted log's grow
+//! linearly.
+//!
+//! Setting `DPTD_BENCH_SMOKE=1` shrinks the population and round count
+//! so CI can execute the bench binary as a regression smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dptd_engine::store::{SegmentStore, StoreConfig};
+use dptd_engine::{Engine, EngineBackend, EngineConfig, LoadGen, LoadGenConfig, WalPolicy};
+use dptd_ldp::PrivacyLoss;
+use dptd_protocol::campaign::{CampaignConfig, CampaignDriver};
+use dptd_truth::Loss;
+
+fn smoke() -> bool {
+    std::env::var_os("DPTD_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn sizes() -> (usize, u64, u64) {
+    // (users, rounds, compact_every)
+    if smoke() {
+        (120, 24, 8)
+    } else {
+        (2_000, 200, 16)
+    }
+}
+
+fn load(users: usize, rounds: u64) -> LoadGen {
+    LoadGen::new(LoadGenConfig {
+        num_users: users,
+        num_objects: 4,
+        epochs: rounds,
+        churn: 0.1,
+        seed: 1009,
+        ..LoadGenConfig::default()
+    })
+    .expect("valid load config")
+}
+
+fn campaign_config(gen: &LoadGen, rounds: u64) -> CampaignConfig {
+    let per_round = PrivacyLoss::new(0.05, 0.0).expect("valid loss");
+    CampaignConfig {
+        num_objects: gen.config().num_objects,
+        deadline_us: gen.config().epoch_len_us,
+        per_round_loss: per_round,
+        budget: per_round.compose_k(rounds as u32 + 8),
+    }
+}
+
+fn engine(gen: &LoadGen) -> Engine {
+    Engine::new(EngineConfig {
+        num_users: gen.config().num_users,
+        num_objects: gen.config().num_objects,
+        num_shards: 4,
+        queue_capacity: 8_192,
+        epoch_deadline_us: gen.config().epoch_len_us,
+        loss: Loss::Squared,
+        ..EngineConfig::default()
+    })
+    .expect("valid engine config")
+}
+
+/// Run the whole campaign durably into `dir` under `store_cfg`.
+fn build_log(dir: &std::path::Path, store_cfg: StoreConfig, users: usize, rounds: u64) {
+    let gen = load(users, rounds);
+    let cfg = campaign_config(&gen, rounds);
+    let (store, replay) = SegmentStore::open_dir(dir, store_cfg).expect("open store");
+    let policy = WalPolicy::from_campaign(&cfg);
+    let (backend, recovered) =
+        EngineBackend::with_log(engine(&gen), Box::new(store), &replay, policy)
+            .expect("fresh store");
+    let mut driver =
+        CampaignDriver::resume(backend, cfg, recovered.rounds_debited, 0).expect("driver");
+    for epoch in 0..rounds {
+        driver
+            .run_round(epoch, gen.epoch_reports(epoch))
+            .expect("round");
+    }
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("log dir")
+        .map(|e| e.expect("entry").metadata().expect("metadata").len())
+        .sum()
+}
+
+/// The measured path: open the store (repairing nothing — the logs are
+/// clean) and rebuild campaign state from the replay.
+fn recover(dir: &std::path::Path, store_cfg: StoreConfig, users: usize) -> u64 {
+    let (_store, replay) = SegmentStore::open_dir(dir, store_cfg).expect("open store");
+    let recovered = dptd_engine::recovery::recover_replay(&replay, users, Loss::Squared, None)
+        .expect("recover");
+    recovered.records_applied
+}
+
+fn bench_recovery_time(c: &mut Criterion) {
+    let (users, rounds, compact_every) = sizes();
+    let base = std::env::temp_dir().join(format!("dptd-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let compacted_cfg = StoreConfig {
+        rotate_bytes: 0,
+        rotate_records: compact_every / 2,
+        compact_every,
+    };
+    let uncompacted_cfg = StoreConfig {
+        rotate_bytes: 0,
+        rotate_records: compact_every / 2,
+        compact_every: 0,
+    };
+    let compacted = base.join("compacted");
+    let uncompacted = base.join("uncompacted");
+    build_log(&compacted, compacted_cfg, users, rounds);
+    build_log(&uncompacted, uncompacted_cfg, users, rounds);
+
+    println!(
+        "recovery_time: {users} users × {rounds} rounds → on-disk bytes: \
+         compaction on = {} ({} replayed record(s)), compaction off = {} ({} record(s))",
+        dir_bytes(&compacted),
+        recover(&compacted, compacted_cfg, users),
+        dir_bytes(&uncompacted),
+        recover(&uncompacted, uncompacted_cfg, users),
+    );
+
+    let mut group = c.benchmark_group("recovery_time");
+    group.bench_function("replay_compacted", |b| {
+        b.iter(|| recover(&compacted, compacted_cfg, users));
+    });
+    group.bench_function("replay_uncompacted", |b| {
+        b.iter(|| recover(&uncompacted, uncompacted_cfg, users));
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+criterion_group!(benches, bench_recovery_time);
+criterion_main!(benches);

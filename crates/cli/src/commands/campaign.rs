@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use dptd_engine::{
-    Engine, EngineBackend, EngineConfig, FileWal, LoadGen, LoadGenConfig, WalLock, WalPolicy,
+    Engine, EngineBackend, EngineConfig, LoadGen, LoadGenConfig, SegmentStore, WalLock, WalPolicy,
 };
 use dptd_ldp::PrivacyLoss;
 use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend, SimBackend};
@@ -105,7 +105,14 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
                     // directory) is refused here at open instead of
                     // corrupting the ledger and being caught at recovery.
                     let lock = WalLock::acquire(Path::new(dir)).map_err(box_err)?;
-                    let sink = FileWal::open(Path::new(dir)).map_err(box_err)?;
+                    // The segmented snapshot store: rotation + compaction
+                    // thresholds come from the shared --wal-* flags, and
+                    // a legacy single-segment directory is adopted in
+                    // place.
+                    let store_cfg = super::resolve_store_config(args)?;
+                    let (store, replay) =
+                        SegmentStore::open_dir(Path::new(dir), store_cfg).map_err(box_err)?;
+                    let segments = store.manifest().segments.len();
                     // The policy stamped into every record: a later resume
                     // with different (ε, δ) flags — or a different input
                     // stream (seed/churn/…, fingerprinted below) — is
@@ -117,10 +124,16 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
                     let policy = WalPolicy::from_campaign(&campaign_cfg)
                         .with_stream_tag(stream_tag(&load_cfg));
                     let (backend, recovered) =
-                        EngineBackend::with_wal(engine, Box::new(sink), policy).map_err(box_err)?;
+                        EngineBackend::with_log(engine, Box::new(store), &replay, policy)
+                            .map_err(box_err)?;
                     let banner = format!(
-                        "wal: {} record(s) replayed from `{dir}` ({} stale skipped, {} torn byte(s) truncated) → resuming at round {}",
+                        "wal: {} round(s) recovered from `{dir}` ({} segment(s){}, {} stale skipped, {} torn byte(s) truncated) → resuming at round {}",
                         recovered.records_applied,
+                        segments,
+                        recovered
+                            .snapshot_epoch
+                            .map(|e| format!(", snapshot at round {e}"))
+                            .unwrap_or_default(),
                         recovered.duplicates_skipped,
                         recovered.truncated_bytes,
                         recovered.next_epoch(),
@@ -389,6 +402,64 @@ mod tests {
     }
 
     #[test]
+    fn segmented_wal_with_rotation_and_compaction_keeps_the_digest() {
+        let dir = std::env::temp_dir().join(format!(
+            "dptd-cli-wal-seg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = dir.to_str().unwrap().to_string();
+        let digest_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("weights digest"))
+                .expect("digest line")
+                .to_string()
+        };
+
+        let reference = execute(&map(&[SMALL, &["--backend", "engine"]].concat())).unwrap();
+        // Aggressive thresholds: every record rotates, compaction every
+        // 2 records — the 3-round campaign crosses both paths.
+        let seg_flags: &[&str] = &[
+            "--backend",
+            "engine",
+            "--wal",
+            &wal,
+            "--wal-rotate-records",
+            "1",
+            "--wal-compact-every",
+            "2",
+        ];
+        let first = execute(&map(&[SMALL, seg_flags].concat())).unwrap();
+        assert_eq!(digest_line(&reference), digest_line(&first));
+        assert!(dir.join("MANIFEST").exists(), "manifest missing");
+
+        // Re-running resumes from the snapshot-bearing segmented log and
+        // lands on the same digest.
+        let resumed = execute(&map(&[SMALL, seg_flags].concat())).unwrap();
+        assert!(
+            resumed.contains("3 round(s) recovered") && resumed.contains("snapshot at round"),
+            "{resumed}"
+        );
+        assert_eq!(digest_line(&reference), digest_line(&resumed));
+
+        // Compaction actually collected: fewer segment files on disk
+        // than rounds run.
+        let segments = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".wal")
+            })
+            .count();
+        assert!(segments <= 2, "{segments} segment files survived");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn wal_campaign_resumes_to_the_uninterrupted_digest() {
         let dir = std::env::temp_dir().join(format!(
             "dptd-cli-wal-{}-{:?}",
@@ -426,7 +497,7 @@ mod tests {
         ))
         .unwrap();
         assert!(
-            resumed.contains("2 record(s) replayed") && resumed.contains("resuming at round 2"),
+            resumed.contains("2 round(s) recovered") && resumed.contains("resuming at round 2"),
             "{resumed}"
         );
         assert_eq!(digest_line(&reference), digest_line(&resumed));
@@ -437,7 +508,7 @@ mod tests {
             &[SMALL, &["--backend", "engine", "--wal", &wal]].concat()
         ))
         .unwrap();
-        assert!(complete.contains("3 record(s) replayed"), "{complete}");
+        assert!(complete.contains("3 round(s) recovered"), "{complete}");
         assert_eq!(digest_line(&reference), digest_line(&complete));
 
         // Resuming the same log under a different per-round ε is refused:

@@ -33,6 +33,22 @@ pub(crate) fn resolve_lambda2(args: &crate::args::ArgMap) -> Result<(f64, String
     ))
 }
 
+/// Resolve the segmented store's thresholds from the shared WAL flags:
+/// `--wal-rotate-bytes` (default 64 MiB), `--wal-rotate-records`
+/// (default 0 = off) and `--wal-compact-every` (default 256 records; 0
+/// disables compaction and the log grows like the old single-segment
+/// layout). Used by `dptd campaign` and `dptd serve`.
+pub(crate) fn resolve_store_config(
+    args: &crate::args::ArgMap,
+) -> Result<dptd_engine::StoreConfig, CliError> {
+    let defaults = dptd_engine::StoreConfig::default();
+    Ok(dptd_engine::StoreConfig {
+        rotate_bytes: args.u64_or("wal-rotate-bytes", defaults.rotate_bytes)?,
+        rotate_records: args.u64_or("wal-rotate-records", defaults.rotate_records)?,
+        compact_every: args.u64_or("wal-compact-every", defaults.compact_every)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,6 +56,24 @@ mod tests {
 
     fn map(words: &[&str]) -> ArgMap {
         ArgMap::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn store_flags_resolve_with_defaults() {
+        let cfg = resolve_store_config(&map(&[])).unwrap();
+        assert_eq!(cfg, dptd_engine::StoreConfig::default());
+        let cfg = resolve_store_config(&map(&[
+            "--wal-rotate-bytes",
+            "1024",
+            "--wal-rotate-records",
+            "4",
+            "--wal-compact-every",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.rotate_bytes, 1024);
+        assert_eq!(cfg.rotate_records, 4);
+        assert_eq!(cfg.compact_every, 0);
     }
 
     #[test]

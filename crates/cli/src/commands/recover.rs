@@ -1,19 +1,26 @@
 //! `dptd recover` — inspect a campaign write-ahead log.
 //!
 //! Replays the log in `--wal <dir>` **strictly read-only** (no
-//! truncation, no appends — the segment file is read directly, and a
-//! missing log is an error rather than a freshly created one) and prints
-//! one row per committed epoch — accepted users, total debits, the
-//! restored weights digest — plus the recovery summary a resumed
-//! `dptd campaign --wal` would start from. The digest of the last row is
-//! exactly the `weights digest` the interrupted campaign would have
-//! printed, which makes "did the log capture the run?" a shell-level
-//! diff.
+//! truncation, no appends, no orphan deletion — a missing log is an
+//! error rather than a freshly created one) and prints one row per
+//! committed record — accepted users, total debits, the restored
+//! weights digest — plus the recovery summary a resumed
+//! `dptd campaign --wal` would start from. Both log layouts are
+//! understood: the segmented snapshot store (a `MANIFEST` plus
+//! `segment-NNN.wal` files) and the legacy single-segment layout it
+//! adopts. The digest of the last row is exactly the `weights digest`
+//! the interrupted campaign would have printed, which makes "did the
+//! log capture the run?" a shell-level diff.
+//!
+//! `--stats` appends the operator's view of the store itself:
+//! per-segment record counts and byte sizes, the newest snapshot epoch,
+//! and the bytes the next compaction would reclaim — the numbers that
+//! show rotation and compaction doing their job.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
-use dptd_engine::wal::{self, SEGMENT_FILE};
+use dptd_engine::store::{self, StoreReplay};
 use dptd_engine::RecoveredState;
 use dptd_protocol::budget::BudgetAccountant;
 use dptd_truth::streaming::StreamingCrh;
@@ -35,30 +42,42 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
                 .to_string(),
         ));
     };
-    // Read-only by construction: a typo'd path must error, not fabricate
-    // an empty log (which FileWal::open would create for a writer).
-    let segment = Path::new(dir).join(SEGMENT_FILE);
-    let bytes = match std::fs::read(&segment) {
-        Ok(bytes) => bytes,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+    let dir_path = Path::new(dir);
+    let stats = match args.str_or("stats", "false") {
+        "true" => true,
+        "false" => false,
+        other => {
             return Err(CliError::Usage(format!(
-                "no write-ahead log at `{}` (is --wal the directory a campaign wrote?)",
-                segment.display()
-            )));
-        }
-        Err(e) => {
-            return Err(CliError::Usage(format!(
-                "cannot read `{}`: {e}",
-                segment.display()
+                "flag `--stats` expects true|false, got `{other}`"
             )));
         }
     };
-    let replay = wal::replay(&bytes).map_err(box_err)?;
+    // Read-only by construction: a typo'd path must error, not fabricate
+    // an empty log (which a writer's open would create). A directory we
+    // cannot *read* surfaces as its own I/O error, distinct from one
+    // that holds no log.
+    let replayed: StoreReplay = match store::read_dir(dir_path) {
+        Ok(replayed) => replayed,
+        Err(dptd_engine::WalError::Io { message, .. })
+            if message.contains("no write-ahead log") =>
+        {
+            return Err(CliError::Usage(format!(
+                "no write-ahead log at `{dir}` (is --wal the directory a campaign wrote?)",
+            )));
+        }
+        Err(e) => return Err(box_err(e)),
+    };
+    let replay = &replayed.replay;
 
     let mut out = String::new();
     let _ = writeln!(out, "# dptd recover — write-ahead log inspection\n");
-    let _ = writeln!(out, "log                 {}", segment.display());
-    let _ = writeln!(out, "size                {} bytes", bytes.len());
+    let _ = writeln!(out, "log                 {dir}");
+    let _ = writeln!(
+        out,
+        "size                {} bytes across {} segment(s)",
+        replayed.total_bytes(),
+        replayed.segments.len()
+    );
     let _ = writeln!(out, "committed records   {}", replay.records.len());
     let _ = writeln!(
         out,
@@ -67,6 +86,9 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
     );
 
     let Some(first) = replay.records.first() else {
+        if stats {
+            out.push_str(&render_stats(&replayed));
+        }
         let _ = writeln!(out, "\nempty log: a resumed campaign starts at round 0");
         return Ok(out);
     };
@@ -85,9 +107,9 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
 
     let _ = writeln!(
         out,
-        "\n| epoch | accepted | total debits | weights digest |"
+        "\n| epoch | kind | accepted | total debits | weights digest |"
     );
-    let _ = writeln!(out, "|---:|---:|---:|---:|");
+    let _ = writeln!(out, "|---:|---|---:|---:|---:|");
     for record in &replay.records {
         // Rebuild the estimator each snapshot describes; its weights
         // digest is what the live campaign printed after that round.
@@ -101,18 +123,22 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         let total_debits: u64 = record.rounds_debited.iter().map(|&d| u64::from(d)).sum();
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} |",
             record.epoch,
+            match record.kind {
+                dptd_engine::RecordKind::Epoch => "epoch",
+                dptd_engine::RecordKind::Snapshot => "snapshot",
+            },
             record.accepted_users.len(),
             total_debits,
             digest,
         );
     }
 
-    // The full recovery path (dedup + ledger cross-check), exactly as a
-    // resuming campaign would run it.
+    // The full recovery path (snapshot seeding, dedup, ledger
+    // cross-check), exactly as a resuming campaign would run it.
     let recovered: RecoveredState =
-        dptd_engine::recovery::recover_replay(&replay, num_users, loss, None).map_err(box_err)?;
+        dptd_engine::recovery::recover_replay(replay, num_users, loss, None).map_err(box_err)?;
     let _ = writeln!(
         out,
         "\nledger              consistent ({} debit(s) across {} user(s), {} stale record(s) skipped)",
@@ -127,10 +153,71 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         dptd_stats::digest::fnv1a_f64s(recovered.crh.weights())
     );
 
+    if stats {
+        out.push_str(&render_stats(&replayed));
+    }
     if let Some(scope) = args.get("budgets") {
         out.push_str(&render_budgets(scope, first.policy, &recovered)?);
     }
     Ok(out)
+}
+
+/// Render the per-segment store statistics (`--stats`): what rotation
+/// and compaction have done and what the next compaction would free.
+fn render_stats(replayed: &StoreReplay) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n| segment | records | bytes | snapshots | torn |");
+    let _ = writeln!(out, "|---|---:|---:|---|---:|");
+    for info in &replayed.segments {
+        let snapshots = if info.snapshot_epochs.is_empty() {
+            "-".to_string()
+        } else {
+            info.snapshot_epochs
+                .iter()
+                .map(|e| format!("@{e}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            store::segment_file_name(info.id),
+            info.records,
+            info.bytes,
+            snapshots,
+            info.torn_bytes,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nnewest snapshot     {}",
+        replayed
+            .newest_snapshot_epoch()
+            .map(|e| format!("round {e}"))
+            .unwrap_or_else(|| "none".to_string()),
+    );
+    let total = replayed.total_bytes();
+    let reclaimable = replayed.reclaimable_bytes();
+    let _ = writeln!(
+        out,
+        "reclaimable         {reclaimable} of {total} byte(s) ({:.0}%) freed by the next compaction",
+        if total > 0 {
+            100.0 * reclaimable as f64 / total as f64
+        } else {
+            0.0
+        },
+    );
+    if replayed.orphans.is_empty() {
+        let _ = writeln!(out, "orphans             none");
+    } else {
+        let bytes: u64 = replayed.orphans.iter().map(|(_, b)| b).sum();
+        let _ = writeln!(
+            out,
+            "orphans             {} file(s), {bytes} byte(s) (interrupted rotation/compaction; the next writer deletes them)",
+            replayed.orphans.len(),
+        );
+    }
+    out
 }
 
 /// Render the per-user budget audit (`--budgets spent|all`): remaining
@@ -215,6 +302,22 @@ mod tests {
         ))
     }
 
+    /// The directory's full contents, for strict read-only assertions.
+    fn dir_image(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    }
+
     #[test]
     fn missing_wal_flag_is_usage_error() {
         let err = execute(&map(&[])).unwrap_err();
@@ -295,10 +398,10 @@ mod tests {
             "{all}"
         );
 
-        // Strictly read-only: the audit leaves the log bytes untouched.
-        let before = std::fs::read(dir.join(SEGMENT_FILE)).unwrap();
+        // Strictly read-only: the audit leaves every log file untouched.
+        let before = dir_image(&dir);
         execute(&map(&["--wal", &wal, "--budgets", "all"])).unwrap();
-        assert_eq!(before, std::fs::read(dir.join(SEGMENT_FILE)).unwrap());
+        assert_eq!(before, dir_image(&dir));
 
         let err = execute(&map(&["--wal", &wal, "--budgets", "everyone"])).unwrap_err();
         assert!(err.to_string().contains("spent | all"), "{err}");
@@ -337,6 +440,48 @@ mod tests {
                 .to_string()
         };
         assert_eq!(digest(&campaign), digest(&out));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_flag_reports_segments_snapshots_and_reclaimable_bytes() {
+        let dir = temp_wal("stats");
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = dir.to_str().unwrap().to_string();
+        crate::commands::campaign::execute(&map(&[
+            "--users",
+            "30",
+            "--objects",
+            "3",
+            "--rounds",
+            "5",
+            "--shards",
+            "2",
+            "--backend",
+            "engine",
+            "--wal",
+            &wal,
+            "--wal-rotate-records",
+            "2",
+            "--wal-compact-every",
+            "3",
+        ]))
+        .unwrap();
+        let before = dir_image(&dir);
+        let out = execute(&map(&["--wal", &wal, "--stats", "true"])).unwrap();
+        assert!(out.contains("| segment | records | bytes |"), "{out}");
+        assert!(out.contains("segment-"), "{out}");
+        assert!(out.contains("newest snapshot     round"), "{out}");
+        assert!(out.contains("reclaimable"), "{out}");
+        assert!(out.contains("orphans             none"), "{out}");
+        // The stats pass is read-only too.
+        assert_eq!(before, dir_image(&dir));
+
+        // An orphan left by a killed compactor is reported, not touched.
+        std::fs::write(dir.join("segment-999.wal"), b"staged").unwrap();
+        let out = execute(&map(&["--wal", &wal, "--stats", "true"])).unwrap();
+        assert!(out.contains("orphans             1 file(s)"), "{out}");
+        assert!(dir.join("segment-999.wal").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

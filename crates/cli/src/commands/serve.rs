@@ -57,6 +57,10 @@ fn run(args: &ArgMap, wait: impl FnOnce()) -> Result<String, CliError> {
             wal_root: args.get("wal").map(PathBuf::from),
             max_campaigns: args.usize_or("max-campaigns", 1024)?,
             max_users_per_campaign: args.u64_or("max-users", 4 << 20)?,
+            // Segmented-store thresholds for every durable campaign
+            // (`--wal-rotate-bytes`, `--wal-rotate-records`,
+            // `--wal-compact-every`).
+            store: super::resolve_store_config(args)?,
         },
     };
     let wal_desc = config
@@ -86,6 +90,18 @@ fn run(args: &ArgMap, wait: impl FnOnce()) -> Result<String, CliError> {
     let _ = writeln!(out, "campaigns created   {}", stats.campaigns_created);
     let _ = writeln!(out, "reports submitted   {}", stats.reports_submitted);
     let _ = writeln!(out, "rounds closed       {}", stats.rounds_closed);
+    let _ = writeln!(
+        out,
+        "campaigns flushed   {} (WAL segments fsynced, writer locks released)",
+        stats.campaigns_flushed
+    );
+    if stats.sync_failures > 0 {
+        let _ = writeln!(
+            out,
+            "sync failures       {} — inspect the WAL dirs with `dptd recover`",
+            stats.sync_failures
+        );
+    }
     Ok(out)
 }
 
@@ -149,6 +165,77 @@ mod tests {
         drop(client);
         let stats = server.shutdown();
         assert_eq!(stats.campaigns_created, 1);
+    }
+
+    #[test]
+    fn shutdown_flushes_durable_campaigns_and_releases_locks() {
+        use dptd_core::roles::PerturbedReport;
+        use dptd_protocol::message::StampedReport;
+        use dptd_server::{CampaignSpec, Client};
+
+        let root = std::env::temp_dir().join(format!(
+            "dptd-serve-flush-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let server = dptd_server::Server::start(dptd_server::ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            registry: dptd_server::registry::RegistryConfig {
+                wal_root: Some(root.clone()),
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .create_campaign(
+                "flush",
+                CampaignSpec {
+                    num_users: 2,
+                    num_objects: 1,
+                    num_shards: 1,
+                    workers: 0,
+                    engine_queue: 64,
+                    deadline_us: 1_000,
+                    submission_capacity: 16,
+                    per_round_epsilon: 0.5,
+                    per_round_delta: 0.0,
+                    budget_epsilon: 5.0,
+                    budget_delta: 0.0,
+                    stream_tag: 0,
+                    durable: true,
+                },
+            )
+            .unwrap();
+        let stamped = |user: usize, v: f64| StampedReport {
+            epoch: 0,
+            sent_at_us: 1,
+            report: PerturbedReport {
+                user,
+                values: vec![(0, v)],
+            },
+        };
+        client
+            .submit("flush", vec![stamped(0, 1.0), stamped(1, 2.0)])
+            .unwrap();
+        client.close_round("flush", 0).unwrap();
+        drop(client);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.campaigns_flushed, 1);
+        assert_eq!(stats.sync_failures, 0);
+        // The writer lock was released BY shutdown, not by some later
+        // Drop: a successor acquires the directory immediately.
+        let lock = dptd_engine::WalLock::acquire(&root.join("flush"))
+            .expect("shutdown must release the campaign's WAL lock");
+        drop(lock);
+        // And the flushed log replays the committed round.
+        let replayed = dptd_engine::store::read_dir(&root.join("flush")).unwrap();
+        assert_eq!(replayed.replay.records.len(), 1);
+        assert_eq!(replayed.replay.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

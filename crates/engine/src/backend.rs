@@ -20,7 +20,7 @@ use dptd_truth::streaming::StreamingCrh;
 use crate::engine::{Engine, EpochOutcome};
 use crate::metrics::EngineMetrics;
 use crate::recovery::{recover_replay, RecoveredState};
-use crate::wal::{EpochRecord, WalPolicy, WalSink, WalWriter};
+use crate::wal::{EpochRecord, RecordKind, RecordLog, Replay, WalPolicy, WalSink, WalWriter};
 use crate::EngineError;
 
 /// A [`RoundBackend`] that executes each campaign round as one epoch of
@@ -84,7 +84,9 @@ pub struct EngineBackend {
 /// Everything the backend tracks only because it is logging.
 #[derive(Debug)]
 struct WalState {
-    writer: WalWriter,
+    /// The record log rounds commit through: a single-segment
+    /// [`WalWriter`] or the segmented [`crate::store::SegmentStore`].
+    writer: Box<dyn RecordLog>,
     /// The privacy policy stamped into every record.
     policy: WalPolicy,
     /// Mirror of the campaign driver's per-user debit ledger (one debit
@@ -138,22 +140,56 @@ impl EngineBackend {
         sink: Box<dyn WalSink>,
         policy: WalPolicy,
     ) -> Result<(Self, RecoveredState), EngineError> {
-        let cfg = *engine.config();
         let (writer, replay) = WalWriter::open(sink).map_err(EngineError::Wal)?;
-        let recovered = recover_replay(&replay, cfg.num_users, cfg.loss, Some(&policy))?;
+        Self::with_log(engine, Box::new(writer), &replay, policy)
+    }
+
+    /// Wrap `engine` over an already-opened record log (a
+    /// [`WalWriter`], or the segmented
+    /// [`SegmentStore`](crate::store::SegmentStore)) and the [`Replay`]
+    /// its open produced. This is [`EngineBackend::with_wal`] with the
+    /// log layout decoupled: recovery, the policy check, and the
+    /// commit-equals-durable barrier are identical for every layout.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`recover_replay`] rejects, including the
+    /// policy/stream mismatch described on [`EngineBackend::with_wal`].
+    pub fn with_log(
+        engine: Engine,
+        log: Box<dyn RecordLog>,
+        replay: &Replay,
+        policy: WalPolicy,
+    ) -> Result<(Self, RecoveredState), EngineError> {
+        let cfg = *engine.config();
+        let recovered = recover_replay(replay, cfg.num_users, cfg.loss, Some(&policy))?;
         let backend = Self {
             engine,
             state: Some(recovered.crh.clone()),
             metrics: EngineMetrics::default(),
             rounds: recovered.records_applied,
             wal: Some(WalState {
-                writer,
+                writer: log,
                 policy,
                 debits: recovered.rounds_debited.clone(),
                 last_epoch: recovered.last_epoch,
             }),
         };
         Ok((backend, recovered))
+    }
+
+    /// Flush the record log (if any) to stable storage — the orderly
+    /// shutdown path, so an exiting server never relies on `Drop` order
+    /// for durability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the log's sync failure.
+    pub fn sync_log(&mut self) -> Result<(), EngineError> {
+        match &mut self.wal {
+            Some(wal) => wal.writer.sync().map_err(EngineError::Wal),
+            None => Ok(()),
+        }
     }
 
     /// The wrapped engine.
@@ -288,6 +324,7 @@ impl RoundBackend for EngineBackend {
                 wal.debits[user] += 1;
             }
             let record = EpochRecord {
+                kind: RecordKind::Epoch,
                 epoch: input.epoch,
                 batches_seen: self
                     .state
@@ -305,7 +342,7 @@ impl RoundBackend for EngineBackend {
                     .to_vec(),
                 rounds_debited: wal.debits.clone(),
             };
-            if let Err(e) = wal.writer.append(&record) {
+            if let Err(e) = wal.writer.append_record(&record) {
                 for &user in &accepted_users {
                     wal.debits[user] -= 1;
                 }

@@ -26,9 +26,15 @@
 //! * [`wal`] — the epoch write-ahead log: checksummed, length-prefixed
 //!   [`EpochRecord`]s through a [`WalSink`] ([`FileWal`] on disk,
 //!   [`MemWal`] in tests, [`FailingWal`] for crash injection).
+//! * [`store`] — the segmented snapshot store: [`SegmentStore`] rotates
+//!   sealed segments under an atomically-rewritten manifest, and its
+//!   compactor writes full-state snapshot records then garbage-collects
+//!   everything they cover, bounding disk and recovery time for
+//!   long-running campaigns.
 //! * [`recovery`] — [`Engine::recover`]/[`RecoveredState`]: replay a log
 //!   to rebuild the carried estimator and the per-user budget ledger
-//!   bit-identically after a crash.
+//!   bit-identically after a crash, seeking to the newest snapshot when
+//!   the log is segmented.
 //!
 //! # Example
 //!
@@ -64,6 +70,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod recovery;
 pub mod shard;
+pub mod store;
 pub mod wal;
 
 use std::fmt;
@@ -73,8 +80,10 @@ pub use engine::{Engine, EngineConfig, EngineReport, EpochOutcome};
 pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
 pub use metrics::{EngineMetrics, LatencyHistogram};
 pub use recovery::RecoveredState;
+pub use store::{SegmentStore, StoreConfig};
 pub use wal::{
-    EpochRecord, FailingWal, FileWal, MemWal, WalError, WalLock, WalPolicy, WalSink, WalWriter,
+    EpochRecord, FailingWal, FileWal, MemWal, RecordKind, RecordLog, WalError, WalLock, WalPolicy,
+    WalSink, WalWriter,
 };
 
 /// Error type for the aggregation engine.

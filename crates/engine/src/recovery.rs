@@ -25,7 +25,7 @@ use dptd_truth::streaming::StreamingCrh;
 use dptd_truth::Loss;
 
 use crate::engine::Engine;
-use crate::wal::{self, EpochRecord, Replay, WalError, WalPolicy, WalSink};
+use crate::wal::{self, EpochRecord, RecordKind, Replay, WalError, WalPolicy, WalSink};
 use crate::EngineError;
 
 /// Mid-campaign state rebuilt from a write-ahead log.
@@ -40,7 +40,9 @@ pub struct RecoveredState {
     /// The last committed epoch id, if any; a resumed campaign continues
     /// at `last_epoch + 1`.
     pub last_epoch: Option<u64>,
-    /// Records applied (one per committed epoch).
+    /// Rounds the recovered state represents: epochs replayed record by
+    /// record **plus** the rounds a seeding snapshot covered (its
+    /// `batches_seen`) — i.e. what the crashed campaign had committed.
     pub records_applied: u64,
     /// Stale/duplicate records skipped (epoch not past the previous one).
     pub duplicates_skipped: u64,
@@ -50,6 +52,9 @@ pub struct RecoveredState {
     /// an empty log). Resuming callers must account under the same
     /// policy — debit counts are meaningless under a different one.
     pub policy: Option<WalPolicy>,
+    /// The newest [`RecordKind::Snapshot`] record's epoch, if the log
+    /// holds one — everything at or before it is compactable.
+    pub snapshot_epoch: Option<u64>,
 }
 
 impl RecoveredState {
@@ -90,6 +95,12 @@ pub fn recover_replay(
     let mut duplicates_skipped = 0u64;
     let mut last_record: Option<&EpochRecord> = None;
     let mut policy: Option<WalPolicy> = None;
+    let mut snapshot_epoch: Option<u64> = None;
+
+    // Bit-exact slice equality, matching what the log stores.
+    let losses_match = |a: &[f64], b: &[f64]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
 
     for record in &replay.records {
         if record.num_users() != num_users {
@@ -124,6 +135,47 @@ pub fn recover_replay(
                 }));
             }
             Some(_) => {}
+        }
+        if record.kind == RecordKind::Snapshot {
+            match last_epoch {
+                // A seeding snapshot: the segments it covered were
+                // garbage-collected, so the snapshot's full state IS
+                // the campaign's state as of its epoch.
+                None => {
+                    rounds_debited = record.rounds_debited.clone();
+                    records_applied = record.batches_seen;
+                    last_epoch = Some(record.epoch);
+                    last_record = Some(record);
+                    snapshot_epoch = Some(record.epoch);
+                }
+                // A snapshot *behind* still-present records (a
+                // compactor killed before garbage collection): it must
+                // agree bit-exactly with the records it claims to
+                // cover, or someone's privacy spend is ambiguous.
+                Some(last) if record.epoch == last => {
+                    let consistent = record.rounds_debited == rounds_debited
+                        && record.batches_seen == records_applied
+                        && last_record.is_some_and(|r| {
+                            losses_match(&record.cumulative_losses, &r.cumulative_losses)
+                        });
+                    if !consistent {
+                        return Err(EngineError::Wal(WalError::Inconsistent {
+                            reason: "snapshot disagrees with the records it covers",
+                        }));
+                    }
+                    last_record = Some(record);
+                    snapshot_epoch = Some(record.epoch);
+                }
+                // A snapshot that skips past the replayed records means
+                // committed epochs are missing (a lost segment), and
+                // one behind them is stale (an interleaved compactor).
+                Some(_) => {
+                    return Err(EngineError::Wal(WalError::Inconsistent {
+                        reason: "snapshot does not line up with the replayed records",
+                    }));
+                }
+            }
+            continue;
         }
         if last_epoch.is_some_and(|last| record.epoch <= last) {
             // A legitimate single writer can never commit a duplicate
@@ -185,6 +237,7 @@ pub fn recover_replay(
         duplicates_skipped,
         truncated_bytes: replay.truncated_bytes,
         policy,
+        snapshot_epoch,
     })
 }
 
@@ -223,6 +276,7 @@ mod tests {
 
     fn record(epoch: u64, accepted: Vec<usize>, debits: Vec<u32>) -> EpochRecord {
         EpochRecord {
+            kind: RecordKind::Epoch,
             epoch,
             batches_seen: epoch + 1,
             loss: Loss::Squared,
@@ -292,6 +346,74 @@ mod tests {
             record(0, vec![1], vec![0, 1, 0]),
         ];
         assert!(recover_replay(&replay_of(&records), 3, Loss::Squared, None).is_err());
+    }
+
+    #[test]
+    fn a_seeding_snapshot_restores_ledger_and_estimator() {
+        let full = vec![
+            record(0, vec![0, 2], vec![1, 0, 1]),
+            record(1, vec![0, 1], vec![2, 1, 1]),
+            record(2, vec![2], vec![2, 1, 2]),
+        ];
+        let full_state = recover_replay(&replay_of(&full), 3, Loss::Squared, None).unwrap();
+        assert_eq!(full_state.snapshot_epoch, None);
+
+        // The compacted log: a snapshot covering epochs 0–1 (its covered
+        // segments garbage-collected), then the epoch-2 suffix.
+        let compacted = vec![full[1].to_snapshot(), full[2].clone()];
+        let r = recover_replay(&replay_of(&compacted), 3, Loss::Squared, None).unwrap();
+        assert_eq!(r.rounds_debited, full_state.rounds_debited);
+        assert_eq!(r.last_epoch, Some(2));
+        assert_eq!(r.next_epoch(), 3);
+        assert_eq!(r.records_applied, 3, "snapshot covers two rounds");
+        assert_eq!(r.snapshot_epoch, Some(1));
+        assert_eq!(r.crh.weights(), full_state.crh.weights());
+    }
+
+    #[test]
+    fn a_snapshot_behind_uncollected_records_verifies_or_refuses() {
+        let records = vec![
+            record(0, vec![0, 2], vec![1, 0, 1]),
+            record(1, vec![0, 1], vec![2, 1, 1]),
+        ];
+        // Killed-compactor layout: the covered records are still on disk
+        // together with the snapshot — replay verifies and moves on.
+        let mut with_snap = records.clone();
+        with_snap.push(records[1].to_snapshot());
+        let r = recover_replay(&replay_of(&with_snap), 3, Loss::Squared, None).unwrap();
+        assert_eq!(r.rounds_debited, vec![2, 1, 1]);
+        assert_eq!(r.snapshot_epoch, Some(1));
+        assert_eq!(r.records_applied, 2);
+
+        // A snapshot claiming different spend than the records it
+        // covers is refused, never merged.
+        let mut forged = records[1].to_snapshot();
+        forged.rounds_debited = vec![1, 1, 1];
+        let err = recover_replay(
+            &replay_of(&[records.clone(), vec![forged]].concat()),
+            3,
+            Loss::Squared,
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Wal(WalError::Inconsistent { .. })),
+            "{err:?}"
+        );
+
+        // A snapshot past the replayed records means a committed epoch
+        // vanished (a lost segment): refused.
+        let err = recover_replay(
+            &replay_of(&[records[0].clone(), records[1].to_snapshot()]),
+            3,
+            Loss::Squared,
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Wal(WalError::Inconsistent { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! The segmented store's manifest: the single source of truth for
+//! which segment files constitute the log, in order.
+//!
+//! The manifest is a tiny checksummed binary file, only ever replaced
+//! **atomically** ([`StoreFs::write_atomic`](super::fs::StoreFs) —
+//! temp file + fsync + rename + directory fsync), which is what makes
+//! rotation and compaction crash-atomic: every multi-file operation is
+//! staged so that the single manifest rename is its commit point. Any
+//! `segment-*.wal` file *not* named by the manifest is an orphan — a
+//! staged segment whose commit never happened, or a collected segment
+//! whose deletion was interrupted — and is deterministically deleted
+//! when a writer next opens the store.
+//!
+//! # On-disk layout (version 1, pinned by a golden test)
+//!
+//! ```text
+//! file    := magic frame
+//! magic   := "DPTDMAN" 0x01                     (8 bytes)
+//! frame   := payload_len:u32 len_check:u32 checksum:u64 payload
+//! payload := segment_count:u64 segment_id:u64*  (little-endian)
+//! ```
+//!
+//! `len_check` is `payload_len ^ "MAN1"` and `checksum` is FNV-1a over
+//! the payload — the same self-check + checksum discipline as the WAL's
+//! record frames. Segment ids are strictly increasing; the **last** id
+//! is the active (appending) segment.
+
+use dptd_stats::digest::Fnv1a;
+
+use crate::wal::WalError;
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// The 8-byte manifest header: 7 ASCII magic bytes plus the version.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"DPTDMAN\x01";
+
+/// XOR mask for the manifest frame's length self-check.
+const MAN_XOR: u32 = u32::from_le_bytes(*b"MAN1");
+
+/// The ordered list of segments that constitute the log. The last entry
+/// is the active segment; everything before it is sealed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Strictly increasing segment ids, oldest first, never empty.
+    pub segments: Vec<u64>,
+}
+
+/// File name of segment `id` (`segment-000.wal`, `segment-001.wal`, …;
+/// the zero-padding widens past 999 without colliding).
+pub fn segment_file_name(id: u64) -> String {
+    format!("segment-{id:03}.wal")
+}
+
+/// Parse a segment file name back to its id (`None` for any other
+/// file — the lock, the manifest, a temp file).
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("segment-")?
+        .strip_suffix(".wal")?
+        .parse()
+        .ok()
+}
+
+impl Manifest {
+    /// The active (appending) segment's id.
+    pub fn active(&self) -> u64 {
+        *self.segments.last().expect("manifest is never empty")
+    }
+
+    /// The id the next rotation or compaction will use. Ids strictly
+    /// increase for the store's lifetime, so a garbage-collected id is
+    /// never reused (a stale file can never masquerade as a live one).
+    pub fn next_id(&self) -> u64 {
+        self.active() + 1
+    }
+
+    /// Encode the manifest file (magic + checksummed frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(8 + 8 * self.segments.len());
+        payload.extend_from_slice(&(self.segments.len() as u64).to_le_bytes());
+        for &id in &self.segments {
+            payload.extend_from_slice(&id.to_le_bytes());
+        }
+        let mut bytes = MANIFEST_MAGIC.to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&((payload.len() as u32) ^ MAN_XOR).to_le_bytes());
+        bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    /// Decode and validate a manifest file.
+    ///
+    /// A manifest is only ever written atomically, so **any** damage —
+    /// bad magic, failed self-check, bad checksum, truncation, a
+    /// non-increasing id list — is [`WalError::Corrupt`] (or
+    /// [`WalError::BadMagic`] for a foreign header), never repaired:
+    /// unlike a log tail there is no legitimate way for it to be torn.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WalError> {
+        let corrupt = |reason: &'static str, offset: u64| WalError::Corrupt { offset, reason };
+        if bytes.len() < MANIFEST_MAGIC.len() {
+            return Err(corrupt("manifest shorter than its header", 0));
+        }
+        if bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+            return Err(WalError::BadMagic);
+        }
+        let rest = &bytes[MANIFEST_MAGIC.len()..];
+        if rest.len() < 16 {
+            return Err(corrupt("manifest frame header truncated", 8));
+        }
+        let payload_len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        let len_check = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if payload_len ^ MAN_XOR != len_check {
+            return Err(corrupt("manifest length failed its self-check", 8));
+        }
+        let stored_sum = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+        let payload = &rest[16..];
+        if payload.len() != payload_len as usize {
+            return Err(corrupt("manifest payload length mismatch", 24));
+        }
+        if checksum(payload) != stored_sum {
+            return Err(corrupt("manifest checksum mismatch", 24));
+        }
+        if payload.len() < 8 {
+            return Err(corrupt("manifest payload truncated", 24));
+        }
+        let count = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let ids = &payload[8..];
+        if ids.len() as u64 != count.saturating_mul(8) {
+            return Err(corrupt("manifest id count disagrees with its payload", 24));
+        }
+        if count == 0 {
+            return Err(corrupt("manifest names no segments", 24));
+        }
+        let mut segments = Vec::with_capacity(count as usize);
+        for chunk in ids.chunks_exact(8) {
+            let id = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            if segments.last().is_some_and(|&last| id <= last) {
+                return Err(corrupt("manifest segment ids not increasing", 24));
+            }
+            segments.push(id);
+        }
+        Ok(Self { segments })
+    }
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &b in payload {
+        h.write_u8(b);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = Manifest {
+            segments: vec![0, 3, 7],
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        assert_eq!(m.active(), 7);
+        assert_eq!(m.next_id(), 8);
+    }
+
+    #[test]
+    fn golden_manifest_layout_is_pinned() {
+        // Version-1 layout, byte for byte. If this fails you changed the
+        // manifest format: bump the magic version byte.
+        let m = Manifest {
+            segments: vec![2, 5],
+        };
+        let golden: Vec<u8> = [
+            b"DPTDMAN\x01".to_vec(),
+            // payload_len = 24
+            vec![24, 0, 0, 0],
+            (24u32 ^ u32::from_le_bytes(*b"MAN1"))
+                .to_le_bytes()
+                .to_vec(),
+            // FNV-1a over the payload
+            checksum(&[2u64.to_le_bytes(), 2u64.to_le_bytes(), 5u64.to_le_bytes()].concat())
+                .to_le_bytes()
+                .to_vec(),
+            // count = 2, ids 2 and 5
+            vec![2, 0, 0, 0, 0, 0, 0, 0],
+            vec![2, 0, 0, 0, 0, 0, 0, 0],
+            vec![5, 0, 0, 0, 0, 0, 0, 0],
+        ]
+        .concat();
+        assert_eq!(m.encode(), golden);
+    }
+
+    #[test]
+    fn every_damaged_manifest_is_refused() {
+        let good = Manifest {
+            segments: vec![0, 1],
+        }
+        .encode();
+        // Any single-byte flip is BadMagic or Corrupt, never a silent
+        // different manifest.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xff;
+            let err = Manifest::decode(&bad).unwrap_err();
+            assert!(
+                matches!(err, WalError::Corrupt { .. } | WalError::BadMagic),
+                "flip at {i}: {err:?}"
+            );
+        }
+        // Any truncation is refused too (a manifest is never torn).
+        for cut in 0..good.len() {
+            assert!(Manifest::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Non-increasing ids and an empty list are structural damage.
+        let dup = Manifest {
+            segments: vec![3, 3],
+        };
+        assert!(Manifest::decode(&dup.encode()).is_err());
+        let mut empty = MANIFEST_MAGIC.to_vec();
+        let payload = 0u64.to_le_bytes();
+        empty.extend_from_slice(&8u32.to_le_bytes());
+        empty.extend_from_slice(&(8u32 ^ MAN_XOR).to_le_bytes());
+        empty.extend_from_slice(&checksum(&payload).to_le_bytes());
+        empty.extend_from_slice(&payload);
+        assert!(Manifest::decode(&empty).is_err());
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(segment_file_name(0), "segment-000.wal");
+        assert_eq!(segment_file_name(12), "segment-012.wal");
+        assert_eq!(segment_file_name(4096), "segment-4096.wal");
+        for id in [0, 7, 999, 1000, u64::MAX] {
+            assert_eq!(parse_segment_name(&segment_file_name(id)), Some(id));
+        }
+        assert_eq!(parse_segment_name("MANIFEST"), None);
+        assert_eq!(parse_segment_name("LOCK"), None);
+        assert_eq!(parse_segment_name("segment-000.wal.tmp"), None);
+        assert_eq!(parse_segment_name("segment-.wal"), None);
+    }
+}

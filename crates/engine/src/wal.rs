@@ -31,7 +31,11 @@
 //! reproducibility digests; `len_check` is `payload_len ^ "WAL1"`, a
 //! self-check that distinguishes a *corrupted* length prefix (rejected as
 //! [`WalError::Corrupt`] — it would otherwise masquerade as a torn tail
-//! and truncate committed records) from a genuinely torn frame. A record
+//! and truncate committed records) from a genuinely torn frame. The mask
+//! that passes doubles as the record's kind: `"WAL1"` frames a v1
+//! [`RecordKind::Epoch`] record, `"WAL2"` frames a v2
+//! [`RecordKind::Snapshot`] record (same payload layout, written by the
+//! segmented store's compactor — see [`crate::store`]). A record
 //! is **committed** iff its frame is complete and both checks pass.
 //! Replay truncates a *torn tail* (a partial frame, or a checksum-bad
 //! final frame — what a crash mid-write leaves behind) and rejects
@@ -80,8 +84,50 @@ pub const LOCK_FILE: &str = "LOCK";
 /// length self-check, checksum).
 pub const FRAME_HEADER_LEN: usize = 4 + 4 + 8;
 
-/// XOR mask for the frame header's length self-check.
+/// XOR mask for the frame header's length self-check — also the record
+/// *kind* tag: `"WAL1"` marks a v1 [`RecordKind::Epoch`] record.
 const LEN_XOR: u32 = u32::from_le_bytes(*b"WAL1");
+
+/// Length self-check mask for a v2 [`RecordKind::Snapshot`] record. The
+/// payload layout is byte-for-byte the v1 [`EpochRecord`] layout; only
+/// the mask differs, so a v1-only reader refuses a snapshot-bearing log
+/// as [`WalError::Corrupt`] instead of silently misreading it.
+const SNAP_XOR: u32 = u32::from_le_bytes(*b"WAL2");
+
+/// What a committed record *means* to replay.
+///
+/// An `Epoch` record appends one merged epoch (its accepted users are
+/// that round's budget debits). A `Snapshot` record — written by the
+/// segmented store's compactor — carries the same full-state payload but
+/// asserts that it **covers** every record before it: recovery may seed
+/// from it directly and earlier segments may be garbage-collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// One merged epoch (v1 framing, `"WAL1"` mask).
+    Epoch,
+    /// A compaction snapshot (v2 framing, `"WAL2"` mask): full state as
+    /// of its epoch, `accepted_users` empty so replay debits nothing.
+    Snapshot,
+}
+
+impl RecordKind {
+    fn mask(self) -> u32 {
+        match self {
+            RecordKind::Epoch => LEN_XOR,
+            RecordKind::Snapshot => SNAP_XOR,
+        }
+    }
+
+    fn from_check(payload_len: u32, len_check: u32) -> Option<Self> {
+        if payload_len ^ LEN_XOR == len_check {
+            Some(RecordKind::Epoch)
+        } else if payload_len ^ SNAP_XOR == len_check {
+            Some(RecordKind::Snapshot)
+        } else {
+            None
+        }
+    }
+}
 
 /// Errors from the write-ahead log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -510,6 +556,11 @@ impl WalPolicy {
 /// ledger (and future compaction drop history without losing state).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
+    /// What this record means to replay: a merged epoch, or a
+    /// compaction snapshot covering everything before it. The kind is
+    /// carried by the frame's length-self-check mask, not the payload,
+    /// so the v1 payload layout is untouched.
+    pub kind: RecordKind,
     /// The epoch id as stamped on its reports.
     pub epoch: u64,
     /// Estimator batches ingested up to and including this epoch.
@@ -551,6 +602,35 @@ impl EpochRecord {
         self.cumulative_losses.len()
     }
 
+    /// The [`RecordKind::Snapshot`] record covering this record: the
+    /// same full state (estimator losses, ledger, policy, epoch) with an
+    /// empty accepted-user set, so replay seeds from it without
+    /// re-debiting anyone. This is what the compactor writes — every
+    /// committed record already carries everything a snapshot needs.
+    #[must_use]
+    pub fn to_snapshot(&self) -> EpochRecord {
+        EpochRecord {
+            kind: RecordKind::Snapshot,
+            accepted_users: Vec::new(),
+            ..self.clone()
+        }
+    }
+
+    /// Byte length of the frame [`EpochRecord::encode`] produces,
+    /// computed without building it (header + fixed payload fields +
+    /// 8 bytes per accepted user + 12 bytes per population member).
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_LEN
+            + 8
+            + 8
+            + 1
+            + 40
+            + 8
+            + 8
+            + 8 * self.accepted_users.len()
+            + 12 * self.num_users()
+    }
+
     /// Encode the record as one framed WAL entry (length prefix, length
     /// self-check, checksum, payload).
     pub fn encode(&self) -> Vec<u8> {
@@ -560,8 +640,7 @@ impl EpochRecord {
             "snapshot vectors must cover the same population"
         );
         let num_users = self.cumulative_losses.len();
-        let payload_len =
-            8 + 8 + 1 + 40 + 8 + 8 + 8 * self.accepted_users.len() + 8 * num_users + 4 * num_users;
+        let payload_len = self.encoded_len() - FRAME_HEADER_LEN;
         let mut payload = Vec::with_capacity(payload_len);
         payload.extend_from_slice(&self.epoch.to_le_bytes());
         payload.extend_from_slice(&self.batches_seen.to_le_bytes());
@@ -584,14 +663,14 @@ impl EpochRecord {
 
         let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&((payload.len() as u32) ^ LEN_XOR).to_le_bytes());
+        frame.extend_from_slice(&((payload.len() as u32) ^ self.kind.mask()).to_le_bytes());
         frame.extend_from_slice(&checksum(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         frame
     }
 
-    /// Decode one checksum-verified payload.
-    fn decode(payload: &[u8]) -> Result<Self, &'static str> {
+    /// Decode one checksum-verified payload whose frame carried `kind`.
+    fn decode(payload: &[u8], kind: RecordKind) -> Result<Self, &'static str> {
         let mut r = Reader { buf: payload };
         let epoch = r.u64()?;
         let batches_seen = r.u64()?;
@@ -641,7 +720,13 @@ impl EpochRecord {
         if !r.buf.is_empty() {
             return Err("trailing bytes inside a record payload");
         }
+        if kind == RecordKind::Snapshot && !accepted_users.is_empty() {
+            // A snapshot's debits live in its ledger; a non-empty
+            // accepted set would double-charge them on replay.
+            return Err("snapshot record with a non-empty accepted set");
+        }
         Ok(Self {
+            kind,
             epoch,
             batches_seen,
             loss,
@@ -760,13 +845,15 @@ pub fn replay(bytes: &[u8]) -> Result<Replay, WalError> {
         // sequential), so a complete header with a failing self-check is
         // *corruption* of the length prefix — without this check a
         // flipped length bit would masquerade as a torn tail and
-        // silently truncate every committed record after it.
-        if payload_len ^ LEN_XOR != len_check {
+        // silently truncate every committed record after it. The mask
+        // that passes doubles as the record-kind tag (v1 epoch record
+        // vs v2 snapshot record).
+        let Some(kind) = RecordKind::from_check(payload_len, len_check) else {
             return Err(WalError::Corrupt {
                 offset: offset as u64,
                 reason: "length prefix failed its self-check",
             });
-        }
+        };
         let stored_sum = u64::from_le_bytes(remaining[8..16].try_into().expect("8 bytes"));
         let frame_len = FRAME_HEADER_LEN + payload_len as usize;
         if remaining.len() < frame_len {
@@ -786,7 +873,7 @@ pub fn replay(bytes: &[u8]) -> Result<Replay, WalError> {
                 reason: "record checksum mismatch",
             });
         }
-        match EpochRecord::decode(payload) {
+        match EpochRecord::decode(payload, kind) {
             Ok(record) => records.push(record),
             Err(reason) => {
                 return Err(WalError::Corrupt {
@@ -802,6 +889,24 @@ pub fn replay(bytes: &[u8]) -> Result<Replay, WalError> {
         valid_len: offset as u64,
         truncated_bytes: 0,
     })
+}
+
+/// The record-level appending interface the engine backend writes
+/// through: [`WalWriter`] (one sink, the single-segment layout) and the
+/// segmented [`crate::store::SegmentStore`] (rotation + compaction)
+/// both implement it, so the durability barrier in
+/// [`crate::backend::EngineBackend`] is layout-agnostic.
+pub trait RecordLog: fmt::Debug + Send {
+    /// Durably append one epoch record. The record is committed iff
+    /// this returns `Ok` — an error must leave the log recoverable to
+    /// its pre-append state (the caller rolls its in-memory state back).
+    fn append_record(&mut self, record: &EpochRecord) -> Result<(), WalError>;
+
+    /// Flush everything committed so far to stable storage (a no-op for
+    /// sinks that sync on every append) — called on orderly shutdown.
+    fn sync(&mut self) -> Result<(), WalError> {
+        Ok(())
+    }
 }
 
 /// The appending half of the WAL: owns a sink, repairs its torn tail on
@@ -888,12 +993,19 @@ impl WalWriter {
     }
 }
 
+impl RecordLog for WalWriter {
+    fn append_record(&mut self, record: &EpochRecord) -> Result<(), WalError> {
+        self.append(record)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn record(epoch: u64) -> EpochRecord {
         EpochRecord {
+            kind: RecordKind::Epoch,
             epoch,
             batches_seen: epoch + 1,
             loss: Loss::Squared,
@@ -914,6 +1026,11 @@ mod tests {
     fn encode_decode_roundtrip() {
         let r = record(7);
         let frame = r.encode();
+        assert_eq!(frame.len(), r.encoded_len());
+        assert_eq!(
+            r.to_snapshot().encode().len(),
+            r.to_snapshot().encoded_len()
+        );
         let replayed = replay(&[WAL_MAGIC.as_slice(), &frame].concat()).unwrap();
         assert_eq!(replayed.records, vec![r]);
         assert_eq!(replayed.truncated_bytes, 0);
@@ -965,6 +1082,38 @@ mod tests {
         .concat();
         assert_eq!(frame, golden, "WAL v1 layout changed; frame = {frame:?}");
         assert_eq!(WAL_MAGIC, *b"DPTDWAL\x01");
+    }
+
+    #[test]
+    fn snapshot_records_frame_with_the_v2_mask_and_roundtrip() {
+        let snap = record(7).to_snapshot();
+        assert_eq!(snap.kind, RecordKind::Snapshot);
+        assert!(snap.accepted_users.is_empty());
+        let frame = snap.encode();
+        // Identical frame to the epoch encoding except the len-check
+        // mask (and the dropped accepted users in the payload).
+        let len_check = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(frame[..4].try_into().unwrap());
+        assert_eq!(payload_len ^ len_check, u32::from_le_bytes(*b"WAL2"));
+
+        // A mixed log (epoch record, then its snapshot) replays with the
+        // kinds intact.
+        let log = [WAL_MAGIC.as_slice(), &record(7).encode(), &frame].concat();
+        let replayed = replay(&log).unwrap();
+        assert_eq!(replayed.records, vec![record(7), snap]);
+
+        // A snapshot frame claiming accepted users is corrupt — its
+        // debits live in the ledger, so replaying them would
+        // double-charge.
+        let mut forged = record(7);
+        forged.kind = RecordKind::Snapshot;
+        let log = [WAL_MAGIC.as_slice(), &forged.encode()].concat();
+        match replay(&log) {
+            Err(WalError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("accepted"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Deterministic crash-injection harness for the segmented snapshot
+//! store.
+//!
+//! The PR-3 harness (`tests/wal_recovery.rs`) kills a campaign at every
+//! byte of a single-segment log. This one extends the same guarantee to
+//! the segmented store's **multi-file** operations: using a cost trace
+//! of every filesystem operation an uninterrupted run performs, it
+//! kills a budget-constrained campaign at every record-append boundary
+//! and torn offset, and at **every byte inside rotation, compaction and
+//! garbage collection** (segment staging, the atomic manifest rewrite,
+//! each GC deletion) — including the window where the old segments and
+//! the new snapshot coexist. After every kill it reopens the store over
+//! exactly the surviving files, resumes, and requires the final budget
+//! ledger, weights and the **entire directory image** (every segment
+//! byte plus the manifest) to be bit-identical to the uninterrupted
+//! run — which is itself pinned to the `sim` backend reference.
+//!
+//! Also here: concurrent-writer refusal on a segmented directory
+//! ([`WalLock`] held across rotations), and killed-compactor manifest
+//! staleness (orphans repaired by deletion; a manifest naming a
+//! *vanished* sealed segment refused).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dptd_engine::store::{FailingFs, MemFs, SegmentStore, StoreConfig, StoreFs};
+use dptd_engine::wal::WalError;
+use dptd_engine::{
+    Engine, EngineBackend, EngineConfig, LoadGen, LoadGenConfig, WalLock, WalPolicy,
+};
+use dptd_ldp::PrivacyLoss;
+use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, SimBackend};
+use dptd_stats::digest::fnv1a_f64s;
+use dptd_truth::Loss;
+
+const USERS: usize = 12;
+const OBJECTS: usize = 3;
+const ROUNDS: u64 = 5;
+
+/// Aggressive thresholds so five rounds cross every store path: two
+/// rotations, a compaction (with GC of two segments), and appends into
+/// fresh, sealed-adjacent and snapshot-bearing segments.
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        rotate_bytes: 0,
+        rotate_records: 2,
+        compact_every: 3,
+    }
+}
+
+fn harness_load(seed: u64) -> LoadGen {
+    LoadGen::new(LoadGenConfig {
+        num_users: USERS,
+        num_objects: OBJECTS,
+        epochs: ROUNDS,
+        churn: 0.25,
+        duplicate_probability: 0.05,
+        straggler_fraction: 0.05,
+        seed,
+        ..LoadGenConfig::default()
+    })
+    .expect("valid load config")
+}
+
+fn harness_config(load: &LoadGen) -> CampaignConfig {
+    let per_round = PrivacyLoss::new(0.5, 0.0).unwrap();
+    CampaignConfig {
+        num_objects: OBJECTS,
+        deadline_us: load.config().epoch_len_us,
+        per_round_loss: per_round,
+        // Binding: four affordable rounds out of five, so the final
+        // round runs with refusals — recovery must restore *that* too.
+        budget: per_round.compose_k(4),
+    }
+}
+
+fn harness_policy(load: &LoadGen) -> WalPolicy {
+    WalPolicy::from_campaign(&harness_config(load))
+}
+
+fn engine_for(load: &LoadGen, shards: usize) -> Engine {
+    Engine::new(EngineConfig {
+        num_users: USERS,
+        num_objects: OBJECTS,
+        num_shards: shards,
+        queue_capacity: 256,
+        epoch_deadline_us: load.config().epoch_len_us,
+        loss: Loss::Squared,
+        ..EngineConfig::default()
+    })
+    .unwrap()
+}
+
+struct Reference {
+    files: BTreeMap<String, Vec<u8>>,
+    ledger: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+/// Uninterrupted store-backed campaign over `fs`: the ground truth
+/// every crash-recovery cycle must reproduce exactly.
+fn run_campaign(
+    load: &LoadGen,
+    shards: usize,
+    fs: Box<dyn StoreFs>,
+) -> Result<(Vec<u32>, Vec<f64>), String> {
+    let (store, replay) =
+        SegmentStore::open(fs, store_config()).map_err(|e| format!("open: {e}"))?;
+    let (backend, recovered) = EngineBackend::with_log(
+        engine_for(load, shards),
+        Box::new(store),
+        &replay,
+        harness_policy(load),
+    )
+    .map_err(|e| format!("recover: {e}"))?;
+    let next = recovered.next_epoch();
+    let mut driver = CampaignDriver::resume(
+        backend,
+        harness_config(load),
+        recovered.rounds_debited,
+        recovered.records_applied.min(u64::from(u32::MAX)) as u32,
+    )
+    .map_err(|e| format!("resume: {e}"))?;
+    for epoch in next..ROUNDS {
+        driver
+            .run_round(epoch, load.epoch_reports(epoch))
+            .map_err(|e| format!("round {epoch}: {e}"))?;
+    }
+    let ledger = driver.accountant().debits_by_user().to_vec();
+    let weights = driver.into_backend().current_weights().to_vec();
+    Ok((ledger, weights))
+}
+
+fn reference(load: &LoadGen, shards: usize) -> Reference {
+    let mem = MemFs::new();
+    let (ledger, weights) =
+        run_campaign(load, shards, Box::new(mem.clone())).expect("uninterrupted run");
+    Reference {
+        files: mem.snapshot(),
+        ledger,
+        weights,
+    }
+}
+
+/// One filesystem operation of the uninterrupted run, with the cost
+/// [`FailingFs`] charges for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    /// A tearable record/magic append (cost = bytes).
+    Append,
+    /// An all-or-nothing window: segment staging or manifest rewrite
+    /// (`write_atomic`, cost = bytes) or a GC deletion (cost 1).
+    Atomic,
+}
+
+/// Records the (kind, cost) of every mutating op so the harness can
+/// enumerate kill budgets that land on every interesting offset.
+#[derive(Debug)]
+struct RecordingFs {
+    inner: MemFs,
+    ops: Arc<Mutex<Vec<(OpKind, u64)>>>,
+}
+
+impl StoreFs for RecordingFs {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, WalError> {
+        self.inner.read(name)
+    }
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.ops
+            .lock()
+            .unwrap()
+            .push((OpKind::Append, bytes.len() as u64));
+        self.inner.append(name, bytes)
+    }
+    fn truncate(&mut self, name: &str, len: u64) -> Result<(), WalError> {
+        self.ops.lock().unwrap().push((OpKind::Atomic, 1));
+        self.inner.truncate(name, len)
+    }
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.ops
+            .lock()
+            .unwrap()
+            .push((OpKind::Atomic, bytes.len() as u64));
+        self.inner.write_atomic(name, bytes)
+    }
+    fn remove(&mut self, name: &str) -> Result<(), WalError> {
+        self.ops.lock().unwrap().push((OpKind::Atomic, 1));
+        self.inner.remove(name)
+    }
+    fn list(&mut self) -> Result<Vec<String>, WalError> {
+        self.inner.list()
+    }
+    fn sync(&mut self, name: &str) -> Result<(), WalError> {
+        self.inner.sync(name)
+    }
+}
+
+/// Kill a fresh campaign at `budget` cost units, then recover from the
+/// surviving files with no fault injection, resume to completion, and
+/// return the final (ledger, weights, directory image).
+fn crash_recover_resume(
+    load: &LoadGen,
+    shards: usize,
+    budget: u64,
+) -> (Vec<u32>, Vec<f64>, BTreeMap<String, Vec<u8>>) {
+    let crash_mem = MemFs::new();
+    let failing = FailingFs::new(crash_mem.clone(), budget);
+    // The injected crash surfaces as an error somewhere inside open or a
+    // round; either way the process is "dead" from that point on.
+    let _ = run_campaign(load, shards, Box::new(failing));
+
+    let resume_mem = MemFs::from_map(crash_mem.snapshot());
+    let (ledger, weights) = run_campaign(load, shards, Box::new(resume_mem.clone()))
+        .expect("recovery after a crash must always succeed");
+    (ledger, weights, resume_mem.snapshot())
+}
+
+#[test]
+fn every_kill_point_recovers_bit_identically_including_directory_bytes() {
+    let load = harness_load(31);
+    let reference = reference(&load, 1);
+
+    // Pin the uninterrupted store-backed run to the protocol reference:
+    // the sim campaign lands on the same ledger and weights.
+    let mut sim = CampaignDriver::new(
+        SimBackend::new(USERS, Loss::Squared).unwrap(),
+        harness_config(&load),
+    )
+    .unwrap();
+    let mut sim_weights = Vec::new();
+    for epoch in 0..ROUNDS {
+        sim_weights = sim
+            .run_round(epoch, load.epoch_reports(epoch))
+            .unwrap()
+            .weights;
+    }
+    assert_eq!(sim.accountant().debits_by_user(), &reference.ledger[..]);
+    assert_eq!(sim_weights, reference.weights);
+
+    // Cost trace of the uninterrupted run: every mutating op in order.
+    let ops = Arc::new(Mutex::new(Vec::new()));
+    let recording = RecordingFs {
+        inner: MemFs::new(),
+        ops: Arc::clone(&ops),
+    };
+    run_campaign(&load, 1, Box::new(recording)).expect("recording run");
+    let ops = ops.lock().unwrap().clone();
+    let total: u64 = ops.iter().map(|(_, c)| c).sum();
+
+    // Sanity: the trace crossed every store path (staged segments,
+    // manifest rewrites, GC deletions are all Atomic ops).
+    assert!(
+        ops.iter().filter(|(k, _)| *k == OpKind::Atomic).count() >= 7,
+        "expected rotations + compaction + GC in the trace, got {ops:?}"
+    );
+
+    // Kill points: every op boundary; every byte inside every atomic
+    // window (rotation staging, manifest rewrites, GC removes — the
+    // compaction coexistence window included); and boundary/torn
+    // offsets inside record appends.
+    let mut points = std::collections::BTreeSet::new();
+    let mut at = 0u64;
+    for &(kind, cost) in &ops {
+        points.insert(at);
+        match kind {
+            OpKind::Atomic => {
+                for b in 0..=cost {
+                    points.insert(at + b);
+                }
+            }
+            OpKind::Append => {
+                points.insert(at + 1);
+                if cost > 16 {
+                    points.insert(at + 16); // end of the frame header
+                }
+                points.insert(at + cost / 2);
+                points.insert(at + cost.saturating_sub(1));
+            }
+        }
+        at += cost;
+    }
+    assert_eq!(at, total);
+    points.insert(total); // clean completion (no crash at all)
+
+    for &kill in &points {
+        let (ledger, weights, files) = crash_recover_resume(&load, 1, kill);
+        assert_eq!(
+            ledger, reference.ledger,
+            "kill at cost {kill}: budget ledger diverged"
+        );
+        assert_eq!(
+            fnv1a_f64s(&weights),
+            fnv1a_f64s(&reference.weights),
+            "kill at cost {kill}: weights digest diverged"
+        );
+        assert_eq!(weights, reference.weights);
+        assert_eq!(
+            files, reference.files,
+            "kill at cost {kill}: directory image diverged"
+        );
+    }
+}
+
+#[test]
+fn op_boundary_kills_recover_identically_across_shard_counts() {
+    let load = harness_load(47);
+    let reference = reference(&load, 1);
+
+    let ops = Arc::new(Mutex::new(Vec::new()));
+    let recording = RecordingFs {
+        inner: MemFs::new(),
+        ops: Arc::clone(&ops),
+    };
+    run_campaign(&load, 1, Box::new(recording)).expect("recording run");
+    let ops = ops.lock().unwrap().clone();
+
+    let mut boundaries = vec![0u64];
+    let mut at = 0u64;
+    for &(_, cost) in &ops {
+        at += cost;
+        boundaries.push(at);
+    }
+
+    // The engine's merge is bit-identical across shard counts, so the
+    // whole store layout is too: the same reference pins 4 and 8
+    // shards (of the 12-user population) at every op boundary.
+    for shards in [4usize, 8] {
+        for &kill in &boundaries {
+            let (ledger, weights, files) = crash_recover_resume(&load, shards, kill);
+            assert_eq!(
+                ledger, reference.ledger,
+                "kill at {kill}, {shards} shards: ledger diverged"
+            );
+            assert_eq!(
+                weights, reference.weights,
+                "kill at {kill}, {shards} shards: weights diverged"
+            );
+            assert_eq!(
+                files, reference.files,
+                "kill at {kill}, {shards} shards: directory diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn second_writer_is_refused_across_rotation_on_a_segmented_dir() {
+    let dir = std::env::temp_dir().join(format!(
+        "dptd-store-lock-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let load = harness_load(53);
+
+    // Writer one: holds the advisory lock, runs a store-backed campaign
+    // whose log rotates and compacts under it.
+    let lock = WalLock::acquire(&dir).unwrap();
+    let (store, replay) = SegmentStore::open_dir(&dir, store_config()).unwrap();
+    let (backend, recovered) = EngineBackend::with_log(
+        engine_for(&load, 2),
+        Box::new(store),
+        &replay,
+        harness_policy(&load),
+    )
+    .unwrap();
+    let mut driver =
+        CampaignDriver::resume(backend, harness_config(&load), recovered.rounds_debited, 0)
+            .unwrap();
+    for epoch in 0..ROUNDS {
+        driver.run_round(epoch, load.epoch_reports(epoch)).unwrap();
+        // Mid-campaign — including right after segments have rotated —
+        // a second live writer is refused at open.
+        match WalLock::acquire(&dir) {
+            Err(WalError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("epoch {epoch}: expected Locked, got {other:?}"),
+        }
+    }
+    let final_weights = driver.into_backend().current_weights().to_vec();
+    drop(lock);
+
+    // Lock released: a successor writer opens the segmented directory
+    // and recovers the full campaign.
+    let _relock = WalLock::acquire(&dir).expect("released lock must be acquirable");
+    let (_, replay) = SegmentStore::open_dir(&dir, store_config()).unwrap();
+    let recovered = dptd_engine::recovery::recover_replay(
+        &replay,
+        USERS,
+        Loss::Squared,
+        Some(&harness_policy(&load)),
+    )
+    .unwrap();
+    assert_eq!(recovered.records_applied, ROUNDS);
+    assert_eq!(recovered.crh.weights(), final_weights.as_slice());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_compactor_manifests_are_repaired_or_refused_never_merged() {
+    let load = harness_load(59);
+    // Build the pre-compaction state: run rounds on a config that is
+    // one record short of compacting, so the NEXT append would compact.
+    let mem = MemFs::new();
+    let (ledger, weights) = run_campaign(&load, 1, Box::new(mem.clone())).expect("uninterrupted");
+
+    // Scenario A (killed right before the manifest flip): a fully
+    // staged snapshot segment exists but the manifest still names the
+    // old segments. The orphan must be deleted — recovering from the
+    // old segments — not merged with them.
+    let files = mem.snapshot();
+    let staged: Vec<u8> = {
+        // A plausible staged segment: the real active segment's bytes
+        // under an id the manifest has never heard of.
+        files
+            .iter()
+            .find(|(k, _)| k.ends_with(".wal"))
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    let mut with_orphan = files.clone();
+    with_orphan.insert("segment-777.wal".to_string(), staged);
+    let orphan_mem = MemFs::from_map(with_orphan);
+    let (store, replay) = SegmentStore::open(Box::new(orphan_mem.clone()), store_config()).unwrap();
+    drop(store);
+    let recovered = dptd_engine::recovery::recover_replay(
+        &replay,
+        USERS,
+        Loss::Squared,
+        Some(&harness_policy(&load)),
+    )
+    .unwrap();
+    assert_eq!(recovered.rounds_debited, ledger);
+    assert_eq!(recovered.crh.weights(), weights.as_slice());
+    assert!(
+        !orphan_mem.snapshot().contains_key("segment-777.wal"),
+        "stale staged segment must be deleted, not merged"
+    );
+
+    // Scenario B (manifest flipped but a named segment vanished): the
+    // open refuses — committed records are gone and recovery must not
+    // fabricate state. This holds for sealed segments AND the active
+    // one: a committed manifest proves the file existed.
+    for victim in files.keys().filter(|k| k.ends_with(".wal")) {
+        let mut torn = files.clone();
+        torn.remove(victim);
+        let result = SegmentStore::open(Box::new(MemFs::from_map(torn)), store_config());
+        assert!(
+            matches!(result, Err(WalError::Corrupt { .. })),
+            "vanished `{victim}` must refuse, got {result:?}"
+        );
+    }
+}

@@ -475,6 +475,13 @@ impl<B: RoundBackend> CampaignDriver<B> {
         &self.backend
     }
 
+    /// The wrapped backend, mutably — for maintenance operations between
+    /// rounds (e.g. flushing a durable backend's log on orderly
+    /// shutdown), never for running rounds directly.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
     /// Consume the driver, returning the backend (e.g. to read engine
     /// metrics after the campaign).
     pub fn into_backend(self) -> B {

@@ -27,7 +27,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dptd_engine::{Engine, EngineBackend, EngineConfig, FileWal, WalLock, WalPolicy};
+use dptd_engine::{
+    Engine, EngineBackend, EngineConfig, SegmentStore, StoreConfig, WalLock, WalPolicy,
+};
 use dptd_ldp::PrivacyLoss;
 use dptd_protocol::budget::BudgetAccountant;
 use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend};
@@ -49,15 +51,21 @@ pub struct RegistryConfig {
     /// Hard cap on a single campaign's population (a `CreateCampaign`
     /// claiming more is refused before the server allocates `O(users)`).
     pub max_users_per_campaign: u64,
+    /// Rotation/compaction thresholds applied to every durable
+    /// campaign's segmented store (`dptd serve --wal-rotate-bytes /
+    /// --wal-rotate-records / --wal-compact-every`).
+    pub store: StoreConfig,
 }
 
 impl Default for RegistryConfig {
-    /// No WAL root, 1024 campaigns, 4 Mi users per campaign.
+    /// No WAL root, 1024 campaigns, 4 Mi users per campaign, default
+    /// store thresholds.
     fn default() -> Self {
         Self {
             wal_root: None,
             max_campaigns: 1024,
             max_users_per_campaign: 4 << 20,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -82,8 +90,10 @@ struct CampaignState {
     /// Truths from the last successful round (empty before the first).
     last_truths: Vec<f64>,
     /// Held for the campaign's lifetime when durable: a second live
-    /// writer on the same WAL directory is refused at create.
-    _wal_lock: Option<WalLock>,
+    /// writer on the same WAL directory is refused at create. Released
+    /// explicitly by [`CampaignRegistry::finalize`] on orderly
+    /// shutdown.
+    wal_lock: Option<WalLock>,
 }
 
 /// Aggregate counters across every campaign (for the `dptd serve`
@@ -96,6 +106,11 @@ pub struct RegistryStats {
     pub reports_submitted: u64,
     /// Rounds successfully closed.
     pub rounds_closed: u64,
+    /// Durable campaigns finalized (WAL flushed, lock released) at
+    /// shutdown; volatile campaigns are not counted.
+    pub campaigns_flushed: u64,
+    /// Campaigns whose shutdown WAL sync failed (locks still released).
+    pub sync_failures: u64,
 }
 
 /// The shared multi-campaign state behind the TCP front end.
@@ -146,12 +161,45 @@ impl CampaignRegistry {
             campaigns_created: self.campaigns_created.load(Ordering::Relaxed),
             reports_submitted: self.reports_submitted.load(Ordering::Relaxed),
             rounds_closed: self.rounds_closed.load(Ordering::Relaxed),
+            campaigns_flushed: 0,
+            sync_failures: 0,
         }
     }
 
     /// Campaigns currently hosted.
     pub fn campaign_count(&self) -> usize {
         self.campaigns.lock().expect("registry lock").len()
+    }
+
+    /// Orderly shutdown of every hosted campaign: flush + fsync each
+    /// durable campaign's active WAL segment and release its advisory
+    /// writer lock **now**, instead of relying on process-exit `Drop`
+    /// order. Returns `(durable campaigns flushed, sync failures)`;
+    /// locks are released even when a sync fails. The registry hosts
+    /// nothing afterwards — callers run this after the accept loop has
+    /// stopped.
+    pub fn finalize(&self) -> (usize, usize) {
+        let drained = std::mem::take(&mut *self.campaigns.lock().expect("registry lock"));
+        let mut flushed = 0usize;
+        let mut failures = 0usize;
+        for slot in drained.into_values() {
+            let mut state = slot.state.lock().expect("campaign lock");
+            // Only durable campaigns hold a lock and a log; counting
+            // volatile ones as "flushed" would tell the operator state
+            // was persisted that never existed.
+            if state.wal_lock.is_none() {
+                continue;
+            }
+            if state.driver.backend_mut().sync_log().is_err() {
+                failures += 1;
+            }
+            // Dropping the lock handle releases the OS file lock; a
+            // successor writer (a restarted server, a CLI resume) can
+            // acquire the directory immediately.
+            state.wal_lock = None;
+            flushed += 1;
+        }
+        (flushed, failures)
     }
 
     /// Execute one request. Every failure is a typed
@@ -259,7 +307,10 @@ impl CampaignRegistry {
                 Ok(l) => l,
                 Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
             };
-            let sink = match FileWal::open(&dir) {
+            // The segmented snapshot store: rotation + compaction per
+            // the registry's thresholds, legacy single-segment dirs
+            // adopted in place.
+            let (store, replay) = match SegmentStore::open_dir(&dir, self.config.store) {
                 Ok(s) => s,
                 Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
             };
@@ -268,11 +319,11 @@ impl CampaignRegistry {
             // privacy flags) is refused by recovery instead of silently
             // reinterpreting the ledger.
             let policy = WalPolicy::from_campaign(&campaign_cfg).with_stream_tag(spec.stream_tag);
-            let (backend, recovered) = match EngineBackend::with_wal(engine, Box::new(sink), policy)
-            {
-                Ok(out) => out,
-                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
-            };
+            let (backend, recovered) =
+                match EngineBackend::with_log(engine, Box::new(store), &replay, policy) {
+                    Ok(out) => out,
+                    Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+                };
             let next = recovered.next_epoch();
             let applied = recovered.records_applied;
             let driver = match CampaignDriver::resume(
@@ -304,7 +355,7 @@ impl CampaignRegistry {
                 capacity: spec.submission_capacity as usize,
                 next_epoch,
                 last_truths: Vec::new(),
-                _wal_lock: wal_lock,
+                wal_lock,
             }),
         });
         let mut map = self.campaigns.lock().expect("registry lock");

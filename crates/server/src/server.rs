@@ -244,11 +244,19 @@ impl Server {
         }
     }
 
-    /// Stop accepting, close every connection, join all workers, and
+    /// Stop accepting, close every connection, join all workers,
+    /// finalize every campaign (flush + fsync active WAL segments,
+    /// release writer locks — see [`CampaignRegistry::finalize`]), and
     /// return the registry's aggregate counters.
     pub fn shutdown(mut self) -> RegistryStats {
         self.stop_threads();
-        self.registry.stats()
+        // Ordering matters: workers are joined, so no round can commit
+        // concurrently with finalization.
+        let (flushed, sync_failures) = self.registry.finalize();
+        let mut stats = self.registry.stats();
+        stats.campaigns_flushed = flushed as u64;
+        stats.sync_failures = sync_failures as u64;
+        stats
     }
 }
 

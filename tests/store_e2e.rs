@@ -1,0 +1,174 @@
+//! Acceptance harness for the segmented snapshot store: a long-horizon
+//! (200-round) campaign with compaction enabled must end with on-disk
+//! bytes bounded by `O(num_users + rounds_since_last_snapshot)` — a
+//! fixed multiple of one snapshot, independent of campaign length — and
+//! a crashed campaign resumed **from the newest snapshot** must land on
+//! a weights digest and budget ledger bit-identical to an uninterrupted
+//! run. The same long log is inspected through the `dptd recover`
+//! read-only path and stays byte-for-byte untouched.
+
+mod common;
+
+use dptd::engine::store::{read_dir, SegmentStore, StoreConfig};
+use dptd::engine::{EngineBackend, RecordKind, WalPolicy};
+use dptd::ldp::PrivacyLoss;
+use dptd::protocol::campaign::{CampaignConfig, CampaignDriver};
+use dptd::stats::digest::fnv1a_f64s;
+
+const USERS: usize = 40;
+const OBJECTS: usize = 4;
+const ROUNDS: u64 = 200;
+const COMPACT_EVERY: u64 = 16;
+
+fn load() -> dptd::engine::LoadGen {
+    common::churny_load(USERS, OBJECTS, ROUNDS, 0.2, 0.02, 0.02, 97)
+}
+
+fn config(load: &dptd::engine::LoadGen) -> CampaignConfig {
+    let per_round = PrivacyLoss::new(0.05, 0.0).unwrap();
+    CampaignConfig {
+        num_objects: OBJECTS,
+        deadline_us: load.config().epoch_len_us,
+        per_round_loss: per_round,
+        // Roomy: a 200-round horizon without total exhaustion.
+        budget: per_round.compose_k(ROUNDS as u32 + 8),
+    }
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        rotate_bytes: 0,
+        rotate_records: 8,
+        compact_every: COMPACT_EVERY,
+    }
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum()
+}
+
+/// Drive rounds `[from, to)` of the campaign over the store in `dir`,
+/// returning (ledger, weights) at the end.
+fn run_rounds(dir: &std::path::Path, from_hint: u64, to: u64) -> (Vec<u32>, Vec<f64>) {
+    let load = load();
+    let (store, replay) = SegmentStore::open_dir(dir, store_config()).unwrap();
+    let policy = WalPolicy::from_campaign(&config(&load));
+    let (backend, recovered) = EngineBackend::with_log(
+        common::engine_for(&load, 4, 1024),
+        Box::new(store),
+        &replay,
+        policy,
+    )
+    .unwrap();
+    let next = recovered.next_epoch();
+    assert!(
+        next >= from_hint,
+        "resume point {next} went backwards from {from_hint}"
+    );
+    let mut driver = CampaignDriver::resume(
+        backend,
+        config(&load),
+        recovered.rounds_debited,
+        recovered.records_applied.min(u64::from(u32::MAX)) as u32,
+    )
+    .unwrap();
+    for epoch in next..to {
+        driver.run_round(epoch, load.epoch_reports(epoch)).unwrap();
+    }
+    let ledger = driver.accountant().debits_by_user().to_vec();
+    let weights = driver.into_backend().current_weights().to_vec();
+    (ledger, weights)
+}
+
+#[test]
+fn two_hundred_round_campaign_has_bounded_disk_and_snapshot_resume() {
+    let base = std::env::temp_dir().join(format!(
+        "dptd-store-e2e-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let uninterrupted_dir = base.join("uninterrupted");
+    let crashed_dir = base.join("crashed");
+
+    // Uninterrupted 200-round reference.
+    let (ref_ledger, ref_weights) = run_rounds(&uninterrupted_dir, 0, ROUNDS);
+
+    // ── Bounded disk ────────────────────────────────────────────────
+    // The log holds one snapshot plus at most ~compact_every records
+    // (plus rotation slack); every record is O(num_users), so "a fixed
+    // multiple of one snapshot" is the bound — independent of the 200
+    // rounds. An uncompacted log would hold all 200 records.
+    let replayed = read_dir(&uninterrupted_dir).unwrap();
+    let snapshot_bytes = replayed
+        .replay
+        .records
+        .last()
+        .unwrap()
+        .to_snapshot()
+        .encode()
+        .len() as u64;
+    let total = dir_bytes(&uninterrupted_dir);
+    let bound = (2 * COMPACT_EVERY + 8) * snapshot_bytes / 2;
+    assert!(
+        total < bound,
+        "on-disk {total} bytes exceeds the compaction bound {bound} \
+         (snapshot = {snapshot_bytes} bytes)"
+    );
+    // Far below what 200 uncompacted records would occupy.
+    assert!(total < ROUNDS * snapshot_bytes / 4, "{total} bytes");
+    // And recovery replays only the post-snapshot suffix, not 200
+    // records: O(segment), not O(campaign-lifetime).
+    assert!(
+        (replayed.replay.records.len() as u64) <= 2 * COMPACT_EVERY + 2,
+        "recovery replays {} records",
+        replayed.replay.records.len()
+    );
+    assert_eq!(replayed.replay.records[0].kind, RecordKind::Snapshot);
+    assert!(replayed.newest_snapshot_epoch().unwrap() >= ROUNDS - COMPACT_EVERY - 1);
+
+    // ── Crash + resume from the newest snapshot ─────────────────────
+    // Kill the campaign at round 150 (a record boundary: the store
+    // fault harness covers torn offsets exhaustively), then resume.
+    let (_, _) = run_rounds(&crashed_dir, 0, 150);
+    let mid = read_dir(&crashed_dir).unwrap();
+    assert!(
+        mid.newest_snapshot_epoch().is_some(),
+        "the crashed log must carry a snapshot to seed from"
+    );
+    let (ledger, weights) = run_rounds(&crashed_dir, 150, ROUNDS);
+    assert_eq!(ledger, ref_ledger, "resumed ledger diverged");
+    assert_eq!(
+        fnv1a_f64s(&weights),
+        fnv1a_f64s(&ref_weights),
+        "resumed weights digest diverged"
+    );
+    assert_eq!(weights, ref_weights);
+
+    // The resumed directory is byte-identical to the uninterrupted one.
+    let image = |dir: &std::path::Path| -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    assert_eq!(image(&uninterrupted_dir), image(&crashed_dir));
+
+    // ── Read-only inspection stays read-only ────────────────────────
+    let before = image(&uninterrupted_dir);
+    let _ = read_dir(&uninterrupted_dir).unwrap();
+    assert_eq!(before, image(&uninterrupted_dir));
+
+    let _ = std::fs::remove_dir_all(&base);
+}
