@@ -1,0 +1,167 @@
+//! Throughput bench for the coordinator/node cluster subsystem.
+//!
+//! Drives one campaign through [`ClusterCampaign`] against 1 vs 3
+//! loopback [`NodeServer`]s — real sockets, real two-phase barrier —
+//! and reports reports/sec plus p50/p99 round-close latency (the full
+//! prepare → merge → commit fan-out). The spread between the arms is
+//! the price of partitioning: extra frames per round against smaller
+//! per-node ingestion work.
+//!
+//! Setting `DPTD_BENCH_SMOKE=1` shrinks the population so CI can run
+//! the whole binary as a regression smoke for the cluster path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dptd_cluster::{ClusterCampaign, ClusterSpec, NodeConfig, NodeServer};
+use dptd_engine::{LatencyHistogram, LoadGen, LoadGenConfig};
+use dptd_ldp::PrivacyLoss;
+
+fn smoke() -> bool {
+    std::env::var_os("DPTD_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Campaign ids must be fresh per run: nodes keep campaigns for their
+/// lifetime, and re-creating a live id with the same spec resumes it.
+static RUN_ID: AtomicU64 = AtomicU64::new(0);
+
+fn load(num_users: usize, rounds: u64) -> LoadGen {
+    LoadGen::new(LoadGenConfig {
+        num_users,
+        num_objects: 8,
+        epochs: rounds,
+        duplicate_probability: 0.01,
+        straggler_fraction: 0.01,
+        churn: 0.1,
+        seed: 4_242,
+        ..LoadGenConfig::default()
+    })
+    .expect("valid load config")
+}
+
+fn spec(num_users: usize, rounds: u64) -> ClusterSpec {
+    let per_round = PrivacyLoss::new(0.5, 0.01).unwrap();
+    ClusterSpec {
+        num_users,
+        num_objects: 8,
+        deadline_us: 1_000_000,
+        per_round_loss: per_round,
+        budget: per_round.compose_k(rounds as u32 + 1),
+        submission_capacity: 1 << 17,
+        stream_tag: 4_242,
+        durable: false,
+    }
+}
+
+struct ClusterRun {
+    reports: u64,
+    elapsed_s: f64,
+    close_rtt: LatencyHistogram,
+    weights_digest: u64,
+}
+
+/// Drive one `users` × `rounds` campaign across `nodes`, measuring the
+/// wall-clock of each full barrier round trip.
+fn run_cluster(nodes: &[NodeServer], users: usize, rounds: u64, batch: usize) -> ClusterRun {
+    let run = RUN_ID.fetch_add(1, Ordering::Relaxed);
+    let addrs: Vec<String> = nodes.iter().map(|n| n.local_addr().to_string()).collect();
+    let id = format!("bench-{run}");
+    let gen = load(users, rounds);
+    let started = Instant::now();
+
+    let mut cluster = ClusterCampaign::create(&addrs, &id, spec(users, rounds)).expect("create");
+    let mut close_rtt = LatencyHistogram::new();
+    let mut reports = 0u64;
+    for epoch in 0..rounds {
+        let stream = gen.epoch_reports(epoch);
+        reports += stream.len() as u64;
+        cluster.submit(&stream, batch).expect("submit");
+        let t0 = Instant::now();
+        cluster.close_round(epoch).expect("close round");
+        close_rtt.record(t0.elapsed());
+    }
+
+    ClusterRun {
+        reports,
+        elapsed_s: started.elapsed().as_secs_f64(),
+        close_rtt,
+        weights_digest: cluster.weights_digest(),
+    }
+}
+
+fn start_nodes(count: u32) -> Vec<NodeServer> {
+    (0..count)
+        .map(|id| {
+            NodeServer::start(NodeConfig {
+                node_id: id,
+                num_nodes: count,
+                // Every timed iteration creates a fresh campaign on the
+                // same fleet; don't let the liveness cap refuse them.
+                max_campaigns: 1 << 16,
+                ..NodeConfig::default()
+            })
+            .expect("loopback node")
+        })
+        .collect()
+}
+
+fn render(tag: &str, run: &ClusterRun) {
+    let fmt_us = |d: Option<std::time::Duration>| {
+        d.map(|d| format!("{:.1} µs", d.as_secs_f64() * 1e6))
+            .unwrap_or_else(|| "n/a".to_string())
+    };
+    println!(
+        "cluster_throughput/{tag}: {} reports in {:.3} s → {:.0} reports/s over TCP; \
+         round close p50 {} p99 {} ({} rounds)",
+        run.reports,
+        run.elapsed_s,
+        run.reports as f64 / run.elapsed_s.max(1e-9),
+        fmt_us(run.close_rtt.p50()),
+        fmt_us(run.close_rtt.p99()),
+        run.close_rtt.count(),
+    );
+}
+
+fn bench_cluster_rounds(c: &mut Criterion) {
+    let (users, rounds, batch) = if smoke() {
+        (180, 2, 128)
+    } else {
+        (5_000, 3, 512)
+    };
+
+    // One instrumented pass per arm up front so throughput and the
+    // close-latency quantiles print regardless of criterion's iteration
+    // count — and so partitioning provably changes nothing: both arms
+    // must land on the same weights digest.
+    let mut digests = Vec::new();
+    let mut fleets = Vec::new();
+    for node_count in [1u32, 3] {
+        let nodes = start_nodes(node_count);
+        let run = run_cluster(&nodes, users, rounds, batch);
+        render(&format!("{node_count}_nodes"), &run);
+        digests.push(run.weights_digest);
+        fleets.push(nodes);
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "1-node and 3-node runs must be bit-identical"
+    );
+
+    let mut group = c.benchmark_group("cluster_throughput");
+    for (nodes, node_count) in fleets.iter().zip([1u32, 3]) {
+        group.bench_function(format!("{node_count}_nodes"), |b| {
+            b.iter(|| run_cluster(nodes, users, rounds, batch))
+        });
+    }
+    group.finish();
+    for nodes in fleets {
+        for node in nodes {
+            node.shutdown();
+        }
+    }
+}
+
+criterion_group!(benches, bench_cluster_rounds);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 
 pub mod audit;
 pub mod campaign;
+pub mod cluster;
 pub mod engine;
 pub mod recover;
 pub mod run;

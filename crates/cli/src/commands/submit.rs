@@ -81,6 +81,10 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         durable,
     };
     let batch = args.usize_or("batch", dptd_server::client::DEFAULT_SUBMIT_CHUNK)?;
+    let retry = dptd_server::RetryPolicy {
+        busy_retries: args.u64_or("busy-retries", 0)? as u32,
+        busy_backoff_ms: args.u64_or("busy-backoff-ms", 25)?,
+    };
 
     let mut client = Client::connect(addr).map_err(box_err)?;
     let resumed = client.create_campaign(campaign, spec).map_err(box_err)?;
@@ -122,11 +126,11 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
     for epoch in resumed..load_cfg.epochs {
         let reports = load.epoch_reports(epoch);
         client
-            .submit_chunked(campaign, &reports, batch)
+            .submit_chunked_with_retry(campaign, &reports, batch, retry)
             .map_err(|e| match e {
                 dptd_server::ServerError::Busy => CliError::Usage(format!(
                     "server pushed back on round {epoch}: raise --submission-capacity \
-                     (currently {}) or shrink the round",
+                     (currently {}), add --busy-retries, or shrink the round",
                     spec.submission_capacity
                 )),
                 other => box_err(other),
@@ -225,9 +229,20 @@ mod tests {
     fn submit_over_tcp_matches_the_in_process_campaign() {
         let server = start(None);
         let addr = server.local_addr().to_string();
-        let net = execute(&map(
-            &[SMALL, &["--connect", &addr, "--campaign", "twin"]].concat()
-        ))
+        let net = execute(&map(&[
+            SMALL,
+            &[
+                "--connect",
+                &addr,
+                "--campaign",
+                "twin",
+                "--busy-retries",
+                "2",
+                "--busy-backoff-ms",
+                "1",
+            ],
+        ]
+        .concat()))
         .unwrap();
         let local =
             crate::commands::campaign::execute(&map(&[SMALL, &["--backend", "engine"]].concat()))

@@ -1,6 +1,6 @@
 //! Library backing the `dptd` command-line tool.
 //!
-//! Eight subcommands, each usable without writing any Rust:
+//! Nine subcommands, each usable without writing any Rust:
 //!
 //! ```text
 //! dptd run      --dataset synthetic --algorithm crh --epsilon 1.0 --delta 0.3
@@ -10,6 +10,7 @@
 //! dptd engine   --users 100000 --epochs 5 --shards 16 --pattern bursty
 //! dptd serve    --listen 127.0.0.1:7878 --wal wal-root/
 //! dptd submit   --connect 127.0.0.1:7878 --campaign air-quality --rounds 5
+//! dptd cluster  submit --connect 127.0.0.1:7900,127.0.0.1:7901 --rounds 5
 //! dptd recover  --wal wal/ --budgets spent
 //! ```
 //!
@@ -122,6 +123,15 @@ COMMANDS:
              --coverage --seed as for campaign (same defaults, so a
              submit run and a `dptd campaign` run print the same
              round table and weights digest on one seed)
+             --busy-retries    bounded retries when the server queue
+                               is full (exponential backoff)  [0]
+             --busy-backoff-ms initial backoff, doubled/retry [25]
+    cluster  multi-node campaigns (see `dptd cluster` for subcommand flags)
+             serve    host one partition node (--node-id/--nodes, --wal,
+                      --replicate-to, --replica-root)
+             submit   coordinate a campaign across nodes (--connect
+                      addr1,addr2,…; same stream flags as submit)
+             status   per-node metrics and ledger positions
     recover  inspect a campaign write-ahead log (read-only)
              --wal        the log directory a campaign wrote
              --budgets    spent | all: per-user remaining-budget audit
@@ -161,6 +171,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "engine" => commands::engine::execute(&args::ArgMap::parse(rest)?),
         "serve" => commands::serve::execute(&args::ArgMap::parse(rest)?),
         "submit" => commands::submit::execute(&args::ArgMap::parse(rest)?),
+        "cluster" => commands::cluster::execute(rest),
         "recover" => commands::recover::execute(&args::ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(

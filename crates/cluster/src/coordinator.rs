@@ -1,0 +1,718 @@
+//! The cluster coordinator: one campaign fanned across N nodes, closed
+//! with a two-phase barrier.
+//!
+//! The coordinator is a client-side object, not a service: it owns the
+//! campaign's **global** state — the
+//! [`StreamingCrh`](dptd_truth::streaming::StreamingCrh) estimator and
+//! the per-user [`BudgetAccountant`] — and treats the nodes as remote
+//! filter-and-persist boxes. A round closes in two phases:
+//!
+//! 1. **Prepare**: every node drains its queue for the epoch (refusal
+//!    withhold → deadline → first-wins dedup, the exact single-node
+//!    order) and returns its surviving claims. Nothing durable happens.
+//! 2. **Merge + Commit**: the coordinator merges all claims with one
+//!    [`ingest_sharded`](dptd_truth::streaming::StreamingCrh::ingest_sharded)
+//!    call — the same deterministic shard-merge the engine uses, so the
+//!    result is bit-identical to a single node — debits the accepted
+//!    users, then fans each node its **slice** of the post-round state
+//!    to append durably. Only when every node has acknowledged does the
+//!    coordinator advance its own epoch.
+//!
+//! Every durable fact lives on the nodes, so a dead coordinator is
+//! recovered by [`ClusterCampaign::resume`]: it reads each node's
+//! ledger, aligns them at the **minimum** committed epoch (the barrier
+//! keeps the spread at most one), rebuilds the estimator bit-exactly
+//! with [`StreamingCrh::from_parts`], and — if some nodes had already
+//! committed the in-flight epoch — re-drives the barrier: prepares
+//! replay from the nodes' retained lanes, the merge reproduces the
+//! identical slices, committed nodes acknowledge idempotently, and the
+//! stragglers append. `tests/cluster_e2e.rs` pins all of this against
+//! the single-node server and the in-process simulator.
+//!
+//! [`StreamingCrh::from_parts`]: dptd_truth::streaming::StreamingCrh::from_parts
+
+use dptd_ldp::PrivacyLoss;
+use dptd_protocol::budget::BudgetAccountant;
+use dptd_protocol::campaign::CampaignConfig;
+use dptd_protocol::message::StampedReport;
+use dptd_protocol::partition::PartitionMap;
+use dptd_stats::digest::fnv1a_f64s;
+use dptd_truth::streaming::{ShardClaims, StreamingCrh};
+use dptd_truth::Loss;
+
+use dptd_server::{CampaignSpec, Client, RetryPolicy};
+
+use crate::partitioner::rendezvous_map;
+use crate::ClusterError;
+
+/// Sizing and privacy policy for a clustered campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Global population size.
+    pub num_users: usize,
+    /// Objects per round.
+    pub num_objects: usize,
+    /// Per-round submission deadline (virtual µs).
+    pub deadline_us: u64,
+    /// The `(ε, δ)` one aggregated report costs its user.
+    pub per_round_loss: PrivacyLoss,
+    /// The campaign-wide `(ε, δ)` ceiling per user.
+    pub budget: PrivacyLoss,
+    /// Per-node submission queue capacity.
+    pub submission_capacity: u64,
+    /// Stream fingerprint stamped into every durable record.
+    pub stream_tag: u64,
+    /// Whether nodes persist every committed round to their WAL.
+    pub durable: bool,
+}
+
+/// What one clustered round produced — the cluster analogue of
+/// [`DriverRound`](dptd_protocol::campaign::DriverRound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRound {
+    /// The round's epoch id.
+    pub epoch: u64,
+    /// Estimated truths for the round's objects.
+    pub truths: Vec<f64>,
+    /// Full-population weights after the round.
+    pub weights: Vec<f64>,
+    /// FNV-1a digest of the weights' bit patterns.
+    pub weights_digest: u64,
+    /// Reports aggregated this round.
+    pub accepted: usize,
+    /// Distinct users refused for an exhausted budget.
+    pub refused_users: usize,
+    /// Duplicates discarded across all nodes (first-wins).
+    pub duplicates_discarded: u64,
+    /// Reports dropped as late across all nodes.
+    pub late_dropped: u64,
+    /// Worst cumulative privacy loss across the population.
+    pub max_spent: PrivacyLoss,
+}
+
+/// A live clustered campaign: N node connections plus the global
+/// estimator and privacy ledger.
+#[derive(Debug)]
+pub struct ClusterCampaign {
+    campaign: String,
+    nodes: Vec<Client>,
+    partition: PartitionMap,
+    streaming: StreamingCrh,
+    accountant: BudgetAccountant,
+    config: CampaignConfig,
+    next_epoch: u64,
+    rounds_run: u32,
+    retry: RetryPolicy,
+    redrive: bool,
+}
+
+fn node_spec(spec: &ClusterSpec, local_users: usize) -> CampaignSpec {
+    CampaignSpec {
+        num_users: local_users as u64,
+        num_objects: spec.num_objects as u64,
+        // Engine sizing fields are meaningless to a partition node (it
+        // runs no engine); keep them minimal and valid.
+        num_shards: 1,
+        workers: 1,
+        engine_queue: 1,
+        deadline_us: spec.deadline_us,
+        submission_capacity: spec.submission_capacity,
+        per_round_epsilon: spec.per_round_loss.epsilon(),
+        per_round_delta: spec.per_round_loss.delta(),
+        budget_epsilon: spec.budget.epsilon(),
+        budget_delta: spec.budget.delta(),
+        stream_tag: spec.stream_tag,
+        durable: spec.durable,
+    }
+}
+
+impl ClusterCampaign {
+    /// Connect to `addrs` (one per node, in node-id order), verify the
+    /// topology, and create a fresh campaign partition on every node.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Topology`] for unusable geometry,
+    /// [`ClusterError::Barrier`] when a node resumed prior durable
+    /// rounds (use [`ClusterCampaign::resume`]), plus connection and
+    /// node-side failures.
+    pub fn create(
+        addrs: &[String],
+        campaign: &str,
+        spec: ClusterSpec,
+    ) -> Result<Self, ClusterError> {
+        let (cluster, resumed) = Self::open(addrs, campaign, spec)?;
+        if resumed != 0 {
+            return Err(ClusterError::Barrier(format!(
+                "nodes hold durable rounds through epoch {resumed} for `{campaign}`; \
+                 resume instead of create"
+            )));
+        }
+        Ok(cluster)
+    }
+
+    /// Connect to `addrs`, let every node resume its durable partition,
+    /// and rebuild the coordinator's global state from the node ledgers
+    /// — aligned at the minimum committed epoch, so an interrupted
+    /// commit fan-out is re-driven by the next
+    /// [`close_round`](ClusterCampaign::close_round). Returns the
+    /// cluster and the epoch it resumed at.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterCampaign::create`], plus [`ClusterError::Barrier`]
+    /// when node ledgers are more than one epoch apart or disagree on
+    /// the merge counter.
+    pub fn resume(
+        addrs: &[String],
+        campaign: &str,
+        spec: ClusterSpec,
+    ) -> Result<(Self, u64), ClusterError> {
+        let (cluster, _) = Self::open(addrs, campaign, spec)?;
+        let epoch = cluster.next_epoch;
+        Ok((cluster, epoch))
+    }
+
+    fn open(
+        addrs: &[String],
+        campaign: &str,
+        spec: ClusterSpec,
+    ) -> Result<(Self, u64), ClusterError> {
+        let partition = rendezvous_map(spec.num_users, addrs.len())?;
+        let config = CampaignConfig {
+            num_objects: spec.num_objects,
+            deadline_us: spec.deadline_us,
+            per_round_loss: spec.per_round_loss,
+            budget: spec.budget,
+        };
+        let num_nodes = addrs.len() as u32;
+        let mut nodes = Vec::with_capacity(addrs.len());
+        for (id, addr) in addrs.iter().enumerate() {
+            let mut client = Client::connect(addr.as_str())?;
+            let welcomed = client.node_hello(id as u32, num_nodes)?;
+            if welcomed != id as u32 {
+                return Err(ClusterError::Topology(format!(
+                    "node at {addr} answered hello as node {welcomed}, expected {id}"
+                )));
+            }
+            client.create_campaign(campaign, node_spec(&spec, partition.population(id)))?;
+            nodes.push(client);
+        }
+
+        // Align the coordinator at the minimum committed epoch across
+        // nodes. The barrier never lets nodes drift more than one epoch
+        // apart; anything wider means lost durable state.
+        let mut ledgers = Vec::with_capacity(nodes.len());
+        for client in &mut nodes {
+            ledgers.push(client.query_ledger(campaign, u64::MAX)?);
+        }
+        let target = ledgers.iter().map(|l| l.next_epoch).min().unwrap_or(0);
+        let redrive = ledgers.iter().any(|l| l.next_epoch != target);
+        if ledgers.iter().any(|l| l.next_epoch > target + 1) {
+            return Err(ClusterError::Barrier(format!(
+                "node ledgers span epochs {:?}; a two-phase barrier never drifts past one",
+                ledgers.iter().map(|l| l.next_epoch).collect::<Vec<_>>()
+            )));
+        }
+        for (id, client) in nodes.iter_mut().enumerate() {
+            if ledgers[id].next_epoch != target {
+                ledgers[id] = client.query_ledger(campaign, target)?;
+            }
+        }
+
+        let mut cumulative_losses = vec![0.0f64; spec.num_users];
+        let mut rounds_debited = vec![0u32; spec.num_users];
+        let mut batches_seen = None;
+        for (id, ledger) in ledgers.iter().enumerate() {
+            let locals = partition.locals(id);
+            if ledger.cumulative_losses.len() != locals.len()
+                || ledger.rounds_debited.len() != locals.len()
+            {
+                return Err(ClusterError::Barrier(format!(
+                    "node {id} ledger covers {} users, its partition holds {}",
+                    ledger.cumulative_losses.len(),
+                    locals.len()
+                )));
+            }
+            match batches_seen {
+                None => batches_seen = Some(ledger.batches_seen),
+                Some(seen) if seen != ledger.batches_seen => {
+                    return Err(ClusterError::Barrier(format!(
+                        "node {id} saw {} merges at epoch {target}, others saw {seen}",
+                        ledger.batches_seen
+                    )));
+                }
+                Some(_) => {}
+            }
+            for (local, &global) in locals.iter().enumerate() {
+                cumulative_losses[global] = ledger.cumulative_losses[local];
+                rounds_debited[global] = ledger.rounds_debited[local];
+            }
+        }
+        let batches_seen = batches_seen.unwrap_or(0);
+
+        let streaming = if target == 0 {
+            StreamingCrh::new(spec.num_users, Loss::Squared)
+        } else {
+            StreamingCrh::from_parts(Loss::Squared, cumulative_losses, batches_seen as usize)
+        }
+        .map_err(|e| {
+            ClusterError::Protocol(dptd_protocol::ProtocolError::Core(
+                dptd_core::CoreError::Truth(e),
+            ))
+        })?;
+        let accountant = if target == 0 {
+            BudgetAccountant::new(spec.num_users, spec.per_round_loss, spec.budget)
+        } else {
+            BudgetAccountant::resume(spec.per_round_loss, spec.budget, rounds_debited)
+        }?;
+
+        Ok((
+            Self {
+                campaign: campaign.to_string(),
+                nodes,
+                partition,
+                streaming,
+                accountant,
+                config,
+                next_epoch: target,
+                rounds_run: target.min(u64::from(u32::MAX)) as u32,
+                retry: RetryPolicy::default(),
+                redrive,
+            },
+            target,
+        ))
+    }
+
+    /// The backoff policy used when a node's submission queue is busy.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The partition map this campaign routes by.
+    pub fn partition(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// The epoch the next [`close_round`](ClusterCampaign::close_round)
+    /// will close.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Whether this campaign resumed into an interrupted commit fan-out:
+    /// some nodes already committed [`next_epoch`](Self::next_epoch)
+    /// while others have not. The caller must re-drive
+    /// [`close_round`](Self::close_round) for that epoch **without
+    /// submitting new reports for it** — the nodes replay their retained
+    /// prepares, so the re-driven merge is byte-identical to the
+    /// interrupted one.
+    pub fn needs_redrive(&self) -> bool {
+        self.redrive
+    }
+
+    /// Rounds closed (including resumed ones).
+    pub fn rounds_run(&self) -> u32 {
+        self.rounds_run
+    }
+
+    /// Current full-population weights.
+    pub fn weights(&self) -> &[f64] {
+        self.streaming.weights()
+    }
+
+    /// FNV-1a digest of the current weights' bit patterns.
+    pub fn weights_digest(&self) -> u64 {
+        fnv1a_f64s(self.streaming.weights())
+    }
+
+    /// The global privacy ledger.
+    pub fn accountant(&self) -> &BudgetAccountant {
+        &self.accountant
+    }
+
+    /// Fan a stream of **global-id** reports out to their owning nodes,
+    /// preserving per-node stream order, in frames of `chunk` reports.
+    /// Returns the total reports queued across nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Protocol`] for a user outside the population,
+    /// [`ClusterError::Server`] (including
+    /// [`Busy`](dptd_server::ServerError::Busy) once retries are
+    /// exhausted) from the nodes.
+    pub fn submit(&mut self, reports: &[StampedReport], chunk: usize) -> Result<u64, ClusterError> {
+        let mut per_node: Vec<Vec<StampedReport>> = (0..self.partition.num_nodes())
+            .map(|_| Vec::new())
+            .collect();
+        for stamped in reports {
+            let user = stamped.report.user;
+            if user >= self.partition.num_users() {
+                return Err(ClusterError::Protocol(
+                    dptd_protocol::ProtocolError::InvalidParameter {
+                        name: "report.user",
+                        value: user as f64,
+                        constraint: "must be inside the campaign population",
+                    },
+                ));
+            }
+            let mut local = stamped.clone();
+            local.report.user = self.partition.local_of(user);
+            per_node[self.partition.node_of(user)].push(local);
+        }
+        let mut queued = 0;
+        for (id, batch) in per_node.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            queued += self.nodes[id].submit_chunked_with_retry(
+                &self.campaign,
+                &batch,
+                chunk,
+                self.retry,
+            )?;
+        }
+        Ok(queued)
+    }
+
+    /// Close round `epoch` with the two-phase barrier.
+    ///
+    /// On an error after prepare (an uncovered object, a node failure
+    /// mid-commit) the nodes keep their staged rounds and durable
+    /// state; the barrier is simply driven again — possibly by a fresh
+    /// coordinator via [`ClusterCampaign::resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Barrier`] for epoch disagreement,
+    /// [`ClusterError::Protocol`] when the merged round cannot cover
+    /// every object, plus node-side failures.
+    pub fn close_round(&mut self, epoch: u64) -> Result<ClusterRound, ClusterError> {
+        if epoch != self.next_epoch {
+            return Err(ClusterError::Barrier(format!(
+                "cannot close epoch {epoch}: the cluster is on round {}",
+                self.next_epoch
+            )));
+        }
+
+        // Phase one: prepare every node with its refusal slice.
+        let num_nodes = self.partition.num_nodes();
+        let mut duplicates = 0u64;
+        let mut late = 0u64;
+        let mut refused_seen = 0u64;
+        let mut accepted_users = Vec::new();
+        let mut shards = Vec::with_capacity(num_nodes);
+        for id in 0..num_nodes {
+            let refused: Vec<u64> = self
+                .partition
+                .locals(id)
+                .iter()
+                .enumerate()
+                .filter(|&(_, &global)| !self.accountant.can_spend(global))
+                .map(|(local, _)| local as u64)
+                .collect();
+            let prepared = self.nodes[id].close_round_prepare(&self.campaign, epoch, refused)?;
+            if prepared.epoch != epoch {
+                return Err(ClusterError::Barrier(format!(
+                    "node {id} prepared epoch {}, coordinator asked for {epoch}",
+                    prepared.epoch
+                )));
+            }
+            duplicates += prepared.duplicates;
+            late += prepared.late;
+            refused_seen += prepared.refused_seen;
+            let mut shard = ShardClaims::new();
+            for claim in prepared.claims {
+                let local = claim.user;
+                if local >= self.partition.population(id) {
+                    return Err(ClusterError::Barrier(format!(
+                        "node {id} claimed local user {local} outside its partition"
+                    )));
+                }
+                let global = self.partition.global_of(id, local);
+                accepted_users.push(global);
+                shard.push(global, claim.values);
+            }
+            shards.push(shard);
+        }
+        accepted_users.sort_unstable();
+
+        // The deterministic global merge — atomic on error, so a failed
+        // round leaves the estimator untouched and re-drivable.
+        let truths = self
+            .streaming
+            .ingest_sharded(self.config.num_objects, shards)
+            .map_err(|e| {
+                ClusterError::Protocol(dptd_protocol::ProtocolError::Core(
+                    dptd_core::CoreError::Truth(e),
+                ))
+            })?;
+        for &user in &accepted_users {
+            self.accountant.debit(user);
+        }
+        let batches_seen = self.streaming.batches_seen() as u64;
+
+        // Phase two: every node durably commits its slice before the
+        // coordinator advances.
+        for id in 0..num_nodes {
+            let locals = self.partition.locals(id);
+            let accepted_locals: Vec<u64> = locals
+                .iter()
+                .enumerate()
+                .filter(|&(_, &global)| accepted_users.binary_search(&global).is_ok())
+                .map(|(local, _)| local as u64)
+                .collect();
+            let losses: Vec<f64> = locals
+                .iter()
+                .map(|&g| self.streaming.cumulative_losses()[g])
+                .collect();
+            let debits: Vec<u32> = locals
+                .iter()
+                .map(|&g| self.accountant.rounds_debited(g))
+                .collect();
+            self.nodes[id].close_round_commit(
+                &self.campaign,
+                epoch,
+                batches_seen,
+                accepted_locals,
+                losses,
+                debits,
+            )?;
+        }
+
+        self.next_epoch = epoch + 1;
+        self.rounds_run += 1;
+        let weights = self.streaming.weights().to_vec();
+        let weights_digest = fnv1a_f64s(&weights);
+        Ok(ClusterRound {
+            epoch,
+            truths,
+            weights,
+            weights_digest,
+            accepted: accepted_users.len(),
+            refused_users: refused_seen as usize,
+            duplicates_discarded: duplicates,
+            late_dropped: late,
+            max_spent: self.accountant.max_spent(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeConfig, NodeServer};
+    use dptd_core::roles::PerturbedReport;
+    use dptd_protocol::campaign::{CampaignDriver, SimBackend};
+
+    fn spec(num_users: usize, rounds: u32) -> ClusterSpec {
+        ClusterSpec {
+            num_users,
+            num_objects: 2,
+            deadline_us: 100,
+            per_round_loss: PrivacyLoss::new(0.5, 0.0).unwrap(),
+            budget: PrivacyLoss::new(0.5 * f64::from(rounds), 0.0).unwrap(),
+            submission_capacity: 256,
+            stream_tag: 0,
+            durable: false,
+        }
+    }
+
+    fn start_nodes(n: u32) -> (Vec<NodeServer>, Vec<String>) {
+        let nodes: Vec<NodeServer> = (0..n)
+            .map(|id| {
+                NodeServer::start(NodeConfig {
+                    node_id: id,
+                    num_nodes: n,
+                    ..NodeConfig::default()
+                })
+                .unwrap()
+            })
+            .collect();
+        let addrs = nodes.iter().map(|s| s.local_addr().to_string()).collect();
+        (nodes, addrs)
+    }
+
+    fn stamped(user: usize, epoch: u64, sent_at_us: u64, value: f64) -> StampedReport {
+        StampedReport {
+            epoch,
+            sent_at_us,
+            report: PerturbedReport {
+                user,
+                values: vec![(0, value), (1, value * 0.5 - 1.0)],
+            },
+        }
+    }
+
+    fn messy_round(num_users: usize, epoch: u64) -> Vec<StampedReport> {
+        let mut reports = Vec::new();
+        for user in 0..num_users {
+            let jitter = ((user as u64 * 37 + epoch * 11) % 90) + 1;
+            reports.push(stamped(user, epoch, jitter, user as f64 + epoch as f64));
+            if user % 3 == 0 {
+                reports.push(stamped(user, epoch, jitter + 1, -99.0));
+            }
+            if user % 4 == 1 {
+                reports.push(stamped(user, epoch, 150, -77.0));
+            }
+        }
+        reports
+    }
+
+    #[test]
+    fn two_node_campaign_matches_the_in_process_driver() {
+        let num_users = 9;
+        let (nodes, addrs) = start_nodes(2);
+        let mut cluster = ClusterCampaign::create(&addrs, "camp", spec(num_users, 2)).unwrap();
+        let mut sim = CampaignDriver::new(
+            SimBackend::new(num_users, Loss::Squared).unwrap(),
+            CampaignConfig {
+                num_objects: 2,
+                deadline_us: 100,
+                per_round_loss: PrivacyLoss::new(0.5, 0.0).unwrap(),
+                budget: PrivacyLoss::new(1.0, 0.0).unwrap(),
+            },
+        )
+        .unwrap();
+
+        for epoch in 0..2u64 {
+            let stream = messy_round(num_users, epoch);
+            cluster.submit(&stream, 4).unwrap();
+            let ours = cluster.close_round(epoch).unwrap();
+            let reference = sim.run_round(epoch, stream).unwrap();
+            assert_eq!(ours.truths, reference.truths, "round {epoch} truths");
+            assert_eq!(
+                ours.weights_digest,
+                fnv1a_f64s(&reference.weights),
+                "round {epoch} weights"
+            );
+            assert_eq!(ours.accepted, reference.accepted);
+            assert_eq!(ours.refused_users, reference.refused_users);
+            assert_eq!(ours.duplicates_discarded, reference.duplicates_discarded);
+            assert_eq!(ours.late_dropped, reference.late_dropped);
+            assert_eq!(ours.max_spent, reference.max_spent);
+        }
+        assert_eq!(
+            cluster.accountant().debits_by_user(),
+            sim.accountant().debits_by_user()
+        );
+        // Budget-exhausted third round fails identically on both.
+        cluster.submit(&messy_round(num_users, 2), 4).unwrap();
+        assert!(cluster.close_round(2).is_err());
+        assert!(sim.run_round(2, messy_round(num_users, 2)).is_err());
+        for node in nodes {
+            node.shutdown();
+        }
+    }
+
+    /// A coordinator dying between commit fan-outs leaves node 0 one
+    /// epoch ahead of node 1. A fresh coordinator must align at the
+    /// minimum epoch, re-drive the barrier from the nodes' retained
+    /// prepares, and land bit-identically on the in-process reference —
+    /// node 0 acknowledging its commit idempotently.
+    #[test]
+    fn interrupted_commit_fanout_is_redriven_bit_identically() {
+        let num_users = 8;
+        let (nodes, addrs) = start_nodes(2);
+        let mut a = ClusterCampaign::create(&addrs, "camp", spec(num_users, 3)).unwrap();
+        let mut sim = CampaignDriver::new(
+            SimBackend::new(num_users, Loss::Squared).unwrap(),
+            CampaignConfig {
+                num_objects: 2,
+                deadline_us: 100,
+                per_round_loss: PrivacyLoss::new(0.5, 0.0).unwrap(),
+                budget: PrivacyLoss::new(1.5, 0.0).unwrap(),
+            },
+        )
+        .unwrap();
+        let stream0 = messy_round(num_users, 0);
+        a.submit(&stream0, 4).unwrap();
+        a.close_round(0).unwrap();
+        sim.run_round(0, stream0).unwrap();
+
+        // Round 1: run the barrier by hand — prepare everywhere, merge,
+        // commit node 0, then "die" before committing node 1.
+        let stream1 = messy_round(num_users, 1);
+        a.submit(&stream1, 4).unwrap();
+        let mut accepted_users = Vec::new();
+        let mut shards = Vec::new();
+        for id in 0..2 {
+            let prepared = a.nodes[id].close_round_prepare("camp", 1, vec![]).unwrap();
+            let mut shard = ShardClaims::new();
+            for claim in prepared.claims {
+                let global = a.partition.global_of(id, claim.user);
+                accepted_users.push(global);
+                shard.push(global, claim.values);
+            }
+            shards.push(shard);
+        }
+        accepted_users.sort_unstable();
+        a.streaming.ingest_sharded(2, shards).unwrap();
+        for &user in &accepted_users {
+            a.accountant.debit(user);
+        }
+        let batches = a.streaming.batches_seen() as u64;
+        let locals = a.partition.locals(0).to_vec();
+        let accepted_locals: Vec<u64> = locals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| accepted_users.binary_search(&g).is_ok())
+            .map(|(local, _)| local as u64)
+            .collect();
+        let losses: Vec<f64> = locals
+            .iter()
+            .map(|&g| a.streaming.cumulative_losses()[g])
+            .collect();
+        let debits: Vec<u32> = locals
+            .iter()
+            .map(|&g| a.accountant.rounds_debited(g))
+            .collect();
+        assert!(a.nodes[0]
+            .close_round_commit("camp", 1, batches, accepted_locals, losses, debits)
+            .unwrap());
+        drop(a);
+
+        let (mut b, at) = ClusterCampaign::resume(&addrs, "camp", spec(num_users, 3)).unwrap();
+        assert_eq!(at, 1);
+        assert!(b.needs_redrive());
+        let ours = b.close_round(1).unwrap();
+        let reference = sim.run_round(1, stream1).unwrap();
+        assert_eq!(ours.truths, reference.truths);
+        assert_eq!(ours.weights_digest, fnv1a_f64s(&reference.weights));
+        assert_eq!(
+            b.accountant().debits_by_user(),
+            sim.accountant().debits_by_user()
+        );
+
+        // The re-driven cluster keeps going normally.
+        let stream2 = messy_round(num_users, 2);
+        b.submit(&stream2, 4).unwrap();
+        let ours = b.close_round(2).unwrap();
+        let reference = sim.run_round(2, stream2).unwrap();
+        assert_eq!(ours.weights_digest, fnv1a_f64s(&reference.weights));
+        for node in nodes {
+            node.shutdown();
+        }
+    }
+
+    #[test]
+    fn create_refuses_wrong_epochs_and_topology() {
+        let (nodes, addrs) = start_nodes(2);
+        let mut cluster = ClusterCampaign::create(&addrs, "camp", spec(8, 2)).unwrap();
+        assert!(matches!(
+            cluster.close_round(3),
+            Err(ClusterError::Barrier(_))
+        ));
+        // A user outside the population is refused before any node
+        // sees it.
+        assert!(cluster.submit(&[stamped(99, 0, 1, 0.0)], 4).is_err());
+        // One user over two nodes leaves a node empty.
+        assert!(matches!(
+            ClusterCampaign::create(&addrs, "tiny", spec(1, 2)),
+            Err(ClusterError::Topology(_))
+        ));
+        for node in nodes {
+            node.shutdown();
+        }
+    }
+}

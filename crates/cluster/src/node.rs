@@ -1,0 +1,1150 @@
+//! The cluster node: one partition of a campaign behind the v1 wire
+//! protocol.
+//!
+//! A node is deliberately dumb. It owns a **local** slice of the
+//! population (dense local ids `0..local_users`), buffers submissions
+//! exactly like the single-node server (bounded queue, one round of
+//! lookahead), and exposes the two-phase barrier:
+//!
+//! 1. `CloseRoundPrepare` drains the queue through an
+//!    [`EpochLane`](dptd_protocol::partition::EpochLane) — refusal
+//!    withhold, then deadline, then first-wins dedup, the exact
+//!    single-node order — and returns the surviving claims **without**
+//!    touching durable state. Prepare is cumulative and repeatable: the
+//!    lane persists until commit, so a re-driven barrier (after a
+//!    coordinator restart, or more submissions on a failed round) sees
+//!    the whole stream's result.
+//! 2. `CloseRoundCommit` durably appends the node's slice of the merged
+//!    round — the coordinator computed it; the node just persists an
+//!    [`EpochRecord`] to its segmented store and acks. Re-committing
+//!    the previous epoch is acknowledged idempotently iff the record is
+//!    byte-identical to the durable one, which is what lets a
+//!    coordinator that died between commit fan-out and its own state
+//!    advance re-drive the barrier safely.
+//!
+//! The node never sees another node's users and never computes truths:
+//! global state lives in the coordinator's merge and comes back to rest
+//! here, sliced, in the commit. `QueryLedger` serves those slices back
+//! (current, or one epoch back while a barrier may still be re-driven)
+//! for coordinator failover, and `ReplicateSegment` makes the node a
+//! **follower**: it applies a primary's replicated store stream under
+//! its own replica root, ready to take over via ordinary crash
+//! recovery.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use dptd_engine::store::{DirFs, ObservedFs, SegmentStore, StoreConfig, StoreFs};
+use dptd_engine::wal::{RecordKind, RecordLog, WalLock, WalPolicy};
+use dptd_engine::{recovery::recover_replay, EpochRecord};
+use dptd_ldp::PrivacyLoss;
+use dptd_protocol::campaign::CampaignConfig;
+use dptd_protocol::message::StampedReport;
+use dptd_protocol::partition::EpochLane;
+use dptd_server::{
+    read_frame_body, write_frame, CampaignSpec, ErrorCode, Request, Response, ServerError,
+};
+use dptd_truth::Loss;
+
+use crate::replication::{replication_refusal, ReplicaApplier, ReplicationSender};
+use crate::ClusterError;
+
+/// Node configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port).
+    pub listen: String,
+    /// This node's index in the cluster's partition map.
+    pub node_id: u32,
+    /// Total nodes in the cluster (validated against `NodeHello`).
+    pub num_nodes: u32,
+    /// Connection worker budget.
+    pub max_connections: usize,
+    /// Root directory for durable campaign partitions (`None` keeps
+    /// partitions in memory only).
+    pub wal_root: Option<PathBuf>,
+    /// Follower address to replicate every durable store mutation to.
+    pub replicate_to: Option<String>,
+    /// Root directory under which this node accepts `ReplicateSegment`
+    /// streams (the follower role). `None` refuses them.
+    pub replica_root: Option<PathBuf>,
+    /// Segment rotation/compaction thresholds for durable partitions.
+    pub store: StoreConfig,
+    /// Campaign-partition cap.
+    pub max_campaigns: usize,
+}
+
+impl Default for NodeConfig {
+    /// A single-node loopback topology, in-memory, follower disabled.
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            node_id: 0,
+            num_nodes: 1,
+            max_connections: 32,
+            wal_root: None,
+            replicate_to: None,
+            replica_root: None,
+            store: StoreConfig::default(),
+            max_campaigns: 16,
+        }
+    }
+}
+
+/// A round staged by `CloseRoundPrepare`, alive until its commit.
+#[derive(Debug)]
+struct StagedRound {
+    epoch: u64,
+    /// The refusal set the barrier was driven with, sorted — a re-drive
+    /// with a different set is a coordinator bug and is refused.
+    refused: Vec<u64>,
+    /// Which refused users actually had a report withheld (distinct
+    /// users, mirroring the driver's `refused_users` count).
+    refused_seen: Vec<bool>,
+    lane: EpochLane,
+}
+
+/// The frozen prepare result of the last **committed** epoch, retained
+/// so a re-driven barrier can replay phase one without the queue.
+#[derive(Debug)]
+struct CommittedPrepare {
+    epoch: u64,
+    refused: Vec<u64>,
+    refused_seen_count: u64,
+    lane: EpochLane,
+}
+
+/// One campaign partition on this node.
+#[derive(Debug)]
+struct NodeCampaign {
+    local_users: usize,
+    capacity: usize,
+    config: CampaignConfig,
+    policy: WalPolicy,
+    pending: Vec<StampedReport>,
+    future: Vec<StampedReport>,
+    next_epoch: u64,
+    staged: Option<StagedRound>,
+    last_prepared: Option<CommittedPrepare>,
+    /// Committed records, newest last — enough history to serve
+    /// `QueryLedger` one epoch back during barrier re-drives.
+    history: VecDeque<EpochRecord>,
+    log: Option<Box<dyn RecordLog>>,
+    _wal_lock: Option<WalLock>,
+    replication_failure: Option<crate::replication::FailureSlot>,
+    reports_submitted: u64,
+}
+
+/// How many committed records a node keeps in memory for ledger
+/// queries. Two covers every legal barrier state: the live epoch's
+/// predecessor plus one more while a commit fan-out is in flight.
+const LEDGER_HISTORY: usize = 2;
+
+fn refuse(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+impl NodeCampaign {
+    fn ledger_at(&self, upto: u64) -> Response {
+        let resolved = if upto == u64::MAX {
+            self.next_epoch
+        } else {
+            upto
+        };
+        if resolved == self.next_epoch {
+            return match self.history.back() {
+                Some(record) => Response::Ledger {
+                    next_epoch: record.epoch + 1,
+                    batches_seen: record.batches_seen,
+                    rounds_debited: record.rounds_debited.clone(),
+                    cumulative_losses: record.cumulative_losses.clone(),
+                },
+                None => Response::Ledger {
+                    next_epoch: 0,
+                    batches_seen: 0,
+                    rounds_debited: vec![0; self.local_users],
+                    cumulative_losses: vec![0.0; self.local_users],
+                },
+            };
+        }
+        if resolved == 0 {
+            // The virgin (pre-first-round) state is always known.
+            return Response::Ledger {
+                next_epoch: 0,
+                batches_seen: 0,
+                rounds_debited: vec![0; self.local_users],
+                cumulative_losses: vec![0.0; self.local_users],
+            };
+        }
+        match self
+            .history
+            .iter()
+            .find(|record| record.epoch + 1 == resolved)
+        {
+            Some(record) => Response::Ledger {
+                next_epoch: record.epoch + 1,
+                batches_seen: record.batches_seen,
+                rounds_debited: record.rounds_debited.clone(),
+                cumulative_losses: record.cumulative_losses.clone(),
+            },
+            None => refuse(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "ledger as of epoch {resolved} is no longer retained \
+                     (node is at epoch {})",
+                    self.next_epoch
+                ),
+            ),
+        }
+    }
+}
+
+struct NodeState {
+    node_id: u32,
+    num_nodes: u32,
+    wal_root: Option<PathBuf>,
+    replicate_to: Option<String>,
+    replica_root: Option<PathBuf>,
+    store: StoreConfig,
+    max_campaigns: usize,
+    campaigns: Mutex<BTreeMap<String, Arc<Mutex<NodeCampaign>>>>,
+    replicas: Mutex<BTreeMap<String, ReplicaApplier>>,
+}
+
+impl std::fmt::Debug for NodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeState")
+            .field("node_id", &self.node_id)
+            .field("num_nodes", &self.num_nodes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NodeState {
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::NodeHello { node_id, num_nodes } => {
+                if node_id != self.node_id || num_nodes != self.num_nodes {
+                    return refuse(
+                        ErrorCode::InvalidRequest,
+                        format!(
+                            "topology mismatch: this is node {}/{}, coordinator expected {}/{}",
+                            self.node_id, self.num_nodes, node_id, num_nodes
+                        ),
+                    );
+                }
+                Response::NodeWelcome {
+                    node_id: self.node_id,
+                }
+            }
+            Request::CreateCampaign { campaign, spec } => self.create(&campaign, &spec),
+            Request::SubmitReports { campaign, reports } => self.submit(&campaign, reports),
+            Request::CloseRoundPrepare {
+                campaign,
+                epoch,
+                refused,
+            } => self.prepare(&campaign, epoch, refused),
+            Request::CloseRoundCommit {
+                campaign,
+                epoch,
+                batches_seen,
+                accepted_users,
+                cumulative_losses,
+                rounds_debited,
+            } => self.commit(
+                &campaign,
+                epoch,
+                batches_seen,
+                &accepted_users,
+                cumulative_losses,
+                rounds_debited,
+            ),
+            Request::QueryLedger { campaign, upto } => match self.slot(&campaign) {
+                Ok(slot) => slot.lock().expect("partition lock").ledger_at(upto),
+                Err(resp) => resp,
+            },
+            Request::ReplicateSegment {
+                campaign,
+                seq,
+                op,
+                name,
+                arg,
+                bytes,
+            } => self.replicate(&campaign, seq, op, &name, arg, &bytes),
+            Request::CloseRound { .. } => refuse(
+                ErrorCode::InvalidRequest,
+                "cluster nodes close rounds through the coordinator's two-phase barrier, \
+                 not `CloseRound`",
+            ),
+            Request::QueryTruths { .. } | Request::QueryBudget { .. } => refuse(
+                ErrorCode::InvalidRequest,
+                "a cluster node holds one partition and no global state; query the coordinator",
+            ),
+            Request::QueryMetrics { campaign } => match self.slot(&campaign) {
+                Ok(slot) => {
+                    let state = slot.lock().expect("partition lock");
+                    Response::Metrics {
+                        metrics: dptd_server::MetricsReport {
+                            reports_submitted: state.reports_submitted,
+                            reports_accepted: state
+                                .staged
+                                .as_ref()
+                                .map_or(0, |s| s.lane.accepted() as u64),
+                            duplicates_discarded: 0,
+                            late_dropped: 0,
+                            out_of_order_dropped: 0,
+                            backpressure_stalls: 0,
+                            epochs_merged: state.next_epoch,
+                            max_queue_depth: (state.capacity) as u64,
+                            queue_depth: (state.pending.len() + state.future.len()) as u64,
+                            throughput_rps: 0.0,
+                            ingest_p50_ns: 0,
+                            ingest_p99_ns: 0,
+                        },
+                    }
+                }
+                Err(resp) => resp,
+            },
+        }
+    }
+
+    fn slot(&self, campaign: &str) -> Result<Arc<Mutex<NodeCampaign>>, Response> {
+        self.campaigns
+            .lock()
+            .expect("node campaign map")
+            .get(campaign)
+            .cloned()
+            .ok_or_else(|| {
+                refuse(
+                    ErrorCode::UnknownCampaign,
+                    format!("no campaign partition `{campaign}` on this node"),
+                )
+            })
+    }
+
+    fn create(&self, campaign: &str, spec: &CampaignSpec) -> Response {
+        let local_users = spec.num_users as usize;
+        if local_users == 0 {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                "a campaign partition needs at least one local user",
+            );
+        }
+        let per_round_loss = match PrivacyLoss::new(spec.per_round_epsilon, spec.per_round_delta) {
+            Ok(l) => l,
+            Err(e) => return refuse(ErrorCode::InvalidRequest, e.to_string()),
+        };
+        let budget = match PrivacyLoss::new(spec.budget_epsilon, spec.budget_delta) {
+            Ok(l) => l,
+            Err(e) => return refuse(ErrorCode::InvalidRequest, e.to_string()),
+        };
+        {
+            let map = self.campaigns.lock().expect("node campaign map");
+            if let Some(slot) = map.get(campaign) {
+                // A crashed coordinator resumes by re-creating the
+                // campaign on nodes that never died: an identical spec
+                // acks idempotently with the live epoch, anything else
+                // is a conflicting writer.
+                let state = slot.lock().expect("partition lock");
+                let same_policy = WalPolicy::from_campaign(&CampaignConfig {
+                    num_objects: spec.num_objects as usize,
+                    deadline_us: spec.deadline_us,
+                    per_round_loss,
+                    budget,
+                })
+                .with_stream_tag(spec.stream_tag);
+                if state.local_users == local_users
+                    && state.capacity == spec.submission_capacity as usize
+                    && state.policy == same_policy
+                {
+                    return Response::Created {
+                        resumed_rounds: state.next_epoch,
+                    };
+                }
+                return refuse(
+                    ErrorCode::CampaignExists,
+                    format!(
+                        "campaign partition `{campaign}` is already live with a different spec"
+                    ),
+                );
+            }
+            if map.len() >= self.max_campaigns {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    format!("node at its {}-campaign cap", self.max_campaigns),
+                );
+            }
+        }
+        let config = CampaignConfig {
+            num_objects: spec.num_objects as usize,
+            deadline_us: spec.deadline_us,
+            per_round_loss,
+            budget,
+        };
+        let policy = WalPolicy::from_campaign(&config).with_stream_tag(spec.stream_tag);
+
+        let mut next_epoch = 0u64;
+        let mut resumed_rounds = 0u64;
+        let mut history = VecDeque::new();
+        let mut log: Option<Box<dyn RecordLog>> = None;
+        let mut wal_lock = None;
+        let mut replication_failure = None;
+        if spec.durable {
+            let Some(root) = &self.wal_root else {
+                return refuse(
+                    ErrorCode::WalRefused,
+                    "durable partitions need a node started with `--wal <root>`",
+                );
+            };
+            let dir = root.join(campaign);
+            let lock = match WalLock::acquire(&dir) {
+                Ok(l) => l,
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            let fs: Box<dyn StoreFs> = match DirFs::open(&dir) {
+                Ok(f) => Box::new(f),
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            // Replication wraps the filesystem *before* the store opens,
+            // so a follower sees everything from the manifest's creation
+            // (or this resume's tail repair) onward.
+            let fs: Box<dyn StoreFs> = match &self.replicate_to {
+                Some(addr) => match ReplicationSender::connect(addr, campaign) {
+                    Ok((sender, slot)) => {
+                        replication_failure = Some(slot);
+                        Box::new(ObservedFs::new(fs, Box::new(sender)))
+                    }
+                    Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+                },
+                None => fs,
+            };
+            let (store, replay) = match SegmentStore::open(fs, self.store) {
+                Ok(s) => s,
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            let recovered = match recover_replay(&replay, local_users, Loss::Squared, Some(&policy))
+            {
+                Ok(r) => r,
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            next_epoch = recovered.next_epoch();
+            resumed_rounds = recovered.records_applied;
+            for record in replay
+                .records
+                .iter()
+                .rev()
+                .take(LEDGER_HISTORY)
+                .rev()
+                .cloned()
+            {
+                history.push_back(record);
+            }
+            log = Some(Box::new(store));
+            wal_lock = Some(lock);
+        }
+
+        let slot = Arc::new(Mutex::new(NodeCampaign {
+            local_users,
+            capacity: spec.submission_capacity as usize,
+            config,
+            policy,
+            pending: Vec::new(),
+            future: Vec::new(),
+            next_epoch,
+            staged: None,
+            last_prepared: None,
+            history,
+            log,
+            _wal_lock: wal_lock,
+            replication_failure,
+            reports_submitted: 0,
+        }));
+        let mut map = self.campaigns.lock().expect("node campaign map");
+        if map.contains_key(campaign) {
+            return refuse(
+                ErrorCode::CampaignExists,
+                format!("campaign partition `{campaign}` is already live"),
+            );
+        }
+        map.insert(campaign.to_string(), slot);
+        Response::Created { resumed_rounds }
+    }
+
+    fn submit(&self, campaign: &str, reports: Vec<StampedReport>) -> Response {
+        let slot = match self.slot(campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let mut state = slot.lock().expect("partition lock");
+        let queued = (state.pending.len() + state.future.len()) as u64;
+        let Some(first) = reports.first() else {
+            return Response::Submitted { queued };
+        };
+        let epoch = first.epoch;
+        for r in &reports {
+            if r.epoch != epoch {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    "a submission batch must carry a single epoch",
+                );
+            }
+            if r.report.user >= state.local_users {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    format!(
+                        "local user {} outside this node's {}-user partition",
+                        r.report.user, state.local_users
+                    ),
+                );
+            }
+        }
+        if epoch != state.next_epoch && epoch != state.next_epoch + 1 {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "report for epoch {epoch} but partition `{campaign}` is on round {} \
+                     (one round of lookahead is buffered)",
+                    state.next_epoch
+                ),
+            );
+        }
+        if state.pending.len() + state.future.len() + reports.len() > state.capacity {
+            return Response::Busy {
+                queued,
+                capacity: state.capacity as u64,
+            };
+        }
+        let batch = reports.len() as u64;
+        if epoch == state.next_epoch {
+            state.pending.extend(reports);
+        } else {
+            state.future.extend(reports);
+        }
+        state.reports_submitted += batch;
+        Response::Submitted {
+            queued: (state.pending.len() + state.future.len()) as u64,
+        }
+    }
+
+    fn prepare(&self, campaign: &str, epoch: u64, refused: Vec<u64>) -> Response {
+        let slot = match self.slot(campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let mut state = slot.lock().expect("partition lock");
+        let local_users = state.local_users;
+        if refused.iter().any(|&u| u as usize >= local_users) {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                "a refused user id is outside this node's partition",
+            );
+        }
+        let mut refused_sorted = refused;
+        refused_sorted.sort_unstable();
+        refused_sorted.dedup();
+
+        // A barrier re-drive for the epoch this node already committed:
+        // replay the frozen prepare (the queue was drained into it and
+        // the commit sealed it).
+        if epoch + 1 == state.next_epoch {
+            let Some(last) = &state.last_prepared else {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    format!("epoch {epoch} is already committed and its prepare expired"),
+                );
+            };
+            if last.epoch != epoch {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    format!("epoch {epoch} is already committed and its prepare expired"),
+                );
+            }
+            if last.refused != refused_sorted {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    "barrier re-driven with a different refusal set",
+                );
+            }
+            let result = last.lane.snapshot();
+            return Response::Prepared {
+                epoch,
+                duplicates: result.duplicates_discarded,
+                late: result.late_dropped,
+                refused_seen: last.refused_seen_count,
+                claims: result.claims.into_iter().map(|(_, r)| r).collect(),
+            };
+        }
+        if epoch != state.next_epoch {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "cannot prepare epoch {epoch}: partition `{campaign}` is on round {}",
+                    state.next_epoch
+                ),
+            );
+        }
+        match &state.staged {
+            Some(staged) if staged.refused != refused_sorted => {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    "barrier re-driven with a different refusal set",
+                );
+            }
+            Some(_) => {}
+            None => {
+                state.staged = Some(StagedRound {
+                    epoch,
+                    refused: refused_sorted,
+                    refused_seen: vec![false; local_users],
+                    lane: EpochLane::new(local_users, state.config.deadline_us),
+                });
+            }
+        }
+        // Drain everything queued for this epoch through the staged
+        // lane: refusal withhold first, then the lane's deadline + dedup
+        // — the exact driver order.
+        let pending = std::mem::take(&mut state.pending);
+        let staged = state.staged.as_mut().expect("staged round");
+        let refused_set = staged.refused.clone();
+        for stamped in pending {
+            let user = stamped.report.user;
+            if refused_set.binary_search(&(user as u64)).is_ok() {
+                staged.refused_seen[user] = true;
+                continue;
+            }
+            staged.lane.offer(user, stamped);
+        }
+        let refused_seen = staged.refused_seen.iter().filter(|&&b| b).count() as u64;
+        let result = staged.lane.snapshot();
+        Response::Prepared {
+            epoch,
+            duplicates: result.duplicates_discarded,
+            late: result.late_dropped,
+            refused_seen,
+            claims: result.claims.into_iter().map(|(_, r)| r).collect(),
+        }
+    }
+
+    fn commit(
+        &self,
+        campaign: &str,
+        epoch: u64,
+        batches_seen: u64,
+        accepted_users: &[u64],
+        cumulative_losses: Vec<f64>,
+        rounds_debited: Vec<u32>,
+    ) -> Response {
+        let slot = match self.slot(campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let mut state = slot.lock().expect("partition lock");
+        let local_users = state.local_users;
+        if cumulative_losses.len() != local_users || rounds_debited.len() != local_users {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                "commit slices must cover exactly this node's partition",
+            );
+        }
+        if accepted_users.windows(2).any(|w| w[0] >= w[1])
+            || accepted_users.iter().any(|&u| u as usize >= local_users)
+        {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                "accepted users must be ascending local ids inside the partition",
+            );
+        }
+        let record = EpochRecord {
+            kind: RecordKind::Epoch,
+            epoch,
+            batches_seen,
+            loss: Loss::Squared,
+            policy: state.policy,
+            accepted_users: accepted_users.iter().map(|&u| u as usize).collect(),
+            cumulative_losses,
+            rounds_debited,
+        };
+
+        // Idempotent re-commit: the previous epoch, byte-identical.
+        if epoch + 1 == state.next_epoch {
+            let Some(last) = state.history.back() else {
+                return refuse(
+                    ErrorCode::InvalidRequest,
+                    format!("epoch {epoch} predates this node's retained history"),
+                );
+            };
+            if last.epoch == epoch && last.encode() == record.encode() {
+                return Response::Committed {
+                    epoch,
+                    appended: false,
+                };
+            }
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "re-committed epoch {epoch} differs from the durable record — \
+                     the barrier was re-driven against a diverged stream"
+                ),
+            );
+        }
+        if epoch != state.next_epoch {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "cannot commit epoch {epoch}: partition `{campaign}` is on round {}",
+                    state.next_epoch
+                ),
+            );
+        }
+        let Some(staged) = state.staged.take() else {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!("commit for epoch {epoch} without a prepared round"),
+            );
+        };
+        debug_assert_eq!(staged.epoch, epoch, "stage/commit epoch mismatch");
+        if let Some(log) = state.log.as_mut() {
+            if let Err(e) = log.append_record(&record) {
+                // The append failed atomically; restore the stage so the
+                // barrier can be re-driven.
+                state.staged = Some(staged);
+                return refuse(ErrorCode::WalRefused, e.to_string());
+            }
+        }
+        state.last_prepared = Some(CommittedPrepare {
+            epoch,
+            refused: staged.refused,
+            refused_seen_count: staged.refused_seen.iter().filter(|&&b| b).count() as u64,
+            lane: staged.lane,
+        });
+        state.history.push_back(record);
+        while state.history.len() > LEDGER_HISTORY {
+            state.history.pop_front();
+        }
+        state.next_epoch = epoch + 1;
+        state.pending = std::mem::take(&mut state.future);
+        Response::Committed {
+            epoch,
+            appended: true,
+        }
+    }
+
+    fn replicate(
+        &self,
+        campaign: &str,
+        seq: u64,
+        op: dptd_server::StoreOp,
+        name: &str,
+        arg: u64,
+        bytes: &[u8],
+    ) -> Response {
+        let Some(root) = &self.replica_root else {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                "this node does not accept replication (start it with `--replica-root`)",
+            );
+        };
+        let mut replicas = self.replicas.lock().expect("replica map");
+        if !replicas.contains_key(campaign) {
+            let dir = root.join(campaign);
+            let fs = match DirFs::open(&dir) {
+                Ok(f) => f,
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            replicas.insert(campaign.to_string(), ReplicaApplier::new(Box::new(fs)));
+        }
+        let applier = replicas.get_mut(campaign).expect("replica applier");
+        match applier.apply(seq, op, name, arg, bytes) {
+            Ok(()) => Response::Replicated { seq },
+            Err(e) => {
+                let (code, message) = replication_refusal(&e);
+                refuse(code, message)
+            }
+        }
+    }
+
+    /// Flush every durable partition — the orderly shutdown path.
+    fn finalize(&self) -> usize {
+        let map = self.campaigns.lock().expect("node campaign map");
+        let mut flushed = 0;
+        for slot in map.values() {
+            let mut state = slot.lock().expect("partition lock");
+            if let Some(log) = state.log.as_mut() {
+                if log.sync().is_ok() {
+                    flushed += 1;
+                }
+            }
+        }
+        flushed
+    }
+}
+
+type ConnectionList = Arc<Mutex<Vec<(Arc<TcpStream>, JoinHandle<()>)>>>;
+
+/// A running cluster node. Dropping (or [`NodeServer::shutdown`]) stops
+/// the acceptor, closes live connections, joins workers, and flushes
+/// durable partitions.
+#[derive(Debug)]
+pub struct NodeServer {
+    state: Arc<NodeState>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: ConnectionList,
+}
+
+impl NodeServer {
+    /// Bind `config.listen` and start accepting.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Server`] when the address cannot be bound and
+    /// [`ClusterError::Topology`] for inconsistent node geometry.
+    pub fn start(config: NodeConfig) -> Result<Self, ClusterError> {
+        if config.num_nodes == 0 || config.node_id >= config.num_nodes {
+            return Err(ClusterError::Topology(format!(
+                "node id {} is outside a {}-node cluster",
+                config.node_id, config.num_nodes
+            )));
+        }
+        let io_err = |op: &'static str, e: std::io::Error| {
+            ClusterError::Server(ServerError::Io {
+                op,
+                message: e.to_string(),
+            })
+        };
+        let listener = TcpListener::bind(
+            config
+                .listen
+                .to_socket_addrs()
+                .map_err(|e| io_err("resolve listen address", e))?
+                .next()
+                .ok_or_else(|| {
+                    ClusterError::Server(ServerError::Io {
+                        op: "resolve listen address",
+                        message: format!("`{}` resolves to nothing", config.listen),
+                    })
+                })?,
+        )
+        .map_err(|e| io_err("bind", e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("local addr", e))?;
+
+        let state = Arc::new(NodeState {
+            node_id: config.node_id,
+            num_nodes: config.num_nodes,
+            wal_root: config.wal_root,
+            replicate_to: config.replicate_to,
+            replica_root: config.replica_root,
+            store: config.store,
+            max_campaigns: config.max_campaigns.max(1),
+            campaigns: Mutex::new(BTreeMap::new()),
+            replicas: Mutex::new(BTreeMap::new()),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: ConnectionList = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let accept_connections = Arc::clone(&connections);
+        let max_connections = config.max_connections.max(1);
+        let accept_thread = std::thread::Builder::new()
+            .name("dptd-node-accept".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let _ = stream.set_nodelay(true);
+
+                    let mut conns = accept_connections.lock().expect("connection list");
+                    let mut live = Vec::with_capacity(conns.len());
+                    for (s, h) in conns.drain(..) {
+                        if h.is_finished() {
+                            let _ = h.join();
+                        } else {
+                            live.push((s, h));
+                        }
+                    }
+                    *conns = live;
+
+                    if conns.len() >= max_connections {
+                        let mut s = &stream;
+                        let frame = refuse(
+                            ErrorCode::ServerBusy,
+                            format!("node at its {max_connections}-connection budget"),
+                        )
+                        .encode();
+                        let _ = write_frame(&mut s, &frame);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
+
+                    let stream = Arc::new(stream);
+                    let worker_stream = Arc::clone(&stream);
+                    let worker_state = Arc::clone(&accept_state);
+                    let handle = std::thread::Builder::new()
+                        .name("dptd-node-conn".to_string())
+                        .spawn(move || {
+                            serve_connection(&worker_stream, &worker_state);
+                            let _ = worker_stream.shutdown(std::net::Shutdown::Both);
+                        })
+                        .expect("spawn node connection worker");
+                    conns.push((stream, handle));
+                }
+            })
+            .map_err(|e| io_err("spawn acceptor", e))?;
+
+        Ok(Self {
+            state,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The first replication failure latched for `campaign`, if its WAL
+    /// is replicated and the follower has gone away. Replication never
+    /// blocks the primary, so operators poll this (the CLI surfaces it
+    /// on shutdown).
+    pub fn replication_failure(&self, campaign: &str) -> Option<String> {
+        let campaigns = self.state.campaigns.lock().expect("campaign map");
+        let slot = campaigns.get(campaign)?.clone();
+        drop(campaigns);
+        let state = slot.lock().expect("partition lock");
+        state
+            .replication_failure
+            .as_ref()
+            .and_then(|f| f.lock().expect("replication failure slot").clone())
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let conns = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for (stream, handle) in conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop accepting, join every worker, flush durable partitions, and
+    /// return how many were flushed.
+    pub fn shutdown(mut self) -> usize {
+        self.stop_threads();
+        self.state.finalize()
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// One connection worker: the same hello + frame loop as the campaign
+/// server, dispatching into the node's partition state.
+fn serve_connection(stream: &Arc<TcpStream>, state: &Arc<NodeState>) {
+    let mut reader: &TcpStream = stream;
+    let mut writer: &TcpStream = stream;
+
+    let mut hello = [0u8; dptd_server::wire::HELLO.len()];
+    if reader.read_exact(&mut hello).is_err() || hello != dptd_server::wire::HELLO {
+        let frame = refuse(ErrorCode::InvalidRequest, "expected the dptd v1 hello").encode();
+        let _ = write_frame(&mut writer, &frame);
+        return;
+    }
+    if writer.write_all(&dptd_server::wire::HELLO).is_err() {
+        return;
+    }
+
+    loop {
+        match read_frame_body(&mut reader) {
+            Ok(None) => return,
+            Ok(Some(body)) => {
+                let response = match Request::decode(&body) {
+                    Ok(request) => state.handle(request),
+                    Err(e) => refuse(ErrorCode::InvalidRequest, e.to_string()),
+                };
+                if write_frame(&mut writer, &response.encode()).is_err() {
+                    return;
+                }
+            }
+            Err(ServerError::Wire(e)) => {
+                let frame = refuse(ErrorCode::InvalidRequest, e.to_string()).encode();
+                let _ = write_frame(&mut writer, &frame);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_core::roles::PerturbedReport;
+    use dptd_server::Client;
+
+    fn spec(local_users: u64) -> CampaignSpec {
+        CampaignSpec {
+            num_users: local_users,
+            num_objects: 2,
+            num_shards: 1,
+            workers: 1,
+            engine_queue: 64,
+            deadline_us: 1_000,
+            submission_capacity: 64,
+            per_round_epsilon: 0.5,
+            per_round_delta: 0.0,
+            budget_epsilon: 4.0,
+            budget_delta: 0.0,
+            stream_tag: 0,
+            durable: false,
+        }
+    }
+
+    fn stamped(user: usize, epoch: u64, sent_at_us: u64, value: f64) -> StampedReport {
+        StampedReport {
+            epoch,
+            sent_at_us,
+            report: PerturbedReport {
+                user,
+                values: vec![(0, value), (1, value + 1.0)],
+            },
+        }
+    }
+
+    #[test]
+    fn node_drives_a_prepare_commit_round_over_tcp() {
+        let node = NodeServer::start(NodeConfig::default()).unwrap();
+        let mut client = Client::connect(node.local_addr()).unwrap();
+        assert_eq!(client.node_hello(0, 1).unwrap(), 0);
+        assert!(client.node_hello(1, 3).is_err());
+        client.create_campaign("part", spec(3)).unwrap();
+        client
+            .submit_chunked(
+                "part",
+                &[
+                    stamped(0, 0, 10, 1.0),
+                    stamped(1, 0, 20, 2.0),
+                    stamped(1, 0, 30, 9.0),    // duplicate, first wins
+                    stamped(2, 0, 2_000, 5.0), // late
+                ],
+                8,
+            )
+            .unwrap();
+        let prepared = client.close_round_prepare("part", 0, vec![]).unwrap();
+        assert_eq!(prepared.epoch, 0);
+        assert_eq!(prepared.duplicates, 1);
+        assert_eq!(prepared.late, 1);
+        assert_eq!(prepared.refused_seen, 0);
+        assert_eq!(prepared.claims.len(), 2);
+        // Prepare is repeatable while the round is staged.
+        let again = client.close_round_prepare("part", 0, vec![]).unwrap();
+        assert_eq!(again.claims, prepared.claims);
+        // Commit the coordinator's (here: synthetic) merged slice.
+        let appended = client
+            .close_round_commit(
+                "part",
+                0,
+                1,
+                vec![0, 1],
+                vec![0.25, 0.5, 0.0],
+                vec![1, 1, 0],
+            )
+            .unwrap();
+        assert!(appended);
+        // Idempotent re-commit of the identical record.
+        let again = client
+            .close_round_commit(
+                "part",
+                0,
+                1,
+                vec![0, 1],
+                vec![0.25, 0.5, 0.0],
+                vec![1, 1, 0],
+            )
+            .unwrap();
+        assert!(!again);
+        // A diverged re-commit is refused.
+        assert!(client
+            .close_round_commit(
+                "part",
+                0,
+                1,
+                vec![0, 1],
+                vec![0.25, 0.75, 0.0],
+                vec![1, 1, 0]
+            )
+            .is_err());
+        // The ledger serves the committed slice back, current and
+        // one epoch back.
+        let ledger = client.query_ledger("part", u64::MAX).unwrap();
+        assert_eq!(ledger.next_epoch, 1);
+        assert_eq!(ledger.rounds_debited, vec![1, 1, 0]);
+        let virgin = client.query_ledger("part", 0).unwrap();
+        assert_eq!(virgin.next_epoch, 0);
+        assert_eq!(virgin.rounds_debited, vec![0, 0, 0]);
+        node.shutdown();
+    }
+
+    #[test]
+    fn refused_users_are_withheld_before_the_lane() {
+        let node = NodeServer::start(NodeConfig::default()).unwrap();
+        let mut client = Client::connect(node.local_addr()).unwrap();
+        client.create_campaign("part", spec(3)).unwrap();
+        client
+            .submit_chunked(
+                "part",
+                &[
+                    stamped(0, 0, 10, 1.0),
+                    stamped(1, 0, 2_000, 2.0), // late — but refused first
+                    stamped(2, 0, 20, 3.0),
+                ],
+                8,
+            )
+            .unwrap();
+        // User 1 is refused: its late report is withheld before the
+        // deadline cut, so it counts as refused, not late.
+        let prepared = client.close_round_prepare("part", 0, vec![1]).unwrap();
+        assert_eq!(prepared.refused_seen, 1);
+        assert_eq!(prepared.late, 0);
+        assert_eq!(prepared.claims.len(), 2);
+        // Re-driving with a different refusal set is refused.
+        assert!(client.close_round_prepare("part", 0, vec![2]).is_err());
+        node.shutdown();
+    }
+
+    #[test]
+    fn commit_without_prepare_and_wrong_epochs_are_refused() {
+        let node = NodeServer::start(NodeConfig::default()).unwrap();
+        let mut client = Client::connect(node.local_addr()).unwrap();
+        client.create_campaign("part", spec(2)).unwrap();
+        assert!(client
+            .close_round_commit("part", 0, 1, vec![0], vec![0.1, 0.0], vec![1, 0])
+            .is_err());
+        assert!(client.close_round_prepare("part", 5, vec![]).is_err());
+        assert!(client.query_ledger("part", 7).is_err());
+        node.shutdown();
+    }
+}

@@ -1,0 +1,221 @@
+//! Rendezvous (highest-random-weight) user → node assignment.
+//!
+//! Every user hashes once **per node** — FNV-1a over the user id
+//! followed by the node id, both little-endian, finished through a
+//! splitmix64-style avalanche (raw FNV over sequential ids correlates
+//! enough to skew shares by >60%; the finalizer brings the spread
+//! within ~10% of ideal) — and is owned by the node with the highest
+//! score (ties break to the lower node id, which keeps the map a pure
+//! function of `(user, num_nodes)`). Rendezvous hashing gives exactly
+//! the properties a cluster wants from a static partitioner:
+//!
+//! * **Total and unique**: every user maps to exactly one node, with no
+//!   ring state to persist — any coordinator or node recomputes the
+//!   identical map from `(num_users, num_nodes)` alone.
+//! * **Balanced**: scores are i.i.d. across nodes, so shares concentrate
+//!   around `num_users / num_nodes`.
+//! * **Minimally disruptive**: adding node `n` only moves the users `n`
+//!   now wins (an expected `1/(n+1)` fraction); removing the last node
+//!   only moves that node's users. Nobody else's owner changes, so a
+//!   resize never reshuffles surviving partitions.
+//!
+//! All three properties are pinned by this module's proptests.
+
+use dptd_protocol::partition::PartitionMap;
+use dptd_stats::digest::Fnv1a;
+
+use crate::ClusterError;
+
+/// The owning node for `user` in a `num_nodes`-node cluster.
+///
+/// # Panics
+///
+/// Panics if `num_nodes` is zero.
+pub fn rendezvous_node(user: u64, num_nodes: usize) -> usize {
+    assert!(num_nodes > 0, "a cluster needs at least one node");
+    let mut best = (0u64, 0usize);
+    for node in 0..num_nodes {
+        let mut h = Fnv1a::new();
+        h.write_u64(user);
+        h.write_u64(node as u64);
+        let score = avalanche(h.finish());
+        // Strict `>`: a tie keeps the lowest node id.
+        if node == 0 || score > best.0 {
+            best = (score, node);
+        }
+    }
+    best.1
+}
+
+/// splitmix64's finalizer: full-avalanche bit mixing over the FNV score,
+/// so nearby `(user, node)` inputs score independently.
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The full `user → node` assignment for a population.
+///
+/// # Panics
+///
+/// Panics if `num_nodes` is zero.
+pub fn rendezvous_assignment(num_users: usize, num_nodes: usize) -> Vec<usize> {
+    (0..num_users)
+        .map(|user| rendezvous_node(user as u64, num_nodes))
+        .collect()
+}
+
+/// The assignment as a [`PartitionMap`], refusing topologies where some
+/// node ends up owning nobody (its local estimator would be empty).
+///
+/// # Errors
+///
+/// [`ClusterError::Topology`] for an empty population, zero nodes, or a
+/// node with no users.
+pub fn rendezvous_map(num_users: usize, num_nodes: usize) -> Result<PartitionMap, ClusterError> {
+    if num_nodes == 0 {
+        return Err(ClusterError::Topology(
+            "a cluster needs at least one node".to_string(),
+        ));
+    }
+    if num_users == 0 {
+        return Err(ClusterError::Topology(
+            "a campaign needs at least one user".to_string(),
+        ));
+    }
+    let map = PartitionMap::new(rendezvous_assignment(num_users, num_nodes), num_nodes)?;
+    for node in 0..num_nodes {
+        if map.population(node) == 0 {
+            return Err(ClusterError::Topology(format!(
+                "node {node} owns no users ({num_users} users over {num_nodes} nodes); \
+                 use fewer nodes or more users"
+            )));
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let a = rendezvous_assignment(500, 5);
+        let b = rendezvous_assignment(500, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&n| n < 5));
+    }
+
+    #[test]
+    fn map_refuses_degenerate_topologies() {
+        assert!(rendezvous_map(0, 3).is_err());
+        assert!(rendezvous_map(3, 0).is_err());
+        // One user over many nodes must leave some node empty.
+        assert!(rendezvous_map(1, 16).is_err());
+        assert!(rendezvous_map(1, 1).is_ok());
+    }
+
+    #[test]
+    fn shares_are_balanced_at_scale() {
+        // A concrete, deterministic balance pin: 4096 users over 8 nodes
+        // should land within 25% of the 512-user ideal on every node.
+        let map = rendezvous_map(4096, 8).unwrap();
+        for node in 0..8 {
+            let share = map.population(node);
+            assert!(
+                (384..=640).contains(&share),
+                "node {node} owns {share} of 4096 users"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Exactly-one-node: the assignment is total, in range, and a
+        /// round trip through the `PartitionMap` recovers every user.
+        #[test]
+        fn every_user_has_exactly_one_owner(
+            num_users in 32usize..400,
+            num_nodes in 2usize..=16,
+        ) {
+            let assignment = rendezvous_assignment(num_users, num_nodes);
+            prop_assert_eq!(assignment.len(), num_users);
+            prop_assert!(assignment.iter().all(|&n| n < num_nodes));
+            if let Ok(map) = rendezvous_map(num_users, num_nodes) {
+                for (user, &owner) in assignment.iter().enumerate() {
+                    prop_assert_eq!(map.node_of(user), owner);
+                    prop_assert_eq!(
+                        map.global_of(map.node_of(user), map.local_of(user)),
+                        user
+                    );
+                }
+            }
+        }
+
+        /// Balance: every node's share stays within a generous constant
+        /// factor of the ideal across 2–16 nodes.
+        #[test]
+        fn shares_stay_within_tolerance(num_nodes in 2usize..=16) {
+            let num_users = 512 * num_nodes;
+            let assignment = rendezvous_assignment(num_users, num_nodes);
+            let mut shares = vec![0usize; num_nodes];
+            for &n in &assignment {
+                shares[n] += 1;
+            }
+            let ideal = num_users / num_nodes; // 512
+            for (node, &share) in shares.iter().enumerate() {
+                prop_assert!(
+                    share * 100 >= ideal * 70 && share * 100 <= ideal * 130,
+                    "node {} owns {} of {} users (ideal {})",
+                    node, share, num_users, ideal
+                );
+            }
+        }
+
+        /// Minimal disruption: growing the cluster by one node moves
+        /// users only **to the new node**, and only about `1/(n+1)` of
+        /// them; shrinking by one moves only the removed node's users.
+        #[test]
+        fn resize_moves_only_the_expected_users(
+            num_users in 64usize..400,
+            num_nodes in 2usize..=15,
+        ) {
+            let before = rendezvous_assignment(num_users, num_nodes);
+            let after = rendezvous_assignment(num_users, num_nodes + 1);
+            let mut moved = 0usize;
+            for user in 0..num_users {
+                if before[user] != after[user] {
+                    // A changed owner is always the newly added node.
+                    prop_assert_eq!(
+                        after[user], num_nodes,
+                        "user {} moved {} -> {} when node {} joined",
+                        user, before[user], after[user], num_nodes
+                    );
+                    moved += 1;
+                }
+            }
+            // Expected fraction 1/(n+1); allow 3x plus slack for small
+            // populations.
+            let expected = num_users / (num_nodes + 1);
+            prop_assert!(
+                moved <= 3 * expected + 8,
+                "{} of {} users moved (expected about {})",
+                moved, num_users, expected
+            );
+            // Shrinking back is the mirror image: only the removed
+            // node's users change owner.
+            for user in 0..num_users {
+                if after[user] != num_nodes {
+                    prop_assert_eq!(before[user], after[user]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! WAL replication: streaming a primary's store directory to a
+//! follower, byte for byte.
+//!
+//! The segmented snapshot store already funnels **every** durable
+//! mutation of a campaign directory — segment appends, atomic manifest
+//! rewrites, truncations, garbage-collection removals — through the
+//! four-method [`StoreFs`] interface, and
+//! [`ObservedFs`](dptd_engine::ObservedFs) reports each one *after* it
+//! committed on the primary. [`ReplicationSender`] is that observer: it
+//! forwards each mutation as a `ReplicateSegment` frame over the
+//! ordinary checksummed wire protocol and waits for the follower's ack,
+//! so the follower's directory is always an **operation-prefix** of the
+//! primary's. A primary killed at any byte of that stream leaves the
+//! follower with a prefix that the stock crash-recovery path
+//! ([`SegmentStore::open_dir`](dptd_engine::SegmentStore)) repairs like
+//! any other torn directory — failover is recovery pointed at the
+//! replica, nothing more. `crates/cluster/tests/replication_faults.rs`
+//! pins exactly that, at every operation boundary of a real round
+//! stream.
+//!
+//! Losing the follower must never corrupt (or block) the primary, so
+//! the observer callbacks are infallible by design: on the first send
+//! failure the sender latches a diagnostic, drops the connection, and
+//! ignores every later mutation. The owner polls
+//! [`ReplicationSender::failure`] — the CLI surfaces it, tests assert
+//! on it.
+//!
+//! [`StoreFs`]: dptd_engine::store::StoreFs
+
+use std::sync::{Arc, Mutex};
+
+use dptd_engine::store::{StoreFs, StoreObserver};
+use dptd_engine::wal::WalError;
+use dptd_server::{Client, StoreOp};
+
+use crate::ClusterError;
+
+/// A shared slot the sender's owner can poll for the first replication
+/// failure (the observer itself is infallible by contract).
+pub type FailureSlot = Arc<Mutex<Option<String>>>;
+
+/// The primary side of WAL replication: a [`StoreObserver`] that
+/// forwards every committed store mutation to a follower node as
+/// `ReplicateSegment` frames, one synchronous ack per operation.
+#[derive(Debug)]
+pub struct ReplicationSender {
+    campaign: String,
+    client: Option<Client>,
+    seq: u64,
+    failure: FailureSlot,
+}
+
+impl ReplicationSender {
+    /// Connect to the follower at `addr` and replicate under
+    /// `campaign`'s name. The returned [`FailureSlot`] stays readable
+    /// after the sender is boxed into an
+    /// [`ObservedFs`](dptd_engine::ObservedFs).
+    ///
+    /// # Errors
+    ///
+    /// Connection-level [`ClusterError::Server`] failures.
+    pub fn connect(addr: &str, campaign: &str) -> Result<(Self, FailureSlot), ClusterError> {
+        let client = Client::connect(addr)?;
+        let failure: FailureSlot = Arc::new(Mutex::new(None));
+        Ok((
+            Self {
+                campaign: campaign.to_string(),
+                client: Some(client),
+                seq: 0,
+                failure: Arc::clone(&failure),
+            },
+            failure,
+        ))
+    }
+
+    /// The first failure this sender observed, if any.
+    pub fn failure(&self) -> Option<String> {
+        self.failure
+            .lock()
+            .expect("replication failure slot")
+            .clone()
+    }
+
+    fn send(&mut self, op: StoreOp, name: &str, arg: u64, bytes: &[u8]) {
+        let Some(client) = self.client.as_mut() else {
+            return; // already failed: drop silently, the slot says why
+        };
+        let seq = self.seq;
+        match client.replicate(&self.campaign, seq, op, name, arg, bytes.to_vec()) {
+            Ok(()) => self.seq += 1,
+            Err(e) => {
+                *self.failure.lock().expect("replication failure slot") =
+                    Some(format!("replicating op {seq} ({name}): {e}"));
+                self.client = None;
+            }
+        }
+    }
+}
+
+impl StoreObserver for ReplicationSender {
+    fn on_append(&mut self, name: &str, bytes: &[u8]) {
+        self.send(StoreOp::Append, name, 0, bytes);
+    }
+
+    fn on_write_atomic(&mut self, name: &str, bytes: &[u8]) {
+        self.send(StoreOp::WriteAtomic, name, 0, bytes);
+    }
+
+    fn on_truncate(&mut self, name: &str, len: u64) {
+        self.send(StoreOp::Truncate, name, len, &[]);
+    }
+
+    fn on_remove(&mut self, name: &str) {
+        self.send(StoreOp::Remove, name, 0, &[]);
+    }
+}
+
+/// The follower side: applies a strictly-sequenced operation stream to
+/// a replica directory. One applier exists per replicated campaign on
+/// the follower node; the wire layer has already validated the store
+/// name's path safety when the frame decoded.
+#[derive(Debug)]
+pub struct ReplicaApplier {
+    fs: Box<dyn StoreFs>,
+    next_seq: u64,
+}
+
+impl ReplicaApplier {
+    /// An applier over a (fresh or resumed) replica directory expecting
+    /// the stream to start at sequence zero.
+    pub fn new(fs: Box<dyn StoreFs>) -> Self {
+        Self { fs, next_seq: 0 }
+    }
+
+    /// The next sequence number this applier will accept.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Apply one replicated operation.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Replication`] for a sequence gap or reorder —
+    /// the primary and follower have desynchronised and the replica
+    /// must not silently diverge — and [`ClusterError::Wal`] when the
+    /// local filesystem refuses the operation.
+    pub fn apply(
+        &mut self,
+        seq: u64,
+        op: StoreOp,
+        name: &str,
+        arg: u64,
+        bytes: &[u8],
+    ) -> Result<(), ClusterError> {
+        if seq != self.next_seq {
+            return Err(ClusterError::Replication(format!(
+                "op {seq} out of order (expected {})",
+                self.next_seq
+            )));
+        }
+        let applied: Result<(), WalError> = match op {
+            StoreOp::Append => self.fs.append(name, bytes),
+            StoreOp::WriteAtomic => self.fs.write_atomic(name, bytes),
+            StoreOp::Truncate => self.fs.truncate(name, arg),
+            StoreOp::Remove => self.fs.remove(name),
+        };
+        applied?;
+        self.next_seq += 1;
+        Ok(())
+    }
+}
+
+/// Map a replication failure to the typed wire error the follower
+/// returns for it.
+pub(crate) fn replication_refusal(e: &ClusterError) -> (dptd_server::ErrorCode, String) {
+    match e {
+        ClusterError::Replication(why) => (dptd_server::ErrorCode::InvalidRequest, why.clone()),
+        other => (dptd_server::ErrorCode::WalRefused, other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dptd_engine::store::MemFs;
+
+    #[test]
+    fn applier_enforces_sequencing_and_applies_ops() {
+        let fs = MemFs::new();
+        let shared = fs.clone();
+        let mut applier = ReplicaApplier::new(Box::new(fs));
+        applier
+            .apply(0, StoreOp::Append, "seg", 0, b"abcdef")
+            .unwrap();
+        applier.apply(1, StoreOp::Truncate, "seg", 3, &[]).unwrap();
+        applier
+            .apply(2, StoreOp::WriteAtomic, "MANIFEST", 0, b"m1")
+            .unwrap();
+        // A gap, a replay, and a reorder are all refused.
+        assert!(matches!(
+            applier.apply(4, StoreOp::Append, "seg", 0, b"x"),
+            Err(ClusterError::Replication(_))
+        ));
+        assert!(matches!(
+            applier.apply(1, StoreOp::Append, "seg", 0, b"x"),
+            Err(ClusterError::Replication(_))
+        ));
+        applier.apply(3, StoreOp::Remove, "seg", 0, &[]).unwrap();
+        assert_eq!(applier.next_seq(), 4);
+        let mut check: Box<dyn StoreFs> = Box::new(shared);
+        assert_eq!(check.read("MANIFEST").unwrap().unwrap(), b"m1");
+        assert_eq!(check.read("seg").unwrap(), None);
+    }
+
+    #[test]
+    fn failed_local_apply_does_not_advance_the_sequence() {
+        let mut applier = ReplicaApplier::new(Box::new(MemFs::new()));
+        // Removing a missing file fails locally; the stream position
+        // must not advance past an unapplied op.
+        assert!(matches!(
+            applier.apply(0, StoreOp::Remove, "ghost", 0, &[]),
+            Err(ClusterError::Wal(_))
+        ));
+        assert_eq!(applier.next_seq(), 0);
+    }
+}

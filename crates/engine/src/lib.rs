@@ -80,7 +80,7 @@ pub use engine::{Engine, EngineConfig, EngineReport, EpochOutcome};
 pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
 pub use metrics::{EngineMetrics, LatencyHistogram};
 pub use recovery::RecoveredState;
-pub use store::{SegmentStore, StoreConfig};
+pub use store::{ObservedFs, SegmentStore, StoreConfig, StoreObserver};
 pub use wal::{
     EpochRecord, FailingWal, FileWal, MemWal, RecordKind, RecordLog, WalError, WalLock, WalPolicy,
     WalSink, WalWriter,

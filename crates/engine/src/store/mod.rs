@@ -45,6 +45,7 @@
 
 mod fs;
 mod manifest;
+mod observer;
 #[allow(clippy::module_inception)]
 mod store;
 
@@ -52,4 +53,5 @@ pub use fs::{DirFs, FailingFs, MemFs, StoreFs};
 pub use manifest::{
     parse_segment_name, segment_file_name, Manifest, MANIFEST_FILE, MANIFEST_MAGIC,
 };
+pub use observer::{ObservedFs, StoreObserver};
 pub use store::{read_dir, SegmentInfo, SegmentStore, StoreConfig, StoreReplay};

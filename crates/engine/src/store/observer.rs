@@ -1,0 +1,157 @@
+//! Store observation: a hook on every committed mutation of a
+//! [`StoreFs`] directory.
+//!
+//! WAL replication needs to see each append, atomic replace, truncation
+//! and removal **after** it has durably landed on the primary, in
+//! commit order. [`ObservedFs`] wraps any [`StoreFs`] and notifies a
+//! [`StoreObserver`] exactly then — after the inner operation returns
+//! `Ok`, never before, and never on failure. The observer is
+//! deliberately infallible: a lagging or dead follower must not be able
+//! to fail (or reorder) the primary's own writes, so an observer that
+//! wants to surface trouble records it for its owner to poll.
+
+use std::fmt;
+
+use crate::wal::WalError;
+
+use super::fs::StoreFs;
+
+/// A sink for committed store mutations, invoked in commit order.
+///
+/// Reads, listings and syncs are not observed: they do not change the
+/// directory, so a follower replaying only these four callbacks
+/// reconstructs it byte for byte.
+pub trait StoreObserver: fmt::Debug + Send {
+    /// `bytes` were appended to `name` (the file was created if new).
+    fn on_append(&mut self, name: &str, bytes: &[u8]);
+    /// `name` was atomically replaced with `bytes`.
+    fn on_write_atomic(&mut self, name: &str, bytes: &[u8]);
+    /// `name` was truncated to `len` bytes.
+    fn on_truncate(&mut self, name: &str, len: u64);
+    /// `name` was removed.
+    fn on_remove(&mut self, name: &str);
+}
+
+/// A [`StoreFs`] wrapper that forwards every operation to `inner` and
+/// reports each **successful** mutation to its observer. Plugs into
+/// [`SegmentStore::open`](super::SegmentStore::open) like any other
+/// filesystem, so a replicated campaign store is an ordinary store over
+/// an observed directory.
+#[derive(Debug)]
+pub struct ObservedFs {
+    inner: Box<dyn StoreFs>,
+    observer: Box<dyn StoreObserver>,
+}
+
+impl ObservedFs {
+    /// Observe every committed mutation of `inner` with `observer`.
+    pub fn new(inner: Box<dyn StoreFs>, observer: Box<dyn StoreObserver>) -> Self {
+        Self { inner, observer }
+    }
+}
+
+impl StoreFs for ObservedFs {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, WalError> {
+        self.inner.read(name)
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.inner.append(name, bytes)?;
+        self.observer.on_append(name, bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<(), WalError> {
+        self.inner.truncate(name, len)?;
+        self.observer.on_truncate(name, len);
+        Ok(())
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.inner.write_atomic(name, bytes)?;
+        self.observer.on_write_atomic(name, bytes);
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), WalError> {
+        self.inner.remove(name)?;
+        self.observer.on_remove(name);
+        Ok(())
+    }
+
+    fn list(&mut self) -> Result<Vec<String>, WalError> {
+        self.inner.list()
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), WalError> {
+        self.inner.sync(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fs::MemFs;
+    use super::*;
+
+    /// Records callbacks as `(op, name, arg)` tuples.
+    #[derive(Debug, Default)]
+    struct Recorder(std::sync::Arc<std::sync::Mutex<Vec<(String, String, u64)>>>);
+
+    impl StoreObserver for Recorder {
+        fn on_append(&mut self, name: &str, bytes: &[u8]) {
+            self.log("append", name, bytes.len() as u64);
+        }
+        fn on_write_atomic(&mut self, name: &str, bytes: &[u8]) {
+            self.log("write_atomic", name, bytes.len() as u64);
+        }
+        fn on_truncate(&mut self, name: &str, len: u64) {
+            self.log("truncate", name, len);
+        }
+        fn on_remove(&mut self, name: &str) {
+            self.log("remove", name, 0);
+        }
+    }
+
+    impl Recorder {
+        fn log(&mut self, op: &str, name: &str, arg: u64) {
+            self.0
+                .lock()
+                .unwrap()
+                .push((op.to_string(), name.to_string(), arg));
+        }
+    }
+
+    #[test]
+    fn successful_mutations_are_observed_in_commit_order() {
+        let recorder = Recorder::default();
+        let ops = recorder.0.clone();
+        let mut fs = ObservedFs::new(Box::new(MemFs::new()), Box::new(recorder));
+        fs.append("seg", b"abc").unwrap();
+        fs.write_atomic("MANIFEST", b"m1").unwrap();
+        fs.truncate("seg", 1).unwrap();
+        fs.remove("seg").unwrap();
+        // Reads/listings/syncs do not mutate and are not observed.
+        fs.read("MANIFEST").unwrap();
+        fs.list().unwrap();
+        fs.sync("MANIFEST").unwrap();
+        assert_eq!(
+            *ops.lock().unwrap(),
+            vec![
+                ("append".to_string(), "seg".to_string(), 3),
+                ("write_atomic".to_string(), "MANIFEST".to_string(), 2),
+                ("truncate".to_string(), "seg".to_string(), 1),
+                ("remove".to_string(), "seg".to_string(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_mutations_are_not_observed() {
+        let recorder = Recorder::default();
+        let ops = recorder.0.clone();
+        let mut fs = ObservedFs::new(Box::new(MemFs::new()), Box::new(recorder));
+        // Removing a missing file fails in the inner fs: no callback.
+        assert!(fs.remove("ghost").is_err());
+        assert!(ops.lock().unwrap().is_empty());
+    }
+}

@@ -64,6 +64,7 @@ pub mod budget;
 pub mod campaign;
 pub mod dedup;
 pub mod message;
+pub mod partition;
 pub mod pool;
 pub mod runtime;
 pub mod sim;

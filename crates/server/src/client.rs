@@ -8,16 +8,71 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
+use dptd_core::roles::PerturbedReport;
 use dptd_protocol::message::StampedReport;
+use dptd_stats::digest::Fnv1a;
 
 use crate::server::{complete_frame, read_frame_body, write_frame};
-use crate::wire::{self, CampaignSpec, Request, Response};
+use crate::wire::{self, CampaignSpec, MetricsReport, Request, Response, StoreOp};
 use crate::{io_err, ServerError};
 
 /// Default reports per `SubmitReports` frame for
 /// [`Client::submit_chunked`].
 pub const DEFAULT_SUBMIT_CHUNK: usize = 1024;
+
+/// Ceiling on one busy-retry backoff sleep, milliseconds (the
+/// exponential stops doubling here).
+const MAX_BUSY_BACKOFF_MS: u64 = 2_000;
+
+/// How a client treats a `Busy` submission queue: give up immediately
+/// (the default, and the historical behaviour) or retry with bounded
+/// exponential backoff. The backoff is `busy_backoff_ms · 2^attempt`,
+/// capped at [`MAX_BUSY_BACKOFF_MS`], plus a deterministic jitter hashed
+/// from the chunk index and attempt — concurrent submitters spread out
+/// without any client holding an RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per chunk after a `Busy` reply (`0` = fail the submit on
+    /// the first `Busy`).
+    pub busy_retries: u32,
+    /// Base backoff before the first retry, milliseconds.
+    pub busy_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// No retries: `Busy` stays a hard [`ServerError::Busy`].
+    fn default() -> Self {
+        Self {
+            busy_retries: 0,
+            busy_backoff_ms: 25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based) of `chunk`.
+    fn delay(&self, chunk: usize, attempt: u32) -> Duration {
+        let base = self
+            .busy_backoff_ms
+            .saturating_mul(1u64 << attempt.min(6))
+            .min(MAX_BUSY_BACKOFF_MS);
+        let mut h = Fnv1a::new();
+        for b in (chunk as u64).to_le_bytes() {
+            h.write_u8(b);
+        }
+        for b in u64::from(attempt).to_le_bytes() {
+            h.write_u8(b);
+        }
+        let jitter = if base == 0 {
+            0
+        } else {
+            h.finish() % (base / 2 + 1)
+        };
+        Duration::from_millis(base + jitter)
+    }
+}
 
 /// What a successful `CloseRound` reported.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +119,36 @@ pub struct BudgetOutcome {
     pub max_spent_delta: f64,
     /// Per-user debit counts.
     pub debits: Vec<u32>,
+}
+
+/// What a node's `CloseRoundPrepare` returned: the epoch's surviving
+/// claims plus the filter's drop counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedOutcome {
+    /// The epoch that was drained.
+    pub epoch: u64,
+    /// Duplicates discarded.
+    pub duplicates: u64,
+    /// Late drops.
+    pub late: u64,
+    /// Distinct refused users that submitted.
+    pub refused_seen: u64,
+    /// Surviving reports, ascending **node-local** user id.
+    pub claims: Vec<PerturbedReport>,
+}
+
+/// What a node's `QueryLedger` returned: the durable round ledger a
+/// coordinator rebuilds global state from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerOutcome {
+    /// The next epoch the node would commit.
+    pub next_epoch: u64,
+    /// Estimator batches reflected in the slices.
+    pub batches_seen: u64,
+    /// Per-local-user debit counts.
+    pub rounds_debited: Vec<u32>,
+    /// Per-local-user cumulative losses.
+    pub cumulative_losses: Vec<f64>,
 }
 
 /// Whether a submission batch was queued or pushed back.
@@ -207,12 +292,42 @@ impl Client {
         reports: &[StampedReport],
         chunk: usize,
     ) -> Result<u64, ServerError> {
+        self.submit_chunked_with_retry(campaign, reports, chunk, RetryPolicy::default())
+    }
+
+    /// [`Client::submit_chunked`] with an explicit [`RetryPolicy`]: a
+    /// `Busy` chunk is retried up to `policy.busy_retries` times behind
+    /// exponential backoff instead of failing the whole submit — the
+    /// queue drains when a concurrent closer finishes the round ahead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Busy`] once a chunk exhausts its retries (nothing
+    /// of that chunk was enqueued), plus everything [`Client::submit`]
+    /// raises.
+    pub fn submit_chunked_with_retry(
+        &mut self,
+        campaign: &str,
+        reports: &[StampedReport],
+        chunk: usize,
+        policy: RetryPolicy,
+    ) -> Result<u64, ServerError> {
         let chunk = chunk.max(1);
         let mut queued = 0;
-        for batch in reports.chunks(chunk) {
-            match self.submit(campaign, batch.to_vec())? {
-                SubmitOutcome::Queued(q) => queued = q,
-                SubmitOutcome::Busy { .. } => return Err(ServerError::Busy),
+        for (i, batch) in reports.chunks(chunk).enumerate() {
+            let mut attempt = 0u32;
+            loop {
+                match self.submit(campaign, batch.to_vec())? {
+                    SubmitOutcome::Queued(q) => {
+                        queued = q;
+                        break;
+                    }
+                    SubmitOutcome::Busy { .. } if attempt < policy.busy_retries => {
+                        std::thread::sleep(policy.delay(i, attempt));
+                        attempt += 1;
+                    }
+                    SubmitOutcome::Busy { .. } => return Err(ServerError::Busy),
+                }
             }
         }
         Ok(queued)
@@ -299,6 +414,157 @@ impl Client {
             other => Err(ServerError::UnexpectedResponse(Box::new(other))),
         }
     }
+
+    /// Read the campaign's engine metrics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`].
+    pub fn query_metrics(&mut self, campaign: &str) -> Result<MetricsReport, ServerError> {
+        match self.expect(&Request::QueryMetrics {
+            campaign: campaign.to_string(),
+        })? {
+            Response::Metrics { metrics } => Ok(metrics),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Identify this connection as a cluster coordinator talking to
+    /// node `node_id` of `num_nodes`. Returns the node's echoed id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Remote`] when the peer is not a cluster node or
+    /// disagrees about the geometry, plus socket/wire failures.
+    pub fn node_hello(&mut self, node_id: u32, num_nodes: u32) -> Result<u32, ServerError> {
+        match self.expect(&Request::NodeHello { node_id, num_nodes })? {
+            Response::NodeWelcome { node_id } => Ok(node_id),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Phase one of the cluster barrier: drain and filter the node's
+    /// queue for `epoch` without committing anything.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`].
+    pub fn close_round_prepare(
+        &mut self,
+        campaign: &str,
+        epoch: u64,
+        refused: Vec<u64>,
+    ) -> Result<PreparedOutcome, ServerError> {
+        match self.expect(&Request::CloseRoundPrepare {
+            campaign: campaign.to_string(),
+            epoch,
+            refused,
+        })? {
+            Response::Prepared {
+                epoch,
+                duplicates,
+                late,
+                refused_seen,
+                claims,
+            } => Ok(PreparedOutcome {
+                epoch,
+                duplicates,
+                late,
+                refused_seen,
+                claims,
+            }),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Phase two of the cluster barrier: durably commit the node's
+    /// slice of the merged round. Returns whether a record was appended
+    /// (`false` = idempotent re-commit of the node's latest epoch).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn close_round_commit(
+        &mut self,
+        campaign: &str,
+        epoch: u64,
+        batches_seen: u64,
+        accepted_users: Vec<u64>,
+        cumulative_losses: Vec<f64>,
+        rounds_debited: Vec<u32>,
+    ) -> Result<bool, ServerError> {
+        match self.expect(&Request::CloseRoundCommit {
+            campaign: campaign.to_string(),
+            epoch,
+            batches_seen,
+            accepted_users,
+            cumulative_losses,
+            rounds_debited,
+        })? {
+            Response::Committed { appended, .. } => Ok(appended),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Stream one committed store operation to a follower and wait for
+    /// its ack.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`], plus [`ServerError::UnexpectedResponse`]
+    /// when the follower acks a different sequence number.
+    pub fn replicate(
+        &mut self,
+        campaign: &str,
+        seq: u64,
+        op: StoreOp,
+        name: &str,
+        arg: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(), ServerError> {
+        match self.expect(&Request::ReplicateSegment {
+            campaign: campaign.to_string(),
+            seq,
+            op,
+            name: name.to_string(),
+            arg,
+            bytes,
+        })? {
+            Response::Replicated { seq: acked } if acked == seq => Ok(()),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Read a node's durable round ledger as of epoch `upto`
+    /// (`u64::MAX` = latest).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`].
+    pub fn query_ledger(
+        &mut self,
+        campaign: &str,
+        upto: u64,
+    ) -> Result<LedgerOutcome, ServerError> {
+        match self.expect(&Request::QueryLedger {
+            campaign: campaign.to_string(),
+            upto,
+        })? {
+            Response::Ledger {
+                next_epoch,
+                batches_seen,
+                rounds_debited,
+                cumulative_losses,
+            } => Ok(LedgerOutcome {
+                next_epoch,
+                batches_seen,
+                rounds_debited,
+                cumulative_losses,
+            }),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +631,69 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.rounds_closed, 1);
         assert_eq!(stats.reports_submitted, 2);
+    }
+
+    #[test]
+    fn busy_retry_completes_once_a_closer_drains_the_queue() {
+        let server = start();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        // 4 users, queue capacity 4 (pending + lookahead combined).
+        client.create_campaign("c", spec(4, 4)).unwrap();
+        // Round 0 fills half the queue, the round-1 lookahead the rest.
+        client
+            .submit("c", vec![stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)])
+            .unwrap();
+        client
+            .submit("c", vec![stamped(1, 0, 1, 1.5), stamped(1, 1, 2, 2.5)])
+            .unwrap();
+        // Saturated: without retries the next chunk is a hard Busy.
+        let err = client
+            .submit_chunked("c", &[stamped(1, 2, 3, 3.0), stamped(1, 3, 4, 4.0)], 2)
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Busy), "{err:?}");
+        // With retries it completes once a concurrent closer finishes
+        // round 0, promoting the lookahead and freeing capacity.
+        let closer = std::thread::spawn(move || {
+            let mut closer = Client::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(60));
+            closer.close_round("c", 0).unwrap()
+        });
+        let queued = client
+            .submit_chunked_with_retry(
+                "c",
+                &[stamped(1, 2, 3, 3.0), stamped(1, 3, 4, 4.0)],
+                2,
+                RetryPolicy {
+                    busy_retries: 100,
+                    busy_backoff_ms: 5,
+                },
+            )
+            .unwrap();
+        assert_eq!(queued, 4);
+        let round0 = closer.join().unwrap();
+        assert_eq!(round0.accepted, 2);
+        let round1 = client.close_round("c", 1).unwrap();
+        assert_eq!(round1.accepted, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_backoff_is_bounded_and_deterministic() {
+        let policy = RetryPolicy {
+            busy_retries: 10,
+            busy_backoff_ms: 25,
+        };
+        // Deterministic: the same (chunk, attempt) always sleeps the
+        // same time; bounded: never past cap + half-cap jitter.
+        for attempt in 0..32 {
+            let d = policy.delay(3, attempt);
+            assert_eq!(d, policy.delay(3, attempt));
+            assert!(d.as_millis() as u64 <= MAX_BUSY_BACKOFF_MS + MAX_BUSY_BACKOFF_MS / 2);
+        }
+        // The base doubles early on (jitter aside, attempt 6 dominates
+        // attempt 0's worst case).
+        assert!(policy.delay(0, 6) > policy.delay(0, 0));
     }
 
     #[test]

@@ -42,10 +42,10 @@ pub mod wire;
 
 use std::fmt;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use registry::{CampaignRegistry, RegistryConfig};
-pub use server::{Server, ServerConfig};
-pub use wire::{CampaignSpec, ErrorCode, Request, Response, WireError};
+pub use server::{complete_frame, read_frame_body, write_frame, Server, ServerConfig};
+pub use wire::{CampaignSpec, ErrorCode, MetricsReport, Request, Response, StoreOp, WireError};
 
 /// Errors from the network layer (client and server plumbing).
 #[derive(Debug)]

@@ -38,7 +38,9 @@ use dptd_protocol::ProtocolError;
 use dptd_stats::digest::fnv1a_f64s;
 use dptd_truth::Loss;
 
-use crate::wire::{validate_campaign_id, CampaignSpec, ErrorCode, Request, Response};
+use crate::wire::{
+    validate_campaign_id, CampaignSpec, ErrorCode, MetricsReport, Request, Response,
+};
 
 /// Server-side limits and the WAL root.
 #[derive(Debug, Clone)]
@@ -82,7 +84,13 @@ struct CampaignState {
     driver: CampaignDriver<EngineBackend>,
     /// Reports awaiting the next `CloseRound`, in submission order.
     pending: Vec<StampedReport>,
-    /// The bounded queue's capacity.
+    /// One round of lookahead: reports already submitted for the epoch
+    /// *after* the next close (an eager client racing a slow closer).
+    /// Promoted to `pending` when the round ahead of them closes, so a
+    /// busy-retrying submitter can make progress without waiting for
+    /// the close to happen between its retries.
+    future: Vec<StampedReport>,
+    /// The bounded queue's capacity (`pending` + `future` combined).
     capacity: usize,
     /// The epoch the next round will run as (advances only on a
     /// successful close, so a failed round can be retried).
@@ -211,6 +219,18 @@ impl CampaignRegistry {
             Request::CloseRound { campaign, epoch } => self.close_round(&campaign, epoch),
             Request::QueryTruths { campaign } => self.query_truths(&campaign),
             Request::QueryBudget { campaign } => self.query_budget(&campaign),
+            Request::QueryMetrics { campaign } => self.query_metrics(&campaign),
+            // Cluster-peer frames: a plain campaign server is not a
+            // cluster node. The refusal is typed so a misconfigured
+            // coordinator learns *what* it dialled, not just "error".
+            Request::NodeHello { .. }
+            | Request::CloseRoundPrepare { .. }
+            | Request::CloseRoundCommit { .. }
+            | Request::ReplicateSegment { .. }
+            | Request::QueryLedger { .. } => refuse(
+                ErrorCode::InvalidRequest,
+                "this server is not a cluster node (start one with `dptd cluster serve`)",
+            ),
         }
     }
 
@@ -352,6 +372,7 @@ impl CampaignRegistry {
             state: Mutex::new(CampaignState {
                 driver,
                 pending: Vec::new(),
+                future: Vec::new(),
                 capacity: spec.submission_capacity as usize,
                 next_epoch,
                 last_truths: Vec::new(),
@@ -387,14 +408,16 @@ impl CampaignRegistry {
         };
         let mut state = slot.state.lock().expect("campaign lock");
         let num_users = state.driver.backend().num_users();
+        let queued = (state.pending.len() + state.future.len()) as u64;
+        let Some(first) = reports.first() else {
+            return Response::Submitted { queued };
+        };
+        let epoch = first.epoch;
         for r in &reports {
-            if r.epoch != state.next_epoch {
+            if r.epoch != epoch {
                 return refuse(
                     ErrorCode::InvalidRequest,
-                    format!(
-                        "report for epoch {} but campaign `{campaign}` is on round {}",
-                        r.epoch, state.next_epoch
-                    ),
+                    "a submission batch must carry a single epoch",
                 );
             }
             if r.report.user >= num_users {
@@ -407,19 +430,35 @@ impl CampaignRegistry {
                 );
             }
         }
+        // The queue buffers the next round plus one round of lookahead;
+        // anything staler or further ahead is a client-side epoch bug.
+        if epoch != state.next_epoch && epoch != state.next_epoch + 1 {
+            return refuse(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "report for epoch {epoch} but campaign `{campaign}` is on round {} \
+                     (one round of lookahead is buffered)",
+                    state.next_epoch
+                ),
+            );
+        }
         // Bounded queue, batch-atomic: either the whole batch fits or
         // nothing is taken and the client sees explicit backpressure.
-        if state.pending.len() + reports.len() > state.capacity {
+        if state.pending.len() + state.future.len() + reports.len() > state.capacity {
             return Response::Busy {
-                queued: state.pending.len() as u64,
+                queued,
                 capacity: state.capacity as u64,
             };
         }
         let batch = reports.len() as u64;
-        state.pending.extend(reports);
+        if epoch == state.next_epoch {
+            state.pending.extend(reports);
+        } else {
+            state.future.extend(reports);
+        }
         self.reports_submitted.fetch_add(batch, Ordering::Relaxed);
         Response::Submitted {
-            queued: state.pending.len() as u64,
+            queued: (state.pending.len() + state.future.len()) as u64,
         }
     }
 
@@ -460,6 +499,8 @@ impl CampaignRegistry {
         match state.driver.run_round(epoch, reports) {
             Ok(round) => {
                 state.next_epoch += 1;
+                // The lookahead buffer was for exactly this new epoch.
+                state.pending = std::mem::take(&mut state.future);
                 state.last_truths = round.truths.clone();
                 self.rounds_closed.fetch_add(1, Ordering::Relaxed);
                 Response::RoundClosed {
@@ -488,6 +529,34 @@ impl CampaignRegistry {
             rounds_run: u64::from(state.driver.rounds_run()),
             truths: state.last_truths.clone(),
             weights_digest: fnv1a_f64s(state.driver.backend().current_weights()),
+        }
+    }
+
+    fn query_metrics(&self, campaign: &str) -> Response {
+        let slot = match self.slot(campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let state = slot.state.lock().expect("campaign lock");
+        let m = state.driver.backend().metrics();
+        let ns = |d: Option<std::time::Duration>| {
+            d.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        };
+        Response::Metrics {
+            metrics: MetricsReport {
+                reports_submitted: m.reports_submitted,
+                reports_accepted: m.reports_accepted,
+                duplicates_discarded: m.duplicates_discarded,
+                late_dropped: m.late_dropped,
+                out_of_order_dropped: m.out_of_order_dropped,
+                backpressure_stalls: m.backpressure_stalls,
+                epochs_merged: m.epochs_merged,
+                max_queue_depth: m.max_queue_depth as u64,
+                queue_depth: (state.pending.len() + state.future.len()) as u64,
+                throughput_rps: m.throughput_rps(),
+                ingest_p50_ns: ns(m.ingest_latency.p50()),
+                ingest_p99_ns: ns(m.ingest_latency.p99()),
+            },
         }
     }
 
@@ -746,6 +815,137 @@ mod tests {
         };
         assert_eq!(exhausted, 2);
         assert_eq!(debits, vec![2, 2]); // the failed round debited nothing
+    }
+
+    #[test]
+    fn one_round_of_lookahead_is_buffered_and_promoted() {
+        let reg = registry();
+        create(&reg, "c", spec(4, 64));
+        // Next round is 0; an epoch-1 report parks in the lookahead
+        // buffer instead of being refused.
+        assert_eq!(
+            reg.handle(Request::SubmitReports {
+                campaign: "c".to_string(),
+                reports: vec![stamped(1, 2, 1, 2.0)],
+            }),
+            Response::Submitted { queued: 1 }
+        );
+        // Epoch 2 is beyond the one-round lookahead: refused.
+        let resp = reg.handle(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(2, 0, 1, 1.0)],
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::InvalidRequest,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        // Mixed-epoch batches are refused outright.
+        let resp = reg.handle(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(0, 0, 1, 1.0), stamped(1, 1, 2, 2.0)],
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::InvalidRequest,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        // Round 0 closes over its own reports only…
+        reg.handle(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)],
+        });
+        let resp = reg.handle(Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 0,
+        });
+        let Response::RoundClosed { accepted, .. } = resp else {
+            panic!("expected RoundClosed, got {resp:?}");
+        };
+        assert_eq!(accepted, 2);
+        // …and the parked epoch-1 report was promoted: round 1 sees it.
+        let resp = reg.handle(Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 1,
+        });
+        let Response::RoundClosed { accepted, .. } = resp else {
+            panic!("expected RoundClosed, got {resp:?}");
+        };
+        assert_eq!(accepted, 1);
+    }
+
+    #[test]
+    fn metrics_are_observable_per_campaign() {
+        let reg = registry();
+        create(&reg, "c", spec(2, 64));
+        reg.handle(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(0, 0, 1, 1.0)],
+        });
+        let resp = reg.handle(Request::QueryMetrics {
+            campaign: "c".to_string(),
+        });
+        let Response::Metrics { metrics } = resp else {
+            panic!("expected Metrics, got {resp:?}");
+        };
+        assert_eq!(metrics.queue_depth, 1);
+        assert_eq!(metrics.epochs_merged, 0);
+        reg.handle(Request::CloseRound {
+            campaign: "c".to_string(),
+            epoch: 0,
+        });
+        let resp = reg.handle(Request::QueryMetrics {
+            campaign: "c".to_string(),
+        });
+        let Response::Metrics { metrics } = resp else {
+            panic!("expected Metrics, got {resp:?}");
+        };
+        assert_eq!(metrics.queue_depth, 0);
+        assert_eq!(metrics.epochs_merged, 1);
+        assert_eq!(metrics.reports_accepted, 1);
+    }
+
+    #[test]
+    fn cluster_peer_frames_are_refused_by_a_plain_server() {
+        let reg = registry();
+        create(&reg, "c", spec(2, 64));
+        for req in [
+            Request::NodeHello {
+                node_id: 0,
+                num_nodes: 3,
+            },
+            Request::CloseRoundPrepare {
+                campaign: "c".to_string(),
+                epoch: 0,
+                refused: vec![],
+            },
+            Request::QueryLedger {
+                campaign: "c".to_string(),
+                upto: u64::MAX,
+            },
+        ] {
+            let resp = reg.handle(req);
+            assert!(
+                matches!(
+                    resp,
+                    Response::Error {
+                        code: ErrorCode::InvalidRequest,
+                        ..
+                    }
+                ),
+                "{resp:?}"
+            );
+        }
     }
 
     #[test]

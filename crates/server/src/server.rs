@@ -49,11 +49,14 @@ impl Default for ServerConfig {
 /// the single place the header-then-body socket read lives: the
 /// request/response loops enter it with an empty-ish prefix, and the
 /// client's connect path enters it with the 8 bytes it read while
-/// expecting a hello.
-pub(crate) fn complete_frame(
-    prefix: &[u8],
-    stream: &mut impl Read,
-) -> Result<Vec<u8>, ServerError> {
+/// expecting a hello. Public so cluster nodes can speak the same frame
+/// discipline from their own accept loops.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] when the stream dies mid-frame,
+/// [`ServerError::Wire`] for header/checksum violations.
+pub fn complete_frame(prefix: &[u8], stream: &mut impl Read) -> Result<Vec<u8>, ServerError> {
     let mut frame = prefix.to_vec();
     if frame.len() < wire::FRAME_HEADER_LEN {
         let mut rest = vec![0u8; wire::FRAME_HEADER_LEN - frame.len()];
@@ -83,7 +86,11 @@ pub(crate) fn complete_frame(
 /// Read one frame body off `stream`. `Ok(None)` is a clean close at a
 /// frame boundary; dying mid-frame (the torn-write case) is an I/O
 /// error; header/checksum violations are typed [`WireError`]s.
-pub(crate) fn read_frame_body(stream: &mut impl Read) -> Result<Option<Vec<u8>>, ServerError> {
+///
+/// # Errors
+///
+/// [`ServerError::Io`] and [`ServerError::Wire`] as described above.
+pub fn read_frame_body(stream: &mut impl Read) -> Result<Option<Vec<u8>>, ServerError> {
     // Distinguish clean EOF (nothing to read) from a torn frame: pull
     // the first byte separately.
     let mut first = [0u8; 1];
@@ -100,7 +107,11 @@ pub(crate) fn read_frame_body(stream: &mut impl Read) -> Result<Option<Vec<u8>>,
 }
 
 /// Write one already-encoded frame.
-pub(crate) fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), ServerError> {
+///
+/// # Errors
+///
+/// [`ServerError::Io`] when the write or flush fails.
+pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), ServerError> {
     stream
         .write_all(frame)
         .and_then(|()| stream.flush())

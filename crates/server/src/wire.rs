@@ -171,6 +171,70 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// A store operation replicated from a primary's WAL directory to its
+/// follower, in commit order. The four variants mirror the four
+/// mutating methods of the engine's `StoreFs` trait, so a follower that
+/// applies them in sequence reconstructs the primary's directory byte
+/// for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StoreOp {
+    /// Append bytes to a (possibly new) file.
+    Append = 0,
+    /// Replace a file's contents all-or-nothing.
+    WriteAtomic = 1,
+    /// Shrink a file to `arg` bytes.
+    Truncate = 2,
+    /// Delete a file.
+    Remove = 3,
+}
+
+impl StoreOp {
+    /// Decode a wire byte.
+    pub fn from_u8(op: u8) -> Option<Self> {
+        Some(match op {
+            0 => StoreOp::Append,
+            1 => StoreOp::WriteAtomic,
+            2 => StoreOp::Truncate,
+            3 => StoreOp::Remove,
+            _ => return None,
+        })
+    }
+}
+
+/// A campaign's engine counters as reported over the wire — the
+/// remotely observable subset of the engine's `EngineMetrics` plus the
+/// registry's current submission-queue depth. Latency quantiles are in
+/// nanoseconds (`0` before any ingest has been timed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsReport {
+    /// Reports offered to the engine.
+    pub reports_submitted: u64,
+    /// Reports that survived dedup/deadline and were aggregated.
+    pub reports_accepted: u64,
+    /// Duplicates discarded (first-wins).
+    pub duplicates_discarded: u64,
+    /// Reports dropped as late.
+    pub late_dropped: u64,
+    /// Reports dropped as out-of-order.
+    pub out_of_order_dropped: u64,
+    /// Times a producer stalled on a full shard queue.
+    pub backpressure_stalls: u64,
+    /// Epochs merged into the estimator.
+    pub epochs_merged: u64,
+    /// High-water mark of the engine's shard queues.
+    pub max_queue_depth: u64,
+    /// Reports currently buffered for the next close (pending plus the
+    /// one-round lookahead).
+    pub queue_depth: u64,
+    /// Accepted reports per second of engine wall time.
+    pub throughput_rps: f64,
+    /// Median ingest latency, nanoseconds.
+    pub ingest_p50_ns: u64,
+    /// 99th-percentile ingest latency, nanoseconds.
+    pub ingest_p99_ns: u64,
+}
+
 /// Sizing and privacy policy for a campaign created over the wire —
 /// everything the server needs to build the engine, the campaign driver
 /// and (optionally) the per-campaign write-ahead log.
@@ -248,6 +312,88 @@ pub enum Request {
     QueryBudget {
         /// Target campaign.
         campaign: String,
+    },
+    /// Read the campaign's engine metrics (throughput, latency
+    /// quantiles, drop counters, queue depth).
+    QueryMetrics {
+        /// Target campaign.
+        campaign: String,
+    },
+    /// Identify this connection as a cluster peer. A coordinator sends
+    /// it after the hello so a node can confirm the partition geometry
+    /// both sides assume; a plain campaign server refuses it.
+    NodeHello {
+        /// The node's index in the cluster's partition map.
+        node_id: u32,
+        /// Total nodes the sender believes the cluster has.
+        num_nodes: u32,
+    },
+    /// Phase one of the cluster's two-phase round barrier: drain the
+    /// node's submission queue for `epoch`, filter it exactly as a
+    /// round close would (refusal withhold → deadline → first-wins
+    /// dedup), and return the surviving claims **without** touching
+    /// durable state. The coordinator merges all nodes' claims before
+    /// anything commits.
+    CloseRoundPrepare {
+        /// Target campaign.
+        campaign: String,
+        /// The epoch being closed (must be the node's next epoch).
+        epoch: u64,
+        /// Node-local user ids whose budget the coordinator's global
+        /// ledger says is exhausted — their reports are withheld before
+        /// the deadline cut, matching the driver's refusal order.
+        refused: Vec<u64>,
+    },
+    /// Phase two of the barrier: durably append the node's slice of the
+    /// merged round to its WAL. Idempotent — re-sending the previous
+    /// epoch's byte-identical record is acknowledged without a second
+    /// append, so a coordinator that died between commit fan-out and
+    /// its own state advance can safely re-drive the barrier.
+    CloseRoundCommit {
+        /// Target campaign.
+        campaign: String,
+        /// The epoch being committed.
+        epoch: u64,
+        /// Estimator batches merged globally after this round.
+        batches_seen: u64,
+        /// Node-local ids accepted this round, ascending.
+        accepted_users: Vec<u64>,
+        /// The node's slice of the post-round cumulative losses, one
+        /// per local user.
+        cumulative_losses: Vec<f64>,
+        /// The node's slice of the post-round debit ledger, one per
+        /// local user.
+        rounds_debited: Vec<u32>,
+    },
+    /// Stream one committed store operation to a follower, in commit
+    /// order. The follower applies it under its replica root and acks
+    /// with the same sequence number.
+    ReplicateSegment {
+        /// The campaign whose WAL directory is being replicated.
+        campaign: String,
+        /// Position of this operation in the primary's commit order
+        /// (strictly increasing from 0).
+        seq: u64,
+        /// Which store mutation to apply.
+        op: StoreOp,
+        /// The file within the campaign's directory.
+        name: String,
+        /// Operand for [`StoreOp::Truncate`] (the new length); `0`
+        /// otherwise.
+        arg: u64,
+        /// Payload for [`StoreOp::Append`] / [`StoreOp::WriteAtomic`];
+        /// empty otherwise.
+        bytes: Vec<u8>,
+    },
+    /// Read a node's durable round ledger — what a fresh coordinator
+    /// needs to rebuild global state after failover.
+    QueryLedger {
+        /// Target campaign.
+        campaign: String,
+        /// Epoch to read the ledger *as of*: the node answers with its
+        /// state after committing `upto` (or refuses if it never did).
+        /// `u64::MAX` means "your latest".
+        upto: u64,
     },
 }
 
@@ -327,6 +473,55 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// The campaign's engine counters.
+    Metrics {
+        /// The observable metrics snapshot.
+        metrics: MetricsReport,
+    },
+    /// The node accepts the peer handshake.
+    NodeWelcome {
+        /// The node's own index (must match the `NodeHello`).
+        node_id: u32,
+    },
+    /// Phase-one result: the node's filtered claims for the epoch.
+    Prepared {
+        /// The epoch that was drained.
+        epoch: u64,
+        /// Duplicates discarded by the node's first-wins filter.
+        duplicates: u64,
+        /// Reports the node dropped as late.
+        late: u64,
+        /// Distinct refused users that actually submitted this epoch.
+        refused_seen: u64,
+        /// Surviving reports in ascending local-user order. `user` is
+        /// the **node-local** dense id; the coordinator maps it back to
+        /// the global id through the partition map.
+        claims: Vec<PerturbedReport>,
+    },
+    /// Phase-two result: the node's WAL holds the epoch.
+    Committed {
+        /// The epoch now durable.
+        epoch: u64,
+        /// Whether a record was appended (`false` = the byte-identical
+        /// record was already the node's latest — an idempotent retry).
+        appended: bool,
+    },
+    /// The follower applied the replicated store operation.
+    Replicated {
+        /// Echo of the operation's sequence number.
+        seq: u64,
+    },
+    /// A node's durable round ledger.
+    Ledger {
+        /// The next epoch the node would commit.
+        next_epoch: u64,
+        /// Estimator batches reflected in the slices below.
+        batches_seen: u64,
+        /// Per-local-user debit counts.
+        rounds_debited: Vec<u32>,
+        /// Per-local-user cumulative losses.
+        cumulative_losses: Vec<f64>,
+    },
 }
 
 const KIND_CREATE: u8 = 0x01;
@@ -334,6 +529,12 @@ const KIND_SUBMIT: u8 = 0x02;
 const KIND_CLOSE: u8 = 0x03;
 const KIND_QUERY_TRUTHS: u8 = 0x04;
 const KIND_QUERY_BUDGET: u8 = 0x05;
+const KIND_QUERY_METRICS: u8 = 0x06;
+const KIND_NODE_HELLO: u8 = 0x07;
+const KIND_CLOSE_PREPARE: u8 = 0x08;
+const KIND_CLOSE_COMMIT: u8 = 0x09;
+const KIND_REPLICATE: u8 = 0x0a;
+const KIND_QUERY_LEDGER: u8 = 0x0b;
 const KIND_CREATED: u8 = 0x81;
 const KIND_SUBMITTED: u8 = 0x82;
 const KIND_BUSY: u8 = 0x83;
@@ -341,6 +542,12 @@ const KIND_ROUND_CLOSED: u8 = 0x84;
 const KIND_TRUTHS: u8 = 0x85;
 const KIND_BUDGET: u8 = 0x86;
 const KIND_ERROR: u8 = 0x87;
+const KIND_METRICS: u8 = 0x88;
+const KIND_NODE_WELCOME: u8 = 0x89;
+const KIND_PREPARED: u8 = 0x8a;
+const KIND_COMMITTED: u8 = 0x8b;
+const KIND_REPLICATED: u8 = 0x8c;
+const KIND_LEDGER: u8 = 0x8d;
 
 fn checksum(body: &[u8]) -> u64 {
     let mut h = Fnv1a::new();
@@ -576,6 +783,70 @@ fn read_f64s(r: &mut Reader<'_>) -> Result<Vec<f64>, WireError> {
     Ok(out)
 }
 
+fn write_u64s(w: &mut Writer, vs: &[u64]) {
+    w.u32(vs.len() as u32);
+    for &v in vs {
+        w.u64(v);
+    }
+}
+
+fn read_u64s(r: &mut Reader<'_>) -> Result<Vec<u64>, WireError> {
+    let n = r.bounded_count(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+fn write_u32s(w: &mut Writer, vs: &[u32]) {
+    w.u32(vs.len() as u32);
+    for &v in vs {
+        w.u32(v);
+    }
+}
+
+fn read_u32s(r: &mut Reader<'_>) -> Result<Vec<u32>, WireError> {
+    let n = r.bounded_count(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u32()?);
+    }
+    Ok(out)
+}
+
+/// Minimum encoded size of one prepared claim (user + value count, with
+/// zero values).
+const MIN_CLAIM_BYTES: usize = 8 + 4;
+
+fn write_claim(w: &mut Writer, c: &PerturbedReport) {
+    w.u64(c.user as u64);
+    w.u32(c.values.len() as u32);
+    for &(object, value) in &c.values {
+        w.u32(object as u32);
+        w.f64(value);
+    }
+}
+
+fn read_claim(r: &mut Reader<'_>) -> Result<PerturbedReport, WireError> {
+    let user = usize::try_from(r.u64()?).map_err(|_| WireError::Malformed("user overflows"))?;
+    let nvals = r.bounded_count(VALUE_BYTES)?;
+    let mut values = Vec::with_capacity(nvals);
+    for _ in 0..nvals {
+        let object =
+            usize::try_from(r.u32()?).map_err(|_| WireError::Malformed("object overflows"))?;
+        values.push((object, r.f64()?));
+    }
+    Ok(PerturbedReport { user, values })
+}
+
+/// Validate a replicated store file name: same path-safe charset as a
+/// campaign id (the follower joins it onto its replica directory, so
+/// nothing path-like may pass).
+fn validate_store_name(name: &str) -> Result<(), WireError> {
+    validate_campaign_id(name).map_err(|_| WireError::Malformed("store file name is not path-safe"))
+}
+
 impl CampaignSpec {
     fn write(&self, w: &mut Writer) {
         w.u64(self.num_users);
@@ -616,6 +887,40 @@ impl CampaignSpec {
     }
 }
 
+impl MetricsReport {
+    fn write(&self, w: &mut Writer) {
+        w.u64(self.reports_submitted);
+        w.u64(self.reports_accepted);
+        w.u64(self.duplicates_discarded);
+        w.u64(self.late_dropped);
+        w.u64(self.out_of_order_dropped);
+        w.u64(self.backpressure_stalls);
+        w.u64(self.epochs_merged);
+        w.u64(self.max_queue_depth);
+        w.u64(self.queue_depth);
+        w.f64(self.throughput_rps);
+        w.u64(self.ingest_p50_ns);
+        w.u64(self.ingest_p99_ns);
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            reports_submitted: r.u64()?,
+            reports_accepted: r.u64()?,
+            duplicates_discarded: r.u64()?,
+            late_dropped: r.u64()?,
+            out_of_order_dropped: r.u64()?,
+            backpressure_stalls: r.u64()?,
+            epochs_merged: r.u64()?,
+            max_queue_depth: r.u64()?,
+            queue_depth: r.u64()?,
+            throughput_rps: r.f64()?,
+            ingest_p50_ns: r.u64()?,
+            ingest_p99_ns: r.u64()?,
+        })
+    }
+}
+
 impl Request {
     /// Encode as one complete frame (header + body).
     pub fn encode(&self) -> Vec<u8> {
@@ -646,6 +951,63 @@ impl Request {
             Request::QueryBudget { campaign } => {
                 w = Writer::new(KIND_QUERY_BUDGET);
                 w.str(campaign);
+            }
+            Request::QueryMetrics { campaign } => {
+                w = Writer::new(KIND_QUERY_METRICS);
+                w.str(campaign);
+            }
+            Request::NodeHello { node_id, num_nodes } => {
+                w = Writer::new(KIND_NODE_HELLO);
+                w.u32(*node_id);
+                w.u32(*num_nodes);
+            }
+            Request::CloseRoundPrepare {
+                campaign,
+                epoch,
+                refused,
+            } => {
+                w = Writer::new(KIND_CLOSE_PREPARE);
+                w.str(campaign);
+                w.u64(*epoch);
+                write_u64s(&mut w, refused);
+            }
+            Request::CloseRoundCommit {
+                campaign,
+                epoch,
+                batches_seen,
+                accepted_users,
+                cumulative_losses,
+                rounds_debited,
+            } => {
+                w = Writer::new(KIND_CLOSE_COMMIT);
+                w.str(campaign);
+                w.u64(*epoch);
+                w.u64(*batches_seen);
+                write_u64s(&mut w, accepted_users);
+                write_f64s(&mut w, cumulative_losses);
+                write_u32s(&mut w, rounds_debited);
+            }
+            Request::ReplicateSegment {
+                campaign,
+                seq,
+                op,
+                name,
+                arg,
+                bytes,
+            } => {
+                w = Writer::new(KIND_REPLICATE);
+                w.str(campaign);
+                w.u64(*seq);
+                w.u8(*op as u8);
+                w.str(name);
+                w.u64(*arg);
+                w.u32(bytes.len() as u32);
+                w.buf.extend_from_slice(bytes);
+            }
+            Request::QueryLedger { campaign, upto } => {
+                w = Writer::new(KIND_QUERY_LEDGER);
+                w.str(campaign);
+                w.u64(*upto);
             }
         }
         frame(w.buf)
@@ -683,6 +1045,49 @@ impl Request {
             },
             KIND_QUERY_BUDGET => Request::QueryBudget {
                 campaign: r.campaign_id()?,
+            },
+            KIND_QUERY_METRICS => Request::QueryMetrics {
+                campaign: r.campaign_id()?,
+            },
+            KIND_NODE_HELLO => Request::NodeHello {
+                node_id: r.u32()?,
+                num_nodes: r.u32()?,
+            },
+            KIND_CLOSE_PREPARE => Request::CloseRoundPrepare {
+                campaign: r.campaign_id()?,
+                epoch: r.u64()?,
+                refused: read_u64s(&mut r)?,
+            },
+            KIND_CLOSE_COMMIT => Request::CloseRoundCommit {
+                campaign: r.campaign_id()?,
+                epoch: r.u64()?,
+                batches_seen: r.u64()?,
+                accepted_users: read_u64s(&mut r)?,
+                cumulative_losses: read_f64s(&mut r)?,
+                rounds_debited: read_u32s(&mut r)?,
+            },
+            KIND_REPLICATE => {
+                let campaign = r.campaign_id()?;
+                let seq = r.u64()?;
+                let op = StoreOp::from_u8(r.u8()?)
+                    .ok_or(WireError::Malformed("unknown store operation"))?;
+                let name = r.str()?;
+                validate_store_name(&name)?;
+                let arg = r.u64()?;
+                let n = r.bounded_count(1)?;
+                let bytes = r.take(n)?.to_vec();
+                Request::ReplicateSegment {
+                    campaign,
+                    seq,
+                    op,
+                    name,
+                    arg,
+                    bytes,
+                }
+            }
+            KIND_QUERY_LEDGER => Request::QueryLedger {
+                campaign: r.campaign_id()?,
+                upto: r.u64()?,
             },
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -761,6 +1166,52 @@ impl Response {
                 w.u8(*code as u8);
                 w.str(message);
             }
+            Response::Metrics { metrics } => {
+                w = Writer::new(KIND_METRICS);
+                metrics.write(&mut w);
+            }
+            Response::NodeWelcome { node_id } => {
+                w = Writer::new(KIND_NODE_WELCOME);
+                w.u32(*node_id);
+            }
+            Response::Prepared {
+                epoch,
+                duplicates,
+                late,
+                refused_seen,
+                claims,
+            } => {
+                w = Writer::new(KIND_PREPARED);
+                w.u64(*epoch);
+                w.u64(*duplicates);
+                w.u64(*late);
+                w.u64(*refused_seen);
+                w.u32(claims.len() as u32);
+                for c in claims {
+                    write_claim(&mut w, c);
+                }
+            }
+            Response::Committed { epoch, appended } => {
+                w = Writer::new(KIND_COMMITTED);
+                w.u64(*epoch);
+                w.u8(u8::from(*appended));
+            }
+            Response::Replicated { seq } => {
+                w = Writer::new(KIND_REPLICATED);
+                w.u64(*seq);
+            }
+            Response::Ledger {
+                next_epoch,
+                batches_seen,
+                rounds_debited,
+                cumulative_losses,
+            } => {
+                w = Writer::new(KIND_LEDGER);
+                w.u64(*next_epoch);
+                w.u64(*batches_seen);
+                write_u32s(&mut w, rounds_debited);
+                write_f64s(&mut w, cumulative_losses);
+            }
         }
         frame(w.buf)
     }
@@ -819,6 +1270,43 @@ impl Response {
                 code: ErrorCode::from_u8(r.u8()?)
                     .ok_or(WireError::Malformed("unknown error code"))?,
                 message: r.str()?,
+            },
+            KIND_METRICS => Response::Metrics {
+                metrics: MetricsReport::read(&mut r)?,
+            },
+            KIND_NODE_WELCOME => Response::NodeWelcome { node_id: r.u32()? },
+            KIND_PREPARED => {
+                let epoch = r.u64()?;
+                let duplicates = r.u64()?;
+                let late = r.u64()?;
+                let refused_seen = r.u64()?;
+                let count = r.bounded_count(MIN_CLAIM_BYTES)?;
+                let mut claims = Vec::with_capacity(count);
+                for _ in 0..count {
+                    claims.push(read_claim(&mut r)?);
+                }
+                Response::Prepared {
+                    epoch,
+                    duplicates,
+                    late,
+                    refused_seen,
+                    claims,
+                }
+            }
+            KIND_COMMITTED => Response::Committed {
+                epoch: r.u64()?,
+                appended: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("appended flag is not 0/1")),
+                },
+            },
+            KIND_REPLICATED => Response::Replicated { seq: r.u64()? },
+            KIND_LEDGER => Response::Ledger {
+                next_epoch: r.u64()?,
+                batches_seen: r.u64()?,
+                rounds_debited: read_u32s(&mut r)?,
+                cumulative_losses: read_f64s(&mut r)?,
             },
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -932,6 +1420,186 @@ mod tests {
             code: ErrorCode::BudgetExhausted,
             message: "everyone is out of budget".to_string(),
         });
+    }
+
+    #[test]
+    fn every_cluster_message_roundtrips() {
+        roundtrip_request(Request::QueryMetrics {
+            campaign: "c".to_string(),
+        });
+        roundtrip_request(Request::NodeHello {
+            node_id: 2,
+            num_nodes: 5,
+        });
+        roundtrip_request(Request::CloseRoundPrepare {
+            campaign: "c".to_string(),
+            epoch: 3,
+            refused: vec![0, 7, 12],
+        });
+        roundtrip_request(Request::CloseRoundCommit {
+            campaign: "c".to_string(),
+            epoch: 3,
+            batches_seen: 4,
+            accepted_users: vec![1, 2],
+            cumulative_losses: vec![0.5, -1.25, 3.0e-300],
+            rounds_debited: vec![2, 0, 1],
+        });
+        roundtrip_request(Request::ReplicateSegment {
+            campaign: "c".to_string(),
+            seq: 42,
+            op: StoreOp::Append,
+            name: "segment-000.wal".to_string(),
+            arg: 0,
+            bytes: vec![0xde, 0xad, 0xbe, 0xef],
+        });
+        roundtrip_request(Request::ReplicateSegment {
+            campaign: "c".to_string(),
+            seq: 43,
+            op: StoreOp::Truncate,
+            name: "MANIFEST".to_string(),
+            arg: 128,
+            bytes: vec![],
+        });
+        roundtrip_request(Request::QueryLedger {
+            campaign: "c".to_string(),
+            upto: u64::MAX,
+        });
+
+        roundtrip_response(Response::Metrics {
+            metrics: MetricsReport {
+                reports_submitted: 1000,
+                reports_accepted: 990,
+                duplicates_discarded: 7,
+                late_dropped: 3,
+                out_of_order_dropped: 0,
+                backpressure_stalls: 2,
+                epochs_merged: 5,
+                max_queue_depth: 512,
+                queue_depth: 17,
+                throughput_rps: 12_345.5,
+                ingest_p50_ns: 1_800,
+                ingest_p99_ns: 95_000,
+            },
+        });
+        roundtrip_response(Response::NodeWelcome { node_id: 2 });
+        roundtrip_response(Response::Prepared {
+            epoch: 3,
+            duplicates: 2,
+            late: 1,
+            refused_seen: 1,
+            claims: vec![
+                PerturbedReport {
+                    user: 0,
+                    values: vec![(0, 1.5), (3, -0.25)],
+                },
+                PerturbedReport {
+                    user: 4,
+                    values: vec![],
+                },
+            ],
+        });
+        roundtrip_response(Response::Committed {
+            epoch: 3,
+            appended: true,
+        });
+        roundtrip_response(Response::Committed {
+            epoch: 2,
+            appended: false,
+        });
+        roundtrip_response(Response::Replicated { seq: 42 });
+        roundtrip_response(Response::Ledger {
+            next_epoch: 4,
+            batches_seen: 4,
+            rounds_debited: vec![2, 0, 1],
+            cumulative_losses: vec![0.5, 0.0, -3.5],
+        });
+    }
+
+    #[test]
+    fn golden_cluster_wire_layout_is_pinned() {
+        // The cluster frames share the v1 framing; their payloads are
+        // pinned here the same way `golden_wire_layout_is_pinned` pins
+        // the original five. A change means a format break: bump the
+        // HELLO version byte and keep decoders for v1.
+        let bytes = Request::QueryMetrics {
+            campaign: "cafe".to_string(),
+        }
+        .encode();
+        // body := kind(0x06) idlen:u16 "cafe"  → 1+2+4 = 7
+        let body: Vec<u8> = [vec![0x06], 4u16.to_le_bytes().to_vec(), b"cafe".to_vec()].concat();
+        let golden: Vec<u8> = [
+            7u32.to_le_bytes().to_vec(),
+            (7u32 ^ u32::from_le_bytes(*b"NET1")).to_le_bytes().to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "QueryMetrics wire layout changed");
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            0xf136_3cf3_dd59_6008,
+            "QueryMetrics checksum constant changed"
+        );
+
+        let bytes = Request::ReplicateSegment {
+            campaign: "cafe".to_string(),
+            seq: 7,
+            op: StoreOp::Append,
+            name: "seg.0001".to_string(),
+            arg: 0,
+            bytes: b"abc".to_vec(),
+        }
+        .encode();
+        // body := kind(0x0a) idlen:u16 "cafe" seq:u64 op:u8
+        //         namelen:u16 "seg.0001" arg:u64 nbytes:u32 "abc"
+        let body: Vec<u8> = [
+            vec![0x0a],
+            4u16.to_le_bytes().to_vec(),
+            b"cafe".to_vec(),
+            7u64.to_le_bytes().to_vec(),
+            vec![0x00],
+            8u16.to_le_bytes().to_vec(),
+            b"seg.0001".to_vec(),
+            0u64.to_le_bytes().to_vec(),
+            3u32.to_le_bytes().to_vec(),
+            b"abc".to_vec(),
+        ]
+        .concat();
+        let golden: Vec<u8> = [
+            (body.len() as u32).to_le_bytes().to_vec(),
+            ((body.len() as u32) ^ u32::from_le_bytes(*b"NET1"))
+                .to_le_bytes()
+                .to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "ReplicateSegment wire layout changed");
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            0x033c_15dc_4987_7e7c,
+            "ReplicateSegment checksum constant changed"
+        );
+    }
+
+    #[test]
+    fn replicated_store_names_are_path_safe() {
+        for bad in ["", "a/b", "a\\b", "..", ".hidden", "x\0y"] {
+            let frame = Request::ReplicateSegment {
+                campaign: "c".to_string(),
+                seq: 0,
+                op: StoreOp::Remove,
+                name: bad.to_string(),
+                arg: 0,
+                bytes: vec![],
+            }
+            .encode();
+            let (body, _) = split_frame(&frame).unwrap();
+            assert!(
+                matches!(Request::decode(body), Err(WireError::Malformed(_))),
+                "store name {bad:?} must be refused"
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`protocol`] | discrete-event and threaded crowd-sensing runtimes |
 //! | [`engine`] | sharded streaming aggregation engine for million-user rounds |
 //! | [`server`] | multi-campaign network service over a binary TCP wire protocol |
+//! | [`cluster`] | multi-node campaigns: partition nodes, two-phase round barrier, WAL replication |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@
 
 #![deny(missing_docs)]
 
+pub use dptd_cluster as cluster;
 pub use dptd_core as core;
 pub use dptd_engine as engine;
 pub use dptd_ldp as ldp;
