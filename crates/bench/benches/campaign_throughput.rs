@@ -15,6 +15,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use dptd_bench::summary::BenchSummary;
+use dptd_stats::digest::fnv1a_f64s;
+
 use dptd_engine::{
     Engine, EngineBackend, EngineConfig, FileWal, LoadGen, LoadGenConfig, MemWal, WalPolicy,
     WalSink,
@@ -61,6 +64,7 @@ fn bench_engine(num_users: usize, shards: usize) -> Engine {
         queue_capacity: 8_192,
         epoch_deadline_us: 1_000_000,
         loss: Loss::Squared,
+        merge_workers: 0,
     })
     .expect("valid engine config")
 }
@@ -96,6 +100,19 @@ fn bench_campaign_rounds(c: &mut Criterion) {
         backend.metrics().elapsed.as_secs_f64(),
         backend.metrics().render()
     );
+    let ns = |d: Option<std::time::Duration>| d.map_or(0, |d| d.as_nanos() as u64);
+    let summary = BenchSummary {
+        bench: "campaign_throughput".to_string(),
+        reports: backend.metrics().reports_submitted,
+        elapsed_s: backend.metrics().elapsed.as_secs_f64(),
+        p50_ns: ns(backend.metrics().ingest_latency.p50()),
+        p99_ns: ns(backend.metrics().ingest_latency.p99()),
+        weights_digest: fnv1a_f64s(backend.current_weights()),
+    };
+    match summary.write() {
+        Ok(path) => println!("bench summary: {}", path.display()),
+        Err(e) => eprintln!("bench summary not written: {e}"),
+    }
 
     let mut group = c.benchmark_group("campaign_rounds");
     group.bench_function("engine_backend", |b| {

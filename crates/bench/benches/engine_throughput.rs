@@ -10,7 +10,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use dptd_bench::summary::BenchSummary;
 use dptd_engine::{ArrivalProcess, Engine, EngineConfig, LoadGen, LoadGenConfig};
+use dptd_stats::digest::fnv1a_f64s;
 
 fn load(num_users: usize, epochs: u64, seed: u64) -> LoadGen {
     LoadGen::new(LoadGenConfig {
@@ -27,6 +29,10 @@ fn load(num_users: usize, epochs: u64, seed: u64) -> LoadGen {
 }
 
 fn engine(num_users: usize, num_shards: usize) -> Engine {
+    engine_with_merge_workers(num_users, num_shards, 0)
+}
+
+fn engine_with_merge_workers(num_users: usize, num_shards: usize, merge_workers: usize) -> Engine {
     Engine::new(EngineConfig {
         num_users,
         num_objects: 8,
@@ -34,6 +40,7 @@ fn engine(num_users: usize, num_shards: usize) -> Engine {
         workers: 0,
         queue_capacity: 8_192,
         epoch_deadline_us: 1_000_000,
+        merge_workers,
         ..EngineConfig::default()
     })
     .expect("valid engine config")
@@ -60,6 +67,19 @@ fn bench_million_reports(c: &mut Criterion) {
         report.metrics.elapsed.as_secs_f64(),
         report.metrics.render()
     );
+    let ns = |d: Option<std::time::Duration>| d.map_or(0, |d| d.as_nanos() as u64);
+    let summary = BenchSummary {
+        bench: "engine_throughput".to_string(),
+        reports: report.metrics.reports_submitted,
+        elapsed_s: report.metrics.elapsed.as_secs_f64(),
+        p50_ns: ns(report.metrics.ingest_latency.p50()),
+        p99_ns: ns(report.metrics.ingest_latency.p99()),
+        weights_digest: fnv1a_f64s(&report.final_weights),
+    };
+    match summary.write() {
+        Ok(path) => println!("bench summary: {}", path.display()),
+        Err(e) => eprintln!("bench summary not written: {e}"),
+    }
 
     let mut group = c.benchmark_group("engine_1m_reports");
     group.bench_function("ingest+merge", |b| {
@@ -84,5 +104,32 @@ fn bench_shard_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_million_reports, bench_shard_scaling);
+/// Merge-worker sweep: the same load and sharding with the per-epoch
+/// reduction tree folded by 1, 2, 4 or 8 workers. Results are
+/// bit-identical across the sweep (the tree's shape never changes —
+/// pinned by `crates/engine/tests/merge_equivalence.rs`); only the
+/// wall-clock may move.
+fn bench_merge_worker_scaling(c: &mut Criterion) {
+    let users = 50_000;
+    let epochs = 2;
+    let gen = load(users, epochs, 11);
+
+    let mut group = c.benchmark_group("engine_merge_workers_100k_reports");
+    for merge_workers in [1usize, 2, 4, 8] {
+        let eng = engine_with_merge_workers(users, 16, merge_workers);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(merge_workers),
+            &eng,
+            |b, eng| b.iter(|| eng.run(gen.stream()).expect("engine run succeeds")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_million_reports,
+    bench_shard_scaling,
+    bench_merge_worker_scaling
+);
 criterion_main!(benches);

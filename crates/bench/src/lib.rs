@@ -12,6 +12,8 @@
 
 #![deny(missing_docs)]
 
+pub mod summary;
+
 use dptd_core::mechanism::PrivatePipeline;
 use dptd_core::report::RunMetrics;
 use dptd_core::theory::privacy::{self, PrivacyRequirement};

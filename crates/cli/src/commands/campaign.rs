@@ -90,6 +90,7 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
                 queue_capacity: args.usize_or("queue-capacity", 4_096)?,
                 epoch_deadline_us: load_cfg.epoch_len_us,
                 loss: Loss::Squared,
+                merge_workers: args.usize_or("merge-workers", 0)?,
             })
             .map_err(box_err)?;
             let (driver, start_epoch, initial_weights, banner, _wal_lock) = match args.get("wal") {

@@ -57,6 +57,7 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         queue_capacity: args.usize_or("queue-capacity", 4_096)?,
         epoch_deadline_us: load_cfg.epoch_len_us,
         loss: Loss::Squared,
+        merge_workers: args.usize_or("merge-workers", 0)?,
     };
     let engine = Engine::new(engine_cfg).map_err(box_engine_err)?;
     let report = engine.run(load.stream()).map_err(box_engine_err)?;

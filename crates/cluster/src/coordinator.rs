@@ -438,7 +438,10 @@ impl ClusterCampaign {
         accepted_users.sort_unstable();
 
         // The deterministic global merge — atomic on error, so a failed
-        // round leaves the estimator untouched and re-drivable.
+        // round leaves the estimator untouched and re-drivable. This is
+        // "one more level of the shard-merge tree": the claims fold
+        // through the same fixed-shape parallel reduction the in-process
+        // engine uses, so worker count cannot perturb the digest.
         let truths = self
             .streaming
             .ingest_sharded(self.config.num_objects, shards)

@@ -31,12 +31,12 @@
 //! its own replica root, ready to take over via ordinary crash
 //! recovery.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{btree_map::Entry, BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use dptd_engine::store::{DirFs, ObservedFs, SegmentStore, StoreConfig, StoreFs};
@@ -150,6 +150,30 @@ fn refuse(code: ErrorCode, message: impl Into<String>) -> Response {
         code,
         message: message.into(),
     }
+}
+
+/// Lock a campaign partition for serving.
+///
+/// A poisoned lock means a worker panicked mid-request: the partition's
+/// in-memory round state (queue, staged lane, ledger history) cannot be
+/// trusted half-mutated, so the partition is quarantined behind a typed
+/// error frame instead of cascading the panic through every later
+/// connection. A durable partition recovers by node restart (WAL
+/// replay); other partitions keep serving.
+fn lock_partition<'a>(
+    slot: &'a Mutex<NodeCampaign>,
+    campaign: &str,
+) -> Result<MutexGuard<'a, NodeCampaign>, Response> {
+    slot.lock().map_err(|_| {
+        refuse(
+            ErrorCode::CampaignQuarantined,
+            format!(
+                "campaign partition `{campaign}` is quarantined: a worker \
+                 panicked while updating it; restart the node (replaying its \
+                 WAL) to recover"
+            ),
+        )
+    })
 }
 
 impl NodeCampaign {
@@ -268,7 +292,10 @@ impl NodeState {
                 rounds_debited,
             ),
             Request::QueryLedger { campaign, upto } => match self.slot(&campaign) {
-                Ok(slot) => slot.lock().expect("partition lock").ledger_at(upto),
+                Ok(slot) => match lock_partition(&slot, &campaign) {
+                    Ok(state) => state.ledger_at(upto),
+                    Err(resp) => resp,
+                },
                 Err(resp) => resp,
             },
             Request::ReplicateSegment {
@@ -290,7 +317,10 @@ impl NodeState {
             ),
             Request::QueryMetrics { campaign } => match self.slot(&campaign) {
                 Ok(slot) => {
-                    let state = slot.lock().expect("partition lock");
+                    let state = match lock_partition(&slot, &campaign) {
+                        Ok(s) => s,
+                        Err(resp) => return resp,
+                    };
                     Response::Metrics {
                         metrics: dptd_server::MetricsReport {
                             reports_submitted: state.reports_submitted,
@@ -316,18 +346,23 @@ impl NodeState {
         }
     }
 
-    fn slot(&self, campaign: &str) -> Result<Arc<Mutex<NodeCampaign>>, Response> {
+    /// The partition map's mutex only guards `BTreeMap` bookkeeping —
+    /// partition state lives behind each slot's own lock — so a
+    /// poisoned map lock has nothing half-mutated to protect: recover
+    /// the guard and keep serving.
+    fn campaigns_map(&self) -> MutexGuard<'_, BTreeMap<String, Arc<Mutex<NodeCampaign>>>> {
         self.campaigns
             .lock()
-            .expect("node campaign map")
-            .get(campaign)
-            .cloned()
-            .ok_or_else(|| {
-                refuse(
-                    ErrorCode::UnknownCampaign,
-                    format!("no campaign partition `{campaign}` on this node"),
-                )
-            })
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn slot(&self, campaign: &str) -> Result<Arc<Mutex<NodeCampaign>>, Response> {
+        self.campaigns_map().get(campaign).cloned().ok_or_else(|| {
+            refuse(
+                ErrorCode::UnknownCampaign,
+                format!("no campaign partition `{campaign}` on this node"),
+            )
+        })
     }
 
     fn create(&self, campaign: &str, spec: &CampaignSpec) -> Response {
@@ -347,13 +382,16 @@ impl NodeState {
             Err(e) => return refuse(ErrorCode::InvalidRequest, e.to_string()),
         };
         {
-            let map = self.campaigns.lock().expect("node campaign map");
+            let map = self.campaigns_map();
             if let Some(slot) = map.get(campaign) {
                 // A crashed coordinator resumes by re-creating the
                 // campaign on nodes that never died: an identical spec
                 // acks idempotently with the live epoch, anything else
                 // is a conflicting writer.
-                let state = slot.lock().expect("partition lock");
+                let state = match lock_partition(slot, campaign) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
                 let same_policy = WalPolicy::from_campaign(&CampaignConfig {
                     num_objects: spec.num_objects as usize,
                     deadline_us: spec.deadline_us,
@@ -467,7 +505,7 @@ impl NodeState {
             replication_failure,
             reports_submitted: 0,
         }));
-        let mut map = self.campaigns.lock().expect("node campaign map");
+        let mut map = self.campaigns_map();
         if map.contains_key(campaign) {
             return refuse(
                 ErrorCode::CampaignExists,
@@ -483,7 +521,10 @@ impl NodeState {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let mut state = slot.lock().expect("partition lock");
+        let mut state = match lock_partition(&slot, campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         let queued = (state.pending.len() + state.future.len()) as u64;
         let Some(first) = reports.first() else {
             return Response::Submitted { queued };
@@ -539,7 +580,10 @@ impl NodeState {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let mut state = slot.lock().expect("partition lock");
+        let mut state = match lock_partition(&slot, campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         let local_users = state.local_users;
         if refused.iter().any(|&u| u as usize >= local_users) {
             return refuse(
@@ -591,28 +635,25 @@ impl NodeState {
                 ),
             );
         }
-        match &state.staged {
-            Some(staged) if staged.refused != refused_sorted => {
+        if let Some(staged) = &state.staged {
+            if staged.refused != refused_sorted {
                 return refuse(
                     ErrorCode::InvalidRequest,
                     "barrier re-driven with a different refusal set",
                 );
-            }
-            Some(_) => {}
-            None => {
-                state.staged = Some(StagedRound {
-                    epoch,
-                    refused: refused_sorted,
-                    refused_seen: vec![false; local_users],
-                    lane: EpochLane::new(local_users, state.config.deadline_us),
-                });
             }
         }
         // Drain everything queued for this epoch through the staged
         // lane: refusal withhold first, then the lane's deadline + dedup
         // — the exact driver order.
         let pending = std::mem::take(&mut state.pending);
-        let staged = state.staged.as_mut().expect("staged round");
+        let deadline_us = state.config.deadline_us;
+        let staged = state.staged.get_or_insert_with(|| StagedRound {
+            epoch,
+            refused: refused_sorted,
+            refused_seen: vec![false; local_users],
+            lane: EpochLane::new(local_users, deadline_us),
+        });
         let refused_set = staged.refused.clone();
         for stamped in pending {
             let user = stamped.report.user;
@@ -646,7 +687,10 @@ impl NodeState {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let mut state = slot.lock().expect("partition lock");
+        let mut state = match lock_partition(&slot, campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         let local_users = state.local_users;
         if cumulative_losses.len() != local_users || rounds_debited.len() != local_users {
             return refuse(
@@ -752,16 +796,22 @@ impl NodeState {
                 "this node does not accept replication (start it with `--replica-root`)",
             );
         };
-        let mut replicas = self.replicas.lock().expect("replica map");
-        if !replicas.contains_key(campaign) {
-            let dir = root.join(campaign);
-            let fs = match DirFs::open(&dir) {
-                Ok(f) => f,
-                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
-            };
-            replicas.insert(campaign.to_string(), ReplicaApplier::new(Box::new(fs)));
-        }
-        let applier = replicas.get_mut(campaign).expect("replica applier");
+        // A replica directory is crash-consistent by construction (the
+        // whole point of replication is that failover runs ordinary
+        // recovery over it), so a poisoned map lock is recoverable: the
+        // applier's sequence check refuses any stream the panic tore.
+        let mut replicas = self.replicas.lock().unwrap_or_else(PoisonError::into_inner);
+        let applier = match replicas.entry(campaign.to_string()) {
+            Entry::Occupied(entry) => entry.into_mut(),
+            Entry::Vacant(entry) => {
+                let dir = root.join(campaign);
+                let fs = match DirFs::open(&dir) {
+                    Ok(f) => f,
+                    Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+                };
+                entry.insert(ReplicaApplier::new(Box::new(fs)))
+            }
+        };
         match applier.apply(seq, op, name, arg, bytes) {
             Ok(()) => Response::Replicated { seq },
             Err(e) => {
@@ -773,10 +823,13 @@ impl NodeState {
 
     /// Flush every durable partition — the orderly shutdown path.
     fn finalize(&self) -> usize {
-        let map = self.campaigns.lock().expect("node campaign map");
+        let map = self.campaigns_map();
         let mut flushed = 0;
         for slot in map.values() {
-            let mut state = slot.lock().expect("partition lock");
+            // Shutdown is best-effort even for a quarantined partition:
+            // recover a poisoned guard so its WAL still gets a final
+            // flush attempt.
+            let mut state = slot.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(log) = state.log.as_mut() {
                 if log.sync().is_ok() {
                     flushed += 1;
@@ -865,7 +918,11 @@ impl NodeServer {
                     let Ok(stream) = incoming else { continue };
                     let _ = stream.set_nodelay(true);
 
-                    let mut conns = accept_connections.lock().expect("connection list");
+                    // The list is (stream, handle) bookkeeping only; a
+                    // poisoned guard is recoverable.
+                    let mut conns = accept_connections
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
                     let mut live = Vec::with_capacity(conns.len());
                     for (s, h) in conns.drain(..) {
                         if h.is_finished() {
@@ -891,14 +948,28 @@ impl NodeServer {
                     let stream = Arc::new(stream);
                     let worker_stream = Arc::clone(&stream);
                     let worker_state = Arc::clone(&accept_state);
-                    let handle = std::thread::Builder::new()
+                    match std::thread::Builder::new()
                         .name("dptd-node-conn".to_string())
                         .spawn(move || {
                             serve_connection(&worker_stream, &worker_state);
                             let _ = worker_stream.shutdown(std::net::Shutdown::Both);
-                        })
-                        .expect("spawn node connection worker");
-                    conns.push((stream, handle));
+                        }) {
+                        Ok(handle) => conns.push((stream, handle)),
+                        Err(_) => {
+                            // Out of threads is load, not a protocol
+                            // violation: refuse this connection like an
+                            // over-budget one instead of killing the
+                            // acceptor (and every live connection).
+                            let mut s = &*stream;
+                            let frame = refuse(
+                                ErrorCode::ServerBusy,
+                                "node cannot spawn a connection worker",
+                            )
+                            .encode();
+                            let _ = write_frame(&mut s, &frame);
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                        }
+                    }
                 }
             })
             .map_err(|e| io_err("spawn acceptor", e))?;
@@ -922,14 +993,15 @@ impl NodeServer {
     /// blocks the primary, so operators poll this (the CLI surfaces it
     /// on shutdown).
     pub fn replication_failure(&self, campaign: &str) -> Option<String> {
-        let campaigns = self.state.campaigns.lock().expect("campaign map");
-        let slot = campaigns.get(campaign)?.clone();
-        drop(campaigns);
-        let state = slot.lock().expect("partition lock");
+        let slot = self.state.campaigns_map().get(campaign)?.clone();
+        // An operator poll reading a latched diagnostic string: recover
+        // poisoned guards — there is no partial state a panic could
+        // have left in a plain `Option<String>` read.
+        let state = slot.lock().unwrap_or_else(PoisonError::into_inner);
         state
             .replication_failure
             .as_ref()
-            .and_then(|f| f.lock().expect("replication failure slot").clone())
+            .and_then(|f| f.lock().unwrap_or_else(PoisonError::into_inner).clone())
     }
 
     fn stop_threads(&mut self) {
@@ -940,7 +1012,12 @@ impl NodeServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let conns = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        let conns = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
         for (stream, handle) in conns {
             let _ = stream.shutdown(std::net::Shutdown::Both);
             let _ = handle.join();

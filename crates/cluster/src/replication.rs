@@ -27,7 +27,7 @@
 //!
 //! [`StoreFs`]: dptd_engine::store::StoreFs
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use dptd_engine::store::{StoreFs, StoreObserver};
 use dptd_engine::wal::WalError;
@@ -74,10 +74,14 @@ impl ReplicationSender {
     }
 
     /// The first failure this sender observed, if any.
+    ///
+    /// The slot holds a plain latched string, so a poisoned lock (a
+    /// reader panicked) has nothing inconsistent behind it — recover
+    /// the guard rather than cascade the panic into the poll path.
     pub fn failure(&self) -> Option<String> {
         self.failure
             .lock()
-            .expect("replication failure slot")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
     }
 
@@ -89,7 +93,7 @@ impl ReplicationSender {
         match client.replicate(&self.campaign, seq, op, name, arg, bytes.to_vec()) {
             Ok(()) => self.seq += 1,
             Err(e) => {
-                *self.failure.lock().expect("replication failure slot") =
+                *self.failure.lock().unwrap_or_else(PoisonError::into_inner) =
                     Some(format!("replicating op {seq} ({name}): {e}"));
                 self.client = None;
             }

@@ -27,10 +27,11 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use dptd_protocol::message::StampedReport;
 use dptd_protocol::pool::WorkerPool;
+use dptd_truth::columnar::ColumnarBatch;
 use dptd_truth::streaming::{ShardClaims, StreamingCrh};
 use dptd_truth::Loss;
 
-use crate::metrics::{EngineMetrics, LatencyHistogram};
+use crate::metrics::{EngineMetrics, LatencyHistogram, StageTimings};
 use crate::shard::{ShardEpochStats, ShardState};
 use crate::EngineError;
 
@@ -53,11 +54,16 @@ pub struct EngineConfig {
     pub epoch_deadline_us: u64,
     /// Loss function for the global (and per-shard) CRH estimators.
     pub loss: Loss,
+    /// Threads for the canonical cross-shard merge's reduction tree;
+    /// `0` means auto. The merged truths are **bit-identical for every
+    /// value** — the tree's shape is a pure function of the population
+    /// size, so workers only change who computes which leaf.
+    pub merge_workers: usize,
 }
 
 impl Default for EngineConfig {
-    /// 1 000 users, 8 objects, 4 shards, auto workers, 1 024-deep queues,
-    /// 1 s deadline, squared loss.
+    /// 1 000 users, 8 objects, 4 shards, auto workers (drain and merge),
+    /// 1 024-deep queues, 1 s deadline, squared loss.
     fn default() -> Self {
         Self {
             num_users: 1_000,
@@ -67,6 +73,7 @@ impl Default for EngineConfig {
             queue_capacity: 1_024,
             epoch_deadline_us: 1_000_000,
             loss: Loss::Squared,
+            merge_workers: 0,
         }
     }
 }
@@ -154,7 +161,10 @@ struct EpochClaims {
 
 enum MergeMsg {
     Epoch(EpochClaims),
-    ShardDone { latency: LatencyHistogram },
+    ShardDone {
+        latency: LatencyHistogram,
+        filter_busy: Duration,
+    },
 }
 
 /// The sharded streaming aggregation engine. See the module docs for the
@@ -337,7 +347,8 @@ impl Engine {
                         router_metrics.max_queue_depth.max(txs[shard].len());
                 }
 
-                let msg = ShardMsg::Report(stamped, Instant::now());
+                let enqueued = Instant::now();
+                let msg = ShardMsg::Report(stamped, enqueued);
                 match txs[shard].try_send(msg) {
                     Ok(()) => {}
                     Err(TrySendError::Full(msg)) => {
@@ -355,6 +366,7 @@ impl Engine {
                         break;
                     }
                 }
+                router_metrics.route_busy += enqueued.elapsed();
             }
             if let Some(open) = open_epoch {
                 if router_err.is_none() {
@@ -372,7 +384,14 @@ impl Engine {
         if let Some(e) = router_err {
             return Err(e);
         }
-        let (epochs, crh, latency, merge_err) = merger_out;
+        let MergeOut {
+            outcomes: epochs,
+            crh,
+            latency,
+            filter_busy,
+            merge_busy,
+            error: merge_err,
+        } = merger_out;
         if let Some(e) = merge_err {
             return Err(e);
         }
@@ -385,6 +404,11 @@ impl Engine {
             max_queue_depth: router_metrics.max_queue_depth,
             epochs_merged: epochs.len() as u64,
             ingest_latency: latency,
+            stage: StageTimings {
+                route: router_metrics.route_busy,
+                filter: filter_busy,
+                merge: merge_busy,
+            },
             elapsed: started.elapsed(),
             ..EngineMetrics::default()
         };
@@ -411,6 +435,7 @@ struct RouterMetrics {
     out_of_order: u64,
     backpressure: u64,
     max_queue_depth: usize,
+    route_busy: Duration,
 }
 
 /// Drain loop for one worker owning `shards` (id, receiver) pairs.
@@ -433,13 +458,21 @@ fn drain_shards(
         })
         .collect();
     let mut latency = LatencyHistogram::new();
+    let mut filter_busy = Duration::ZERO;
     let mut open: Vec<bool> = vec![true; shards.len()];
 
     // Fast path: a worker owning exactly one shard can block on recv.
     if shards.len() == 1 {
         let (shard_id, rx) = &shards[0];
         while let Ok(msg) = rx.recv() {
-            handle(msg, &mut states[0], *shard_id, &mut latency, &merge_tx);
+            handle(
+                msg,
+                &mut states[0],
+                *shard_id,
+                &mut latency,
+                &mut filter_busy,
+                &merge_tx,
+            );
         }
     } else {
         use crossbeam::channel::TryRecvError;
@@ -454,7 +487,14 @@ fn drain_shards(
                     match rx.try_recv() {
                         Ok(msg) => {
                             progress = true;
-                            handle(msg, &mut states[i], *shard_id, &mut latency, &merge_tx);
+                            handle(
+                                msg,
+                                &mut states[i],
+                                *shard_id,
+                                &mut latency,
+                                &mut filter_busy,
+                                &merge_tx,
+                            );
                         }
                         Err(TryRecvError::Empty) => break,
                         Err(TryRecvError::Disconnected) => {
@@ -470,7 +510,10 @@ fn drain_shards(
         }
     }
 
-    let _ = merge_tx.send(MergeMsg::ShardDone { latency });
+    let _ = merge_tx.send(MergeMsg::ShardDone {
+        latency,
+        filter_busy,
+    });
 }
 
 fn handle(
@@ -478,15 +521,21 @@ fn handle(
     state: &mut ShardState,
     shard_id: usize,
     latency: &mut LatencyHistogram,
+    filter_busy: &mut Duration,
     merge_tx: &Sender<MergeMsg>,
 ) {
     match msg {
         ShardMsg::Report(stamped, enqueued_at) => {
+            let start = Instant::now();
             state.ingest(stamped);
-            latency.record(enqueued_at.elapsed());
+            let done = Instant::now();
+            *filter_busy += done - start;
+            latency.record(done - enqueued_at);
         }
         ShardMsg::EpochEnd(epoch) => {
+            let start = Instant::now();
             let (claims, stats) = state.finish_epoch();
+            *filter_busy += start.elapsed();
             let _ = merge_tx.send(MergeMsg::Epoch(EpochClaims {
                 shard: shard_id,
                 epoch,
@@ -497,12 +546,14 @@ fn handle(
     }
 }
 
-type MergeOut = (
-    Vec<EpochOutcome>,
-    StreamingCrh,
-    LatencyHistogram,
-    Option<EngineError>,
-);
+struct MergeOut {
+    outcomes: Vec<EpochOutcome>,
+    crh: StreamingCrh,
+    latency: LatencyHistogram,
+    filter_busy: Duration,
+    merge_busy: Duration,
+    error: Option<EngineError>,
+}
 
 /// Collect per-shard epoch claims; when all shards reported an epoch, run
 /// the canonical cross-shard merge through the global streaming CRH
@@ -516,11 +567,22 @@ fn merge_loop(
     let mut pending: BTreeMap<u64, Vec<EpochClaims>> = BTreeMap::new();
     let mut outcomes: Vec<EpochOutcome> = Vec::new();
     let mut latency = LatencyHistogram::new();
+    let mut filter_busy = Duration::ZERO;
+    let mut merge_busy = Duration::ZERO;
     let mut error: Option<EngineError> = None;
+    // The columnar arena is reused across epochs: claim storage, scratch
+    // stamps, and leaf boundaries recycle their buffers.
+    let mut arena = ColumnarBatch::new(cfg.num_users, cfg.num_objects);
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            MergeMsg::ShardDone { latency: l } => latency.merge(&l),
+            MergeMsg::ShardDone {
+                latency: l,
+                filter_busy: f,
+            } => {
+                latency.merge(&l);
+                filter_busy += f;
+            }
             MergeMsg::Epoch(claims) => {
                 if error.is_some() {
                     continue; // drain without merging after a failure
@@ -532,20 +594,30 @@ fn merge_loop(
                     continue;
                 }
                 let batch = pending.remove(&epoch).expect("bucket exists");
-                match merge_epoch(cfg, &mut crh, epoch, batch) {
+                let start = Instant::now();
+                match merge_epoch(cfg, &mut crh, &mut arena, epoch, batch) {
                     Ok(outcome) => outcomes.push(outcome),
                     Err(e) => error = Some(e),
                 }
+                merge_busy += start.elapsed();
             }
         }
     }
 
-    (outcomes, crh, latency, error)
+    MergeOut {
+        outcomes,
+        crh,
+        latency,
+        filter_busy,
+        merge_busy,
+        error,
+    }
 }
 
 fn merge_epoch(
     cfg: &EngineConfig,
     crh: &mut StreamingCrh,
+    arena: &mut ColumnarBatch,
     epoch: u64,
     batch: Vec<EpochClaims>,
 ) -> Result<EpochOutcome, EngineError> {
@@ -557,13 +629,13 @@ fn merge_epoch(
         },
         "a shard reported the same epoch twice"
     );
-    // Split the owned batch so the claims move into the merge without
-    // copying the population's claim vectors.
     let (shard_claims, stats): (Vec<ShardClaims>, Vec<ShardEpochStats>) =
         batch.into_iter().map(|c| (c.claims, c.stats)).unzip();
-    let mut accepted_users: Vec<usize> = shard_claims.iter().flat_map(|c| c.users()).collect();
-    accepted_users.sort_unstable();
-    let truths = crh.ingest_sharded(cfg.num_objects, shard_claims)?;
+    arena.load_shards(&shard_claims)?;
+    // The canonical batch stores users ascending, so the accepted set
+    // falls out of the merge without a separate sort.
+    let accepted_users: Vec<usize> = arena.users().to_vec();
+    let truths = crh.ingest_columnar_with_workers(arena, cfg.merge_workers)?;
 
     let mut accepted = 0usize;
     let mut duplicates = 0usize;

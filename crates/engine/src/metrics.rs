@@ -126,6 +126,32 @@ impl LatencyHistogram {
     }
 }
 
+/// Busy wall-clock time per pipeline stage, summed over the threads
+/// running that stage. `route` can exceed the others on a backpressured
+/// run (it includes the time the router spent blocked on full queues);
+/// `filter` sums across all shard workers, so it can exceed `elapsed` on
+/// a multi-worker run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Router: hashing reports to shards and enqueueing them, including
+    /// any time blocked on a full queue (backpressure).
+    pub route: Duration,
+    /// Shard workers: per-report dedup/deadline filtering plus epoch
+    /// close (claim extraction and the local CRH update).
+    pub filter: Duration,
+    /// Merger: the canonical cross-shard reduction into the global CRH.
+    pub merge: Duration,
+}
+
+impl StageTimings {
+    /// Fold another run's stage timings into this one (sums).
+    pub fn absorb(&mut self, other: &StageTimings) {
+        self.route += other.route;
+        self.filter += other.filter;
+        self.merge += other.merge;
+    }
+}
+
 /// Counters and timings for one [`crate::Engine::run`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineMetrics {
@@ -149,6 +175,8 @@ pub struct EngineMetrics {
     pub max_queue_depth: usize,
     /// Queue-wait + processing latency per accepted-or-rejected report.
     pub ingest_latency: LatencyHistogram,
+    /// Busy time per pipeline stage (route / filter / merge).
+    pub stage: StageTimings,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
 }
@@ -182,6 +210,7 @@ impl EngineMetrics {
         self.epochs_merged += other.epochs_merged;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.ingest_latency.merge(&other.ingest_latency);
+        self.stage.absorb(&other.stage);
         self.elapsed += other.elapsed;
     }
 
@@ -201,6 +230,7 @@ impl EngineMetrics {
              epochs merged       {}\n\
              max queue depth     {}\n\
              ingest latency      p50 {}  p99 {}  max {}\n\
+             stage busy          route {:.3} s  filter {:.3} s  merge {:.3} s\n\
              elapsed             {:.3} s\n\
              throughput          {:.0} reports/s",
             self.reports_submitted,
@@ -214,6 +244,9 @@ impl EngineMetrics {
             fmt_lat(self.ingest_latency.p50()),
             fmt_lat(self.ingest_latency.p99()),
             fmt_lat(Some(self.ingest_latency.max())),
+            self.stage.route.as_secs_f64(),
+            self.stage.filter.as_secs_f64(),
+            self.stage.merge.as_secs_f64(),
             self.elapsed.as_secs_f64(),
             self.throughput_rps(),
         )

@@ -14,6 +14,7 @@
 
 use dptd_protocol::dedup::DedupFilter;
 use dptd_protocol::message::StampedReport;
+use dptd_truth::columnar::ColumnarBatch;
 use dptd_truth::streaming::{ShardClaims, StreamingCrh};
 use dptd_truth::Loss;
 
@@ -38,12 +39,13 @@ pub struct ShardEpochStats {
 pub struct ShardState {
     shard_id: usize,
     num_shards: usize,
-    num_objects: usize,
     epoch_deadline_us: u64,
     local_users: usize,
     dedup: DedupFilter,
     late_dropped: u64,
     local_crh: StreamingCrh,
+    /// Columnar arena for the local CRH view, reused across epochs.
+    local_batch: ColumnarBatch,
 }
 
 impl ShardState {
@@ -68,13 +70,13 @@ impl ShardState {
         Self {
             shard_id,
             num_shards,
-            num_objects,
             epoch_deadline_us,
             local_users,
             dedup: DedupFilter::new(local_users),
             late_dropped: 0,
             local_crh: StreamingCrh::new(local_users, loss)
                 .expect("local population validated above"),
+            local_batch: ColumnarBatch::new(local_users, num_objects),
         }
     }
 
@@ -118,21 +120,31 @@ impl ShardState {
         let accepted = dedup.len();
         let late_dropped = std::mem::take(&mut self.late_dropped);
 
+        let ordered = dedup.into_slot_ordered();
+
+        // Local incremental view, straight off the slot-ordered borrows
+        // (no per-user claim clones): only possible when this shard's
+        // users alone cover every object of the epoch.
+        let local_truths = self
+            .local_batch
+            .load_rows(
+                ordered
+                    .iter()
+                    .map(|(local, report)| (*local, report.values.as_slice())),
+            )
+            .ok()
+            .and_then(|()| {
+                self.local_crh
+                    .ingest_columnar_with_workers(&self.local_batch, 1)
+                    .ok()
+            });
+
         let mut claims = ShardClaims::new();
-        let mut local_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.local_users];
-        for (local, report) in dedup.into_slot_ordered() {
-            local_rows[local] = report.values.clone();
+        for (local, report) in ordered {
             let global = local * self.num_shards + self.shard_id;
             debug_assert_eq!(global, report.user);
             claims.push(report.user, report.values);
         }
-
-        // Local incremental view: only possible when this shard's users
-        // alone cover every object of the epoch.
-        let local_truths = self
-            .local_crh
-            .ingest_sharded_rows(self.num_objects, &local_rows)
-            .ok();
 
         (
             claims,
@@ -143,27 +155,6 @@ impl ShardState {
                 local_truths,
             },
         )
-    }
-}
-
-/// Extension used by [`ShardState::finish_epoch`]: ingest pre-assembled
-/// sparse rows without the `ShardClaims` indirection.
-trait IngestRows {
-    fn ingest_sharded_rows(
-        &mut self,
-        num_objects: usize,
-        rows: &[Vec<(usize, f64)>],
-    ) -> Result<Vec<f64>, dptd_truth::TruthError>;
-}
-
-impl IngestRows for StreamingCrh {
-    fn ingest_sharded_rows(
-        &mut self,
-        num_objects: usize,
-        rows: &[Vec<(usize, f64)>],
-    ) -> Result<Vec<f64>, dptd_truth::TruthError> {
-        let batch = dptd_truth::ObservationMatrix::from_sparse_rows(num_objects, rows)?;
-        self.ingest(&batch)
     }
 }
 

@@ -64,6 +64,7 @@ proptest! {
                     queue_capacity: 64,
                     epoch_deadline_us: load.config().epoch_len_us,
                     loss: Loss::Squared,
+                    merge_workers: 0,
                 }).unwrap();
                 CampaignDriver::new(EngineBackend::new(engine).unwrap(), config).unwrap()
             })

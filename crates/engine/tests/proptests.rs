@@ -90,6 +90,7 @@ proptest! {
                 queue_capacity: 64,
                 epoch_deadline_us: load.config().epoch_len_us,
                 loss: Loss::Squared,
+                merge_workers: 0,
             }).unwrap();
             let report = engine.run(load.stream()).unwrap();
             prop_assert_eq!(report.epochs.len() as u64, epochs);

@@ -4,7 +4,9 @@
 //! A cluster shards a campaign's population across nodes, each node
 //! filtering its own users' reports (deadline cut-off, first-wins
 //! de-duplication) and the coordinator merging the per-node survivors
-//! with one [`StreamingCrh::ingest_sharded`] call. Because every user
+//! with one [`StreamingCrh::ingest_sharded`] call (the fixed-shape
+//! parallel reduction tree — worker count cannot change a bit of the
+//! result). Because every user
 //! lives in **exactly one** partition, running the canonical pipeline
 //! per-partition and merging is bit-identical to running it globally:
 //! the deadline check is per-report, de-duplication is per-user, and the

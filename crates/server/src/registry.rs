@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use dptd_engine::{
     Engine, EngineBackend, EngineConfig, SegmentStore, StoreConfig, WalLock, WalPolicy,
@@ -138,6 +138,32 @@ fn refuse(code: ErrorCode, message: impl Into<String>) -> Response {
     }
 }
 
+/// Lock a campaign slot's state for serving.
+///
+/// A poisoned lock means a worker panicked mid-request on this campaign:
+/// its in-memory round state (pending queue, carried weights, budget
+/// ledger) cannot be trusted half-mutated, so the campaign is
+/// **quarantined** behind a typed error frame. Every later request on the
+/// slot gets the same refusal instead of a cascading panic killing its
+/// connection; other campaigns — and the registry itself — keep serving.
+/// A durable campaign recovers by restart (WAL replay); a volatile one by
+/// recreate.
+fn lock_campaign<'a>(
+    slot: &'a CampaignSlot,
+    campaign: &str,
+) -> Result<MutexGuard<'a, CampaignState>, Response> {
+    slot.state.lock().map_err(|_| {
+        refuse(
+            ErrorCode::CampaignQuarantined,
+            format!(
+                "campaign `{campaign}` is quarantined: a worker panicked while \
+                 updating it; recreate the campaign (or restart the server to \
+                 replay its WAL) to recover"
+            ),
+        )
+    })
+}
+
 /// Map a campaign-layer failure onto a stable wire error code.
 fn protocol_refusal(e: &ProtocolError) -> Response {
     let code = match e {
@@ -174,9 +200,19 @@ impl CampaignRegistry {
         }
     }
 
+    /// The registry map's mutex only guards `BTreeMap` bookkeeping — no
+    /// campaign state lives under it — so a poisoned map lock (some other
+    /// thread panicked between map operations) has nothing half-mutated
+    /// to protect: recover the guard and keep serving.
+    fn campaigns_map(&self) -> MutexGuard<'_, BTreeMap<String, Arc<CampaignSlot>>> {
+        self.campaigns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Campaigns currently hosted.
     pub fn campaign_count(&self) -> usize {
-        self.campaigns.lock().expect("registry lock").len()
+        self.campaigns_map().len()
     }
 
     /// Orderly shutdown of every hosted campaign: flush + fsync each
@@ -187,11 +223,15 @@ impl CampaignRegistry {
     /// nothing afterwards — callers run this after the accept loop has
     /// stopped.
     pub fn finalize(&self) -> (usize, usize) {
-        let drained = std::mem::take(&mut *self.campaigns.lock().expect("registry lock"));
+        let drained = std::mem::take(&mut *self.campaigns_map());
         let mut flushed = 0usize;
         let mut failures = 0usize;
         for slot in drained.into_values() {
-            let mut state = slot.state.lock().expect("campaign lock");
+            // Shutdown is best-effort even for a quarantined campaign:
+            // recover a poisoned guard so the WAL still gets a final
+            // flush attempt and the advisory writer lock is released for
+            // the successor process.
+            let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
             // Only durable campaigns hold a lock and a log; counting
             // volatile ones as "flushed" would tell the operator state
             // was persisted that never existed.
@@ -235,17 +275,12 @@ impl CampaignRegistry {
     }
 
     fn slot(&self, campaign: &str) -> Result<Arc<CampaignSlot>, Response> {
-        self.campaigns
-            .lock()
-            .expect("registry lock")
-            .get(campaign)
-            .cloned()
-            .ok_or_else(|| {
-                refuse(
-                    ErrorCode::UnknownCampaign,
-                    format!("no campaign `{campaign}`"),
-                )
-            })
+        self.campaigns_map().get(campaign).cloned().ok_or_else(|| {
+            refuse(
+                ErrorCode::UnknownCampaign,
+                format!("no campaign `{campaign}`"),
+            )
+        })
     }
 
     fn create(&self, campaign: &str, spec: &CampaignSpec) -> Response {
@@ -270,7 +305,7 @@ impl CampaignRegistry {
         // Fast-fail on a taken id before building an engine; the
         // authoritative check is the insert below.
         {
-            let map = self.campaigns.lock().expect("registry lock");
+            let map = self.campaigns_map();
             if map.contains_key(campaign) {
                 return refuse(
                     ErrorCode::CampaignExists,
@@ -307,6 +342,7 @@ impl CampaignRegistry {
             queue_capacity: spec.engine_queue as usize,
             epoch_deadline_us: spec.deadline_us,
             loss: Loss::Squared,
+            merge_workers: 0,
         }) {
             Ok(e) => e,
             Err(e) => return refuse(ErrorCode::InvalidRequest, e.to_string()),
@@ -379,7 +415,7 @@ impl CampaignRegistry {
                 wal_lock,
             }),
         });
-        let mut map = self.campaigns.lock().expect("registry lock");
+        let mut map = self.campaigns_map();
         // Authoritative re-checks: the fast-fail above ran before the
         // engine was built, and a concurrent create may have won either
         // the id or the last cap slot in the meantime.
@@ -406,7 +442,10 @@ impl CampaignRegistry {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let mut state = slot.state.lock().expect("campaign lock");
+        let mut state = match lock_campaign(&slot, campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         let num_users = state.driver.backend().num_users();
         let queued = (state.pending.len() + state.future.len()) as u64;
         let Some(first) = reports.first() else {
@@ -467,7 +506,10 @@ impl CampaignRegistry {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let mut state = slot.state.lock().expect("campaign lock");
+        let mut state = match lock_campaign(&slot, campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         if epoch != state.next_epoch {
             return refuse(
                 ErrorCode::InvalidRequest,
@@ -524,7 +566,10 @@ impl CampaignRegistry {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let state = slot.state.lock().expect("campaign lock");
+        let state = match lock_campaign(&slot, campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         Response::Truths {
             rounds_run: u64::from(state.driver.rounds_run()),
             truths: state.last_truths.clone(),
@@ -537,7 +582,10 @@ impl CampaignRegistry {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let state = slot.state.lock().expect("campaign lock");
+        let state = match lock_campaign(&slot, campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         let m = state.driver.backend().metrics();
         let ns = |d: Option<std::time::Duration>| {
             d.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
@@ -565,7 +613,10 @@ impl CampaignRegistry {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let state = slot.state.lock().expect("campaign lock");
+        let state = match lock_campaign(&slot, campaign) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         let ledger: &BudgetAccountant = state.driver.accountant();
         Response::Budget {
             exhausted: ledger.exhausted_count() as u64,
@@ -946,6 +997,68 @@ mod tests {
                 "{resp:?}"
             );
         }
+    }
+
+    #[test]
+    fn poisoned_campaign_yields_a_typed_error_frame_not_a_panic() {
+        let reg = registry();
+        create(&reg, "c", spec(2, 64));
+        create(&reg, "healthy", spec(2, 64));
+
+        // Poison campaign `c`'s slot: a worker panics while holding its
+        // state lock, exactly what a panic mid-`run_round` looks like.
+        let slot = reg.slot("c").expect("campaign exists");
+        std::thread::spawn(move || {
+            let _guard = slot.state.lock().expect("first locker");
+            panic!("worker dies holding the campaign lock");
+        })
+        .join()
+        .expect_err("the poisoning thread must have panicked");
+
+        // Every request on the quarantined campaign gets a typed error
+        // frame — the connection stays alive, nothing panics.
+        for req in [
+            Request::SubmitReports {
+                campaign: "c".to_string(),
+                reports: vec![stamped(0, 0, 1, 1.0)],
+            },
+            Request::CloseRound {
+                campaign: "c".to_string(),
+                epoch: 0,
+            },
+            Request::QueryTruths {
+                campaign: "c".to_string(),
+            },
+            Request::QueryMetrics {
+                campaign: "c".to_string(),
+            },
+            Request::QueryBudget {
+                campaign: "c".to_string(),
+            },
+        ] {
+            let resp = reg.handle(req);
+            assert!(
+                matches!(
+                    resp,
+                    Response::Error {
+                        code: ErrorCode::CampaignQuarantined,
+                        ..
+                    }
+                ),
+                "{resp:?}"
+            );
+        }
+
+        // Other campaigns — and the registry itself — keep serving.
+        assert_eq!(reg.campaign_count(), 2);
+        let resp = reg.handle(Request::SubmitReports {
+            campaign: "healthy".to_string(),
+            reports: vec![stamped(0, 0, 1, 1.0)],
+        });
+        assert_eq!(resp, Response::Submitted { queued: 1 });
+        // Shutdown still drains the quarantined slot without panicking.
+        reg.finalize();
+        assert_eq!(reg.campaign_count(), 0);
     }
 
     #[test]

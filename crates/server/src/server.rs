@@ -13,7 +13,7 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use crate::registry::{CampaignRegistry, RegistryConfig, RegistryStats};
@@ -173,7 +173,11 @@ impl Server {
                     let Ok(stream) = incoming else { continue };
                     let _ = stream.set_nodelay(true);
 
-                    let mut conns = accept_connections.lock().expect("connection list");
+                    // The list is (stream, handle) bookkeeping only; a
+                    // poisoned guard is recoverable.
+                    let mut conns = accept_connections
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
                     // Reap finished workers so the budget counts only
                     // live connections.
                     let mut live = Vec::with_capacity(conns.len());
@@ -203,7 +207,7 @@ impl Server {
                     let stream = Arc::new(stream);
                     let worker_stream = Arc::clone(&stream);
                     let worker_registry = Arc::clone(&accept_registry);
-                    let handle = std::thread::Builder::new()
+                    match std::thread::Builder::new()
                         .name("dptd-conn".to_string())
                         .spawn(move || {
                             serve_connection(&worker_stream, &worker_registry);
@@ -212,9 +216,24 @@ impl Server {
                             // until the next reap, and the peer must see
                             // EOF when its worker is done, not later.
                             let _ = worker_stream.shutdown(std::net::Shutdown::Both);
-                        })
-                        .expect("spawn connection worker");
-                    conns.push((stream, handle));
+                        }) {
+                        Ok(handle) => conns.push((stream, handle)),
+                        Err(_) => {
+                            // Out of threads is load, not a protocol
+                            // violation: refuse this connection like an
+                            // over-budget one instead of killing the
+                            // acceptor (and with it every live
+                            // connection's shutdown path).
+                            let mut s = &*stream;
+                            let frame = Response::Error {
+                                code: ErrorCode::ServerBusy,
+                                message: "server cannot spawn a connection worker".to_string(),
+                            }
+                            .encode();
+                            let _ = write_frame(&mut s, &frame);
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                        }
+                    }
                 }
             })
             .map_err(|e| io_err("spawn acceptor", e))?;
@@ -248,7 +267,12 @@ impl Server {
             let _ = handle.join();
         }
         // Force-close live connections so their workers see EOF.
-        let conns = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        let conns = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
         for (stream, handle) in conns {
             let _ = stream.shutdown(std::net::Shutdown::Both);
             let _ = handle.join();

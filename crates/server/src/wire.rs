@@ -136,6 +136,12 @@ pub enum ErrorCode {
     ServerBusy = 7,
     /// Anything else (engine/internal failures).
     Internal = 8,
+    /// The campaign is quarantined: a worker panicked while holding its
+    /// state lock, so the in-memory state cannot be trusted mid-round.
+    /// Requests on the campaign are refused instead of risking a
+    /// corrupted merge; recreate the campaign (or restart the server,
+    /// replaying its WAL) to recover.
+    CampaignQuarantined = 9,
 }
 
 impl ErrorCode {
@@ -150,6 +156,7 @@ impl ErrorCode {
             6 => ErrorCode::WalRefused,
             7 => ErrorCode::ServerBusy,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::CampaignQuarantined,
             _ => return None,
         })
     }
@@ -166,6 +173,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::WalRefused => "wal-refused",
             ErrorCode::ServerBusy => "server-busy",
             ErrorCode::Internal => "internal",
+            ErrorCode::CampaignQuarantined => "campaign-quarantined",
         };
         write!(f, "{name}")
     }

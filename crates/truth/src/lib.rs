@@ -52,6 +52,7 @@
 pub mod baselines;
 pub mod catd;
 pub mod categorical;
+pub mod columnar;
 pub mod convergence;
 pub mod crh;
 pub mod gtm;

@@ -11,6 +11,7 @@
 //! that batch's claims under the current weights (one refinement pass per
 //! batch).
 
+use crate::columnar::{effective_workers, ColumnarBatch};
 use crate::loss::Loss;
 use crate::matrix::ObservationMatrix;
 use crate::TruthError;
@@ -133,13 +134,15 @@ impl StreamingCrh {
     /// Ingest one epoch that was collected **sharded**: each
     /// [`ShardClaims`] holds the claims of a disjoint subset of users.
     ///
-    /// The shards are merged into one canonical batch — users in ascending
-    /// id, regardless of which shard owned them or in which order the
-    /// shards are passed — and that batch goes through the exact code path
-    /// of [`StreamingCrh::ingest`]. The result is therefore **bit
-    /// identical** to the single-shard reference for any shard count: this
-    /// is the cross-shard weight-merge step of the `dptd-engine`
-    /// aggregation engine.
+    /// The shards are merged into one canonical columnar batch — users in
+    /// ascending id, regardless of which shard owned them or in which
+    /// order the shards are passed — and that batch goes through the exact
+    /// reduction-tree kernels of [`StreamingCrh::ingest`]. The result is
+    /// therefore **bit identical** to the single-shard reference for any
+    /// shard count: this is the cross-shard weight-merge step of the
+    /// `dptd-engine` aggregation engine. Workers are auto-selected; see
+    /// [`StreamingCrh::ingest_sharded_with_workers`] to pin a count (the
+    /// result is worker-count-independent either way).
     ///
     /// # Errors
     ///
@@ -152,34 +155,26 @@ impl StreamingCrh {
         num_objects: usize,
         shards: Vec<ShardClaims>,
     ) -> Result<Vec<f64>, TruthError> {
-        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.num_users];
-        // Occupancy is tracked separately from the rows: a user with an
-        // empty claim list still occupies its slot, so overlapping shards
-        // are rejected even when the first entry carried no claims. The
-        // shards are consumed, so claim vectors move into the canonical
-        // batch without copying — this runs on the engine's per-epoch
-        // merge hot path.
-        let mut seen = vec![false; self.num_users];
-        for shard in shards {
-            for (user, claims) in shard.claims {
-                if user >= self.num_users {
-                    return Err(TruthError::UserOutOfRange {
-                        user,
-                        num_users: self.num_users,
-                    });
-                }
-                if seen[user] {
-                    return Err(TruthError::DuplicateObservation {
-                        user,
-                        object: claims.first().map(|&(n, _)| n).unwrap_or(0),
-                    });
-                }
-                seen[user] = true;
-                rows[user] = claims;
-            }
-        }
-        let batch = ObservationMatrix::from_sparse_rows(num_objects, &rows)?;
-        self.ingest(&batch)
+        self.ingest_sharded_with_workers(num_objects, &shards, 0)
+    }
+
+    /// [`StreamingCrh::ingest_sharded`] with an explicit merge worker
+    /// count (`0` = auto, `1` = sequential). The bitwise result is
+    /// guaranteed identical for every worker count: the reduction tree's
+    /// shape is a pure function of the population size.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingCrh::ingest_sharded`].
+    pub fn ingest_sharded_with_workers(
+        &mut self,
+        num_objects: usize,
+        shards: &[ShardClaims],
+        workers: usize,
+    ) -> Result<Vec<f64>, TruthError> {
+        let mut batch = ColumnarBatch::new(self.num_users, num_objects);
+        batch.load_shards(shards)?;
+        self.ingest_columnar_with_workers(&batch, workers)
     }
 
     /// Ingest one batch of new objects and return their estimated truths.
@@ -200,21 +195,57 @@ impl StreamingCrh {
                 num_objects: self.num_users,
             });
         }
+        let mut columnar = ColumnarBatch::new(self.num_users, batch.num_objects());
+        columnar.load_matrix(batch);
+        self.ingest_columnar_with_workers(&columnar, 0)
+    }
+
+    /// Ingest a pre-built [`ColumnarBatch`] (the engine's arena-reuse hot
+    /// path) with an explicit worker count (`0` = auto, `1` =
+    /// sequential). All [`StreamingCrh`] ingest entry points funnel here,
+    /// so every backend shares one canonical summation order.
+    ///
+    /// On error the estimator state is untouched: losses and weights only
+    /// commit after the whole refinement pass succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::ObjectOutOfRange`] if the batch's population
+    /// differs from the estimator's, [`TruthError::UnobservedObject`] if
+    /// an object has no claims, and propagates aggregation degeneracies.
+    pub fn ingest_columnar_with_workers(
+        &mut self,
+        batch: &ColumnarBatch,
+        workers: usize,
+    ) -> Result<Vec<f64>, TruthError> {
+        if batch.num_users() != self.num_users {
+            return Err(TruthError::ObjectOutOfRange {
+                object: batch.num_users(),
+                num_objects: self.num_users,
+            });
+        }
         batch.validate_coverage()?;
-        let stds = batch.object_std_devs();
+        let workers = effective_workers(workers, batch.num_claims(), batch.num_leaves());
+        let stds = batch.object_std_devs(workers);
 
         // Aggregate the new batch under current weights.
-        let mut truths = weighted_truths(batch, &self.weights)?;
+        let mut truths = batch.weighted_truths(&self.weights, workers)?;
 
         // One refinement pass: update cumulative losses with this batch,
         // recompute weights, re-aggregate.
         let mut trial_loss = self.cumulative_loss.clone();
-        accumulate_losses(batch, &truths, &stds, self.loss, &mut trial_loss);
+        batch.accumulate_losses(&truths, &stds, self.loss, &mut trial_loss, workers);
         let weights = share_weights(&trial_loss);
-        truths = weighted_truths(batch, &weights)?;
+        truths = batch.weighted_truths(&weights, workers)?;
 
         // Commit: final losses against the refined truths.
-        accumulate_losses(batch, &truths, &stds, self.loss, &mut self.cumulative_loss);
+        batch.accumulate_losses(
+            &truths,
+            &stds,
+            self.loss,
+            &mut self.cumulative_loss,
+            workers,
+        );
         self.weights = share_weights(&self.cumulative_loss);
         self.batches_seen += 1;
         Ok(truths)
@@ -260,38 +291,11 @@ impl ShardClaims {
     pub fn users(&self) -> impl Iterator<Item = usize> + '_ {
         self.claims.iter().map(|&(user, _)| user)
     }
-}
 
-fn weighted_truths(batch: &ObservationMatrix, weights: &[f64]) -> Result<Vec<f64>, TruthError> {
-    (0..batch.num_objects())
-        .map(|n| {
-            let mut num = 0.0;
-            let mut den = 0.0;
-            for (s, v) in batch.observations_of_object(n) {
-                num += weights[s] * v;
-                den += weights[s];
-            }
-            if den <= 0.0 {
-                return Err(TruthError::Degenerate {
-                    reason: "total weight on a streamed object is not positive",
-                });
-            }
-            Ok(num / den)
-        })
-        .collect()
-}
-
-fn accumulate_losses(
-    batch: &ObservationMatrix,
-    truths: &[f64],
-    stds: &[f64],
-    loss: Loss,
-    acc: &mut [f64],
-) {
-    for (s, user_loss) in acc.iter_mut().enumerate() {
-        for (n, v) in batch.observations_of_user(s) {
-            *user_loss += loss.distance(v, truths[n], stds[n]);
-        }
+    /// The raw `(user, claims)` entries in push order — the columnar
+    /// loader reads these when merging shards into the canonical batch.
+    pub(crate) fn entries(&self) -> &[(usize, Vec<(usize, f64)>)] {
+        &self.claims
     }
 }
 
