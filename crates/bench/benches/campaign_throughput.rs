@@ -108,6 +108,7 @@ fn bench_campaign_rounds(c: &mut Criterion) {
         p50_ns: ns(backend.metrics().ingest_latency.p50()),
         p99_ns: ns(backend.metrics().ingest_latency.p99()),
         weights_digest: fnv1a_f64s(backend.current_weights()),
+        extras: Vec::new(),
     };
     match summary.write() {
         Ok(path) => println!("bench summary: {}", path.display()),

@@ -75,6 +75,7 @@ fn bench_million_reports(c: &mut Criterion) {
         p50_ns: ns(report.metrics.ingest_latency.p50()),
         p99_ns: ns(report.metrics.ingest_latency.p99()),
         weights_digest: fnv1a_f64s(&report.final_weights),
+        extras: Vec::new(),
     };
     match summary.write() {
         Ok(path) => println!("bench summary: {}", path.display()),

@@ -35,6 +35,10 @@ pub struct BenchSummary {
     /// determinism witness, serialized as a hex string because JSON
     /// numbers cannot carry 64 bits exactly.
     pub weights_digest: u64,
+    /// Bench-specific extra metrics appended to the JSON object as-is
+    /// (key → number), e.g. the fan-in bench's `connections` and
+    /// `connections_per_thread`. Keys must be `[a-z0-9_]`.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchSummary {
@@ -50,11 +54,11 @@ impl BenchSummary {
 
     /// Serialize as a single flat JSON object.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\"bench\":\"{}\",\"reports\":{},\"elapsed_s\":{:.6},",
                 "\"reports_per_sec\":{:.1},\"p50_ns\":{},\"p99_ns\":{},",
-                "\"weights_digest\":\"{:#018x}\"}}"
+                "\"weights_digest\":\"{:#018x}\""
             ),
             json_escape(&self.bench),
             self.reports,
@@ -63,7 +67,12 @@ impl BenchSummary {
             self.p50_ns,
             self.p99_ns,
             self.weights_digest,
-        )
+        );
+        for (key, value) in &self.extras {
+            out.push_str(&format!(",\"{}\":{:.1}", json_escape(key), value));
+        }
+        out.push('}');
+        out
     }
 
     /// Write `<dir>/<bench>.json` under `$DPTD_BENCH_JSON_DIR` (default
@@ -121,6 +130,7 @@ mod tests {
             p50_ns: 1_000,
             p99_ns: 9_000,
             weights_digest: 0xdead_beef_cafe_f00d,
+            extras: Vec::new(),
         };
         assert_eq!(
             s.to_json(),
@@ -140,9 +150,15 @@ mod tests {
             p50_ns: 0,
             p99_ns: 0,
             weights_digest: 0,
+            extras: vec![("connections".to_string(), 64.0)],
         };
         assert_eq!(s.reports_per_sec(), 0.0);
         assert!(s.to_json().contains("we\\\"ird\\\\name"));
+        assert!(
+            s.to_json().ends_with(",\"connections\":64.0}"),
+            "{}",
+            s.to_json()
+        );
     }
 
     #[test]
@@ -162,6 +178,7 @@ mod tests {
             p50_ns: 0,
             p99_ns: 0,
             weights_digest: 7,
+            extras: Vec::new(),
         };
         let path = s.write().expect("write summary");
         std::env::remove_var("DPTD_BENCH_JSON_DIR");

@@ -34,7 +34,10 @@ dptd cluster needs a subcommand:
         --listen         bind address                   [127.0.0.1:7900]
         --node-id        this node's index               [0]
         --nodes          total nodes in the cluster      [1]
-        --max-connections connection worker budget       [32]
+        --max-connections connection budget              [32]
+        --io-model       reactor|threads front end       [reactor]
+        --reactor-threads reactor thread count (0 = one per core)
+        --idle-timeout-ms --stall-timeout-ms per-connection deadlines
         --wal            root dir for durable partitions
         --replicate-to   follower address: stream every durable store
                          mutation there, byte for byte
@@ -108,6 +111,9 @@ fn run_serve(args: &ArgMap, wait: impl FnOnce()) -> Result<String, CliError> {
         node_id: args.u64_or("node-id", 0)? as u32,
         num_nodes: args.u64_or("nodes", 1)? as u32,
         max_connections: args.usize_or("max-connections", 32)?,
+        // `--io-model reactor|threads`, `--reactor-threads`,
+        // `--idle-timeout-ms`, `--stall-timeout-ms`.
+        io: super::resolve_io_config(args)?,
         wal_root: args.get("wal").map(PathBuf::from),
         replicate_to: args.get("replicate-to").map(str::to_string),
         replica_root: args.get("replica-root").map(PathBuf::from),

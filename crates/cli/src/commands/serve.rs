@@ -53,6 +53,9 @@ fn run(args: &ArgMap, wait: impl FnOnce()) -> Result<String, CliError> {
     let config = ServerConfig {
         listen,
         max_connections: args.usize_or("max-connections", 64)?,
+        // `--io-model reactor|threads`, `--reactor-threads`,
+        // `--idle-timeout-ms`, `--stall-timeout-ms`.
+        io: super::resolve_io_config(args)?,
         registry: RegistryConfig {
             wal_root: args.get("wal").map(PathBuf::from),
             max_campaigns: args.usize_or("max-campaigns", 1024)?,
@@ -75,8 +78,11 @@ fn run(args: &ArgMap, wait: impl FnOnce()) -> Result<String, CliError> {
     // real port exists only now, and stdout is reserved for the final
     // summary.
     eprintln!(
-        "dptd serve: listening on {} (wal root: {wal_desc}); close stdin to stop",
-        server.local_addr()
+        "dptd serve: listening on {} ({} I/O on {} thread(s); wal root: {wal_desc}); \
+         close stdin to stop",
+        server.local_addr(),
+        server.frontend().io_model(),
+        server.frontend().io_threads(),
     );
 
     wait();

@@ -85,6 +85,21 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         busy_retries: args.u64_or("busy-retries", 0)? as u32,
         busy_backoff_ms: args.u64_or("busy-backoff-ms", 25)?,
     };
+    // `--pipeline` switches each round's submission from request/reply
+    // `SubmitReports` to the streamed `SubmitReportsStream` mode: a
+    // window of batches stays in flight and the server answers with
+    // cumulative acks, so a high-latency link no longer pays one RTT
+    // per batch. Digests are identical either way.
+    let pipeline = match args.str_or("pipeline", "false") {
+        "true" | "1" | "yes" => true,
+        "false" | "0" | "no" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "flag `--pipeline` expects true|false, got `{other}`"
+            )))
+        }
+    };
+    let window = args.usize_or("window", dptd_server::client::DEFAULT_STREAM_WINDOW)?;
 
     let mut client = Client::connect(addr).map_err(box_err)?;
     let resumed = client.create_campaign(campaign, spec).map_err(box_err)?;
@@ -116,6 +131,12 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
             "wal: server resumed campaign `{campaign}` at round {resumed}\n"
         );
     }
+    if pipeline {
+        let _ = writeln!(
+            out,
+            "pipelined submit: up to {window} batch(es) in flight, cumulative acks\n"
+        );
+    }
 
     let _ = writeln!(
         out,
@@ -125,16 +146,19 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
     let mut last_digest: Option<u64> = None;
     for epoch in resumed..load_cfg.epochs {
         let reports = load.epoch_reports(epoch);
-        client
-            .submit_chunked_with_retry(campaign, &reports, batch, retry)
-            .map_err(|e| match e {
-                dptd_server::ServerError::Busy => CliError::Usage(format!(
-                    "server pushed back on round {epoch}: raise --submission-capacity \
+        if pipeline {
+            client.submit_stream_with_retry(campaign, &reports, batch, window, retry)
+        } else {
+            client.submit_chunked_with_retry(campaign, &reports, batch, retry)
+        }
+        .map_err(|e| match e {
+            dptd_server::ServerError::Busy => CliError::Usage(format!(
+                "server pushed back on round {epoch}: raise --submission-capacity \
                      (currently {}), add --busy-retries, or shrink the round",
-                    spec.submission_capacity
-                )),
-                other => box_err(other),
-            })?;
+                spec.submission_capacity
+            )),
+            other => box_err(other),
+        })?;
         let round = client.close_round(campaign, epoch).map_err(box_err)?;
         let truth_mae = mae(&round.truths, &load.ground_truths(epoch))
             .map(|v| format!("{v:.4}"))
@@ -257,6 +281,46 @@ mod tests {
         };
         assert_eq!(rows(&net), rows(&local), "net:\n{net}\nlocal:\n{local}");
         server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_submit_lands_on_the_same_digest() {
+        let server = start(None);
+        let addr = server.local_addr().to_string();
+        // A small batch forces several in-flight frames per round.
+        let piped = execute(&map(&[
+            SMALL,
+            &[
+                "--connect",
+                &addr,
+                "--campaign",
+                "piped",
+                "--pipeline",
+                "true",
+                "--batch",
+                "64",
+                "--window",
+                "4",
+            ],
+        ]
+        .concat()))
+        .unwrap();
+        assert!(piped.contains("pipelined submit"), "{piped}");
+        let plain = execute(&map(
+            &[SMALL, &["--connect", &addr, "--campaign", "plain"]].concat()
+        ))
+        .unwrap();
+        let digest = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("weights digest"))
+                .expect("digest line")
+                .to_string()
+        };
+        assert_eq!(digest(&piped), digest(&plain), "{piped}\n{plain}");
+        server.shutdown();
+
+        let err = execute(&map(&["--connect", "x", "--pipeline", "maybe"])).unwrap_err();
+        assert!(err.to_string().contains("--pipeline"), "{err}");
     }
 
     #[test]

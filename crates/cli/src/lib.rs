@@ -106,7 +106,11 @@ COMMANDS:
              --dup --straggler --coverage --seed as below
     serve    host concurrent campaigns over TCP (runs until stdin EOF)
              --listen     bind address                      [127.0.0.1:7878]
-             --max-connections connection worker budget     [64]
+             --max-connections connection budget            [64]
+             --io-model   reactor | threads front end       [reactor]
+             --reactor-threads reactor count (0 = one per core)
+             --idle-timeout-ms / --stall-timeout-ms per-connection
+                          deadlines                         [60000 / 10000]
              --max-campaigns   live campaign cap            [1024]
              --max-users       per-campaign population cap  [4194304]
              --wal        root dir for durable campaigns (per-campaign
@@ -126,6 +130,9 @@ COMMANDS:
              --busy-retries    bounded retries when the server queue
                                is full (exponential backoff)  [0]
              --busy-backoff-ms initial backoff, doubled/retry [25]
+             --pipeline   true | false: stream batches without per-batch
+                          ack waits (server sends cumulative acks) [false]
+             --window     in-flight batches when --pipeline true [64]
     cluster  multi-node campaigns (see `dptd cluster` for subcommand flags)
              serve    host one partition node (--node-id/--nodes, --wal,
                       --replicate-to, --replica-root)

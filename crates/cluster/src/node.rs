@@ -32,12 +32,9 @@
 //! recovery.
 
 use std::collections::{btree_map::Entry, BTreeMap, VecDeque};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
 
 use dptd_engine::store::{DirFs, ObservedFs, SegmentStore, StoreConfig, StoreFs};
 use dptd_engine::wal::{RecordKind, RecordLog, WalLock, WalPolicy};
@@ -47,7 +44,7 @@ use dptd_protocol::campaign::CampaignConfig;
 use dptd_protocol::message::StampedReport;
 use dptd_protocol::partition::EpochLane;
 use dptd_server::{
-    read_frame_body, write_frame, CampaignSpec, ErrorCode, Request, Response, ServerError,
+    CampaignSpec, ErrorCode, Frontend, FrontendConfig, IoConfig, Request, RequestHandler, Response,
 };
 use dptd_truth::Loss;
 
@@ -63,8 +60,10 @@ pub struct NodeConfig {
     pub node_id: u32,
     /// Total nodes in the cluster (validated against `NodeHello`).
     pub num_nodes: u32,
-    /// Connection worker budget.
+    /// Connection budget.
     pub max_connections: usize,
+    /// I/O model and connection deadlines for the shared front end.
+    pub io: IoConfig,
     /// Root directory for durable campaign partitions (`None` keeps
     /// partitions in memory only).
     pub wal_root: Option<PathBuf>,
@@ -87,6 +86,7 @@ impl Default for NodeConfig {
             node_id: 0,
             num_nodes: 1,
             max_connections: 32,
+            io: IoConfig::default(),
             wal_root: None,
             replicate_to: None,
             replica_root: None,
@@ -310,6 +310,14 @@ impl NodeState {
                 ErrorCode::InvalidRequest,
                 "cluster nodes close rounds through the coordinator's two-phase barrier, \
                  not `CloseRound`",
+            ),
+            // Pipelined batches carry per-connection sequencing state,
+            // which only the connection front end holds; one reaching
+            // the node state directly bypassed the cumulative-ack
+            // protocol.
+            Request::SubmitReportsStream { .. } => refuse(
+                ErrorCode::InvalidRequest,
+                "streamed submit batches are handled by the connection front end",
             ),
             Request::QueryTruths { .. } | Request::QueryBudget { .. } => refuse(
                 ErrorCode::InvalidRequest,
@@ -840,22 +848,27 @@ impl NodeState {
     }
 }
 
-type ConnectionList = Arc<Mutex<Vec<(Arc<TcpStream>, JoinHandle<()>)>>>;
+impl RequestHandler for NodeState {
+    fn handle(&self, request: Request) -> Response {
+        // `Type::method` resolves to the inherent `handle` above, not
+        // back into this trait method.
+        NodeState::handle(self, request)
+    }
+}
 
 /// A running cluster node. Dropping (or [`NodeServer::shutdown`]) stops
-/// the acceptor, closes live connections, joins workers, and flushes
-/// durable partitions.
+/// the shared connection front end, closes live connections, joins I/O
+/// threads, and flushes durable partitions.
 #[derive(Debug)]
 pub struct NodeServer {
     state: Arc<NodeState>,
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    connections: ConnectionList,
+    frontend: Frontend,
 }
 
 impl NodeServer {
-    /// Bind `config.listen` and start accepting.
+    /// Bind `config.listen` and start accepting under the configured
+    /// I/O model, on the same connection front end the campaign server
+    /// uses (reactor by default; `IoModel::Threads` on request).
     ///
     /// # Errors
     ///
@@ -868,28 +881,6 @@ impl NodeServer {
                 config.node_id, config.num_nodes
             )));
         }
-        let io_err = |op: &'static str, e: std::io::Error| {
-            ClusterError::Server(ServerError::Io {
-                op,
-                message: e.to_string(),
-            })
-        };
-        let listener = TcpListener::bind(
-            config
-                .listen
-                .to_socket_addrs()
-                .map_err(|e| io_err("resolve listen address", e))?
-                .next()
-                .ok_or_else(|| {
-                    ClusterError::Server(ServerError::Io {
-                        op: "resolve listen address",
-                        message: format!("`{}` resolves to nothing", config.listen),
-                    })
-                })?,
-        )
-        .map_err(|e| io_err("bind", e))?;
-        let addr = listener.local_addr().map_err(|e| io_err("local addr", e))?;
-
         let state = Arc::new(NodeState {
             node_id: config.node_id,
             num_nodes: config.num_nodes,
@@ -901,91 +892,22 @@ impl NodeServer {
             campaigns: Mutex::new(BTreeMap::new()),
             replicas: Mutex::new(BTreeMap::new()),
         });
-        let stop = Arc::new(AtomicBool::new(false));
-        let connections: ConnectionList = Arc::new(Mutex::new(Vec::new()));
-
-        let accept_state = Arc::clone(&state);
-        let accept_stop = Arc::clone(&stop);
-        let accept_connections = Arc::clone(&connections);
-        let max_connections = config.max_connections.max(1);
-        let accept_thread = std::thread::Builder::new()
-            .name("dptd-node-accept".to_string())
-            .spawn(move || {
-                for incoming in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = incoming else { continue };
-                    let _ = stream.set_nodelay(true);
-
-                    // The list is (stream, handle) bookkeeping only; a
-                    // poisoned guard is recoverable.
-                    let mut conns = accept_connections
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner);
-                    let mut live = Vec::with_capacity(conns.len());
-                    for (s, h) in conns.drain(..) {
-                        if h.is_finished() {
-                            let _ = h.join();
-                        } else {
-                            live.push((s, h));
-                        }
-                    }
-                    *conns = live;
-
-                    if conns.len() >= max_connections {
-                        let mut s = &stream;
-                        let frame = refuse(
-                            ErrorCode::ServerBusy,
-                            format!("node at its {max_connections}-connection budget"),
-                        )
-                        .encode();
-                        let _ = write_frame(&mut s, &frame);
-                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                        continue;
-                    }
-
-                    let stream = Arc::new(stream);
-                    let worker_stream = Arc::clone(&stream);
-                    let worker_state = Arc::clone(&accept_state);
-                    match std::thread::Builder::new()
-                        .name("dptd-node-conn".to_string())
-                        .spawn(move || {
-                            serve_connection(&worker_stream, &worker_state);
-                            let _ = worker_stream.shutdown(std::net::Shutdown::Both);
-                        }) {
-                        Ok(handle) => conns.push((stream, handle)),
-                        Err(_) => {
-                            // Out of threads is load, not a protocol
-                            // violation: refuse this connection like an
-                            // over-budget one instead of killing the
-                            // acceptor (and every live connection).
-                            let mut s = &*stream;
-                            let frame = refuse(
-                                ErrorCode::ServerBusy,
-                                "node cannot spawn a connection worker",
-                            )
-                            .encode();
-                            let _ = write_frame(&mut s, &frame);
-                            let _ = stream.shutdown(std::net::Shutdown::Both);
-                        }
-                    }
-                }
-            })
-            .map_err(|e| io_err("spawn acceptor", e))?;
-
-        Ok(Self {
-            state,
-            addr,
-            stop,
-            accept_thread: Some(accept_thread),
-            connections,
-        })
+        let frontend = Frontend::start(
+            FrontendConfig {
+                listen: config.listen,
+                max_connections: config.max_connections,
+                io: config.io,
+                thread_name: "dptd-node",
+            },
+            Arc::clone(&state) as Arc<dyn RequestHandler>,
+        )
+        .map_err(ClusterError::Server)?;
+        Ok(Self { state, frontend })
     }
 
     /// The bound address (resolves `:0` to the real port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.frontend.local_addr()
     }
 
     /// The first replication failure latched for `campaign`, if its WAL
@@ -1004,75 +926,11 @@ impl NodeServer {
             .and_then(|f| f.lock().unwrap_or_else(PoisonError::into_inner).clone())
     }
 
-    fn stop_threads(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        let conns = std::mem::take(
-            &mut *self
-                .connections
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-        );
-        for (stream, handle) in conns {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            let _ = handle.join();
-        }
-    }
-
-    /// Stop accepting, join every worker, flush durable partitions, and
-    /// return how many were flushed.
+    /// Stop accepting, close every connection, join the I/O threads,
+    /// flush durable partitions, and return how many were flushed.
     pub fn shutdown(mut self) -> usize {
-        self.stop_threads();
+        self.frontend.stop();
         self.state.finalize()
-    }
-}
-
-impl Drop for NodeServer {
-    fn drop(&mut self) {
-        self.stop_threads();
-    }
-}
-
-/// One connection worker: the same hello + frame loop as the campaign
-/// server, dispatching into the node's partition state.
-fn serve_connection(stream: &Arc<TcpStream>, state: &Arc<NodeState>) {
-    let mut reader: &TcpStream = stream;
-    let mut writer: &TcpStream = stream;
-
-    let mut hello = [0u8; dptd_server::wire::HELLO.len()];
-    if reader.read_exact(&mut hello).is_err() || hello != dptd_server::wire::HELLO {
-        let frame = refuse(ErrorCode::InvalidRequest, "expected the dptd v1 hello").encode();
-        let _ = write_frame(&mut writer, &frame);
-        return;
-    }
-    if writer.write_all(&dptd_server::wire::HELLO).is_err() {
-        return;
-    }
-
-    loop {
-        match read_frame_body(&mut reader) {
-            Ok(None) => return,
-            Ok(Some(body)) => {
-                let response = match Request::decode(&body) {
-                    Ok(request) => state.handle(request),
-                    Err(e) => refuse(ErrorCode::InvalidRequest, e.to_string()),
-                };
-                if write_frame(&mut writer, &response.encode()).is_err() {
-                    return;
-                }
-            }
-            Err(ServerError::Wire(e)) => {
-                let frame = refuse(ErrorCode::InvalidRequest, e.to_string()).encode();
-                let _ = write_frame(&mut writer, &frame);
-                return;
-            }
-            Err(_) => return,
-        }
     }
 }
 

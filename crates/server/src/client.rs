@@ -22,16 +22,31 @@ use crate::{io_err, ServerError};
 /// [`Client::submit_chunked`].
 pub const DEFAULT_SUBMIT_CHUNK: usize = 1024;
 
-/// Ceiling on one busy-retry backoff sleep, milliseconds (the
-/// exponential stops doubling here).
-const MAX_BUSY_BACKOFF_MS: u64 = 2_000;
+/// Ceiling on one busy-retry backoff sleep, milliseconds, **before**
+/// jitter (the exponential stops doubling here). With jitter the hard
+/// per-sleep ceiling is `1.5 ×` this — see [`RetryPolicy::max_delay`].
+pub const MAX_BUSY_BACKOFF_MS: u64 = 2_000;
+
+/// The exponent clamp in `busy_backoff_ms · 2^min(attempt, 6)`: kept
+/// alongside [`MAX_BUSY_BACKOFF_MS`] so the doubling can never overflow
+/// `u64` for any `busy_backoff_ms`, even before the millisecond cap
+/// applies.
+pub const MAX_BUSY_BACKOFF_EXPONENT: u32 = 6;
 
 /// How a client treats a `Busy` submission queue: give up immediately
 /// (the default, and the historical behaviour) or retry with bounded
-/// exponential backoff. The backoff is `busy_backoff_ms · 2^attempt`,
-/// capped at [`MAX_BUSY_BACKOFF_MS`], plus a deterministic jitter hashed
-/// from the chunk index and attempt — concurrent submitters spread out
-/// without any client holding an RNG.
+/// exponential backoff. The backoff before retry `attempt` is
+/// `busy_backoff_ms · 2^min(attempt, MAX_BUSY_BACKOFF_EXPONENT)`,
+/// capped at [`MAX_BUSY_BACKOFF_MS`], plus a deterministic jitter of up
+/// to half the capped base hashed from the chunk index and attempt —
+/// concurrent submitters spread out without any client holding an RNG.
+///
+/// Every bound is explicit: one sleep never exceeds
+/// [`RetryPolicy::max_delay`] (`1.5 × MAX_BUSY_BACKOFF_MS` for large
+/// bases), and because a chunk retries at most `busy_retries` times,
+/// the **total** time a submit can spend asleep per chunk is bounded by
+/// [`RetryPolicy::max_total_sleep`] — `busy_retries ×
+/// max_delay` — regardless of how the exponential and the cap interact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries per chunk after a `Busy` reply (`0` = fail the submit on
@@ -56,7 +71,7 @@ impl RetryPolicy {
     fn delay(&self, chunk: usize, attempt: u32) -> Duration {
         let base = self
             .busy_backoff_ms
-            .saturating_mul(1u64 << attempt.min(6))
+            .saturating_mul(1u64 << attempt.min(MAX_BUSY_BACKOFF_EXPONENT))
             .min(MAX_BUSY_BACKOFF_MS);
         let mut h = Fnv1a::new();
         for b in (chunk as u64).to_le_bytes() {
@@ -71,6 +86,23 @@ impl RetryPolicy {
             h.finish() % (base / 2 + 1)
         };
         Duration::from_millis(base + jitter)
+    }
+
+    /// The largest single backoff sleep this policy can produce: the
+    /// capped base plus its worst-case (half-base) jitter.
+    pub fn max_delay(&self) -> Duration {
+        let base = self
+            .busy_backoff_ms
+            .saturating_mul(1u64 << MAX_BUSY_BACKOFF_EXPONENT)
+            .min(MAX_BUSY_BACKOFF_MS);
+        Duration::from_millis(base + base / 2)
+    }
+
+    /// Upper bound on the total time one chunk can spend asleep before
+    /// its submit either succeeds or fails with
+    /// [`ServerError::Busy`]: `busy_retries × max_delay`.
+    pub fn max_total_sleep(&self) -> Duration {
+        self.max_delay().saturating_mul(self.busy_retries)
     }
 }
 
@@ -166,10 +198,32 @@ pub enum SubmitOutcome {
     },
 }
 
+/// In-flight batch frames for [`Client::submit_stream`] before the
+/// client stops writing and waits for cumulative acks.
+pub const DEFAULT_STREAM_WINDOW: usize = 64;
+
+/// One decoded cumulative ack from a pipelined submit.
+struct StreamAck {
+    contiguous: u64,
+    queued: u64,
+    refusals: Vec<wire::BatchRefusal>,
+}
+
+/// On any exit from a pipelined submit, re-align the client's stream
+/// cursor with the server's (`base + accepted`): a later stream on the
+/// same connection then starts in sync even after an error.
+fn break_stream(seq: &mut u64, base: u64, accepted: usize) {
+    *seq = base + accepted as u64;
+}
+
 /// A blocking connection to a campaign server.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The pipelined-submit cursor: the next batch sequence number on
+    /// this connection (the server's front end tracks the same number
+    /// and only accepts batches in order).
+    stream_seq: u64,
 }
 
 impl Client {
@@ -192,7 +246,10 @@ impl Client {
             .read_exact(&mut reply)
             .map_err(|e| io_err("read hello", e))?;
         if reply == wire::HELLO {
-            return Ok(Self { stream });
+            return Ok(Self {
+                stream,
+                stream_seq: 0,
+            });
         }
         // Not the hello: an over-budget server answers the connect with
         // one error frame instead. The 8 bytes read are its header's
@@ -331,6 +388,189 @@ impl Client {
             }
         }
         Ok(queued)
+    }
+
+    /// Submit a round's stream **pipelined**: batches of `chunk`
+    /// reports go out as `SubmitReportsStream` frames without waiting
+    /// for per-batch acks, up to [`DEFAULT_STREAM_WINDOW`] frames in
+    /// flight; the server answers each with a cumulative ack (highest
+    /// contiguous batch accepted, refusals as deltas). Order is
+    /// preserved — the server accepts only the next in-order batch, so
+    /// a pipelined round stays bit-identical to a sequential one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_stream_with_retry`] under the default
+    /// (no-retry) policy: the first backpressure refusal is
+    /// [`ServerError::Busy`].
+    pub fn submit_stream(
+        &mut self,
+        campaign: &str,
+        reports: &[StampedReport],
+        chunk: usize,
+    ) -> Result<u64, ServerError> {
+        self.submit_stream_with_retry(
+            campaign,
+            reports,
+            chunk,
+            DEFAULT_STREAM_WINDOW,
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`Client::submit_stream`] with an explicit in-flight `window`
+    /// and [`RetryPolicy`]. A batch refused for backpressure is retried
+    /// under the **same** sequence number behind the policy's backoff:
+    /// the client drains the outstanding acks of the overrun window
+    /// (they are out-of-order refusals, also retryable), sleeps, and
+    /// rewinds its send cursor to the refused batch. Returns the
+    /// reports queued server-side after the last accepted batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Busy`] once a batch exhausts its retries (that
+    /// batch and everything after it was not enqueued),
+    /// [`ServerError::Remote`] for hard refusals, plus socket/wire
+    /// failures.
+    pub fn submit_stream_with_retry(
+        &mut self,
+        campaign: &str,
+        reports: &[StampedReport],
+        chunk: usize,
+        window: usize,
+        policy: RetryPolicy,
+    ) -> Result<u64, ServerError> {
+        let chunk = chunk.max(1);
+        let window = window.max(1);
+        let batches: Vec<&[StampedReport]> = reports.chunks(chunk).collect();
+        let total = batches.len();
+        if total == 0 {
+            return Ok(0);
+        }
+        let base = self.stream_seq;
+        let mut attempts = vec![0u32; total];
+        // Batch indices with a frame on the wire, in send order.
+        let mut inflight: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut cursor = 0usize; // next batch to send (rewound on refusal)
+        let mut accepted = 0usize; // contiguously accepted batches
+        let mut queued = 0u64;
+
+        let result = loop {
+            // Top up the window. Writing can block briefly once the
+            // socket buffer is full, but the server is draining our
+            // frames and its acks are tiny, so this cannot deadlock.
+            while cursor < total && inflight.len() < window {
+                let frame = Request::SubmitReportsStream {
+                    campaign: campaign.to_string(),
+                    seq: base + cursor as u64,
+                    reports: batches[cursor].to_vec(),
+                }
+                .encode();
+                if let Err(e) = write_frame(&mut self.stream, &frame) {
+                    break_stream(&mut self.stream_seq, base, accepted);
+                    return Err(e);
+                }
+                inflight.push_back(cursor);
+                cursor += 1;
+            }
+            let Some(_idx) = inflight.pop_front() else {
+                break Ok(queued); // everything sent and acked
+            };
+            let ack = match self.read_stream_ack() {
+                Ok(ack) => ack,
+                Err(e) => {
+                    break_stream(&mut self.stream_seq, base, accepted);
+                    return Err(e);
+                }
+            };
+            accepted = (ack.contiguous.saturating_sub(base)) as usize;
+            match ack.refusals.first() {
+                None => queued = ack.queued,
+                Some(&wire::BatchRefusal { code: None, .. }) => {
+                    // Retryable: backpressure on the in-order batch, or
+                    // a window continuation behind it. Drain the rest
+                    // of the overrun window (all retryable refusals
+                    // too), then back off and rewind.
+                    while inflight.pop_front().is_some() {
+                        match self.read_stream_ack() {
+                            Ok(later) => {
+                                accepted = (later.contiguous.saturating_sub(base)) as usize;
+                                if let Some(&wire::BatchRefusal {
+                                    code: Some(code), ..
+                                }) = later.refusals.first()
+                                {
+                                    break_stream(&mut self.stream_seq, base, accepted);
+                                    return Err(ServerError::Remote {
+                                        code,
+                                        message: "streamed batch refused".to_string(),
+                                    });
+                                }
+                            }
+                            Err(e) => {
+                                break_stream(&mut self.stream_seq, base, accepted);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    // The earliest unaccepted batch is the one to retry,
+                    // under its original sequence number.
+                    let retry = accepted;
+                    if retry >= total {
+                        break Ok(queued); // refusal raced an accept
+                    }
+                    if attempts[retry] >= policy.busy_retries {
+                        break Err(ServerError::Busy);
+                    }
+                    std::thread::sleep(policy.delay(retry, attempts[retry]));
+                    attempts[retry] += 1;
+                    cursor = retry;
+                }
+                Some(&wire::BatchRefusal {
+                    code: Some(code), ..
+                }) => {
+                    // Hard refusal: drain outstanding acks so the
+                    // connection stays frame-aligned, then surface it.
+                    while inflight.pop_front().is_some() {
+                        if let Err(e) = self.read_stream_ack() {
+                            break_stream(&mut self.stream_seq, base, accepted);
+                            return Err(e);
+                        }
+                    }
+                    break Err(ServerError::Remote {
+                        code,
+                        message: "streamed batch refused".to_string(),
+                    });
+                }
+            }
+        };
+        // Align the client cursor with the server's (base + accepted on
+        // failure, base + total on success) so a later stream on this
+        // connection starts in sync.
+        self.stream_seq = base + accepted as u64;
+        result
+    }
+
+    /// Read one cumulative ack frame.
+    fn read_stream_ack(&mut self) -> Result<StreamAck, ServerError> {
+        match read_frame_body(&mut self.stream)? {
+            Some(body) => match Response::decode(&body)? {
+                Response::SubmitAcked {
+                    contiguous,
+                    queued,
+                    refusals,
+                } => Ok(StreamAck {
+                    contiguous,
+                    queued,
+                    refusals,
+                }),
+                Response::Error { code, message } => Err(ServerError::Remote { code, message }),
+                other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+            },
+            None => Err(ServerError::Io {
+                op: "read response",
+                message: "connection closed before the streamed ack".to_string(),
+            }),
+        }
     }
 
     /// Close the campaign's current round.
@@ -685,15 +925,155 @@ mod tests {
             busy_backoff_ms: 25,
         };
         // Deterministic: the same (chunk, attempt) always sleeps the
-        // same time; bounded: never past cap + half-cap jitter.
+        // same time; bounded: never past the explicit per-sleep cap.
         for attempt in 0..32 {
             let d = policy.delay(3, attempt);
             assert_eq!(d, policy.delay(3, attempt));
-            assert!(d.as_millis() as u64 <= MAX_BUSY_BACKOFF_MS + MAX_BUSY_BACKOFF_MS / 2);
+            assert!(d <= policy.max_delay(), "attempt {attempt}: {d:?}");
         }
         // The base doubles early on (jitter aside, attempt 6 dominates
         // attempt 0's worst case).
         assert!(policy.delay(0, 6) > policy.delay(0, 0));
+
+        // The full schedule for chunk 3 is pinned, milliseconds: base
+        // 25·2^min(attempt,6) capped at MAX_BUSY_BACKOFF_MS, plus the
+        // FNV-hashed jitter. A change here changes how every deployed
+        // retrying client behaves under sustained backpressure.
+        let schedule: Vec<u64> = (0..10)
+            .map(|a| policy.delay(3, a).as_millis() as u64)
+            .collect();
+        assert_eq!(
+            schedule,
+            vec![36, 59, 132, 256, 415, 1026, 2201, 1665, 2106, 2371],
+            "busy-backoff schedule changed"
+        );
+        // Every entry respects the explicit cap, and the exponent clamp
+        // means attempts past 6 stop growing (only jitter varies).
+        let cap = policy.max_delay().as_millis() as u64;
+        // 25ms · 2^6 = 1600ms stays under MAX_BUSY_BACKOFF_MS, so this
+        // policy's cap is exponent-limited: 1600 + 800 jitter. No
+        // policy can ever exceed the absolute 2000 + 1000 ceiling.
+        assert_eq!(cap, 2_400);
+        assert!(cap <= MAX_BUSY_BACKOFF_MS + MAX_BUSY_BACKOFF_MS / 2);
+        assert!(schedule.iter().all(|&ms| ms <= cap), "{schedule:?}");
+        // And the total sleep a chunk can accumulate is the documented
+        // product, which `busy_retries` makes finite.
+        assert_eq!(
+            policy.max_total_sleep(),
+            policy.max_delay() * policy.busy_retries
+        );
+        assert_eq!(
+            RetryPolicy::default().max_total_sleep(),
+            Duration::ZERO,
+            "the no-retry default never sleeps"
+        );
+    }
+
+    #[test]
+    fn pipelined_submit_matches_sequential_results() {
+        let server = start();
+        let mut piped = Client::connect(server.local_addr()).unwrap();
+        piped.create_campaign("piped", spec(8, 1024)).unwrap();
+        let reports: Vec<StampedReport> = (0..8)
+            .map(|u| stamped(0, u, u as u64 + 1, u as f64))
+            .collect();
+        // 8 reports in 2-report batches, window 2: real pipelining on a
+        // tiny stream.
+        let queued = piped
+            .submit_stream_with_retry("piped", &reports, 2, 2, RetryPolicy::default())
+            .unwrap();
+        assert_eq!(queued, 8);
+        let piped_round = piped.close_round("piped", 0).unwrap();
+
+        let mut seq = Client::connect(server.local_addr()).unwrap();
+        seq.create_campaign("seq", spec(8, 1024)).unwrap();
+        seq.submit_chunked("seq", &reports, 2).unwrap();
+        let seq_round = seq.close_round("seq", 0).unwrap();
+
+        assert_eq!(
+            piped_round.weights_digest, seq_round.weights_digest,
+            "pipelined and sequential submits must aggregate bit-identically"
+        );
+        assert_eq!(piped_round.accepted, seq_round.accepted);
+
+        // The stream cursor survives across rounds on one connection:
+        // a second pipelined round keeps working.
+        let reports1: Vec<StampedReport> =
+            (0..8).map(|u| stamped(1, u, 60 + u as u64, 1.0)).collect();
+        assert_eq!(piped.submit_stream("piped", &reports1, 3).unwrap(), 8);
+        piped.close_round("piped", 1).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_submit_retries_backpressure_under_the_same_seq() {
+        let server = start();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        // Capacity 4 (pending + lookahead): round 0 fills it, so the
+        // stream's later batches are refused until a closer drains.
+        client.create_campaign("c", spec(4, 4)).unwrap();
+        let reports: Vec<StampedReport> = (0..4)
+            .map(|u| stamped(0, u, u as u64 + 1, u as f64))
+            .chain((0..4).map(|u| stamped(1, u, 10 + u as u64, 1.0)))
+            .collect();
+        // Without retries: a hard Busy once the window overruns.
+        let err = client
+            .submit_stream_with_retry("c", &reports, 2, 4, RetryPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Busy), "{err:?}");
+        let closer = std::thread::spawn(move || {
+            let mut closer = Client::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(60));
+            closer.close_round("c", 0).unwrap()
+        });
+        // With retries: the refused batch is re-sent under its original
+        // sequence number once round 0's close frees the queue, and the
+        // stream completes. (The server accepts in order, so everything
+        // already accepted is never resent.)
+        let queued = client
+            .submit_stream_with_retry(
+                "c",
+                &reports[4..],
+                2,
+                4,
+                RetryPolicy {
+                    busy_retries: 100,
+                    busy_backoff_ms: 5,
+                },
+            )
+            .unwrap();
+        assert_eq!(queued, 4);
+        assert_eq!(closer.join().unwrap().accepted, 4);
+        assert_eq!(client.close_round("c", 1).unwrap().accepted, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_hard_refusals_surface_typed_and_leave_the_connection_usable() {
+        let server = start();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // No such campaign: the first batch's refusal carries the code.
+        let err = client
+            .submit_stream("ghost", &[stamped(0, 0, 1, 1.0)], 1)
+            .unwrap_err();
+        match err {
+            ServerError::Remote { code, .. } => {
+                assert_eq!(code, crate::wire::ErrorCode::UnknownCampaign)
+            }
+            other => panic!("expected Remote, got {other:?}"),
+        }
+        // The connection is still frame-aligned for ordinary requests
+        // and for a fresh stream.
+        client.create_campaign("real", spec(2, 64)).unwrap();
+        assert_eq!(
+            client
+                .submit_stream("real", &[stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)], 1)
+                .unwrap(),
+            2
+        );
+        assert_eq!(client.close_round("real", 0).unwrap().accepted, 2);
+        server.shutdown();
     }
 
     #[test]

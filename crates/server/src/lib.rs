@@ -17,11 +17,20 @@
 //!   via a per-campaign WAL directory), behind a **bounded** submission
 //!   queue with explicit `Busy` backpressure — the server never buffers
 //!   unboundedly.
-//! * [`server`] — [`Server`]: a thread-per-connection accept loop capped
-//!   by a connection worker budget; over-budget connections are refused
-//!   with a typed `ServerBusy` error, not queued.
+//! * [`frontend`] — the connection front end both [`Server`] and the
+//!   cluster's node server share, in two interchangeable I/O models:
+//!   an event-driven **reactor** (N poll-based threads multiplexing
+//!   thousands of nonblocking connections with per-connection
+//!   idle/stall deadlines — the default) and the original
+//!   thread-per-connection **threads** model, both capped by one
+//!   connection budget with typed `ServerBusy` refusals.
+//! * [`decode`] — [`FrameDecoder`]: the per-connection incremental
+//!   frame accumulator the reactor reads through, proptested to decode
+//!   identically to the blocking reader at every byte boundary.
+//! * [`server`] — [`Server`]: a campaign registry behind the front end.
 //! * [`client`] — [`Client`]: the blocking client `dptd submit`, the
-//!   loopback e2e harness and the `server_throughput` bench drive.
+//!   loopback e2e harness and the `server_throughput` bench drive; also
+//!   the windowed pipelined submitter (`submit_stream`).
 //!
 //! Privacy enforcement is exactly the in-process campaign layer's: the
 //! per-user [`BudgetAccountant`](dptd_protocol::budget::BudgetAccountant)
@@ -36,6 +45,8 @@
 #![deny(missing_debug_implementations)]
 
 pub mod client;
+pub mod decode;
+pub mod frontend;
 pub mod registry;
 pub mod server;
 pub mod wire;
@@ -43,9 +54,13 @@ pub mod wire;
 use std::fmt;
 
 pub use client::{Client, RetryPolicy};
+pub use decode::FrameDecoder;
+pub use frontend::{Frontend, FrontendConfig, IoConfig, IoModel, RequestHandler};
 pub use registry::{CampaignRegistry, RegistryConfig};
 pub use server::{complete_frame, read_frame_body, write_frame, Server, ServerConfig};
-pub use wire::{CampaignSpec, ErrorCode, MetricsReport, Request, Response, StoreOp, WireError};
+pub use wire::{
+    BatchRefusal, CampaignSpec, ErrorCode, MetricsReport, Request, Response, StoreOp, WireError,
+};
 
 /// Errors from the network layer (client and server plumbing).
 #[derive(Debug)]

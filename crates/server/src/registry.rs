@@ -260,6 +260,14 @@ impl CampaignRegistry {
             Request::QueryTruths { campaign } => self.query_truths(&campaign),
             Request::QueryBudget { campaign } => self.query_budget(&campaign),
             Request::QueryMetrics { campaign } => self.query_metrics(&campaign),
+            // Pipelined batches carry per-connection sequencing state,
+            // which only the connection front end holds; one reaching
+            // the registry directly bypassed the cumulative-ack
+            // protocol.
+            Request::SubmitReportsStream { .. } => refuse(
+                ErrorCode::InvalidRequest,
+                "streamed submit batches are handled by the connection front end",
+            ),
             // Cluster-peer frames: a plain campaign server is not a
             // cluster node. The refusal is typed so a misconfigured
             // coordinator learns *what* it dialled, not just "error".
@@ -624,6 +632,14 @@ impl CampaignRegistry {
             max_spent_delta: ledger.max_spent().delta(),
             debits: ledger.debits_by_user().to_vec(),
         }
+    }
+}
+
+impl crate::frontend::RequestHandler for CampaignRegistry {
+    fn handle(&self, request: Request) -> Response {
+        // `Type::method` resolves to the inherent `handle` above, not
+        // back into this trait method.
+        CampaignRegistry::handle(self, request)
     }
 }
 

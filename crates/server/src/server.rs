@@ -1,23 +1,24 @@
-//! The TCP front end: a thread-per-connection accept loop with a hard
-//! connection worker budget.
+//! The campaign server: a [`CampaignRegistry`] behind the shared
+//! connection [`Frontend`].
 //!
-//! Connections are cheap blocking threads (std-only — no async runtime),
-//! but never unbounded: past [`ServerConfig::max_connections`] live
-//! connections the acceptor writes one typed
-//! [`ErrorCode::ServerBusy`](crate::wire::ErrorCode::ServerBusy) frame
-//! and closes, so an overload is **refused**, not queued. Every
-//! connection speaks the [`crate::wire`] v1 protocol: an 8-byte hello
-//! exchange, then request/response frames. All campaign semantics live
-//! in the shared [`CampaignRegistry`]; this module only transports.
+//! All transport policy — the I/O model (event-driven reactor by
+//! default, thread-per-connection on request), the hard connection
+//! budget with typed
+//! [`ErrorCode::ServerBusy`](crate::wire::ErrorCode::ServerBusy)
+//! refusals, and the per-connection idle/stall deadlines — lives in
+//! [`crate::frontend`]; all campaign semantics live in the shared
+//! [`CampaignRegistry`]. This module wires the two together and keeps
+//! the blocking frame-I/O helpers ([`complete_frame`],
+//! [`read_frame_body`], [`write_frame`]) that the client and the
+//! threads-model worker both speak.
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
-use std::thread::JoinHandle;
+use std::net::SocketAddr;
+use std::sync::Arc;
 
+use crate::frontend::{Frontend, FrontendConfig, IoConfig};
 use crate::registry::{CampaignRegistry, RegistryConfig, RegistryStats};
-use crate::wire::{self, ErrorCode, Request, Response, WireError};
+use crate::wire::{self, WireError};
 use crate::{io_err, ServerError};
 
 /// Server configuration.
@@ -26,19 +27,23 @@ pub struct ServerConfig {
     /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port — the
     /// bound address is [`Server::local_addr`]).
     pub listen: String,
-    /// Connection worker budget: live connections past this are refused
-    /// with `ServerBusy`.
+    /// Connection budget: live connections past this are refused with
+    /// `ServerBusy`.
     pub max_connections: usize,
+    /// I/O model and connection deadlines.
+    pub io: IoConfig,
     /// Campaign-level limits and the WAL root.
     pub registry: RegistryConfig,
 }
 
 impl Default for ServerConfig {
-    /// Loopback ephemeral port, 64 connections, default registry.
+    /// Loopback ephemeral port, 64 connections, reactor I/O, default
+    /// registry.
     fn default() -> Self {
         Self {
             listen: "127.0.0.1:0".to_string(),
             max_connections: 64,
+            io: IoConfig::default(),
             registry: RegistryConfig::default(),
         }
     }
@@ -50,7 +55,7 @@ impl Default for ServerConfig {
 /// request/response loops enter it with an empty-ish prefix, and the
 /// client's connect path enters it with the 8 bytes it read while
 /// expecting a hello. Public so cluster nodes can speak the same frame
-/// discipline from their own accept loops.
+/// discipline from their own connections.
 ///
 /// # Errors
 ///
@@ -118,138 +123,39 @@ pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), ServerEr
         .map_err(|e| io_err("write frame", e))
 }
 
-/// Live connections: the stream (so shutdown can force an EOF under a
-/// blocked worker) paired with its worker's handle (so shutdown joins).
-type ConnectionList = Arc<Mutex<Vec<(Arc<TcpStream>, JoinHandle<()>)>>>;
-
 /// A running campaign service. Dropping (or [`Server::shutdown`])
-/// stops the acceptor, force-closes live connections, and joins every
-/// worker thread.
+/// stops the front end, closes live connections, and joins every I/O
+/// thread.
 #[derive(Debug)]
 pub struct Server {
     registry: Arc<CampaignRegistry>,
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    connections: ConnectionList,
+    frontend: Frontend,
 }
 
 impl Server {
-    /// Bind `config.listen` and start accepting.
+    /// Bind `config.listen` and start accepting under the configured
+    /// I/O model.
     ///
     /// # Errors
     ///
     /// [`ServerError::Io`] when the address cannot be bound.
     pub fn start(config: ServerConfig) -> Result<Self, ServerError> {
-        let listener = TcpListener::bind(
-            config
-                .listen
-                .to_socket_addrs()
-                .map_err(|e| io_err("resolve listen address", e))?
-                .next()
-                .ok_or_else(|| ServerError::Io {
-                    op: "resolve listen address",
-                    message: format!("`{}` resolves to nothing", config.listen),
-                })?,
-        )
-        .map_err(|e| io_err("bind", e))?;
-        let addr = listener.local_addr().map_err(|e| io_err("local addr", e))?;
-
         let registry = Arc::new(CampaignRegistry::new(config.registry));
-        let stop = Arc::new(AtomicBool::new(false));
-        let connections: ConnectionList = Arc::new(Mutex::new(Vec::new()));
-
-        let accept_registry = Arc::clone(&registry);
-        let accept_stop = Arc::clone(&stop);
-        let accept_connections = Arc::clone(&connections);
-        let max_connections = config.max_connections.max(1);
-        let accept_thread = std::thread::Builder::new()
-            .name("dptd-accept".to_string())
-            .spawn(move || {
-                for incoming in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = incoming else { continue };
-                    let _ = stream.set_nodelay(true);
-
-                    // The list is (stream, handle) bookkeeping only; a
-                    // poisoned guard is recoverable.
-                    let mut conns = accept_connections
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner);
-                    // Reap finished workers so the budget counts only
-                    // live connections.
-                    let mut live = Vec::with_capacity(conns.len());
-                    for (s, h) in conns.drain(..) {
-                        if h.is_finished() {
-                            let _ = h.join();
-                        } else {
-                            live.push((s, h));
-                        }
-                    }
-                    *conns = live;
-
-                    if conns.len() >= max_connections {
-                        // Over the worker budget: refuse with a typed
-                        // frame instead of queueing or hanging.
-                        let mut s = &stream;
-                        let frame = Response::Error {
-                            code: ErrorCode::ServerBusy,
-                            message: format!("server at its {max_connections}-connection budget"),
-                        }
-                        .encode();
-                        let _ = write_frame(&mut s, &frame);
-                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                        continue;
-                    }
-
-                    let stream = Arc::new(stream);
-                    let worker_stream = Arc::clone(&stream);
-                    let worker_registry = Arc::clone(&accept_registry);
-                    match std::thread::Builder::new()
-                        .name("dptd-conn".to_string())
-                        .spawn(move || {
-                            serve_connection(&worker_stream, &worker_registry);
-                            // Close the TCP side eagerly: the acceptor's
-                            // bookkeeping still holds the stream handle
-                            // until the next reap, and the peer must see
-                            // EOF when its worker is done, not later.
-                            let _ = worker_stream.shutdown(std::net::Shutdown::Both);
-                        }) {
-                        Ok(handle) => conns.push((stream, handle)),
-                        Err(_) => {
-                            // Out of threads is load, not a protocol
-                            // violation: refuse this connection like an
-                            // over-budget one instead of killing the
-                            // acceptor (and with it every live
-                            // connection's shutdown path).
-                            let mut s = &*stream;
-                            let frame = Response::Error {
-                                code: ErrorCode::ServerBusy,
-                                message: "server cannot spawn a connection worker".to_string(),
-                            }
-                            .encode();
-                            let _ = write_frame(&mut s, &frame);
-                            let _ = stream.shutdown(std::net::Shutdown::Both);
-                        }
-                    }
-                }
-            })
-            .map_err(|e| io_err("spawn acceptor", e))?;
-
-        Ok(Self {
-            registry,
-            addr,
-            stop,
-            accept_thread: Some(accept_thread),
-            connections,
-        })
+        let frontend = Frontend::start(
+            FrontendConfig {
+                listen: config.listen,
+                max_connections: config.max_connections,
+                io: config.io,
+                thread_name: "dptd",
+            },
+            Arc::clone(&registry) as Arc<dyn crate::frontend::RequestHandler>,
+        )?;
+        Ok(Self { registry, frontend })
     }
 
     /// The bound address (resolves `:0` to the real port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.frontend.local_addr()
     }
 
     /// The shared campaign registry (e.g. for stats).
@@ -257,103 +163,23 @@ impl Server {
         &self.registry
     }
 
-    fn stop_threads(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        // Force-close live connections so their workers see EOF.
-        let conns = std::mem::take(
-            &mut *self
-                .connections
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-        );
-        for (stream, handle) in conns {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            let _ = handle.join();
-        }
+    /// The front end (for I/O-model introspection, e.g. in benches).
+    pub fn frontend(&self) -> &Frontend {
+        &self.frontend
     }
 
-    /// Stop accepting, close every connection, join all workers,
+    /// Stop accepting, close every connection, join all I/O threads,
     /// finalize every campaign (flush + fsync active WAL segments,
     /// release writer locks — see [`CampaignRegistry::finalize`]), and
     /// return the registry's aggregate counters.
     pub fn shutdown(mut self) -> RegistryStats {
-        self.stop_threads();
-        // Ordering matters: workers are joined, so no round can commit
-        // concurrently with finalization.
+        self.frontend.stop();
+        // Ordering matters: I/O threads are joined, so no round can
+        // commit concurrently with finalization.
         let (flushed, sync_failures) = self.registry.finalize();
         let mut stats = self.registry.stats();
         stats.campaigns_flushed = flushed as u64;
         stats.sync_failures = sync_failures as u64;
         stats
-    }
-}
-
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.stop_threads();
-    }
-}
-
-/// One connection worker: hello exchange, then a request/response loop
-/// until the peer closes, dies mid-frame, or desynchronises.
-fn serve_connection(stream: &Arc<TcpStream>, registry: &CampaignRegistry) {
-    let mut reader: &TcpStream = stream;
-    let mut writer: &TcpStream = stream;
-
-    // Hello: the client leads; anything else is not our protocol.
-    let mut hello = [0u8; wire::HELLO.len()];
-    if reader.read_exact(&mut hello).is_err() || hello != wire::HELLO {
-        let frame = Response::Error {
-            code: ErrorCode::InvalidRequest,
-            message: "expected the dptd v1 hello".to_string(),
-        }
-        .encode();
-        let _ = write_frame(&mut writer, &frame);
-        return;
-    }
-    if writer.write_all(&wire::HELLO).is_err() {
-        return;
-    }
-
-    loop {
-        match read_frame_body(&mut reader) {
-            Ok(None) => return, // clean close
-            Ok(Some(body)) => {
-                // A well-framed body that fails to decode leaves the
-                // stream in sync: reply with a typed error and keep
-                // serving.
-                let response = match Request::decode(&body) {
-                    Ok(request) => registry.handle(request),
-                    Err(e) => Response::Error {
-                        code: ErrorCode::InvalidRequest,
-                        message: e.to_string(),
-                    },
-                };
-                if write_frame(&mut writer, &response.encode()).is_err() {
-                    return;
-                }
-            }
-            Err(ServerError::Wire(e)) => {
-                // Header or checksum violation: sync with the peer is
-                // lost, so answer once and hang up.
-                let frame = Response::Error {
-                    code: ErrorCode::InvalidRequest,
-                    message: e.to_string(),
-                }
-                .encode();
-                let _ = write_frame(&mut writer, &frame);
-                return;
-            }
-            // I/O failure or a peer that died mid-frame (torn write):
-            // nothing sensible to reply to.
-            Err(_) => return,
-        }
     }
 }

@@ -403,6 +403,39 @@ pub enum Request {
         /// `u64::MAX` means "your latest".
         upto: u64,
     },
+    /// One batch of a **pipelined** submission stream. Unlike
+    /// [`Request::SubmitReports`] the client does not wait for the
+    /// previous batch's reply before sending the next: it keeps a window
+    /// of batches in flight, each stamped with a per-connection sequence
+    /// number (strictly increasing over *accepted* batches), and the
+    /// server answers every batch with a cumulative
+    /// [`Response::SubmitAcked`]. The connection front end accepts only
+    /// the next in-order sequence number, so the submission queue sees
+    /// the exact byte order the client sent — pipelining never perturbs
+    /// campaign results.
+    SubmitReportsStream {
+        /// Target campaign.
+        campaign: String,
+        /// This batch's position in the connection's stream. The first
+        /// batch on a connection is `0`; a refused batch is retried
+        /// under the **same** number.
+        seq: u64,
+        /// The batch, in stream order.
+        reports: Vec<StampedReport>,
+    },
+}
+
+/// One refused batch inside a [`Response::SubmitAcked`], carried as a
+/// delta against the cumulative ack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRefusal {
+    /// The refused batch's sequence number.
+    pub seq: u64,
+    /// Why it was refused. `None` is retryable backpressure (the queue
+    /// was full, or the batch arrived out of order behind another
+    /// refusal): resend from this sequence number once the earlier
+    /// refusal clears. `Some(code)` is a hard refusal.
+    pub code: Option<ErrorCode>,
 }
 
 /// A server→client reply.
@@ -519,6 +552,22 @@ pub enum Response {
         /// Echo of the operation's sequence number.
         seq: u64,
     },
+    /// Cumulative acknowledgement of a pipelined submission stream: one
+    /// is sent for every [`Request::SubmitReportsStream`] frame, in
+    /// order, so a client with `W` batches in flight reads `W` acks.
+    SubmitAcked {
+        /// Batches accepted contiguously from sequence `0` — equally,
+        /// the next sequence number the server will accept. Everything
+        /// below it is durably queued and will never be re-requested.
+        contiguous: u64,
+        /// Reports pending for the next close after the most recently
+        /// accepted batch (the same counter as
+        /// [`Response::Submitted::queued`]).
+        queued: u64,
+        /// Batches refused since the previous ack, as deltas. Empty
+        /// when this ack's own batch was accepted.
+        refusals: Vec<BatchRefusal>,
+    },
     /// A node's durable round ledger.
     Ledger {
         /// The next epoch the node would commit.
@@ -543,6 +592,7 @@ const KIND_CLOSE_PREPARE: u8 = 0x08;
 const KIND_CLOSE_COMMIT: u8 = 0x09;
 const KIND_REPLICATE: u8 = 0x0a;
 const KIND_QUERY_LEDGER: u8 = 0x0b;
+const KIND_SUBMIT_STREAM: u8 = 0x0c;
 const KIND_CREATED: u8 = 0x81;
 const KIND_SUBMITTED: u8 = 0x82;
 const KIND_BUSY: u8 = 0x83;
@@ -556,6 +606,7 @@ const KIND_PREPARED: u8 = 0x8a;
 const KIND_COMMITTED: u8 = 0x8b;
 const KIND_REPLICATED: u8 = 0x8c;
 const KIND_LEDGER: u8 = 0x8d;
+const KIND_SUBMIT_ACKED: u8 = 0x8e;
 
 fn checksum(body: &[u8]) -> u64 {
     let mut h = Fnv1a::new();
@@ -827,6 +878,9 @@ fn read_u32s(r: &mut Reader<'_>) -> Result<Vec<u32>, WireError> {
 /// zero values).
 const MIN_CLAIM_BYTES: usize = 8 + 4;
 
+/// Encoded size of one [`BatchRefusal`] (seq:u64 + code:u8).
+const MIN_REFUSAL_BYTES: usize = 8 + 1;
+
 fn write_claim(w: &mut Writer, c: &PerturbedReport) {
     w.u64(c.user as u64);
     w.u32(c.values.len() as u32);
@@ -1017,6 +1071,19 @@ impl Request {
                 w.str(campaign);
                 w.u64(*upto);
             }
+            Request::SubmitReportsStream {
+                campaign,
+                seq,
+                reports,
+            } => {
+                w = Writer::new(KIND_SUBMIT_STREAM);
+                w.str(campaign);
+                w.u64(*seq);
+                w.u32(reports.len() as u32);
+                for r in reports {
+                    write_report(&mut w, r);
+                }
+            }
         }
         frame(w.buf)
     }
@@ -1097,6 +1164,20 @@ impl Request {
                 campaign: r.campaign_id()?,
                 upto: r.u64()?,
             },
+            KIND_SUBMIT_STREAM => {
+                let campaign = r.campaign_id()?;
+                let seq = r.u64()?;
+                let count = r.bounded_count(MIN_REPORT_BYTES)?;
+                let mut reports = Vec::with_capacity(count);
+                for _ in 0..count {
+                    reports.push(read_report(&mut r)?);
+                }
+                Request::SubmitReportsStream {
+                    campaign,
+                    seq,
+                    reports,
+                }
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -1208,6 +1289,20 @@ impl Response {
                 w = Writer::new(KIND_REPLICATED);
                 w.u64(*seq);
             }
+            Response::SubmitAcked {
+                contiguous,
+                queued,
+                refusals,
+            } => {
+                w = Writer::new(KIND_SUBMIT_ACKED);
+                w.u64(*contiguous);
+                w.u64(*queued);
+                w.u32(refusals.len() as u32);
+                for refusal in refusals {
+                    w.u64(refusal.seq);
+                    w.u8(refusal.code.map_or(0, |c| c as u8));
+                }
+            }
             Response::Ledger {
                 next_epoch,
                 batches_seen,
@@ -1310,6 +1405,28 @@ impl Response {
                 },
             },
             KIND_REPLICATED => Response::Replicated { seq: r.u64()? },
+            KIND_SUBMIT_ACKED => {
+                let contiguous = r.u64()?;
+                let queued = r.u64()?;
+                let n = r.bounded_count(MIN_REFUSAL_BYTES)?;
+                let mut refusals = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let seq = r.u64()?;
+                    let code = match r.u8()? {
+                        0 => None,
+                        byte => Some(
+                            ErrorCode::from_u8(byte)
+                                .ok_or(WireError::Malformed("unknown refusal code"))?,
+                        ),
+                    };
+                    refusals.push(BatchRefusal { seq, code });
+                }
+                Response::SubmitAcked {
+                    contiguous,
+                    queued,
+                    refusals,
+                }
+            }
             KIND_LEDGER => Response::Ledger {
                 next_epoch: r.u64()?,
                 batches_seen: r.u64()?,
@@ -1521,6 +1638,133 @@ mod tests {
             rounds_debited: vec![2, 0, 1],
             cumulative_losses: vec![0.5, 0.0, -3.5],
         });
+    }
+
+    #[test]
+    fn every_streaming_message_roundtrips() {
+        roundtrip_request(Request::SubmitReportsStream {
+            campaign: "c".to_string(),
+            seq: 17,
+            reports: vec![
+                stamped(3, 0, 10, vec![(0, 1.5), (2, -0.5)]),
+                stamped(3, 1, 20, vec![]),
+            ],
+        });
+        roundtrip_response(Response::SubmitAcked {
+            contiguous: 18,
+            queued: 512,
+            refusals: vec![],
+        });
+        roundtrip_response(Response::SubmitAcked {
+            contiguous: 18,
+            queued: 512,
+            refusals: vec![
+                BatchRefusal {
+                    seq: 18,
+                    code: None,
+                },
+                BatchRefusal {
+                    seq: 19,
+                    code: Some(ErrorCode::BudgetExhausted),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn submit_acked_refuses_unknown_refusal_codes() {
+        let mut w = Writer::new(KIND_SUBMIT_ACKED);
+        w.u64(0);
+        w.u64(0);
+        w.u32(1);
+        w.u64(5);
+        w.u8(0xee);
+        assert_eq!(
+            Response::decode(&w.buf),
+            Err(WireError::Malformed("unknown refusal code"))
+        );
+    }
+
+    #[test]
+    fn golden_streaming_wire_layout_is_pinned() {
+        // The pipelined-submit frames share the v1 framing; a change to
+        // either payload is a format break (bump the HELLO version byte
+        // and keep v1 decoders).
+        let bytes = Request::SubmitReportsStream {
+            campaign: "cafe".to_string(),
+            seq: 7,
+            reports: vec![stamped(3, 9, 11, vec![(1, 2.5)])],
+        }
+        .encode();
+        // body := kind(0x0c) idlen:u16 "cafe" seq:u64 count:u32
+        //         epoch:u64 sent_at:u64 user:u64 nvals:u32 obj:u32 val:f64
+        let body: Vec<u8> = [
+            vec![0x0c],
+            4u16.to_le_bytes().to_vec(),
+            b"cafe".to_vec(),
+            7u64.to_le_bytes().to_vec(),
+            1u32.to_le_bytes().to_vec(),
+            3u64.to_le_bytes().to_vec(),
+            11u64.to_le_bytes().to_vec(),
+            9u64.to_le_bytes().to_vec(),
+            1u32.to_le_bytes().to_vec(),
+            1u32.to_le_bytes().to_vec(),
+            2.5f64.to_bits().to_le_bytes().to_vec(),
+        ]
+        .concat();
+        let golden: Vec<u8> = [
+            (body.len() as u32).to_le_bytes().to_vec(),
+            ((body.len() as u32) ^ u32::from_le_bytes(*b"NET1"))
+                .to_le_bytes()
+                .to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "SubmitReportsStream wire layout changed");
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            0x99ca_6a1a_6610_8381,
+            "SubmitReportsStream checksum constant changed: {:#x}",
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap())
+        );
+
+        let bytes = Response::SubmitAcked {
+            contiguous: 8,
+            queued: 96,
+            refusals: vec![BatchRefusal {
+                seq: 8,
+                code: Some(ErrorCode::ServerBusy),
+            }],
+        }
+        .encode();
+        // body := kind(0x8e) contiguous:u64 queued:u64 nrefusals:u32
+        //         seq:u64 code:u8
+        let body: Vec<u8> = [
+            vec![0x8e],
+            8u64.to_le_bytes().to_vec(),
+            96u64.to_le_bytes().to_vec(),
+            1u32.to_le_bytes().to_vec(),
+            8u64.to_le_bytes().to_vec(),
+            vec![0x07],
+        ]
+        .concat();
+        let golden: Vec<u8> = [
+            (body.len() as u32).to_le_bytes().to_vec(),
+            ((body.len() as u32) ^ u32::from_le_bytes(*b"NET1"))
+                .to_le_bytes()
+                .to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "SubmitAcked wire layout changed");
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            0x23fa_c372_b366_8f35,
+            "SubmitAcked checksum constant changed: {:#x}",
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap())
+        );
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Incremental-decoder equivalence with the blocking frame reader.
+//!
+//! The reactor front end reads sockets in arbitrary-sized slices and
+//! feeds them to [`FrameDecoder`]; the threads front end (and every
+//! client) reads whole frames blockingly via [`split_frame`]. The two
+//! must be extensionally equal: **any** partitioning of a byte stream —
+//! one byte at a time, frames spanning reads, several frames per read —
+//! must yield exactly the frames the blocking reader sees, in order,
+//! and malformed streams must poison with the same typed [`WireError`]
+//! class the blocking path reports. This file pins that equivalence,
+//! reusing the malformed-frame corpus style of `wire_proptests.rs`.
+
+use proptest::prelude::*;
+
+use dptd_core::roles::PerturbedReport;
+use dptd_protocol::message::StampedReport;
+use dptd_server::decode::FrameDecoder;
+use dptd_server::wire::{split_frame, Request, WireError};
+
+/// Reference decode: repeatedly apply the blocking reader to the whole
+/// stream. Returns the frame bodies and the terminating condition.
+fn blocking_decode(mut stream: &[u8]) -> (Vec<Vec<u8>>, Option<WireError>) {
+    let mut bodies = Vec::new();
+    loop {
+        match split_frame(stream) {
+            Ok((body, consumed)) => {
+                bodies.push(body.to_vec());
+                stream = &stream[consumed..];
+            }
+            Err(WireError::Truncated { .. }) if !stream.is_empty() => return (bodies, None),
+            Err(_) if stream.is_empty() => return (bodies, None),
+            Err(e) => return (bodies, Some(e)),
+        }
+    }
+}
+
+/// Incremental decode: feed the stream in the given slice sizes and
+/// drain the decoder after every feed.
+fn incremental_decode(stream: &[u8], cuts: &[usize]) -> (Vec<Vec<u8>>, Option<WireError>) {
+    let mut decoder = FrameDecoder::new();
+    let mut bodies = Vec::new();
+    let mut offset = 0;
+    let mut cut_idx = 0;
+    while offset < stream.len() {
+        let step = if cut_idx < cuts.len() {
+            cuts[cut_idx].clamp(1, stream.len() - offset)
+        } else {
+            stream.len() - offset
+        };
+        cut_idx += 1;
+        decoder.extend(&stream[offset..offset + step]);
+        offset += step;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(body)) => bodies.push(body),
+                Ok(None) => break,
+                Err(e) => return (bodies, Some(e)),
+            }
+        }
+    }
+    (bodies, None)
+}
+
+fn frame_stream(seeds: &[(u64, usize)]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for &(epoch, users) in seeds {
+        let reports: Vec<StampedReport> = (0..users)
+            .map(|u| StampedReport {
+                epoch,
+                sent_at_us: u as u64 + 1,
+                report: PerturbedReport {
+                    user: u,
+                    values: vec![(0, u as f64 * 0.5)],
+                },
+            })
+            .collect();
+        stream.extend_from_slice(
+            &Request::SubmitReports {
+                campaign: format!("c{epoch}"),
+                reports,
+            }
+            .encode(),
+        );
+    }
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Valid frame streams decode identically under every partitioning.
+    #[test]
+    fn any_read_partition_matches_the_blocking_reader(
+        seeds in prop::collection::vec((0u64..100, 0usize..8), 1..6),
+        cuts in prop::collection::vec(1usize..512, 0..64),
+    ) {
+        let stream = frame_stream(&seeds);
+        let (reference, _) = blocking_decode(&stream);
+        prop_assert_eq!(reference.len(), seeds.len());
+
+        let (got, err) = incremental_decode(&stream, &cuts);
+        prop_assert!(err.is_none(), "{:?}", err);
+        prop_assert_eq!(&got, &reference);
+
+        // The pathological partitioning: one byte per read.
+        let ones = vec![1usize; stream.len()];
+        let (got, err) = incremental_decode(&stream, &ones);
+        prop_assert!(err.is_none(), "{:?}", err);
+        prop_assert_eq!(&got, &reference);
+    }
+
+    /// A mid-stream truncation leaves every already-complete frame
+    /// decoded and the decoder stalled (partial), never errored.
+    #[test]
+    fn truncation_yields_the_complete_prefix(
+        seeds in prop::collection::vec((0u64..100, 0usize..8), 1..5),
+        cut_frac in 0.0f64..1.0,
+        cuts in prop::collection::vec(1usize..64, 0..32),
+    ) {
+        let stream = frame_stream(&seeds);
+        let cut = ((stream.len() as f64 * cut_frac) as usize).min(stream.len());
+        let truncated = &stream[..cut];
+        let (reference, ref_err) = blocking_decode(truncated);
+        prop_assert!(ref_err.is_none());
+        let (got, err) = incremental_decode(truncated, &cuts);
+        prop_assert!(err.is_none(), "{:?}", err);
+        prop_assert_eq!(&got, &reference);
+
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(truncated);
+        while let Ok(Some(_)) = decoder.next_frame() {}
+        prop_assert_eq!(decoder.has_partial(), decoder.buffered() > 0);
+    }
+
+    /// Malformed streams: arbitrary bytes and single-byte flips inside
+    /// valid streams error with the same typed class as the blocking
+    /// reader, under any partitioning, and the decoder stays poisoned.
+    #[test]
+    fn malformed_streams_poison_with_the_blocking_error(
+        seeds in prop::collection::vec((0u64..100, 0usize..6), 1..4),
+        flip_at in 0usize..10_000,
+        flip_mask in 1u8..=255,
+        cuts in prop::collection::vec(1usize..64, 0..32),
+    ) {
+        let mut stream = frame_stream(&seeds);
+        let at = flip_at % stream.len();
+        stream[at] ^= flip_mask;
+
+        let (reference, ref_err) = blocking_decode(&stream);
+        let (got, err) = incremental_decode(&stream, &cuts);
+
+        // Frames before the corruption decode identically...
+        prop_assert_eq!(&got, &reference);
+        // ...and the terminating error class matches exactly. (A flip in
+        // a trailing frame's header length field can turn the tail into
+        // a Truncated wait — both decoders then report no error.)
+        prop_assert_eq!(err.clone(), ref_err);
+        if let Some(e) = err {
+            prop_assert!(
+                matches!(
+                    e,
+                    WireError::LenCheck
+                        | WireError::Checksum
+                        | WireError::TooLarge { .. }
+                ),
+                "unexpected error class: {:?}",
+                e
+            );
+        }
+    }
+
+    /// Totality, mirroring `arbitrary_bytes_never_panic`: any byte soup
+    /// fed in any partitioning either yields frames or poisons — and a
+    /// poisoned decoder refuses further work without panicking.
+    #[test]
+    fn arbitrary_bytes_never_panic_incrementally(
+        bytes in prop::collection::vec(0u8..=255, 1..512),
+        cuts in prop::collection::vec(1usize..32, 0..64),
+    ) {
+        let (_, err) = incremental_decode(&bytes, &cuts);
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes);
+        let mut first_err = None;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => { first_err = Some(e); break; }
+            }
+        }
+        // Partitioning never changes the verdict.
+        prop_assert_eq!(err, first_err.clone());
+        if first_err.is_some() {
+            prop_assert!(decoder.is_poisoned());
+            // Poisoned is permanent: more bytes don't revive it.
+            decoder.extend(&[0u8; 16]);
+            prop_assert!(decoder.next_frame().is_err());
+        }
+    }
+}

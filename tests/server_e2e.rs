@@ -20,7 +20,9 @@ use dptd::ldp::PrivacyLoss;
 use dptd::protocol::campaign::{CampaignConfig, CampaignDriver};
 use dptd::server::client::SubmitOutcome;
 use dptd::server::registry::RegistryConfig;
-use dptd::server::{CampaignSpec, Client, ErrorCode, Server, ServerConfig, ServerError};
+use dptd::server::{
+    CampaignSpec, Client, ErrorCode, IoConfig, IoModel, Server, ServerConfig, ServerError,
+};
 use dptd::stats::digest::fnv1a_f64s;
 use dptd::truth::Loss;
 
@@ -174,10 +176,14 @@ fn drive_served(client: &mut Client, shape: &Shape, from: u64, to: u64, trace: &
     trace.debits = client.query_budget(shape.id).unwrap().debits;
 }
 
-#[test]
-fn concurrent_campaigns_match_sequential_runs_including_a_mid_round_kill() {
+/// The full concurrent + kill + WAL-resume scenario under one I/O
+/// model. Both models must reproduce the in-process references bit for
+/// bit — which transitively pins the reactor and threads front ends to
+/// identical campaign results.
+fn concurrent_kill_resume_under(io: IoConfig) {
     let wal_root = std::env::temp_dir().join(format!(
-        "dptd-server-e2e-{}-{:?}",
+        "dptd-server-e2e-{:?}-{}-{:?}",
+        io.io_model,
         std::process::id(),
         std::thread::current().id()
     ));
@@ -191,6 +197,7 @@ fn concurrent_campaigns_match_sequential_runs_including_a_mid_round_kill() {
     let server = Server::start(ServerConfig {
         listen: "127.0.0.1:0".to_string(),
         max_connections: 16,
+        io,
         registry: RegistryConfig {
             wal_root: Some(wal_root.clone()),
             ..RegistryConfig::default()
@@ -257,6 +264,7 @@ fn concurrent_campaigns_match_sequential_runs_including_a_mid_round_kill() {
     let server = Server::start(ServerConfig {
         listen: "127.0.0.1:0".to_string(),
         max_connections: 16,
+        io,
         registry: RegistryConfig {
             wal_root: Some(wal_root.clone()),
             ..RegistryConfig::default()
@@ -293,6 +301,20 @@ fn concurrent_campaigns_match_sequential_runs_including_a_mid_round_kill() {
     );
     server.shutdown();
     let _ = std::fs::remove_dir_all(&wal_root);
+}
+
+#[test]
+fn concurrent_campaigns_match_sequential_runs_including_a_mid_round_kill() {
+    // The default front end: the event-driven reactor.
+    concurrent_kill_resume_under(IoConfig::default());
+}
+
+#[test]
+fn the_threads_io_model_reproduces_the_same_campaigns_bit_identically() {
+    concurrent_kill_resume_under(IoConfig {
+        io_model: IoModel::Threads,
+        ..IoConfig::default()
+    });
 }
 
 #[test]
