@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 
-use dptd_bench::summary::BenchSummary;
+use dptd_bench::summary::{keys, BenchSummary};
 use dptd_engine::{LatencyHistogram, LoadGen, LoadGenConfig};
 use dptd_server::registry::RegistryConfig;
 use dptd_server::{CampaignSpec, Client, IoConfig, IoModel, Server, ServerConfig};
@@ -395,10 +395,10 @@ fn summarize_fan_in(tag: &str, run: &FanInRun) {
         p99_ns: ns(run.submit_rtt.p99()),
         weights_digest: run.weights_digest,
         extras: vec![
-            ("connections".to_string(), run.connections as f64),
-            ("io_threads".to_string(), run.io_threads as f64),
+            (keys::CONNECTIONS.to_string(), run.connections as f64),
+            (keys::IO_THREADS.to_string(), run.io_threads as f64),
             (
-                "connections_per_thread".to_string(),
+                keys::CONNECTIONS_PER_THREAD.to_string(),
                 run.connections as f64 / run.io_threads.max(1) as f64,
             ),
         ],

@@ -16,6 +16,26 @@
 use std::io::Write;
 use std::path::PathBuf;
 
+/// Canonical [`BenchSummary::extras`] key names. Extras are free-form
+/// `(key, number)` pairs, but CI diffs artifacts across commits by key,
+/// so benches must agree on spelling — take them from here instead of
+/// retyping string literals.
+pub mod keys {
+    /// Concurrent submitter connections held by a fan-in run.
+    pub const CONNECTIONS: &str = "connections";
+    /// Server I/O threads serving those connections.
+    pub const IO_THREADS: &str = "io_threads";
+    /// `connections / io_threads` — the reactor's multiplexing factor.
+    pub const CONNECTIONS_PER_THREAD: &str = "connections_per_thread";
+    /// Uninstrumented (baseline) reports/sec in an overhead A/B run.
+    pub const BASELINE_RPS: &str = "baseline_rps";
+    /// Instrumented reports/sec in an overhead A/B run.
+    pub const INSTRUMENTED_RPS: &str = "instrumented_rps";
+    /// Observability overhead as a percentage of baseline throughput
+    /// (positive = instrumented run was slower).
+    pub const OVERHEAD_PCT: &str = "overhead_pct";
+}
+
 /// One instrumented bench run, reduced to the numbers CI archives.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchSummary {

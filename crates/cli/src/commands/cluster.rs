@@ -305,7 +305,9 @@ fn submit(args: &ArgMap) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `dptd cluster status`: one row per node.
+/// `dptd cluster status`: one row per node, then the fleet-wide
+/// aggregated snapshot (per-node `QueryStatus` replies absorbed into
+/// one — queue depths and connection counts sum across nodes).
 fn status(args: &ArgMap) -> Result<String, CliError> {
     let addrs = node_addrs(args)?;
     let campaign = args.str_or("campaign", "campaign");
@@ -313,22 +315,33 @@ fn status(args: &ArgMap) -> Result<String, CliError> {
     let _ = writeln!(out, "# dptd cluster status — campaign `{campaign}`\n");
     let _ = writeln!(
         out,
-        "| node | address | next epoch | merges | queued | submitted |"
+        "| node | address | next epoch | merges | queued | submitted | conns (live/acc/ref) |"
     );
-    let _ = writeln!(out, "|---:|---|---:|---:|---:|---:|");
+    let _ = writeln!(out, "|---:|---|---:|---:|---:|---:|---|");
+    let mut fleet = dptd_obs::MetricsSnapshot::new();
     for (id, addr) in addrs.iter().enumerate() {
         let mut client = Client::connect(addr.as_str()).map_err(box_err)?;
         let metrics = client.query_metrics(campaign).map_err(box_err)?;
         let ledger = client.query_ledger(campaign, u64::MAX).map_err(box_err)?;
+        fleet.absorb(&client.query_status().map_err(box_err)?);
         let _ = writeln!(
             out,
-            "| {id} | {addr} | {} | {} | {} | {} |",
+            "| {id} | {addr} | {} | {} | {} | {} | {}/{}/{} |",
             ledger.next_epoch,
             metrics.epochs_merged,
             metrics.queue_depth,
             metrics.reports_submitted,
+            metrics.conn_live,
+            metrics.conn_accepted,
+            metrics.conn_refused,
         );
     }
+    let _ = writeln!(
+        out,
+        "\n## fleet (aggregated over {} node(s))\n",
+        addrs.len()
+    );
+    out.push_str(&super::status::render("cluster", &fleet));
     Ok(out)
 }
 

@@ -8,8 +8,10 @@ pub mod engine;
 pub mod recover;
 pub mod run;
 pub mod serve;
+pub mod status;
 pub mod submit;
 pub mod theory;
+pub mod trace;
 
 use crate::CliError;
 

@@ -1,6 +1,6 @@
 //! Library backing the `dptd` command-line tool.
 //!
-//! Nine subcommands, each usable without writing any Rust:
+//! Eleven subcommands, each usable without writing any Rust:
 //!
 //! ```text
 //! dptd run      --dataset synthetic --algorithm crh --epsilon 1.0 --delta 0.3
@@ -10,6 +10,8 @@
 //! dptd engine   --users 100000 --epochs 5 --shards 16 --pattern bursty
 //! dptd serve    --listen 127.0.0.1:7878 --wal wal-root/
 //! dptd submit   --connect 127.0.0.1:7878 --campaign air-quality --rounds 5
+//! dptd status   --connect 127.0.0.1:7878 --watch true
+//! dptd trace    --dump --out trace.json --users 500 --rounds 3
 //! dptd cluster  submit --connect 127.0.0.1:7900,127.0.0.1:7901 --rounds 5
 //! dptd recover  --wal wal/ --budgets spent
 //! ```
@@ -133,12 +135,24 @@ COMMANDS:
              --pipeline   true | false: stream batches without per-batch
                           ack waits (server sends cumulative acks) [false]
              --window     in-flight batches when --pipeline true [64]
+    status   live metrics plane of a running `dptd serve`
+             --connect    server address (required)
+             --watch      true | false: refresh until stdin EOF [false]
+             --interval-ms refresh period with --watch         [1000]
+             renders per-campaign fair shares (% of engine busy time),
+             queue depth, ingest p50/p99, and typed refusal counts
+    trace    run a traced in-process campaign and dump the timeline
+             --dump       emit chrome://tracing JSON (else a per-site
+                          event summary)
+             --out        write the JSON to a file instead of stdout
+             plus the `dptd campaign` workload flags (same defaults)
     cluster  multi-node campaigns (see `dptd cluster` for subcommand flags)
              serve    host one partition node (--node-id/--nodes, --wal,
                       --replicate-to, --replica-root)
              submit   coordinate a campaign across nodes (--connect
                       addr1,addr2,…; same stream flags as submit)
-             status   per-node metrics and ledger positions
+             status   per-node metrics, connection counts, and the
+                      fleet-wide aggregated campaign snapshot
     recover  inspect a campaign write-ahead log (read-only)
              --wal        the log directory a campaign wrote
              --budgets    spent | all: per-user remaining-budget audit
@@ -178,6 +192,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "engine" => commands::engine::execute(&args::ArgMap::parse(rest)?),
         "serve" => commands::serve::execute(&args::ArgMap::parse(rest)?),
         "submit" => commands::submit::execute(&args::ArgMap::parse(rest)?),
+        "status" => commands::status::execute(&args::ArgMap::parse(rest)?),
+        "trace" => commands::trace::execute(rest),
         "cluster" => commands::cluster::execute(rest),
         "recover" => commands::recover::execute(&args::ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

@@ -331,6 +331,23 @@ impl ClusterCampaign {
         &self.accountant
     }
 
+    /// A fleet-wide metrics snapshot: every node's `QueryStatus` reply
+    /// absorbed into one view (counters and gauges sum across nodes,
+    /// histograms merge bucket-wise), so per-campaign queue depths and
+    /// connection counts aggregate over the whole cluster. This is what
+    /// `dptd cluster status` renders.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Server`] when a node connection fails.
+    pub fn status(&mut self) -> Result<dptd_obs::MetricsSnapshot, ClusterError> {
+        let mut fleet = dptd_obs::MetricsSnapshot::new();
+        for client in &mut self.nodes {
+            fleet.absorb(&client.query_status()?);
+        }
+        Ok(fleet)
+    }
+
     /// Fan a stream of **global-id** reports out to their owning nodes,
     /// preserving per-node stream order, in frames of `chunk` reports.
     /// Returns the total reports queued across nodes.
@@ -396,6 +413,8 @@ impl ClusterCampaign {
         }
 
         // Phase one: prepare every node with its refusal slice.
+        let prepare_span =
+            dptd_obs::trace::TraceScope::begin(dptd_obs::codes::BARRIER_PREPARE, epoch);
         let num_nodes = self.partition.num_nodes();
         let mut duplicates = 0u64;
         let mut late = 0u64;
@@ -436,6 +455,7 @@ impl ClusterCampaign {
             shards.push(shard);
         }
         accepted_users.sort_unstable();
+        drop(prepare_span);
 
         // The deterministic global merge — atomic on error, so a failed
         // round leaves the estimator untouched and re-drivable. This is
@@ -457,6 +477,8 @@ impl ClusterCampaign {
 
         // Phase two: every node durably commits its slice before the
         // coordinator advances.
+        let _commit_span =
+            dptd_obs::trace::TraceScope::begin(dptd_obs::codes::BARRIER_COMMIT, epoch);
         for id in 0..num_nodes {
             let locals = self.partition.locals(id);
             let accepted_locals: Vec<u64> = locals

@@ -40,11 +40,13 @@ use dptd_engine::store::{DirFs, ObservedFs, SegmentStore, StoreConfig, StoreFs};
 use dptd_engine::wal::{RecordKind, RecordLog, WalLock, WalPolicy};
 use dptd_engine::{recovery::recover_replay, EpochRecord};
 use dptd_ldp::PrivacyLoss;
+use dptd_obs::{names, MetricValue, MetricsSnapshot};
 use dptd_protocol::campaign::CampaignConfig;
 use dptd_protocol::message::StampedReport;
 use dptd_protocol::partition::EpochLane;
 use dptd_server::{
-    CampaignSpec, ErrorCode, Frontend, FrontendConfig, IoConfig, Request, RequestHandler, Response,
+    CampaignSpec, ErrorCode, Frontend, FrontendConfig, FrontendStats, IoConfig, Request,
+    RequestHandler, Response,
 };
 use dptd_truth::Loss;
 
@@ -241,6 +243,10 @@ struct NodeState {
     max_campaigns: usize,
     campaigns: Mutex<BTreeMap<String, Arc<Mutex<NodeCampaign>>>>,
     replicas: Mutex<BTreeMap<String, ReplicaApplier>>,
+    /// The front end's live connection accounting, attached after the
+    /// front end starts (the handler is built first). The `u64` is the
+    /// I/O thread count.
+    conn: Mutex<Option<(Arc<FrontendStats>, u64)>>,
 }
 
 impl std::fmt::Debug for NodeState {
@@ -329,8 +335,9 @@ impl NodeState {
                         Ok(s) => s,
                         Err(resp) => return resp,
                     };
+                    let (conn_live, conn_accepted, conn_refused, io_threads) = self.conn_counts();
                     Response::Metrics {
-                        metrics: dptd_server::MetricsReport {
+                        metrics: Box::new(dptd_server::MetricsReport {
                             reports_submitted: state.reports_submitted,
                             reports_accepted: state
                                 .staged
@@ -346,12 +353,104 @@ impl NodeState {
                             throughput_rps: 0.0,
                             ingest_p50_ns: 0,
                             ingest_p99_ns: 0,
-                        },
+                            conn_live,
+                            conn_accepted,
+                            conn_refused,
+                            io_threads,
+                        }),
                     }
                 }
                 Err(resp) => resp,
             },
+            Request::QueryStatus => Response::Status {
+                snapshot: self.status_snapshot(),
+            },
         }
+    }
+
+    fn set_conn_stats(&self, stats: Arc<FrontendStats>, io_threads: usize) {
+        *self.conn.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some((stats, io_threads as u64));
+    }
+
+    /// `(live, accepted, refused, io_threads)` from the front end's
+    /// shared admission counters — the `live` atomic *is* the budget the
+    /// accept path enforces, so the gauge cannot drift from it.
+    fn conn_counts(&self) -> (u64, u64, u64, u64) {
+        use std::sync::atomic::Ordering;
+        let guard = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.as_ref() {
+            Some((stats, io_threads)) => (
+                stats.live.load(Ordering::SeqCst) as u64,
+                stats.accepted.load(Ordering::Relaxed),
+                stats.refused.load(Ordering::Relaxed),
+                *io_threads,
+            ),
+            None => (0, 0, 0, 0),
+        }
+    }
+
+    /// The node's slice of the live metrics plane: connection gauges
+    /// plus, per campaign partition, queue occupancy and ingest
+    /// counters. The coordinator absorbs these snapshots fleet-wide for
+    /// `dptd cluster status`.
+    fn status_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::new();
+        let (live, accepted, refused, io_threads) = self.conn_counts();
+        snapshot.set(
+            names::SERVER_CONN_LIVE.to_string(),
+            MetricValue::Gauge(live),
+        );
+        snapshot.set(
+            names::SERVER_CONN_ACCEPTED.to_string(),
+            MetricValue::Counter(accepted),
+        );
+        snapshot.set(
+            names::SERVER_CONN_REFUSED.to_string(),
+            MetricValue::Counter(refused),
+        );
+        snapshot.set(
+            names::SERVER_IO_THREADS.to_string(),
+            MetricValue::Gauge(io_threads),
+        );
+        let slots: Vec<(String, Arc<Mutex<NodeCampaign>>)> = self
+            .campaigns_map()
+            .iter()
+            .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
+            .collect();
+        for (id, slot) in slots {
+            let Ok(state) = slot.lock() else {
+                // A poisoned partition still shows up in the fleet
+                // status — as quarantined, not silently absent.
+                snapshot.set(
+                    names::campaign_metric(&id, names::QUARANTINED),
+                    MetricValue::Gauge(1),
+                );
+                continue;
+            };
+            snapshot.set(
+                names::campaign_metric(&id, names::QUEUE_DEPTH),
+                MetricValue::Gauge((state.pending.len() + state.future.len()) as u64),
+            );
+            snapshot.set(
+                names::campaign_metric(&id, names::SUBMITTED),
+                MetricValue::Counter(state.reports_submitted),
+            );
+            snapshot.set(
+                names::campaign_metric(&id, names::ACCEPTED),
+                MetricValue::Counter(
+                    state
+                        .staged
+                        .as_ref()
+                        .map_or(0, |s| s.lane.accepted() as u64),
+                ),
+            );
+            snapshot.set(
+                names::campaign_metric(&id, names::ROUNDS),
+                MetricValue::Counter(state.next_epoch),
+            );
+        }
+        snapshot
     }
 
     /// The partition map's mutex only guards `BTreeMap` bookkeeping —
@@ -891,6 +990,7 @@ impl NodeServer {
             max_campaigns: config.max_campaigns.max(1),
             campaigns: Mutex::new(BTreeMap::new()),
             replicas: Mutex::new(BTreeMap::new()),
+            conn: Mutex::new(None),
         });
         let frontend = Frontend::start(
             FrontendConfig {
@@ -902,6 +1002,7 @@ impl NodeServer {
             Arc::clone(&state) as Arc<dyn RequestHandler>,
         )
         .map_err(ClusterError::Server)?;
+        state.set_conn_stats(frontend.stats(), frontend.io_threads());
         Ok(Self { state, frontend })
     }
 

@@ -342,13 +342,16 @@ impl RoundBackend for EngineBackend {
                     .to_vec(),
                 rounds_debited: wal.debits.clone(),
             };
+            let commit_span = dptd_obs::TraceScope::begin(dptd_obs::codes::COMMIT, input.epoch);
             if let Err(e) = wal.writer.append_record(&record) {
+                drop(commit_span);
                 for &user in &accepted_users {
                     wal.debits[user] -= 1;
                 }
                 self.state = Some(checkpoint);
                 return Err(Self::engine_err(EngineError::Wal(e)));
             }
+            drop(commit_span);
             wal.last_epoch = Some(input.epoch);
         }
 

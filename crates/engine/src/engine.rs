@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
+use dptd_obs::trace::{codes as trace_codes, TraceScope};
 use dptd_protocol::message::StampedReport;
 use dptd_protocol::pool::WorkerPool;
 use dptd_truth::columnar::ColumnarBatch;
@@ -283,14 +284,22 @@ impl Engine {
 
         let rx_slots_ref = &rx_slots;
         let cfg_ref = &cfg;
+        // Spans at stage granularity (one per thread per run): a few
+        // atomic stores per run, nothing per report, so tracing cannot
+        // perturb the data plane.
+        let run_span = TraceScope::begin(trace_codes::ROUND, num_shards as u64);
         let merger_out = thread::scope(|scope| {
             // Merger: folds per-shard epoch claims into the global CRH.
-            let merger = scope.spawn(move || merge_loop(cfg_ref, state, num_shards, merge_rx));
+            let merger = scope.spawn(move || {
+                let _span = TraceScope::begin(trace_codes::MERGE, num_shards as u64);
+                merge_loop(cfg_ref, state, num_shards, merge_rx)
+            });
 
             // Workers: each drains a contiguous set of shard queues.
             scope.spawn(move || {
                 let worker_merge_tx = worker_merge_tx;
                 pool.run_partitioned(num_shards, |shard_ids| {
+                    let _span = TraceScope::begin(trace_codes::FILTER, shard_ids.len() as u64);
                     let my_shards: Vec<(usize, Receiver<ShardMsg>)> = shard_ids
                         .iter()
                         .map(|&s| {
@@ -307,6 +316,7 @@ impl Engine {
             });
 
             // Router (this thread): hash each report to its shard queue.
+            let route_span = TraceScope::begin(trace_codes::ROUTE, 0);
             let mut open_epoch: Option<u64> = None;
             for stamped in stream {
                 router_metrics.submitted += 1;
@@ -375,11 +385,13 @@ impl Engine {
                     }
                 }
             }
+            drop(route_span);
             drop(txs); // workers drain and exit
             drop(merge_tx); // merger exits once the last worker clone drops
 
             merger.join().expect("merger thread panicked")
         });
+        drop(run_span);
 
         if let Some(e) = router_err {
             return Err(e);

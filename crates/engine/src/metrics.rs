@@ -1,130 +1,22 @@
 //! Engine observability: latency histograms and run-level metrics.
+//!
+//! The histogram machinery lives in [`dptd_obs`] (the workspace-wide
+//! observability crate) so the engine, the server and the cluster share
+//! one bucket layout; [`LatencyHistogram`] is the engine's historical
+//! name for [`dptd_obs::Histogram`]. `EngineMetrics` is built on top of
+//! it: the serving layer samples these per-campaign blocks into its
+//! `MetricsSnapshot` (see `dptd_obs::registry::names`), which is where
+//! per-campaign fair-share accounting comes from.
 
 use std::time::Duration;
 
 /// A log-linear latency histogram (HDR-style: power-of-two octaves split
 /// into 16 sub-buckets), covering 1 ns .. ~584 years with ≤ 6.25% relative
 /// quantile error. Fixed 976-slot footprint, mergeable across shards.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    max_ns: u64,
-    total_ns: u128,
-}
-
-const OCTAVE_SUB: u64 = 16;
-const LINEAR_CUTOFF: u64 = 16; // values below this get exact buckets
-const NUM_BUCKETS: usize = (LINEAR_CUTOFF + (64 - 4) * OCTAVE_SUB) as usize;
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: vec![0; NUM_BUCKETS],
-            count: 0,
-            max_ns: 0,
-            total_ns: 0,
-        }
-    }
-
-    fn bucket_index(value_ns: u64) -> usize {
-        if value_ns < LINEAR_CUTOFF {
-            value_ns as usize
-        } else {
-            let exp = 63 - value_ns.leading_zeros() as u64; // >= 4
-            let sub = (value_ns >> (exp - 4)) & (OCTAVE_SUB - 1);
-            (LINEAR_CUTOFF + (exp - 4) * OCTAVE_SUB + sub) as usize
-        }
-    }
-
-    /// The lower bound of the bucket holding `value_ns` (what quantile
-    /// queries report).
-    fn bucket_floor(index: usize) -> u64 {
-        let index = index as u64;
-        if index < LINEAR_CUTOFF {
-            index
-        } else {
-            let exp = (index - LINEAR_CUTOFF) / OCTAVE_SUB + 4;
-            let sub = (index - LINEAR_CUTOFF) % OCTAVE_SUB;
-            (1 << exp) + (sub << (exp - 4))
-        }
-    }
-
-    /// Record one latency observation.
-    pub fn record(&mut self, latency: Duration) {
-        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.buckets[Self::bucket_index(ns)] += 1;
-        self.count += 1;
-        self.max_ns = self.max_ns.max(ns);
-        self.total_ns += ns as u128;
-    }
-
-    /// Fold another histogram into this one.
-    pub fn merge(&mut self, other: &Self) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.max_ns = self.max_ns.max(other.max_ns);
-        self.total_ns += other.total_ns;
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, or `None` when
-    /// empty. Reported at bucket granularity (≤ 6.25% relative error).
-    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Self::bucket_floor(i).min(self.max_ns));
-            }
-        }
-        Some(self.max_ns)
-    }
-
-    /// Median latency.
-    pub fn p50(&self) -> Option<Duration> {
-        self.quantile_ns(0.50).map(Duration::from_nanos)
-    }
-
-    /// 99th-percentile latency.
-    pub fn p99(&self) -> Option<Duration> {
-        self.quantile_ns(0.99).map(Duration::from_nanos)
-    }
-
-    /// Maximum recorded latency.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_ns)
-    }
-
-    /// Mean recorded latency.
-    pub fn mean(&self) -> Option<Duration> {
-        if self.count == 0 {
-            None
-        } else {
-            Some(Duration::from_nanos(
-                u64::try_from(self.total_ns / self.count as u128).unwrap_or(u64::MAX),
-            ))
-        }
-    }
-}
+/// (An alias of [`dptd_obs::Histogram`] — the shared layout also backs
+/// the lock-free [`dptd_obs::AtomicHistogram`] and the sparse wire
+/// snapshot.)
+pub use dptd_obs::Histogram as LatencyHistogram;
 
 /// Busy wall-clock time per pipeline stage, summed over the threads
 /// running that stage. `route` can exceed the others on a backpressured
@@ -284,19 +176,6 @@ mod tests {
         );
         assert_eq!(h.max(), Duration::from_millis(1));
         assert_eq!(h.count(), 1000);
-    }
-
-    #[test]
-    fn bucket_floor_inverts_bucket_index() {
-        for v in [0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u32::MAX as u64] {
-            let idx = LatencyHistogram::bucket_index(v);
-            let floor = LatencyHistogram::bucket_floor(idx);
-            assert!(floor <= v, "floor {floor} > value {v}");
-            // Next bucket's floor exceeds the value.
-            if idx + 1 < NUM_BUCKETS {
-                assert!(LatencyHistogram::bucket_floor(idx + 1) > v);
-            }
-        }
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Low-overhead event tracing: fixed-capacity per-thread ring buffers
+//! of timestamped structured events.
+//!
+//! Each event is `(timestamp ns, kind, code, arg)` — a span begin/end
+//! or an instant, a small [`codes`] constant naming the site, and one
+//! `u64` argument (an epoch, a report count, …). Recording is a few
+//! relaxed atomic stores into a pre-allocated thread-local ring: no
+//! locks, no allocation, and while tracing is disabled every site costs
+//! exactly one relaxed load. Rings register themselves in a global list
+//! on first use, so [`dump_chrome_json`] can render every thread's
+//! recent history as chrome://tracing-compatible JSON (open it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! Dumps are meant to be taken quiescent (after a run, or from a
+//! diagnostics command); a dump raced with live recorders may catch a
+//! torn slot, which shows up as one bogus event, never a crash.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Event codes: which instrumented site produced an event. Codes are
+/// stable across runs (they appear in trace dumps and the README).
+pub mod codes {
+    /// A whole engine run for one epoch batch (span).
+    pub const ROUND: u32 = 1;
+    /// Router: hashing reports to shard queues (span, per run).
+    pub const ROUTE: u32 = 2;
+    /// Shard workers: dedup/deadline filtering (span, per run).
+    pub const FILTER: u32 = 3;
+    /// The canonical cross-shard merge (span, per epoch).
+    pub const MERGE: u32 = 4;
+    /// Durable WAL append of a committed round (span).
+    pub const COMMIT: u32 = 5;
+    /// A submission batch entering a campaign queue (instant; arg =
+    /// reports in the batch).
+    pub const SUBMIT: u32 = 6;
+    /// A batch refused at the bounded queue (instant; arg = queue cap).
+    pub const QUEUE_FULL: u32 = 7;
+    /// A report batch dequeued into the engine (instant; arg = count).
+    pub const DEQUEUE: u32 = 8;
+    /// A cluster barrier prepare phase (span; arg = epoch).
+    pub const BARRIER_PREPARE: u32 = 9;
+    /// A cluster barrier commit phase (span; arg = epoch).
+    pub const BARRIER_COMMIT: u32 = 10;
+
+    /// The human-readable name of a code (for dumps and docs).
+    pub fn name(code: u32) -> &'static str {
+        match code {
+            ROUND => "round",
+            ROUTE => "route",
+            FILTER => "filter",
+            MERGE => "merge",
+            COMMIT => "commit",
+            SUBMIT => "submit",
+            QUEUE_FULL => "queue_full",
+            DEQUEUE => "dequeue",
+            BARRIER_PREPARE => "barrier.prepare",
+            BARRIER_COMMIT => "barrier.commit",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Events each thread's ring retains (older events are overwritten).
+pub const RING_CAPACITY: usize = 4096;
+
+const KIND_BEGIN: u64 = 0;
+const KIND_END: u64 = 1;
+const KIND_INSTANT: u64 = 2;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn tracing on or off globally. Off is the default; while off,
+/// every instrumented site costs one relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Timestamp in ns since the process trace epoch.
+    ts_ns: AtomicU64,
+    /// `kind << 32 | code`.
+    kind_code: AtomicU64,
+    arg: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    /// Stable per-ring id (one per recording thread), used as the
+    /// `tid` in chrome dumps.
+    tid: u64,
+    /// Total events ever written; the ring holds the last
+    /// `RING_CAPACITY` of them.
+    head: AtomicUsize,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(tid: u64) -> Self {
+        Self {
+            tid,
+            head: AtomicUsize::new(0),
+            slots: (0..RING_CAPACITY)
+                .map(|_| Slot {
+                    ts_ns: AtomicU64::new(0),
+                    kind_code: AtomicU64::new(0),
+                    arg: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn push(&self, kind: u64, code: u32, arg: u64) {
+        // Relaxed everywhere: each ring has exactly one writer (its
+        // thread); dumps are quiescent reads.
+        let i = self.head.fetch_add(1, Ordering::Relaxed) % RING_CAPACITY;
+        let slot = &self.slots[i];
+        slot.ts_ns.store(now_ns(), Ordering::Relaxed);
+        slot.kind_code
+            .store((kind << 32) | code as u64, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+    }
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_RING: Arc<Ring> = {
+        static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+        let ring = Arc::new(Ring::new(NEXT_TID.fetch_add(1, Ordering::Relaxed)));
+        rings()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&ring));
+        ring
+    };
+}
+
+#[inline]
+fn push(kind: u64, code: u32, arg: u64) {
+    LOCAL_RING.with(|ring| ring.push(kind, code, arg));
+}
+
+/// Record an instant event (if tracing is enabled).
+#[inline]
+pub fn instant(code: u32, arg: u64) {
+    if enabled() {
+        push(KIND_INSTANT, code, arg);
+    }
+}
+
+/// An RAII span: records a begin event on construction and the matching
+/// end event on drop. When tracing is disabled, both are one relaxed
+/// load and nothing else.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in"]
+pub struct TraceScope {
+    code: u32,
+    armed: bool,
+}
+
+impl TraceScope {
+    /// Open a span for `code` with argument `arg`.
+    #[inline]
+    pub fn begin(code: u32, arg: u64) -> Self {
+        let armed = enabled();
+        if armed {
+            push(KIND_BEGIN, code, arg);
+        }
+        Self { code, armed }
+    }
+}
+
+impl Drop for TraceScope {
+    #[inline]
+    fn drop(&mut self) {
+        if self.armed {
+            push(KIND_END, self.code, 0);
+        }
+    }
+}
+
+/// Reset every registered ring (drops retained events; rings stay
+/// registered). Used by tests and by `dptd trace` between runs.
+pub fn reset() {
+    let rings = rings().lock().unwrap_or_else(PoisonError::into_inner);
+    for ring in rings.iter() {
+        ring.head.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One decoded trace event (for programmatic inspection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Ring (thread) id.
+    pub tid: u64,
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// `'B'` (span begin), `'E'` (span end) or `'i'` (instant).
+    pub phase: char,
+    /// The [`codes`] constant for the site.
+    pub code: u32,
+    /// The event's argument.
+    pub arg: u64,
+}
+
+/// Decode every registered ring's retained events, oldest first per
+/// ring, then sorted by timestamp across rings.
+pub fn collect() -> Vec<TraceEvent> {
+    let rings: Vec<Arc<Ring>> = rings()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let mut events = Vec::new();
+    for ring in rings {
+        let written = ring.head.load(Ordering::Relaxed);
+        let retained = written.min(RING_CAPACITY);
+        let start = written - retained;
+        for n in start..written {
+            let slot = &ring.slots[n % RING_CAPACITY];
+            let kind_code = slot.kind_code.load(Ordering::Relaxed);
+            let phase = match kind_code >> 32 {
+                KIND_BEGIN => 'B',
+                KIND_END => 'E',
+                _ => 'i',
+            };
+            events.push(TraceEvent {
+                tid: ring.tid,
+                ts_ns: slot.ts_ns.load(Ordering::Relaxed),
+                phase,
+                code: (kind_code & u32::MAX as u64) as u32,
+                arg: slot.arg.load(Ordering::Relaxed),
+            });
+        }
+    }
+    events.sort_by_key(|e| (e.ts_ns, e.tid));
+    events
+}
+
+/// Render every registered ring as chrome://tracing JSON (an array of
+/// event objects). Timestamps are microseconds with nanosecond
+/// fraction, as the format expects.
+pub fn dump_chrome_json() -> String {
+    let events = collect();
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts_us = e.ts_ns as f64 / 1e3;
+        // Unmatched 'E' events (begin overwritten by ring wrap) are
+        // tolerated by the viewers; emit everything we retained.
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"v\":{}}}{}}}",
+            codes::name(e.code),
+            e.phase,
+            e.tid,
+            e.arg,
+            if e.phase == 'i' { ",\"s\":\"t\"" } else { "" },
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace state is process-global, so exercise everything from one
+    // test (the test harness runs tests concurrently).
+    #[test]
+    fn spans_and_instants_round_trip_through_the_dump() {
+        reset();
+        set_enabled(true);
+        {
+            let _round = TraceScope::begin(codes::ROUND, 7);
+            instant(codes::SUBMIT, 128);
+            let _merge = TraceScope::begin(codes::MERGE, 7);
+        }
+        set_enabled(false);
+        // Disabled sites record nothing.
+        instant(codes::SUBMIT, 999);
+        let _quiet = TraceScope::begin(codes::ROUND, 8);
+
+        let events: Vec<TraceEvent> = collect()
+            .into_iter()
+            .filter(|e| e.ts_ns > 0 || e.code != 0)
+            .collect();
+        let this_ring: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.code == codes::ROUND || e.code == codes::MERGE || e.arg == 128)
+            .collect();
+        assert_eq!(
+            this_ring.len(),
+            5,
+            "B round, i submit, B merge, E merge, E round"
+        );
+        assert_eq!(this_ring[0].phase, 'B');
+        assert_eq!(this_ring[0].arg, 7);
+        assert_eq!(this_ring[1].phase, 'i');
+        assert_eq!(this_ring[1].arg, 128);
+        // Spans nest: merge closes before round.
+        assert_eq!(this_ring[3].code, codes::MERGE);
+        assert_eq!(this_ring[3].phase, 'E');
+        assert_eq!(this_ring[4].code, codes::ROUND);
+        assert_eq!(this_ring[4].phase, 'E');
+        assert!(
+            !events.iter().any(|e| e.arg == 999),
+            "disabled instant leaked"
+        );
+
+        let json = dump_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"name\":\"merge\""), "{json}");
+        assert!(json.contains("\"ph\":\"B\""), "{json}");
+        assert!(json.contains("\"s\":\"t\""), "{json}");
+
+        // The ring wraps rather than growing.
+        set_enabled(true);
+        for i in 0..(RING_CAPACITY + 10) as u64 {
+            instant(codes::DEQUEUE, i);
+        }
+        set_enabled(false);
+        let retained = collect()
+            .into_iter()
+            .filter(|e| e.code == codes::DEQUEUE)
+            .count();
+        assert!(retained <= RING_CAPACITY, "ring must not grow: {retained}");
+        reset();
+        assert!(
+            collect().iter().all(|e| e.ts_ns == 0 && e.code == 0) || collect().is_empty(),
+            "reset clears retained events"
+        );
+    }
+}

@@ -664,7 +664,21 @@ impl Client {
         match self.expect(&Request::QueryMetrics {
             campaign: campaign.to_string(),
         })? {
-            Response::Metrics { metrics } => Ok(metrics),
+            Response::Metrics { metrics } => Ok(*metrics),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Read the server's full observability snapshot (every registry
+    /// metric plus per-campaign stage-busy counters and ingest
+    /// histograms) — what `dptd status --connect` renders.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`].
+    pub fn query_status(&mut self) -> Result<dptd_obs::MetricsSnapshot, ServerError> {
+        match self.expect(&Request::QueryStatus)? {
+            Response::Status { snapshot } => Ok(snapshot),
             other => Err(ServerError::UnexpectedResponse(Box::new(other))),
         }
     }

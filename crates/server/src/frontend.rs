@@ -35,7 +35,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -163,6 +163,22 @@ const POLL_TICK_MS: i32 = 25;
 /// handle (so shutdown joins).
 type ConnectionList = Arc<Mutex<Vec<(Arc<TcpStream>, JoinHandle<()>)>>>;
 
+/// Connection accounting shared by both I/O models. Under the reactor
+/// model `live` **is** the shared admission budget (the same atomic
+/// every reactor checks at accept), so the gauge can never drift from
+/// the number the budget actually enforces. Surfaced by the
+/// observability plane as `server.conn.*`.
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    /// Connections live right now.
+    pub live: AtomicUsize,
+    /// Connections accepted since the front end started.
+    pub accepted: AtomicU64,
+    /// Connections refused at accept because the budget was full (or a
+    /// worker could not be spawned under the threads model).
+    pub refused: AtomicU64,
+}
+
 /// A running connection front end. Owners hand it an
 /// `Arc<dyn RequestHandler>` at start and call [`Frontend::stop`] (or
 /// drop it) to tear down every thread and connection.
@@ -174,6 +190,7 @@ pub struct Frontend {
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     connections: ConnectionList,
+    stats: Arc<FrontendStats>,
 }
 
 impl Frontend {
@@ -205,6 +222,7 @@ impl Frontend {
         let stop = Arc::new(AtomicBool::new(false));
         let connections: ConnectionList = Arc::new(Mutex::new(Vec::new()));
         let max_connections = config.max_connections.max(1);
+        let stats = Arc::new(FrontendStats::default());
 
         let mut threads = Vec::new();
         let io_threads = match config.io.io_model {
@@ -216,6 +234,7 @@ impl Frontend {
                     max_connections,
                     io_timeout: config.io.idle_timeout,
                     thread_name: config.thread_name,
+                    stats: Arc::clone(&stats),
                 };
                 threads.push(
                     std::thread::Builder::new()
@@ -230,14 +249,13 @@ impl Frontend {
                     .set_nonblocking(true)
                     .map_err(|e| io_err("set listener nonblocking", e))?;
                 let listener = Arc::new(listener);
-                let live = Arc::new(AtomicUsize::new(0));
                 let n = reactor_count(config.io.reactor_threads);
                 for i in 0..n {
                     let reactor = Reactor {
                         listener: Arc::clone(&listener),
                         handler: Arc::clone(&handler),
                         stop: Arc::clone(&stop),
-                        live: Arc::clone(&live),
+                        stats: Arc::clone(&stats),
                         max_connections,
                         idle_timeout: config.io.idle_timeout,
                         stall_timeout: config.io.stall_timeout.min(config.io.idle_timeout),
@@ -260,6 +278,7 @@ impl Frontend {
             stop,
             threads,
             connections,
+            stats,
         })
     }
 
@@ -278,6 +297,12 @@ impl Frontend {
     /// connections and are exactly what the reactor model avoids.
     pub fn io_threads(&self) -> usize {
         self.io_threads
+    }
+
+    /// Connection accounting, shared with the I/O threads — readable
+    /// live while the front end serves.
+    pub fn stats(&self) -> Arc<FrontendStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Stop accepting, close every connection, and join every thread.
@@ -398,6 +423,7 @@ struct AcceptLoop {
     max_connections: usize,
     io_timeout: Duration,
     thread_name: &'static str,
+    stats: Arc<FrontendStats>,
 }
 
 impl AcceptLoop {
@@ -437,6 +463,7 @@ impl AcceptLoop {
             if conns.len() >= self.max_connections {
                 // Over the worker budget: refuse with a typed frame
                 // instead of queueing or hanging.
+                self.stats.refused.fetch_add(1, Ordering::Relaxed);
                 refuse_busy(&stream, self.max_connections);
                 continue;
             }
@@ -444,6 +471,7 @@ impl AcceptLoop {
             let stream = Arc::new(stream);
             let worker_stream = Arc::clone(&stream);
             let worker_handler = Arc::clone(&self.handler);
+            let worker_stats = Arc::clone(&self.stats);
             match std::thread::Builder::new()
                 .name(format!("{}-conn", self.thread_name))
                 .spawn(move || {
@@ -453,9 +481,15 @@ impl AcceptLoop {
                     // the next reap, and the peer must see EOF when its
                     // worker is done, not later.
                     let _ = worker_stream.shutdown(Shutdown::Both);
+                    worker_stats.live.fetch_sub(1, Ordering::SeqCst);
                 }) {
-                Ok(handle) => conns.push((stream, handle)),
+                Ok(handle) => {
+                    self.stats.live.fetch_add(1, Ordering::SeqCst);
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    conns.push((stream, handle));
+                }
                 Err(_) => {
+                    self.stats.refused.fetch_add(1, Ordering::Relaxed);
                     // Out of threads is load, not a protocol violation:
                     // refuse this connection like an over-budget one
                     // instead of killing the acceptor (and with it every
@@ -616,8 +650,9 @@ struct Reactor {
     listener: Arc<TcpListener>,
     handler: Arc<dyn RequestHandler>,
     stop: Arc<AtomicBool>,
-    /// Connections live across *all* reactors — the shared budget.
-    live: Arc<AtomicUsize>,
+    /// Shared across *all* reactors; `stats.live` is the admission
+    /// budget.
+    stats: Arc<FrontendStats>,
     max_connections: usize,
     idle_timeout: Duration,
     stall_timeout: Duration,
@@ -722,7 +757,7 @@ impl Reactor {
             conns.retain(|c| !c.dead);
             let reclaimed = before - conns.len();
             if reclaimed > 0 {
-                self.live.fetch_sub(reclaimed, Ordering::SeqCst);
+                self.stats.live.fetch_sub(reclaimed, Ordering::SeqCst);
             }
 
             if pollfds[0].revents & libc::POLLIN != 0 {
@@ -735,7 +770,7 @@ impl Reactor {
         for conn in &conns {
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
-        self.live.fetch_sub(count, Ordering::SeqCst);
+        self.stats.live.fetch_sub(count, Ordering::SeqCst);
     }
 
     /// Accept everything currently pending. All reactors poll the one
@@ -750,21 +785,24 @@ impl Reactor {
                 Err(_) => break,
             };
             let admitted = self
+                .stats
                 .live
                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
                     (n < self.max_connections).then_some(n + 1)
                 })
                 .is_ok();
             if !admitted {
+                self.stats.refused.fetch_add(1, Ordering::Relaxed);
                 refuse_busy(&stream, self.max_connections);
                 continue;
             }
             let _ = stream.set_nodelay(true);
             if stream.set_nonblocking(true).is_err() {
                 let _ = stream.shutdown(Shutdown::Both);
-                self.live.fetch_sub(1, Ordering::SeqCst);
+                self.stats.live.fetch_sub(1, Ordering::SeqCst);
                 continue;
             }
+            self.stats.accepted.fetch_add(1, Ordering::Relaxed);
             conns.push(Conn::new(stream, Instant::now()));
         }
     }

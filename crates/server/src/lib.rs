@@ -55,7 +55,7 @@ use std::fmt;
 
 pub use client::{Client, RetryPolicy};
 pub use decode::FrameDecoder;
-pub use frontend::{Frontend, FrontendConfig, IoConfig, IoModel, RequestHandler};
+pub use frontend::{Frontend, FrontendConfig, FrontendStats, IoConfig, IoModel, RequestHandler};
 pub use registry::{CampaignRegistry, RegistryConfig};
 pub use server::{complete_frame, read_frame_body, write_frame, Server, ServerConfig};
 pub use wire::{

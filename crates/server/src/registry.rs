@@ -27,10 +27,13 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use dptd_engine::store::DirFs;
 use dptd_engine::{
-    Engine, EngineBackend, EngineConfig, SegmentStore, StoreConfig, WalLock, WalPolicy,
+    Engine, EngineBackend, EngineConfig, ObservedFs, SegmentStore, StoreConfig, StoreObserver,
+    WalLock, WalPolicy,
 };
 use dptd_ldp::PrivacyLoss;
+use dptd_obs::{names, Counter, MetricValue, MetricsSnapshot, Registry as ObsRegistry};
 use dptd_protocol::budget::BudgetAccountant;
 use dptd_protocol::campaign::{CampaignConfig, CampaignDriver, RoundBackend};
 use dptd_protocol::message::StampedReport;
@@ -129,6 +132,36 @@ pub struct CampaignRegistry {
     campaigns_created: AtomicU64,
     reports_submitted: AtomicU64,
     rounds_closed: AtomicU64,
+    /// Event-driven metrics: per-campaign refusal frequencies, WAL
+    /// bytes, quarantine flags. Engine-derived counters (stage busy
+    /// time, ingest histograms) are sampled from each campaign's driver
+    /// at snapshot time instead of being double-accounted here.
+    obs: ObsRegistry,
+    /// Total requests dispatched — a cached handle so the hot path
+    /// never takes the obs registry's name-lookup lock.
+    server_requests: Counter,
+    /// The front end's connection accounting plus its I/O thread
+    /// count, attached by the server after the front end starts.
+    conn: Mutex<Option<(Arc<crate::frontend::FrontendStats>, u64)>>,
+}
+
+/// Feeds every durable WAL write into the campaign's
+/// `campaign.<id>.wal_bytes` counter — an infallible [`StoreObserver`],
+/// so observability can never fail (or reorder) the primary's writes.
+#[derive(Debug)]
+struct WalBytesObserver {
+    bytes: Counter,
+}
+
+impl StoreObserver for WalBytesObserver {
+    fn on_append(&mut self, _name: &str, bytes: &[u8]) {
+        self.bytes.add(bytes.len() as u64);
+    }
+    fn on_write_atomic(&mut self, _name: &str, bytes: &[u8]) {
+        self.bytes.add(bytes.len() as u64);
+    }
+    fn on_truncate(&mut self, _name: &str, _len: u64) {}
+    fn on_remove(&mut self, _name: &str) {}
 }
 
 fn refuse(code: ErrorCode, message: impl Into<String>) -> Response {
@@ -180,12 +213,41 @@ fn protocol_refusal(e: &ProtocolError) -> Response {
 impl CampaignRegistry {
     /// An empty registry under `config`.
     pub fn new(config: RegistryConfig) -> Self {
+        let obs = ObsRegistry::new();
+        let server_requests = obs.counter(names::SERVER_REQUESTS);
         Self {
             config,
             campaigns: Mutex::new(BTreeMap::new()),
             campaigns_created: AtomicU64::new(0),
             reports_submitted: AtomicU64::new(0),
             rounds_closed: AtomicU64::new(0),
+            obs,
+            server_requests,
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// Attach the front end's connection accounting (and its I/O
+    /// thread count) so `QueryMetrics` / `QueryStatus` can report
+    /// them. Called by [`crate::Server::start`] once the front end is
+    /// up; before that, connection counts read as zero.
+    pub fn set_conn_stats(&self, stats: Arc<crate::frontend::FrontendStats>, io_threads: usize) {
+        *self.conn.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some((stats, io_threads as u64));
+    }
+
+    /// `(live, accepted, refused, io_threads)` from the attached front
+    /// end, zeros before one is attached.
+    fn conn_counts(&self) -> (u64, u64, u64, u64) {
+        let conn = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
+        match conn.as_ref() {
+            Some((stats, io_threads)) => (
+                stats.live.load(Ordering::Relaxed) as u64,
+                stats.accepted.load(Ordering::Relaxed),
+                stats.refused.load(Ordering::Relaxed),
+                *io_threads,
+            ),
+            None => (0, 0, 0, 0),
         }
     }
 
@@ -252,7 +314,56 @@ impl CampaignRegistry {
 
     /// Execute one request. Every failure is a typed
     /// [`Response::Error`] — the connection layer only transports.
+    ///
+    /// Also the per-campaign error-frequency accounting seam: every
+    /// `Busy` and every budget / WAL / quarantine refusal that leaves
+    /// here bumps its campaign's `campaign.<id>.refused.*` counter, so
+    /// the counters cover both I/O models and the in-process path
+    /// without per-site bookkeeping.
     pub fn handle(&self, request: Request) -> Response {
+        self.server_requests.incr();
+        let campaign_id = match &request {
+            Request::CreateCampaign { campaign, .. }
+            | Request::SubmitReports { campaign, .. }
+            | Request::CloseRound { campaign, .. }
+            | Request::QueryTruths { campaign }
+            | Request::QueryBudget { campaign }
+            | Request::QueryMetrics { campaign }
+            | Request::SubmitReportsStream { campaign, .. } => Some(campaign.clone()),
+            _ => None,
+        };
+        let response = self.dispatch(request);
+        if let Some(id) = campaign_id {
+            self.count_refusal(&id, &response);
+        }
+        response
+    }
+
+    /// Bump the campaign's error-frequency counter for a refusal
+    /// response. Refusal paths only — the common accept path never
+    /// touches the obs registry's lock.
+    fn count_refusal(&self, campaign: &str, response: &Response) {
+        let suffix = match response {
+            Response::Busy { .. } => names::REFUSED_BUSY,
+            Response::Error { code, .. } => match code {
+                ErrorCode::BudgetExhausted => names::REFUSED_BUDGET,
+                ErrorCode::WalRefused => names::REFUSED_WAL,
+                ErrorCode::CampaignQuarantined => {
+                    self.obs
+                        .gauge(&names::campaign_metric(campaign, names::QUARANTINED))
+                        .set(1);
+                    names::REFUSED_QUARANTINED
+                }
+                _ => return,
+            },
+            _ => return,
+        };
+        self.obs
+            .counter(&names::campaign_metric(campaign, suffix))
+            .incr();
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::CreateCampaign { campaign, spec } => self.create(&campaign, &spec),
             Request::SubmitReports { campaign, reports } => self.submit(&campaign, reports),
@@ -260,6 +371,9 @@ impl CampaignRegistry {
             Request::QueryTruths { campaign } => self.query_truths(&campaign),
             Request::QueryBudget { campaign } => self.query_budget(&campaign),
             Request::QueryMetrics { campaign } => self.query_metrics(&campaign),
+            Request::QueryStatus => Response::Status {
+                snapshot: self.status_snapshot(),
+            },
             // Pipelined batches carry per-connection sequencing state,
             // which only the connection front end holds; one reaching
             // the registry directly bypassed the cumulative-ack
@@ -373,8 +487,21 @@ impl CampaignRegistry {
             };
             // The segmented snapshot store: rotation + compaction per
             // the registry's thresholds, legacy single-segment dirs
-            // adopted in place.
-            let (store, replay) = match SegmentStore::open_dir(&dir, self.config.store) {
+            // adopted in place. The directory is observed so every
+            // durable byte lands in the campaign's `wal_bytes` counter.
+            let fs = match DirFs::open(&dir) {
+                Ok(f) => f,
+                Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
+            };
+            let observed = ObservedFs::new(
+                Box::new(fs),
+                Box::new(WalBytesObserver {
+                    bytes: self
+                        .obs
+                        .counter(&names::campaign_metric(campaign, names::WAL_BYTES)),
+                }),
+            );
+            let (store, replay) = match SegmentStore::open(Box::new(observed), self.config.store) {
                 Ok(s) => s,
                 Err(e) => return refuse(ErrorCode::WalRefused, e.to_string()),
             };
@@ -492,12 +619,14 @@ impl CampaignRegistry {
         // Bounded queue, batch-atomic: either the whole batch fits or
         // nothing is taken and the client sees explicit backpressure.
         if state.pending.len() + state.future.len() + reports.len() > state.capacity {
+            dptd_obs::trace::instant(dptd_obs::codes::QUEUE_FULL, queued);
             return Response::Busy {
                 queued,
                 capacity: state.capacity as u64,
             };
         }
         let batch = reports.len() as u64;
+        dptd_obs::trace::instant(dptd_obs::codes::SUBMIT, batch);
         if epoch == state.next_epoch {
             state.pending.extend(reports);
         } else {
@@ -528,6 +657,7 @@ impl CampaignRegistry {
             );
         }
         let reports = std::mem::take(&mut state.pending);
+        dptd_obs::trace::instant(dptd_obs::codes::DEQUEUE, reports.len() as u64);
         // Surface an all-refused round as the budget error it is, before
         // the engine turns it into a bare coverage failure. Observable
         // state is identical either way: nothing is debited, the round
@@ -598,8 +728,9 @@ impl CampaignRegistry {
         let ns = |d: Option<std::time::Duration>| {
             d.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
         };
+        let (conn_live, conn_accepted, conn_refused, io_threads) = self.conn_counts();
         Response::Metrics {
-            metrics: MetricsReport {
+            metrics: Box::new(MetricsReport {
                 reports_submitted: m.reports_submitted,
                 reports_accepted: m.reports_accepted,
                 duplicates_discarded: m.duplicates_discarded,
@@ -612,8 +743,94 @@ impl CampaignRegistry {
                 throughput_rps: m.throughput_rps(),
                 ingest_p50_ns: ns(m.ingest_latency.p50()),
                 ingest_p99_ns: ns(m.ingest_latency.p99()),
-            },
+                conn_live,
+                conn_accepted,
+                conn_refused,
+                io_threads,
+            }),
         }
+    }
+
+    /// The full observability snapshot behind [`Request::QueryStatus`]:
+    /// the event-driven registry (refusal frequencies, WAL bytes,
+    /// quarantine flags, request totals) plus, per campaign, counters
+    /// sampled live from the engine — cumulative stage-busy time,
+    /// ingest latency histogram, queue depth — under the
+    /// `campaign.<id>.*` names in [`dptd_obs::names`]. Fair-share
+    /// views ([`MetricsSnapshot::campaign_shares`]) are computed by the
+    /// consumer from these counters.
+    pub fn status_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.snapshot();
+        let (live, accepted, refused, io_threads) = self.conn_counts();
+        snap.set(
+            names::SERVER_CONN_LIVE.to_string(),
+            MetricValue::Gauge(live),
+        );
+        snap.set(
+            names::SERVER_CONN_ACCEPTED.to_string(),
+            MetricValue::Counter(accepted),
+        );
+        snap.set(
+            names::SERVER_CONN_REFUSED.to_string(),
+            MetricValue::Counter(refused),
+        );
+        snap.set(
+            names::SERVER_IO_THREADS.to_string(),
+            MetricValue::Gauge(io_threads),
+        );
+        let slots: Vec<(String, Arc<CampaignSlot>)> = self
+            .campaigns_map()
+            .iter()
+            .map(|(id, slot)| (id.clone(), Arc::clone(slot)))
+            .collect();
+        for (id, slot) in slots {
+            let metric = |suffix: &str| names::campaign_metric(&id, suffix);
+            let Ok(state) = slot.state.lock() else {
+                // Quarantined: its engine state cannot be read, but the
+                // flag itself must be visible even before the first
+                // refusal bumps it.
+                snap.set(metric(names::QUARANTINED), MetricValue::Gauge(1));
+                continue;
+            };
+            let m = state.driver.backend().metrics();
+            let busy_ns = |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            snap.set(
+                metric(names::ROUTE_BUSY_NS),
+                MetricValue::Counter(busy_ns(m.stage.route)),
+            );
+            snap.set(
+                metric(names::FILTER_BUSY_NS),
+                MetricValue::Counter(busy_ns(m.stage.filter)),
+            );
+            snap.set(
+                metric(names::MERGE_BUSY_NS),
+                MetricValue::Counter(busy_ns(m.stage.merge)),
+            );
+            snap.set(
+                metric(names::QUEUE_DEPTH),
+                MetricValue::Gauge((state.pending.len() + state.future.len()) as u64),
+            );
+            snap.set(
+                metric(names::SUBMITTED),
+                MetricValue::Counter(m.reports_submitted),
+            );
+            snap.set(
+                metric(names::ACCEPTED),
+                MetricValue::Counter(m.reports_accepted),
+            );
+            snap.set(
+                metric(names::DROPPED),
+                MetricValue::Counter(
+                    m.duplicates_discarded + m.late_dropped + m.out_of_order_dropped,
+                ),
+            );
+            snap.set(metric(names::ROUNDS), MetricValue::Counter(m.epochs_merged));
+            snap.set(
+                metric(names::INGEST_LATENCY),
+                MetricValue::Histogram(m.ingest_latency.snapshot()),
+            );
+        }
+        snap
     }
 
     fn query_budget(&self, campaign: &str) -> Response {

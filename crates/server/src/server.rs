@@ -150,6 +150,7 @@ impl Server {
             },
             Arc::clone(&registry) as Arc<dyn crate::frontend::RequestHandler>,
         )?;
+        registry.set_conn_stats(frontend.stats(), frontend.io_threads());
         Ok(Self { registry, frontend })
     }
 

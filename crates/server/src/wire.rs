@@ -31,6 +31,7 @@
 use std::fmt;
 
 use dptd_core::roles::PerturbedReport;
+use dptd_obs::{HistogramSnapshot, MetricValue, MetricsSnapshot, NUM_BUCKETS};
 use dptd_protocol::message::StampedReport;
 use dptd_stats::digest::Fnv1a;
 
@@ -241,6 +242,16 @@ pub struct MetricsReport {
     pub ingest_p50_ns: u64,
     /// 99th-percentile ingest latency, nanoseconds.
     pub ingest_p99_ns: u64,
+    /// Connections live on the serving front end right now (a
+    /// server-wide gauge, repeated in every campaign's report).
+    pub conn_live: u64,
+    /// Connections accepted since the server started.
+    pub conn_accepted: u64,
+    /// Connections refused at accept because the front end was at its
+    /// connection budget.
+    pub conn_refused: u64,
+    /// I/O threads the front end is running.
+    pub io_threads: u64,
 }
 
 /// Sizing and privacy policy for a campaign created over the wire —
@@ -423,6 +434,12 @@ pub enum Request {
         /// The batch, in stream order.
         reports: Vec<StampedReport>,
     },
+    /// Read the server's full observability snapshot: every registry
+    /// metric (connection gauges, per-campaign stage-busy counters,
+    /// error-code frequencies, WAL bytes) plus per-campaign ingest
+    /// histograms — the frame behind `dptd status --connect`. Unlike
+    /// [`Request::QueryMetrics`] it is server-wide, not per-campaign.
+    QueryStatus,
 }
 
 /// One refused batch inside a [`Response::SubmitAcked`], carried as a
@@ -516,8 +533,9 @@ pub enum Response {
     },
     /// The campaign's engine counters.
     Metrics {
-        /// The observable metrics snapshot.
-        metrics: MetricsReport,
+        /// The observable metrics snapshot (boxed — it is by far the
+        /// widest variant, and responses travel through `Result` errors).
+        metrics: Box<MetricsReport>,
     },
     /// The node accepts the peer handshake.
     NodeWelcome {
@@ -579,6 +597,12 @@ pub enum Response {
         /// Per-local-user cumulative losses.
         cumulative_losses: Vec<f64>,
     },
+    /// The server's full observability snapshot (reply to
+    /// [`Request::QueryStatus`]).
+    Status {
+        /// Every metric the server's registry holds, sorted by name.
+        snapshot: dptd_obs::MetricsSnapshot,
+    },
 }
 
 const KIND_CREATE: u8 = 0x01;
@@ -593,6 +617,7 @@ const KIND_CLOSE_COMMIT: u8 = 0x09;
 const KIND_REPLICATE: u8 = 0x0a;
 const KIND_QUERY_LEDGER: u8 = 0x0b;
 const KIND_SUBMIT_STREAM: u8 = 0x0c;
+const KIND_QUERY_STATUS: u8 = 0x0d;
 const KIND_CREATED: u8 = 0x81;
 const KIND_SUBMITTED: u8 = 0x82;
 const KIND_BUSY: u8 = 0x83;
@@ -607,6 +632,7 @@ const KIND_COMMITTED: u8 = 0x8b;
 const KIND_REPLICATED: u8 = 0x8c;
 const KIND_LEDGER: u8 = 0x8d;
 const KIND_SUBMIT_ACKED: u8 = 0x8e;
+const KIND_STATUS: u8 = 0x8f;
 
 fn checksum(body: &[u8]) -> u64 {
     let mut h = Fnv1a::new();
@@ -963,6 +989,10 @@ impl MetricsReport {
         w.f64(self.throughput_rps);
         w.u64(self.ingest_p50_ns);
         w.u64(self.ingest_p99_ns);
+        w.u64(self.conn_live);
+        w.u64(self.conn_accepted);
+        w.u64(self.conn_refused);
+        w.u64(self.io_threads);
     }
 
     fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -979,8 +1009,100 @@ impl MetricsReport {
             throughput_rps: r.f64()?,
             ingest_p50_ns: r.u64()?,
             ingest_p99_ns: r.u64()?,
+            conn_live: r.u64()?,
+            conn_accepted: r.u64()?,
+            conn_refused: r.u64()?,
+            io_threads: r.u64()?,
         })
     }
+}
+
+/// Metric-value tags inside a [`Response::Status`] snapshot entry.
+const VALUE_TAG_COUNTER: u8 = 0;
+const VALUE_TAG_GAUGE: u8 = 1;
+const VALUE_TAG_HISTOGRAM: u8 = 2;
+
+/// Minimum encoded size of one snapshot entry (name length prefix +
+/// value tag, with an empty name and a counter value's u64 to follow —
+/// the tag byte plus the counter payload is the smallest value).
+const MIN_SNAPSHOT_ENTRY_BYTES: usize = 2 + 1 + 8;
+/// Encoded size of one sparse histogram bucket (index:u32 + count:u64).
+const SNAPSHOT_BUCKET_BYTES: usize = 4 + 8;
+
+fn write_hist_snapshot(w: &mut Writer, h: &HistogramSnapshot) {
+    w.u64(h.count);
+    w.u64(h.total_ns);
+    w.u64(h.max_ns);
+    w.u32(h.buckets.len() as u32);
+    for &(idx, n) in &h.buckets {
+        w.u32(idx);
+        w.u64(n);
+    }
+}
+
+fn read_hist_snapshot(r: &mut Reader<'_>) -> Result<HistogramSnapshot, WireError> {
+    let count = r.u64()?;
+    let total_ns = r.u64()?;
+    let max_ns = r.u64()?;
+    let nbuckets = r.bounded_count(SNAPSHOT_BUCKET_BYTES)?;
+    let mut buckets = Vec::with_capacity(nbuckets);
+    let mut prev: Option<u32> = None;
+    for _ in 0..nbuckets {
+        let idx = r.u32()?;
+        if idx as usize >= NUM_BUCKETS {
+            return Err(WireError::Malformed("histogram bucket index out of range"));
+        }
+        if prev.is_some_and(|p| idx <= p) {
+            return Err(WireError::Malformed(
+                "histogram bucket indices not strictly increasing",
+            ));
+        }
+        prev = Some(idx);
+        buckets.push((idx, r.u64()?));
+    }
+    Ok(HistogramSnapshot {
+        count,
+        total_ns,
+        max_ns,
+        buckets,
+    })
+}
+
+fn write_snapshot(w: &mut Writer, s: &MetricsSnapshot) {
+    w.u32(s.entries.len() as u32);
+    for (name, value) in &s.entries {
+        w.str(name);
+        match value {
+            MetricValue::Counter(v) => {
+                w.u8(VALUE_TAG_COUNTER);
+                w.u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                w.u8(VALUE_TAG_GAUGE);
+                w.u64(*v);
+            }
+            MetricValue::Histogram(h) => {
+                w.u8(VALUE_TAG_HISTOGRAM);
+                write_hist_snapshot(w, h);
+            }
+        }
+    }
+}
+
+fn read_snapshot(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let n = r.bounded_count(MIN_SNAPSHOT_ENTRY_BYTES)?;
+    let mut out = MetricsSnapshot::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let value = match r.u8()? {
+            VALUE_TAG_COUNTER => MetricValue::Counter(r.u64()?),
+            VALUE_TAG_GAUGE => MetricValue::Gauge(r.u64()?),
+            VALUE_TAG_HISTOGRAM => MetricValue::Histogram(read_hist_snapshot(r)?),
+            _ => return Err(WireError::Malformed("unknown metric value tag")),
+        };
+        out.set(name, value);
+    }
+    Ok(out)
 }
 
 impl Request {
@@ -1084,6 +1206,9 @@ impl Request {
                     write_report(&mut w, r);
                 }
             }
+            Request::QueryStatus => {
+                w = Writer::new(KIND_QUERY_STATUS);
+            }
         }
         frame(w.buf)
     }
@@ -1178,6 +1303,7 @@ impl Request {
                     reports,
                 }
             }
+            KIND_QUERY_STATUS => Request::QueryStatus,
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -1315,6 +1441,10 @@ impl Response {
                 write_u32s(&mut w, rounds_debited);
                 write_f64s(&mut w, cumulative_losses);
             }
+            Response::Status { snapshot } => {
+                w = Writer::new(KIND_STATUS);
+                write_snapshot(&mut w, snapshot);
+            }
         }
         frame(w.buf)
     }
@@ -1375,7 +1505,7 @@ impl Response {
                 message: r.str()?,
             },
             KIND_METRICS => Response::Metrics {
-                metrics: MetricsReport::read(&mut r)?,
+                metrics: Box::new(MetricsReport::read(&mut r)?),
             },
             KIND_NODE_WELCOME => Response::NodeWelcome { node_id: r.u32()? },
             KIND_PREPARED => {
@@ -1432,6 +1562,9 @@ impl Response {
                 batches_seen: r.u64()?,
                 rounds_debited: read_u32s(&mut r)?,
                 cumulative_losses: read_f64s(&mut r)?,
+            },
+            KIND_STATUS => Response::Status {
+                snapshot: read_snapshot(&mut r)?,
             },
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -1591,7 +1724,7 @@ mod tests {
         });
 
         roundtrip_response(Response::Metrics {
-            metrics: MetricsReport {
+            metrics: Box::new(MetricsReport {
                 reports_submitted: 1000,
                 reports_accepted: 990,
                 duplicates_discarded: 7,
@@ -1604,7 +1737,11 @@ mod tests {
                 throughput_rps: 12_345.5,
                 ingest_p50_ns: 1_800,
                 ingest_p99_ns: 95_000,
-            },
+                conn_live: 3,
+                conn_accepted: 40,
+                conn_refused: 2,
+                io_threads: 4,
+            }),
         });
         roundtrip_response(Response::NodeWelcome { node_id: 2 });
         roundtrip_response(Response::Prepared {
@@ -1669,6 +1806,149 @@ mod tests {
                 },
             ],
         });
+    }
+
+    #[test]
+    fn every_status_message_roundtrips() {
+        roundtrip_request(Request::QueryStatus);
+
+        roundtrip_response(Response::Status {
+            snapshot: MetricsSnapshot::new(),
+        });
+
+        let mut snap = MetricsSnapshot::new();
+        snap.set("server.conn.live".to_string(), MetricValue::Gauge(3));
+        snap.set("server.requests".to_string(), MetricValue::Counter(512));
+        snap.set(
+            "campaign.air.ingest_latency".to_string(),
+            MetricValue::Histogram(HistogramSnapshot {
+                count: 4,
+                total_ns: 10_000,
+                max_ns: 4_000,
+                buckets: vec![(17, 1), (42, 2), (99, 1)],
+            }),
+        );
+        roundtrip_response(Response::Status { snapshot: snap });
+    }
+
+    #[test]
+    fn status_snapshot_refuses_malformed_payloads() {
+        // Unknown value tag.
+        let mut w = Writer::new(KIND_STATUS);
+        w.u32(1);
+        w.str("m");
+        w.u8(9);
+        w.u64(0);
+        assert_eq!(
+            Response::decode(&w.buf),
+            Err(WireError::Malformed("unknown metric value tag"))
+        );
+
+        // Bucket index past the shared layout.
+        let mut w = Writer::new(KIND_STATUS);
+        w.u32(1);
+        w.str("h");
+        w.u8(VALUE_TAG_HISTOGRAM);
+        w.u64(1);
+        w.u64(10);
+        w.u64(10);
+        w.u32(1);
+        w.u32(NUM_BUCKETS as u32);
+        w.u64(1);
+        assert_eq!(
+            Response::decode(&w.buf),
+            Err(WireError::Malformed("histogram bucket index out of range"))
+        );
+
+        // Bucket indices must be strictly increasing (canonical sparse
+        // form — a duplicate would double-count on merge).
+        let mut w = Writer::new(KIND_STATUS);
+        w.u32(1);
+        w.str("h");
+        w.u8(VALUE_TAG_HISTOGRAM);
+        w.u64(2);
+        w.u64(20);
+        w.u64(10);
+        w.u32(2);
+        w.u32(7);
+        w.u64(1);
+        w.u32(7);
+        w.u64(1);
+        assert_eq!(
+            Response::decode(&w.buf),
+            Err(WireError::Malformed(
+                "histogram bucket indices not strictly increasing"
+            ))
+        );
+    }
+
+    #[test]
+    fn golden_status_wire_layout_is_pinned() {
+        // The status frames share the v1 framing; a change to either
+        // payload is a format break (bump the HELLO version byte and
+        // keep v1 decoders).
+        let bytes = Request::QueryStatus.encode();
+        // body := kind(0x0d)  → 1 byte
+        let body = vec![0x0d];
+        let golden: Vec<u8> = [
+            1u32.to_le_bytes().to_vec(),
+            (1u32 ^ u32::from_le_bytes(*b"NET1")).to_le_bytes().to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "QueryStatus wire layout changed");
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            0xaf63_c04c_8601_bcf8,
+            "QueryStatus checksum constant changed: {:#x}",
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap())
+        );
+
+        let mut snap = MetricsSnapshot::new();
+        snap.set("c".to_string(), MetricValue::Counter(7));
+        snap.set(
+            "h".to_string(),
+            MetricValue::Histogram(HistogramSnapshot {
+                count: 1,
+                total_ns: 32,
+                max_ns: 32,
+                buckets: vec![(80, 1)],
+            }),
+        );
+        let bytes = Response::Status { snapshot: snap }.encode();
+        // body := kind(0x8f) nentries:u32
+        //         namelen:u16 "c" tag(0x00) value:u64
+        //         namelen:u16 "h" tag(0x02) count:u64 total:u64 max:u64
+        //         nbuckets:u32 idx:u32 bucket_count:u64
+        let body: Vec<u8> = [
+            vec![0x8f],
+            2u32.to_le_bytes().to_vec(),
+            1u16.to_le_bytes().to_vec(),
+            b"c".to_vec(),
+            vec![0x00],
+            7u64.to_le_bytes().to_vec(),
+            1u16.to_le_bytes().to_vec(),
+            b"h".to_vec(),
+            vec![0x02],
+            1u64.to_le_bytes().to_vec(),
+            32u64.to_le_bytes().to_vec(),
+            32u64.to_le_bytes().to_vec(),
+            1u32.to_le_bytes().to_vec(),
+            80u32.to_le_bytes().to_vec(),
+            1u64.to_le_bytes().to_vec(),
+        ]
+        .concat();
+        let golden: Vec<u8> = [
+            (body.len() as u32).to_le_bytes().to_vec(),
+            ((body.len() as u32) ^ u32::from_le_bytes(*b"NET1"))
+                .to_le_bytes()
+                .to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "Status wire layout changed");
     }
 
     #[test]

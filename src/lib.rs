@@ -53,6 +53,7 @@ pub use dptd_cluster as cluster;
 pub use dptd_core as core;
 pub use dptd_engine as engine;
 pub use dptd_ldp as ldp;
+pub use dptd_obs as obs;
 pub use dptd_protocol as protocol;
 pub use dptd_sensing as sensing;
 pub use dptd_server as server;
