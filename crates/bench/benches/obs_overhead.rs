@@ -1,19 +1,24 @@
 //! Observability overhead pin: the instrumented engine must be free.
 //!
-//! Runs the `engine_1m_reports` workload twice — once with tracing
+//! Runs the `engine_1m_reports` workload three times — tracing
 //! disabled (every instrumented site costs one relaxed atomic load,
-//! the shipping default) and once with tracing enabled (spans and
-//! instants recording into the per-thread rings) — and pins two facts:
+//! the shipping default), tracing enabled (spans and instants
+//! recording into the per-thread rings), and tracing enabled **with
+//! causal context propagation** (an ambient root context entered, so
+//! every span derives deterministic child ids and records its parent
+//! edge — the distributed-tracing hot path) — and pins two facts:
 //!
-//! 1. **Determinism**: the weights digests are bit-identical. Turning
-//!    observability on must never perturb results.
-//! 2. **Overhead**: the instrumented run's throughput is within 3% of
+//! 1. **Determinism**: the weights digests of all three arms are
+//!    bit-identical. Turning observability on, with or without
+//!    propagation, must never perturb results.
+//! 2. **Overhead**: both traced arms' throughput is within 3% of
 //!    baseline (best-of-N wall clock, to damp scheduler noise). The
 //!    bound is only asserted in full runs; `DPTD_BENCH_SMOKE=1` runs a
 //!    small load where fixed costs dominate and the ratio is noise.
 //!
 //! Writes `obs_overhead.json` (archived by CI as a bench artifact) with
-//! `baseline_rps` / `instrumented_rps` / `overhead_pct` extras.
+//! `baseline_rps` / `instrumented_rps` / `overhead_pct` plus
+//! `propagated_rps` / `propagation_overhead_pct` extras.
 
 use std::time::Instant;
 
@@ -36,7 +41,11 @@ struct Arm {
 }
 
 /// Run the workload once and reduce it to the numbers the pin needs.
-fn run_once(eng: &Engine, gen: &LoadGen) -> Arm {
+/// With `propagate`, an ambient root context wraps the run, so every
+/// span pays the full child-id derivation and parent-edge store.
+fn run_once(eng: &Engine, gen: &LoadGen, propagate: bool) -> Arm {
+    let _root =
+        propagate.then(|| dptd_obs::trace::enter(dptd_obs::SpanContext::root("obs-overhead", 0)));
     let t0 = Instant::now();
     let report = eng.run(gen.stream()).expect("engine run succeeds");
     let elapsed_s = t0.elapsed().as_secs_f64();
@@ -52,12 +61,12 @@ fn run_once(eng: &Engine, gen: &LoadGen) -> Arm {
 
 /// Best-of-`iters` for one tracing state (rings reset between runs so
 /// the enabled arm pays steady-state recording, not ring allocation).
-fn run_arm(eng: &Engine, gen: &LoadGen, traced: bool, iters: usize) -> Arm {
+fn run_arm(eng: &Engine, gen: &LoadGen, traced: bool, propagate: bool, iters: usize) -> Arm {
     dptd_obs::trace::set_enabled(traced);
     dptd_obs::trace::reset();
     let mut best: Option<Arm> = None;
     for _ in 0..iters {
-        let arm = run_once(eng, gen);
+        let arm = run_once(eng, gen, propagate);
         match &best {
             Some(b) if b.elapsed_s <= arm.elapsed_s => {}
             _ => best = Some(arm),
@@ -95,24 +104,36 @@ fn bench_obs_overhead(_c: &mut Criterion) {
     })
     .expect("valid engine config");
 
-    let baseline = run_arm(&eng, &gen, false, iters);
-    let instrumented = run_arm(&eng, &gen, true, iters);
+    let baseline = run_arm(&eng, &gen, false, false, iters);
+    let instrumented = run_arm(&eng, &gen, true, false, iters);
+    let propagated = run_arm(&eng, &gen, true, true, iters);
 
     assert_eq!(
         baseline.digest, instrumented.digest,
         "enabling tracing must not perturb the weights digest"
     );
     assert_eq!(
+        baseline.digest, propagated.digest,
+        "context propagation must not perturb the weights digest"
+    );
+    assert_eq!(
         baseline.reports, instrumented.reports,
         "both arms drive the identical report stream"
+    );
+    assert_eq!(
+        baseline.reports, propagated.reports,
+        "the propagated arm drives the identical report stream"
     );
 
     let baseline_rps = baseline.reports as f64 / baseline.elapsed_s.max(1e-9);
     let instrumented_rps = instrumented.reports as f64 / instrumented.elapsed_s.max(1e-9);
+    let propagated_rps = propagated.reports as f64 / propagated.elapsed_s.max(1e-9);
     let overhead_pct = (baseline_rps - instrumented_rps) / baseline_rps * 100.0;
+    let propagation_overhead_pct = (baseline_rps - propagated_rps) / baseline_rps * 100.0;
     println!(
         "obs_overhead: baseline {baseline_rps:.0} reports/s, traced {instrumented_rps:.0} \
-         reports/s → overhead {overhead_pct:.2}% (digest {:016x})",
+         reports/s → overhead {overhead_pct:.2}%, traced+propagated {propagated_rps:.0} \
+         reports/s → overhead {propagation_overhead_pct:.2}% (digest {:016x})",
         baseline.digest
     );
     if !smoke() {
@@ -120,6 +141,11 @@ fn bench_obs_overhead(_c: &mut Criterion) {
             overhead_pct <= 3.0,
             "observability overhead {overhead_pct:.2}% exceeds the 3% budget \
              (baseline {baseline_rps:.0} rps, instrumented {instrumented_rps:.0} rps)"
+        );
+        assert!(
+            propagation_overhead_pct <= 3.0,
+            "context-propagation overhead {propagation_overhead_pct:.2}% exceeds the 3% \
+             budget (baseline {baseline_rps:.0} rps, propagated {propagated_rps:.0} rps)"
         );
     }
 
@@ -134,6 +160,11 @@ fn bench_obs_overhead(_c: &mut Criterion) {
             (keys::BASELINE_RPS.to_string(), baseline_rps),
             (keys::INSTRUMENTED_RPS.to_string(), instrumented_rps),
             (keys::OVERHEAD_PCT.to_string(), overhead_pct),
+            (keys::PROPAGATED_RPS.to_string(), propagated_rps),
+            (
+                keys::PROPAGATION_OVERHEAD_PCT.to_string(),
+                propagation_overhead_pct,
+            ),
         ],
     };
     match summary.write() {

@@ -34,6 +34,12 @@ pub mod keys {
     /// Observability overhead as a percentage of baseline throughput
     /// (positive = instrumented run was slower).
     pub const OVERHEAD_PCT: &str = "overhead_pct";
+    /// Reports/sec with tracing AND causal context propagation on
+    /// (ambient root context entered, so every span derives child ids).
+    pub const PROPAGATED_RPS: &str = "propagated_rps";
+    /// Context-propagation overhead as a percentage of baseline
+    /// throughput (positive = propagated run was slower).
+    pub const PROPAGATION_OVERHEAD_PCT: &str = "propagation_overhead_pct";
 }
 
 /// One instrumented bench run, reduced to the numbers CI archives.

@@ -46,6 +46,11 @@ dptd cluster needs a subcommand:
         --wal-rotate-bytes --wal-rotate-records --wal-compact-every
                          segmented-store thresholds, as for `dptd serve`
         --max-campaigns  live campaign cap               [16]
+        --trace          true|false: record stage spans into the node's
+                         trace rings (served back via QueryTrace) [false]
+        --flight-dir     arm the black-box flight recorder: freeze a
+                         JSON bundle here on quarantine, refusal storm,
+                         panic, or shutdown (`dptd flight` reads it)
     dptd cluster submit  coordinate a campaign across running nodes
         --connect        comma-separated node addresses, in node-id
                          order (required)
@@ -63,6 +68,16 @@ dptd cluster needs a subcommand:
     dptd cluster status  snapshot node metrics and ledger positions
         --connect        comma-separated node addresses (required)
         --campaign       campaign id                     [campaign]
+    dptd cluster trace   run a traced coordinated campaign, then fetch
+                         every node's trace rings and merge them with
+                         the coordinator's into ONE clock-aligned
+                         chrome://tracing timeline (one pid lane per
+                         process; barrier spans parent node work)
+        --dump           emit the merged JSON (else a per-process
+                         event summary)
+        --out            write the JSON to a file instead of stdout
+        plus the `dptd cluster submit` flags (nodes must be serving
+        with --trace true for their lanes to hold events)
 ";
 
 /// Execute `dptd cluster <serve|submit|status>`.
@@ -75,6 +90,11 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
     let Some((sub, rest)) = argv.split_first() else {
         return Err(CliError::Usage(CLUSTER_USAGE.to_string()));
     };
+    if sub.as_str() == "trace" {
+        // `trace` takes a bare `--dump` switch, so it parses its own
+        // argument vector.
+        return trace(rest);
+    }
     let args = ArgMap::parse(rest)?;
     match sub.as_str() {
         "serve" => serve(&args),
@@ -122,6 +142,11 @@ fn run_serve(args: &ArgMap, wait: impl FnOnce()) -> Result<String, CliError> {
     };
     let node_id = config.node_id;
     let num_nodes = config.num_nodes;
+    // `--flight-dir` / `--trace`, same process-global hooks as
+    // `dptd serve`.
+    if let Some(obs) = super::arm_observability(args)? {
+        eprintln!("dptd cluster serve: {obs}");
+    }
     let node = NodeServer::start(config).map_err(box_err)?;
     eprintln!(
         "dptd cluster serve: node {node_id}/{num_nodes} listening on {}; close stdin to stop",
@@ -166,6 +191,13 @@ fn node_addrs(args: &ArgMap) -> Result<Vec<String>, CliError> {
 
 /// `dptd cluster submit`: coordinate the load-generator campaign.
 fn submit(args: &ArgMap) -> Result<String, CliError> {
+    run_submit(args).map(|(out, _cluster)| out)
+}
+
+/// The coordinated campaign `submit` and `trace` share; returns the
+/// report plus the still-connected coordinator so `trace` can fetch the
+/// nodes' rings afterwards.
+fn run_submit(args: &ArgMap) -> Result<(String, ClusterCampaign), CliError> {
     let addrs = node_addrs(args)?;
     let campaign = args.str_or("campaign", "campaign");
     let (lambda2, lambda2_desc) = super::resolve_lambda2(args)?;
@@ -302,7 +334,96 @@ fn submit(args: &ArgMap) -> Result<String, CliError> {
         ledger.budget().delta(),
     );
     let _ = writeln!(out, "weights digest      {:016x}", cluster.weights_digest());
-    Ok(out)
+    Ok((out, cluster))
+}
+
+/// `dptd cluster trace`: run a traced coordinated campaign, then merge
+/// every process's rings into one timeline. The coordinator (this
+/// process) traces its barrier spans; nodes serving with `--trace true`
+/// contribute their drain/commit spans, clock-aligned by each process's
+/// wall anchor. In-process nodes (tests) share this process's rings, so
+/// their lanes mirror the coordinator's — the merged document is still
+/// well-formed.
+fn trace(argv: &[String]) -> Result<String, CliError> {
+    let mut dump = false;
+    let tokens: Vec<String> = argv
+        .iter()
+        .filter(|t| {
+            if t.as_str() == "--dump" {
+                dump = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let args = ArgMap::parse(&tokens)?;
+    let out_path = args.get("out").map(PathBuf::from);
+
+    // The rings are process-global: reset so the merged timeline holds
+    // exactly this run, then trace the coordinated campaign. Tracing is
+    // switched off before rendering so the dump itself records nothing.
+    dptd_obs::trace::reset();
+    dptd_obs::trace::set_enabled(true);
+    let result = run_submit(&args);
+    dptd_obs::trace::set_enabled(false);
+    let (report, mut cluster) = result?;
+
+    let processes = cluster.collect_traces().map_err(box_err)?;
+    if !dump {
+        return Ok(summarize_trace(&report, &processes));
+    }
+    let json = dptd_cluster::merge_trace_timeline(&processes);
+    match out_path {
+        None => Ok(json),
+        Some(path) => {
+            std::fs::write(&path, &json).map_err(|e| {
+                CliError::Pipeline(Box::new(std::io::Error::new(
+                    e.kind(),
+                    format!("writing merged trace to {}: {e}", path.display()),
+                )))
+            })?;
+            let events: usize = processes.iter().map(|p| p.events.len()).sum();
+            Ok(format!(
+                "wrote {events} trace event(s) across {} process(es) to {} \
+                 (open at chrome://tracing or ui.perfetto.dev)\n",
+                processes.len(),
+                path.display()
+            ))
+        }
+    }
+}
+
+/// The non-dump rendering: the campaign report plus one row per
+/// process lane — event counts and ring truncation, so a bare
+/// `dptd cluster trace` is a quick "which lanes hold what".
+fn summarize_trace(report: &str, processes: &[dptd_cluster::ProcessTrace]) -> String {
+    let mut out = String::new();
+    out.push_str(report);
+    let _ = writeln!(
+        out,
+        "\n# cluster trace — {} process lane(s)\n",
+        processes.len()
+    );
+    let _ = writeln!(out, "| pid | process | spans | instants | dropped |");
+    let _ = writeln!(out, "|---:|---|---:|---:|---:|");
+    for (i, p) in processes.iter().enumerate() {
+        let spans = p.events.iter().filter(|e| e.phase == 'B').count();
+        let instants = p.events.iter().filter(|e| e.phase == 'i').count();
+        let dropped: u64 = p.dropped.iter().map(|&(_, n)| n).sum();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {spans} | {instants} | {dropped} |",
+            i + 1,
+            p.label
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nre-run with --dump for the merged chrome://tracing JSON"
+    );
+    out
 }
 
 /// `dptd cluster status`: one row per node, then the fleet-wide
@@ -454,6 +575,42 @@ mod tests {
                 .collect()
         };
         assert_eq!(rows(&net), rows(&local), "net:\n{net}\nlocal:\n{local}");
+
+        // `cluster trace` drives the same campaign traced, then merges
+        // the lanes. Event counts can race with other trace-enabled
+        // tests in this process (the rings are global), so assert only
+        // the race-proof shape: the report, the lane table, and the
+        // merged document's lane metadata.
+        let traced = execute(&argv(
+            &[
+                &["trace", "--connect", &connect, "--campaign", "traced"],
+                SMALL,
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        assert!(traced.contains("weights digest"), "{traced}");
+        assert!(traced.contains("# cluster trace"), "{traced}");
+        assert!(traced.contains("| 1 | coordinator |"), "{traced}");
+        assert!(traced.contains("| 4 | node2 |"), "{traced}");
+        let json = execute(&argv(
+            &[
+                &[
+                    "trace",
+                    "--dump",
+                    "--connect",
+                    &connect,
+                    "--campaign",
+                    "traced2",
+                ],
+                SMALL,
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.contains("\"name\":\"process_name\""), "{json}");
+        assert!(json.contains("\"args\":{\"name\":\"node1\"}"), "{json}");
 
         let status = execute(&argv(&[
             "status",

@@ -5,6 +5,7 @@ pub mod audit;
 pub mod campaign;
 pub mod cluster;
 pub mod engine;
+pub mod flight;
 pub mod recover;
 pub mod run;
 pub mod serve;
@@ -14,6 +15,46 @@ pub mod theory;
 pub mod trace;
 
 use crate::CliError;
+
+/// Parse a `--key true|false` switch with a default.
+pub(crate) fn bool_flag(
+    args: &crate::args::ArgMap,
+    key: &str,
+    default: bool,
+) -> Result<bool, CliError> {
+    match args.str_or(key, if default { "true" } else { "false" }) {
+        "true" | "1" | "yes" => Ok(true),
+        "false" | "0" | "no" => Ok(false),
+        other => Err(CliError::Usage(format!(
+            "flag `--{key}` expects true|false, got `{other}`"
+        ))),
+    }
+}
+
+/// Arm the shared observability hooks a serving process offers:
+/// `--flight-dir <dir>` points the process-wide flight recorder at a
+/// dump directory (and chains the panic hook, so a crash leaves a
+/// bundle too); `--trace true` records stage spans into the in-process
+/// trace rings so `QueryTrace` (`dptd cluster trace`) has something to
+/// fetch. Used by `dptd serve` and `dptd cluster serve`.
+pub(crate) fn arm_observability(args: &crate::args::ArgMap) -> Result<Option<String>, CliError> {
+    let mut armed = Vec::new();
+    if let Some(dir) = args.get("flight-dir") {
+        let dir = std::path::PathBuf::from(dir);
+        dptd_obs::flight::global().set_dir(Some(dir.clone()));
+        dptd_obs::flight::install_panic_hook();
+        armed.push(format!("flight recorder -> {}", dir.display()));
+    }
+    if bool_flag(args, "trace", false)? {
+        dptd_obs::trace::set_enabled(true);
+        armed.push("tracing on".to_string());
+    }
+    Ok(if armed.is_empty() {
+        None
+    } else {
+        Some(armed.join("; "))
+    })
+}
 
 /// Resolve λ₂ for a command: an explicit `--lambda2` wins; otherwise map
 /// `(--epsilon, --delta, --lambda1)` through Theorem 4.8.

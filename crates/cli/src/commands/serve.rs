@@ -73,6 +73,12 @@ fn run(args: &ArgMap, wait: impl FnOnce()) -> Result<String, CliError> {
         .map_or("disabled (volatile campaigns only)".to_string(), |p| {
             format!("{} (durable campaigns resume per directory)", p.display())
         });
+    // `--flight-dir` / `--trace`: the black-box recorder and the span
+    // rings. Both are process-global and bounded, so arming them is
+    // safe for the lifetime of the serve.
+    if let Some(obs) = super::arm_observability(args)? {
+        eprintln!("dptd serve: {obs}");
+    }
     let server = Server::start(config).map_err(|e| CliError::Pipeline(Box::new(e)))?;
     // Announce on stderr immediately: with `--listen 127.0.0.1:0` the
     // real port exists only now, and stdout is reserved for the final

@@ -39,10 +39,30 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
         }
     };
     let interval_ms = args.u64_or("interval-ms", 1_000)?;
+    // `--format prom` renders the snapshot as Prometheus/OpenMetrics
+    // text exposition instead of the human table, so a scraper can do
+    // `dptd status --connect … --format prom > metrics.prom` (or a
+    // textfile-collector cron can).
+    let prom = match args.str_or("format", "table") {
+        "table" => false,
+        "prom" | "prometheus" | "openmetrics" => true,
+        other => {
+            return Err(CliError::Usage(format!(
+                "flag `--format` expects table|prom, got `{other}`"
+            )))
+        }
+    };
     let mut client = Client::connect(addr).map_err(box_err)?;
+    let view = |addr: &str, snapshot: &MetricsSnapshot| {
+        if prom {
+            snapshot.prometheus()
+        } else {
+            render(addr, snapshot)
+        }
+    };
     if !watch {
         let snapshot = client.query_status().map_err(box_err)?;
-        return Ok(render(addr, &snapshot));
+        return Ok(view(addr, &snapshot));
     }
 
     // Watch mode: refresh until stdin reaches EOF (the same stop signal
@@ -69,7 +89,7 @@ pub fn execute(args: &ArgMap) -> Result<String, CliError> {
     let mut last = String::new();
     while !stop.load(Ordering::Relaxed) {
         let snapshot = client.query_status().map_err(box_err)?;
-        last = render(addr, &snapshot);
+        last = view(addr, &snapshot);
         println!("{last}");
         std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
     }
@@ -161,6 +181,15 @@ mod tests {
     fn missing_connect_is_usage_error() {
         let err = execute(&ArgMap::parse(&[]).unwrap()).unwrap_err();
         assert!(err.to_string().contains("--connect"), "{err}");
+    }
+
+    #[test]
+    fn bad_format_flag_is_usage_error() {
+        let err = execute(
+            &ArgMap::parse(&argv(&["--connect", "127.0.0.1:1", "--format", "xml"])).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--format"), "{err}");
     }
 
     #[test]

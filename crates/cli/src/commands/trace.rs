@@ -52,7 +52,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
 
     let events = trace::collect();
     if !dump {
-        return Ok(summarize(&report, &events));
+        return Ok(summarize(&report, &events, &trace::dropped_events()));
     }
     let json = trace::dump_chrome_json();
     match out_path {
@@ -78,10 +78,21 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
 
 /// The non-dump rendering: the campaign report plus per-site event
 /// counts, so a bare `dptd trace` is a quick "which stages fired".
-fn summarize(report: &str, events: &[trace::TraceEvent]) -> String {
+fn summarize(report: &str, events: &[trace::TraceEvent], dropped: &[(u64, u64)]) -> String {
     let mut out = String::new();
     out.push_str(report);
     let _ = writeln!(out, "\n# trace — {} event(s) retained\n", events.len());
+    // Ring wraps must be loud: a span table that silently lost its
+    // oldest events reads like a shorter run.
+    if !dropped.is_empty() {
+        let total: u64 = dropped.iter().map(|&(_, n)| n).sum();
+        let _ = writeln!(
+            out,
+            "WARNING: {total} event(s) overwritten by ring wrap on {} thread ring(s) — \
+             the oldest events are gone\n",
+            dropped.len()
+        );
+    }
     let _ = writeln!(out, "| site | spans | instants |");
     let _ = writeln!(out, "|---|---:|---:|");
     let mut codes: Vec<u32> = events.iter().map(|e| e.code).collect();

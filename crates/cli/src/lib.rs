@@ -117,6 +117,11 @@ COMMANDS:
              --max-users       per-campaign population cap  [4194304]
              --wal        root dir for durable campaigns (per-campaign
                           subdirectory, advisory single-writer locked)
+             --trace      true | false: record stage spans into the
+                          trace rings (QueryTrace serves them) [false]
+             --flight-dir arm the black-box flight recorder: freeze a
+                          JSON bundle here on quarantine, refusal
+                          storm, panic, or shutdown
     submit   drive a campaign against a running `dptd serve` over TCP
              --connect    server address (required)
              --campaign   campaign id                       [campaign]
@@ -139,6 +144,8 @@ COMMANDS:
              --connect    server address (required)
              --watch      true | false: refresh until stdin EOF [false]
              --interval-ms refresh period with --watch         [1000]
+             --format     table | prom: human table or Prometheus/
+                          OpenMetrics text exposition          [table]
              renders per-campaign fair shares (% of engine busy time),
              queue depth, ingest p50/p99, and typed refusal counts
     trace    run a traced in-process campaign and dump the timeline
@@ -148,11 +155,20 @@ COMMANDS:
              plus the `dptd campaign` workload flags (same defaults)
     cluster  multi-node campaigns (see `dptd cluster` for subcommand flags)
              serve    host one partition node (--node-id/--nodes, --wal,
-                      --replicate-to, --replica-root)
+                      --replicate-to, --replica-root, --trace,
+                      --flight-dir)
              submit   coordinate a campaign across nodes (--connect
                       addr1,addr2,…; same stream flags as submit)
              status   per-node metrics, connection counts, and the
                       fleet-wide aggregated campaign snapshot
+             trace    run a traced coordinated campaign and merge all
+                      nodes' rings + the coordinator's into one
+                      clock-aligned chrome://tracing timeline
+    flight   read back black-box flight recorder bundles
+             dump     print the newest bundle verbatim
+             inspect  triage summary (trigger, snapshot ring, drops)
+             --flight-dir a serve's dump directory; --bundle <file>
+                      addresses one bundle directly
     recover  inspect a campaign write-ahead log (read-only)
              --wal        the log directory a campaign wrote
              --budgets    spent | all: per-user remaining-budget audit
@@ -195,6 +211,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "status" => commands::status::execute(&args::ArgMap::parse(rest)?),
         "trace" => commands::trace::execute(rest),
         "cluster" => commands::cluster::execute(rest),
+        "flight" => commands::flight::execute(rest),
         "recover" => commands::recover::execute(&args::ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(

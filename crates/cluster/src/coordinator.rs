@@ -90,6 +90,105 @@ pub struct ClusterRound {
     pub max_spent: PrivacyLoss,
 }
 
+/// One process's contribution to a merged cluster timeline: the
+/// coordinator's or a node's retained trace rings, with the wall-clock
+/// anchor that places its monotonic timestamps on the fleet clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessTrace {
+    /// Human label for the process lane (`coordinator`, `node0`, ...).
+    pub label: String,
+    /// Wall-clock nanoseconds corresponding to the process's trace
+    /// timestamp origin.
+    pub anchor_ns: u64,
+    /// Per-ring wrap accounting, `(tid, events overwritten)`.
+    pub dropped: Vec<(u64, u64)>,
+    /// Retained events with process-local monotonic timestamps.
+    pub events: Vec<dptd_obs::TraceEvent>,
+}
+
+/// Clock-align every process's events onto the **earliest** process
+/// anchor and return them as `(pid, event)` pairs — pid `i + 1` for
+/// `processes[i]`, matching the lanes [`merge_trace_timeline`] renders.
+/// Ring wraps surface as a leading `truncated` instant in their lane
+/// (arg = events overwritten) rather than disappearing silently.
+#[must_use]
+pub fn merge_trace_events(processes: &[ProcessTrace]) -> Vec<(u64, dptd_obs::TraceEvent)> {
+    let min_anchor = processes.iter().map(|p| p.anchor_ns).min().unwrap_or(0);
+    let mut merged = Vec::new();
+    for (i, p) in processes.iter().enumerate() {
+        let pid = i as u64 + 1;
+        let shift = p.anchor_ns.saturating_sub(min_anchor);
+        for &(tid, dropped) in &p.dropped {
+            merged.push((
+                pid,
+                dptd_obs::TraceEvent {
+                    tid,
+                    ts_ns: shift,
+                    phase: 'i',
+                    code: dptd_obs::codes::TRUNCATED,
+                    arg: dropped,
+                    trace_id: 0,
+                    span_id: 0,
+                    parent_span: 0,
+                },
+            ));
+        }
+        for e in &p.events {
+            let mut aligned = e.clone();
+            aligned.ts_ns += shift;
+            merged.push((pid, aligned));
+        }
+    }
+    merged.sort_by_key(|&(pid, ref e)| (e.ts_ns, pid, e.tid));
+    merged
+}
+
+/// Merge per-process trace dumps into **one** chrome://tracing JSON
+/// document: one `pid` lane per process (labelled via `process_name`
+/// metadata events), timestamps clock-aligned to the earliest process
+/// anchor so coordinator barrier spans visually bracket the node work
+/// they caused. Event objects go through the same pinned renderer as
+/// the single-process dump, so the schema is identical.
+#[must_use]
+pub fn merge_trace_timeline(processes: &[ProcessTrace]) -> String {
+    let merged = merge_trace_events(processes);
+    let mut out = String::from("[");
+    let mut first = true;
+    for (i, p) in processes.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            i as u64 + 1,
+            p.label
+        ));
+    }
+    for i in 0..processes.len() {
+        let pid = i as u64 + 1;
+        let lane: Vec<dptd_obs::TraceEvent> = merged
+            .iter()
+            .filter(|(p, _)| *p == pid)
+            .map(|(_, e)| e.clone())
+            .collect();
+        if lane.is_empty() {
+            continue;
+        }
+        let rendered = dptd_obs::trace::dump_chrome_json_events(&lane, pid);
+        // Splice the renderer's array body ("[<body>\n]") into ours.
+        let body = &rendered[1..rendered.len() - 2];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(body);
+    }
+    out.push_str("\n]");
+    out
+}
+
 /// A live clustered campaign: N node connections plus the global
 /// estimator and privacy ledger.
 #[derive(Debug)]
@@ -348,6 +447,32 @@ impl ClusterCampaign {
         Ok(fleet)
     }
 
+    /// Pull every node's retained trace rings plus this coordinator's
+    /// own: the raw material for [`merge_trace_timeline`]. The first
+    /// entry is always the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Server`] when a node connection fails.
+    pub fn collect_traces(&mut self) -> Result<Vec<ProcessTrace>, ClusterError> {
+        let mut processes = vec![ProcessTrace {
+            label: "coordinator".to_string(),
+            anchor_ns: dptd_obs::trace::wall_anchor_ns(),
+            dropped: dptd_obs::trace::dropped_events(),
+            events: dptd_obs::trace::collect(),
+        }];
+        for (id, client) in self.nodes.iter_mut().enumerate() {
+            let dump = client.query_trace()?;
+            processes.push(ProcessTrace {
+                label: format!("node{id}"),
+                anchor_ns: dump.anchor_ns,
+                dropped: dump.dropped,
+                events: dump.events,
+            });
+        }
+        Ok(processes)
+    }
+
     /// Fan a stream of **global-id** reports out to their owning nodes,
     /// preserving per-node stream order, in frames of `chunk` reports.
     /// Returns the total reports queued across nodes.
@@ -359,6 +484,13 @@ impl ClusterCampaign {
     /// [`Busy`](dptd_server::ServerError::Busy) once retries are
     /// exhausted) from the nodes.
     pub fn submit(&mut self, reports: &[StampedReport], chunk: usize) -> Result<u64, ClusterError> {
+        // Every frame this fan-out produces carries the round's trace so
+        // node-side submit instants land under the same timeline as the
+        // barrier that will close it. The root is derived from
+        // (campaign, epoch), so identical runs produce identical ids.
+        let _root = dptd_obs::trace::enabled().then(|| {
+            dptd_obs::trace::enter(dptd_obs::SpanContext::root(&self.campaign, self.next_epoch))
+        });
         let mut per_node: Vec<Vec<StampedReport>> = (0..self.partition.num_nodes())
             .map(|_| Vec::new())
             .collect();
@@ -411,6 +543,13 @@ impl ClusterCampaign {
                 self.next_epoch
             )));
         }
+
+        // Deterministic root for the round's distributed trace: the
+        // barrier spans below derive child ids from it, and the prepare
+        // and commit frames carry those spans to the nodes so their
+        // drain/commit work parents under this coordinator's timeline.
+        let _root = dptd_obs::trace::enabled()
+            .then(|| dptd_obs::trace::enter(dptd_obs::SpanContext::root(&self.campaign, epoch)));
 
         // Phase one: prepare every node with its refusal slice.
         let prepare_span =

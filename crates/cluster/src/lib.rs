@@ -38,7 +38,10 @@ pub mod replication;
 
 use std::fmt;
 
-pub use coordinator::{ClusterCampaign, ClusterRound, ClusterSpec};
+pub use coordinator::{
+    merge_trace_events, merge_trace_timeline, ClusterCampaign, ClusterRound, ClusterSpec,
+    ProcessTrace,
+};
 pub use node::{NodeConfig, NodeServer};
 pub use partitioner::{rendezvous_assignment, rendezvous_map, rendezvous_node};
 pub use replication::{ReplicaApplier, ReplicationSender};

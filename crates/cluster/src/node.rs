@@ -260,6 +260,21 @@ impl std::fmt::Debug for NodeState {
 
 impl NodeState {
     fn handle(&self, request: Request) -> Response {
+        let response = self.dispatch(request);
+        // A quarantine refusal freezes a flight bundle while the rings
+        // that explain the poisoning panic are still warm — the same
+        // trigger the campaign server's registry applies.
+        if let Response::Error {
+            code: ErrorCode::CampaignQuarantined,
+            ..
+        } = &response
+        {
+            dptd_obs::flight::global().freeze("quarantine", self.status_snapshot());
+        }
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::NodeHello { node_id, num_nodes } => {
                 if node_id != self.node_id || num_nodes != self.num_nodes {
@@ -276,12 +291,17 @@ impl NodeState {
                 }
             }
             Request::CreateCampaign { campaign, spec } => self.create(&campaign, &spec),
-            Request::SubmitReports { campaign, reports } => self.submit(&campaign, reports),
+            Request::SubmitReports {
+                campaign,
+                reports,
+                ctx,
+            } => self.submit(&campaign, reports, ctx),
             Request::CloseRoundPrepare {
                 campaign,
                 epoch,
                 refused,
-            } => self.prepare(&campaign, epoch, refused),
+                ctx,
+            } => self.prepare(&campaign, epoch, refused, ctx),
             Request::CloseRoundCommit {
                 campaign,
                 epoch,
@@ -289,6 +309,7 @@ impl NodeState {
                 accepted_users,
                 cumulative_losses,
                 rounds_debited,
+                ctx,
             } => self.commit(
                 &campaign,
                 epoch,
@@ -296,6 +317,7 @@ impl NodeState {
                 &accepted_users,
                 cumulative_losses,
                 rounds_debited,
+                ctx,
             ),
             Request::QueryLedger { campaign, upto } => match self.slot(&campaign) {
                 Ok(slot) => match lock_partition(&slot, &campaign) {
@@ -364,6 +386,11 @@ impl NodeState {
             },
             Request::QueryStatus => Response::Status {
                 snapshot: self.status_snapshot(),
+            },
+            Request::QueryTrace => Response::TraceDump {
+                anchor_ns: dptd_obs::trace::wall_anchor_ns(),
+                dropped: dptd_obs::trace::dropped_events(),
+                events: dptd_obs::trace::collect(),
             },
         }
     }
@@ -623,7 +650,15 @@ impl NodeState {
         Response::Created { resumed_rounds }
     }
 
-    fn submit(&self, campaign: &str, reports: Vec<StampedReport>) -> Response {
+    fn submit(
+        &self,
+        campaign: &str,
+        reports: Vec<StampedReport>,
+        ctx: Option<dptd_obs::SpanContext>,
+    ) -> Response {
+        let _ctx_guard = ctx
+            .filter(|_| dptd_obs::trace::enabled())
+            .map(dptd_obs::trace::enter);
         let slot = match self.slot(campaign) {
             Ok(s) => s,
             Err(resp) => return resp,
@@ -682,7 +717,19 @@ impl NodeState {
         }
     }
 
-    fn prepare(&self, campaign: &str, epoch: u64, refused: Vec<u64>) -> Response {
+    fn prepare(
+        &self,
+        campaign: &str,
+        epoch: u64,
+        refused: Vec<u64>,
+        ctx: Option<dptd_obs::SpanContext>,
+    ) -> Response {
+        // Under the coordinator's barrier-prepare span, the node's
+        // drain shows up as its child in a merged timeline.
+        let _ctx_guard = ctx
+            .filter(|_| dptd_obs::trace::enabled())
+            .map(dptd_obs::trace::enter);
+        let _span = dptd_obs::TraceScope::begin(dptd_obs::codes::NODE_DRAIN, epoch);
         let slot = match self.slot(campaign) {
             Ok(s) => s,
             Err(resp) => return resp,
@@ -781,6 +828,7 @@ impl NodeState {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn commit(
         &self,
         campaign: &str,
@@ -789,7 +837,12 @@ impl NodeState {
         accepted_users: &[u64],
         cumulative_losses: Vec<f64>,
         rounds_debited: Vec<u32>,
+        ctx: Option<dptd_obs::SpanContext>,
     ) -> Response {
+        let _ctx_guard = ctx
+            .filter(|_| dptd_obs::trace::enabled())
+            .map(dptd_obs::trace::enter);
+        let _span = dptd_obs::TraceScope::begin(dptd_obs::codes::NODE_COMMIT, epoch);
         let slot = match self.slot(campaign) {
             Ok(s) => s,
             Err(resp) => return resp,
@@ -930,6 +983,9 @@ impl NodeState {
 
     /// Flush every durable partition — the orderly shutdown path.
     fn finalize(&self) -> usize {
+        // Cut the shutdown black box before the flush loop: the bundle
+        // shows the partitions as they were serving, rings included.
+        dptd_obs::flight::global().freeze("shutdown", self.status_snapshot());
         let map = self.campaigns_map();
         let mut flushed = 0;
         for slot in map.values() {
@@ -1032,6 +1088,25 @@ impl NodeServer {
     pub fn shutdown(mut self) -> usize {
         self.frontend.stop();
         self.state.finalize()
+    }
+
+    /// Force-quarantine a partition by poisoning its state lock — what
+    /// a worker panic mid-request produces. Returns whether the lock is
+    /// now poisoned. Hidden seam for exercising the quarantine →
+    /// flight-recorder path from integration tests.
+    #[doc(hidden)]
+    pub fn poison_partition(&self, campaign: &str) -> bool {
+        let Some(slot) = self.state.campaigns_map().get(campaign).cloned() else {
+            return false;
+        };
+        let poisoner = Arc::clone(&slot);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("poison_partition: deliberate panic while holding the state lock");
+        })
+        .join();
+        let poisoned = slot.lock().is_err();
+        poisoned
     }
 }
 

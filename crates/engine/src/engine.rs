@@ -288,9 +288,15 @@ impl Engine {
         // atomic stores per run, nothing per report, so tracing cannot
         // perturb the data plane.
         let run_span = TraceScope::begin(trace_codes::ROUND, num_shards as u64);
+        // Thread-locals don't cross `scope.spawn`: capture the round
+        // span's context here and re-enter it inside each stage closure
+        // so MERGE/FILTER spans parent under ROUND even though they run
+        // on other threads. `None` when tracing is off — zero work.
+        let ambient = dptd_obs::trace::current();
         let merger_out = thread::scope(|scope| {
             // Merger: folds per-shard epoch claims into the global CRH.
             let merger = scope.spawn(move || {
+                let _ctx = ambient.map(dptd_obs::trace::enter);
                 let _span = TraceScope::begin(trace_codes::MERGE, num_shards as u64);
                 merge_loop(cfg_ref, state, num_shards, merge_rx)
             });
@@ -299,6 +305,7 @@ impl Engine {
             scope.spawn(move || {
                 let worker_merge_tx = worker_merge_tx;
                 pool.run_partitioned(num_shards, |shard_ids| {
+                    let _ctx = ambient.map(dptd_obs::trace::enter);
                     let _span = TraceScope::begin(trace_codes::FILTER, shard_ids.len() as u64);
                     let my_shards: Vec<(usize, Receiver<ShardMsg>)> = shard_ids
                         .iter()

@@ -17,7 +17,14 @@
 //! * [`trace`] — fixed-capacity per-thread ring buffers of timestamped
 //!   structured events (span begin/end + instants; a small code and one
 //!   `u64` argument, no allocation on the hot path), the [`TraceScope`]
-//!   RAII guard, and a chrome://tracing-compatible JSON dump.
+//!   RAII guard, Dapper-style causal [`SpanContext`] propagation
+//!   (deterministic child span ids, ambient per-thread context, wall
+//!   anchors for cross-process merges), and a chrome://tracing-
+//!   compatible JSON dump.
+//! * [`flight`] — the black-box [`FlightRecorder`]: a bounded ring of
+//!   metrics snapshots plus frozen trace rings, dumped as one
+//!   self-describing JSON bundle on quarantine, refusal storms, panic,
+//!   or shutdown.
 //!
 //! Observability must never perturb results: nothing in this crate
 //! touches the data plane's values, and tracing costs one relaxed
@@ -26,10 +33,12 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod flight;
 pub mod hist;
 pub mod registry;
 pub mod trace;
 
+pub use flight::FlightRecorder;
 pub use hist::{AtomicHistogram, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{names, CampaignShare, Counter, Gauge, MetricValue, MetricsSnapshot, Registry};
-pub use trace::{codes, TraceScope};
+pub use trace::{codes, SpanContext, TraceEvent, TraceScope};

@@ -326,6 +326,45 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Render the snapshot as Prometheus/OpenMetrics text exposition:
+    /// counters and gauges as scalar samples, histograms as cumulative
+    /// `_bucket{le="…"}` series (upper bounds in nanoseconds from the
+    /// shared log-linear layout) plus `_sum`/`_count`. Dotted names are
+    /// mangled to the `[a-zA-Z0-9_:]` charset scrapers require.
+    pub fn prometheus(&self) -> String {
+        fn mangle(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::with_capacity(self.entries.len() * 64);
+        for (name, value) in &self.entries {
+            let pname = mangle(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {pname} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for &(idx, n) in &h.buckets {
+                        cumulative += n;
+                        let le = crate::hist::bucket_floor(idx as usize + 1);
+                        out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!(
+                        "{pname}_bucket{{le=\"+Inf\"}} {}\n{pname}_sum {}\n{pname}_count {}\n",
+                        h.count, h.total_ns, h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Every campaign id appearing in `campaign.<id>.<suffix>` entries,
     /// sorted and deduplicated.
     pub fn campaign_ids(&self) -> Vec<String> {
@@ -507,6 +546,107 @@ mod tests {
         assert_eq!(fleet.scalar("n.live"), Some(7));
         assert_eq!(fleet.scalar("n.only_b"), Some(1));
         assert_eq!(fleet.histogram("n.lat").unwrap().count, 2);
+    }
+
+    #[test]
+    fn absorb_edge_cases_stay_well_formed() {
+        // Absorbing an empty snapshot is a no-op; absorbing *into* an
+        // empty snapshot copies the other side verbatim.
+        let reg = Registry::new();
+        reg.counter("n.requests").add(2);
+        reg.histogram("n.lat").record(Duration::from_micros(10));
+        let base = reg.snapshot();
+        let mut unchanged = base.clone();
+        unchanged.absorb(&MetricsSnapshot::new());
+        assert_eq!(unchanged, base, "absorbing empty must change nothing");
+        let mut fresh = MetricsSnapshot::new();
+        fresh.absorb(&base);
+        assert_eq!(fresh, base, "empty.absorb(x) must equal x");
+
+        // Mismatched kinds under one name keep ours.
+        let mut mine = MetricsSnapshot::new();
+        mine.set("x".to_string(), MetricValue::Counter(3));
+        let mut theirs = MetricsSnapshot::new();
+        theirs.set("x".to_string(), MetricValue::Gauge(9));
+        mine.absorb(&theirs);
+        assert_eq!(mine.get("x"), Some(&MetricValue::Counter(3)));
+
+        // Overlapping campaign ids across nodes: per-campaign counters
+        // add, and the fleet view sees one campaign, not two.
+        let node = |submitted: u64, busy: u64| {
+            let mut s = MetricsSnapshot::new();
+            s.set(
+                names::campaign_metric("shared", names::SUBMITTED),
+                MetricValue::Counter(submitted),
+            );
+            s.set(
+                names::campaign_metric("shared", names::ROUTE_BUSY_NS),
+                MetricValue::Counter(busy),
+            );
+            s
+        };
+        let mut fleet = node(10, 300);
+        fleet.absorb(&node(7, 100));
+        assert_eq!(fleet.campaign_ids(), vec!["shared".to_string()]);
+        assert_eq!(
+            fleet.scalar(&names::campaign_metric("shared", names::SUBMITTED)),
+            Some(17)
+        );
+
+        // Share renormalization after absorb: shares still sum to ≤ 1
+        // (exactly 1 here — both nodes did work), never above.
+        let mut two = node(10, 300);
+        let mut other = MetricsSnapshot::new();
+        other.set(
+            names::campaign_metric("other", names::ROUTE_BUSY_NS),
+            MetricValue::Counter(100),
+        );
+        two.absorb(&other);
+        let shares = two.campaign_shares();
+        let total: f64 = shares.iter().map(|s| s.share).sum();
+        assert!(total <= 1.0 + 1e-12, "shares sum past 100%: {total}");
+        assert!((total - 1.0).abs() < 1e-12, "busy fleet sums to 1: {total}");
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_three_kinds() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set("server.conn.live".to_string(), MetricValue::Gauge(3));
+        snap.set("server.requests".to_string(), MetricValue::Counter(512));
+        snap.set(
+            "campaign.air-2.ingest_latency".to_string(),
+            MetricValue::Histogram(HistogramSnapshot {
+                count: 4,
+                total_ns: 10_000,
+                max_ns: 4_000,
+                buckets: vec![(17, 1), (42, 3)],
+            }),
+        );
+        let text = snap.prometheus();
+        assert!(text.contains("# TYPE server_requests counter\nserver_requests 512\n"));
+        assert!(text.contains("# TYPE server_conn_live gauge\nserver_conn_live 3\n"));
+        assert!(text.contains("# TYPE campaign_air_2_ingest_latency histogram\n"));
+        // Buckets are cumulative with `le` upper bounds from the shared
+        // layout, closed by +Inf and the sum/count pair.
+        let le17 = crate::hist::bucket_floor(18);
+        let le42 = crate::hist::bucket_floor(43);
+        assert!(
+            text.contains(&format!(
+                "campaign_air_2_ingest_latency_bucket{{le=\"{le17}\"}} 1\n"
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "campaign_air_2_ingest_latency_bucket{{le=\"{le42}\"}} 4\n"
+            )),
+            "{text}"
+        );
+        assert!(text.contains("campaign_air_2_ingest_latency_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("campaign_air_2_ingest_latency_sum 10000\n"));
+        assert!(text.contains("campaign_air_2_ingest_latency_count 4\n"));
+        // No un-mangled characters survive.
+        assert!(!text.contains("server.requests"), "{text}");
     }
 
     #[test]

@@ -17,6 +17,19 @@ use dptd_stats::digest::Fnv1a;
 use crate::server::{complete_frame, read_frame_body, write_frame};
 use crate::wire::{self, CampaignSpec, MetricsReport, Request, Response, StoreOp};
 use crate::{io_err, ServerError};
+use dptd_obs::trace;
+use dptd_obs::{SpanContext, TraceEvent};
+
+/// The trace context to attach to an outgoing mutating frame: the
+/// thread's ambient span when tracing is on, nothing otherwise — an
+/// untraced client sends byte-identical v1 frames.
+fn wire_ctx() -> Option<SpanContext> {
+    if trace::enabled() {
+        trace::current()
+    } else {
+        None
+    }
+}
 
 /// Default reports per `SubmitReports` frame for
 /// [`Client::submit_chunked`].
@@ -327,6 +340,7 @@ impl Client {
         match self.expect(&Request::SubmitReports {
             campaign: campaign.to_string(),
             reports,
+            ctx: wire_ctx(),
         })? {
             Response::Submitted { queued } => Ok(SubmitOutcome::Queued(queued)),
             Response::Busy { queued, capacity } => Ok(SubmitOutcome::Busy { queued, capacity }),
@@ -464,6 +478,7 @@ impl Client {
                     campaign: campaign.to_string(),
                     seq: base + cursor as u64,
                     reports: batches[cursor].to_vec(),
+                    ctx: wire_ctx(),
                 }
                 .encode();
                 if let Err(e) = write_frame(&mut self.stream, &frame) {
@@ -713,6 +728,7 @@ impl Client {
             campaign: campaign.to_string(),
             epoch,
             refused,
+            ctx: wire_ctx(),
         })? {
             Response::Prepared {
                 epoch,
@@ -755,6 +771,7 @@ impl Client {
             accepted_users,
             cumulative_losses,
             rounds_debited,
+            ctx: wire_ctx(),
         })? {
             Response::Committed { appended, .. } => Ok(appended),
             other => Err(ServerError::UnexpectedResponse(Box::new(other))),
@@ -819,6 +836,39 @@ impl Client {
             other => Err(ServerError::UnexpectedResponse(Box::new(other))),
         }
     }
+
+    /// Fetch the peer process's retained trace rings: its wall-clock
+    /// anchor, per-ring truncation counts, and every retained event —
+    /// what `dptd cluster trace` merges into one timeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close_round`].
+    pub fn query_trace(&mut self) -> Result<TraceOutcome, ServerError> {
+        match self.expect(&Request::QueryTrace)? {
+            Response::TraceDump {
+                anchor_ns,
+                dropped,
+                events,
+            } => Ok(TraceOutcome {
+                anchor_ns,
+                dropped,
+                events,
+            }),
+            other => Err(ServerError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+}
+
+/// What [`Client::query_trace`] returns: one process's retained rings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOutcome {
+    /// Wall-clock nanoseconds at the peer's trace epoch.
+    pub anchor_ns: u64,
+    /// `(tid, events_overwritten)` for every ring that wrapped.
+    pub dropped: Vec<(u64, u64)>,
+    /// The retained events, oldest-first per ring.
+    pub events: Vec<TraceEvent>,
 }
 
 #[cfg(test)]

@@ -362,6 +362,7 @@ fn dispatch(handler: &dyn RequestHandler, next_seq: &mut u64, request: Request) 
             campaign,
             seq,
             reports,
+            ctx,
         } => {
             if seq != *next_seq {
                 // Out of order: a window continuation behind an earlier
@@ -372,7 +373,11 @@ fn dispatch(handler: &dyn RequestHandler, next_seq: &mut u64, request: Request) 
                     refusals: vec![BatchRefusal { seq, code: None }],
                 };
             }
-            match handler.handle(Request::SubmitReports { campaign, reports }) {
+            match handler.handle(Request::SubmitReports {
+                campaign,
+                reports,
+                ctx,
+            }) {
                 Response::Submitted { queued } => {
                     *next_seq += 1;
                     Response::SubmitAcked {
@@ -993,6 +998,7 @@ mod tests {
             campaign: campaign.to_string(),
             seq,
             reports: Vec::new(),
+            ctx: None,
         }
     }
 

@@ -53,7 +53,7 @@ pub mod wire;
 
 use std::fmt;
 
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, RetryPolicy, TraceOutcome};
 pub use decode::FrameDecoder;
 pub use frontend::{Frontend, FrontendConfig, FrontendStats, IoConfig, IoModel, RequestHandler};
 pub use registry::{CampaignRegistry, RegistryConfig};

@@ -285,6 +285,9 @@ impl CampaignRegistry {
     /// nothing afterwards — callers run this after the accept loop has
     /// stopped.
     pub fn finalize(&self) -> (usize, usize) {
+        // The shutdown black box is cut before campaigns drain, so the
+        // bundle shows the fleet as it was, not an empty registry.
+        let parting = self.status_snapshot();
         let drained = std::mem::take(&mut *self.campaigns_map());
         let mut flushed = 0usize;
         let mut failures = 0usize;
@@ -309,7 +312,30 @@ impl CampaignRegistry {
             state.wal_lock = None;
             flushed += 1;
         }
+        dptd_obs::flight::global().freeze("shutdown", parting);
         (flushed, failures)
+    }
+
+    /// Force-quarantine a campaign by poisoning its state lock — byte
+    /// for byte what a worker panic mid-request produces. Returns
+    /// whether the lock is now poisoned. Hidden seam for exercising the
+    /// quarantine → flight-recorder path from integration tests.
+    #[doc(hidden)]
+    pub fn poison_campaign(&self, campaign: &str) -> bool {
+        let Ok(slot) = self.slot(campaign) else {
+            return false;
+        };
+        let poisoner = Arc::clone(&slot);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            panic!("poison_campaign: deliberate panic while holding the state lock");
+        })
+        .join();
+        let poisoned = slot.state.lock().is_err();
+        poisoned
     }
 
     /// Execute one request. Every failure is a typed
@@ -342,7 +368,15 @@ impl CampaignRegistry {
     /// Bump the campaign's error-frequency counter for a refusal
     /// response. Refusal paths only — the common accept path never
     /// touches the obs registry's lock.
+    ///
+    /// Also the flight-recorder trigger seam: a quarantine refusal
+    /// freezes a bundle immediately (the rings that explain the panic
+    /// are still warm), and a typed-refusal **storm** — too many
+    /// consecutive refusals with no accept between them — freezes one
+    /// too, so an operator gets a black box even when no single refusal
+    /// is fatal.
     fn count_refusal(&self, campaign: &str, response: &Response) {
+        let flight = dptd_obs::flight::global();
         let suffix = match response {
             Response::Busy { .. } => names::REFUSED_BUSY,
             Response::Error { code, .. } => match code {
@@ -354,25 +388,46 @@ impl CampaignRegistry {
                         .set(1);
                     names::REFUSED_QUARANTINED
                 }
-                _ => return,
+                _ => {
+                    flight.note_accept();
+                    return;
+                }
             },
-            _ => return,
+            _ => {
+                flight.note_accept();
+                return;
+            }
         };
         self.obs
             .counter(&names::campaign_metric(campaign, suffix))
             .incr();
+        let storm = flight.note_refusal();
+        if suffix == names::REFUSED_QUARANTINED {
+            flight.freeze("quarantine", self.status_snapshot());
+        } else if storm {
+            flight.freeze("refusal-storm", self.status_snapshot());
+        }
     }
 
     fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::CreateCampaign { campaign, spec } => self.create(&campaign, &spec),
-            Request::SubmitReports { campaign, reports } => self.submit(&campaign, reports),
+            Request::SubmitReports {
+                campaign,
+                reports,
+                ctx,
+            } => self.submit(&campaign, reports, ctx),
             Request::CloseRound { campaign, epoch } => self.close_round(&campaign, epoch),
             Request::QueryTruths { campaign } => self.query_truths(&campaign),
             Request::QueryBudget { campaign } => self.query_budget(&campaign),
             Request::QueryMetrics { campaign } => self.query_metrics(&campaign),
             Request::QueryStatus => Response::Status {
                 snapshot: self.status_snapshot(),
+            },
+            Request::QueryTrace => Response::TraceDump {
+                anchor_ns: dptd_obs::trace::wall_anchor_ns(),
+                dropped: dptd_obs::trace::dropped_events(),
+                events: dptd_obs::trace::collect(),
             },
             // Pipelined batches carry per-connection sequencing state,
             // which only the connection front end holds; one reaching
@@ -572,7 +627,19 @@ impl CampaignRegistry {
         Response::Created { resumed_rounds }
     }
 
-    fn submit(&self, campaign: &str, reports: Vec<StampedReport>) -> Response {
+    fn submit(
+        &self,
+        campaign: &str,
+        reports: Vec<StampedReport>,
+        ctx: Option<dptd_obs::SpanContext>,
+    ) -> Response {
+        // Adopt the client's span as this thread's ambient context for
+        // the duration of the request: the SUBMIT / QUEUE_FULL instants
+        // below then causally link to the sender's trace. Gated on the
+        // local tracing switch so an untraced server ignores contexts.
+        let _ctx_guard = ctx
+            .filter(|_| dptd_obs::trace::enabled())
+            .map(dptd_obs::trace::enter);
         let slot = match self.slot(campaign) {
             Ok(s) => s,
             Err(resp) => return resp,
@@ -760,6 +827,15 @@ impl CampaignRegistry {
     /// views ([`MetricsSnapshot::campaign_shares`]) are computed by the
     /// consumer from these counters.
     pub fn status_snapshot(&self) -> MetricsSnapshot {
+        let snap = self.status_snapshot_inner();
+        // Every status cut also lands in the flight recorder's bounded
+        // ring: the periodic `--watch` poll becomes the black box's
+        // history for free.
+        dptd_obs::flight::global().record("status", snap.clone());
+        snap
+    }
+
+    fn status_snapshot_inner(&self) -> MetricsSnapshot {
         let mut snap = self.obs.snapshot();
         let (live, accepted, refused, io_threads) = self.conn_counts();
         snap.set(
@@ -917,6 +993,7 @@ mod tests {
         let resp = reg.handle(Request::SubmitReports {
             campaign: "c".to_string(),
             reports: vec![stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)],
+            ctx: None,
         });
         assert_eq!(resp, Response::Submitted { queued: 2 });
 
@@ -979,6 +1056,7 @@ mod tests {
             reg.handle(Request::SubmitReports {
                 campaign: "c".to_string(),
                 reports: batch,
+                ctx: None,
             }),
             Response::Submitted { queued: 3 }
         );
@@ -987,6 +1065,7 @@ mod tests {
             reg.handle(Request::SubmitReports {
                 campaign: "c".to_string(),
                 reports: vec![stamped(0, 3, 1, 3.0)],
+                ctx: None,
             }),
             Response::Busy {
                 queued: 3,
@@ -1003,6 +1082,7 @@ mod tests {
             reg.handle(Request::SubmitReports {
                 campaign: "c".to_string(),
                 reports: vec![stamped(1, 3, 1, 3.0)],
+                ctx: None,
             }),
             Response::Submitted { queued: 1 }
         );
@@ -1015,6 +1095,7 @@ mod tests {
         let resp = reg.handle(Request::SubmitReports {
             campaign: "c".to_string(),
             reports: vec![stamped(5, 0, 1, 1.0)],
+            ctx: None,
         });
         assert!(
             matches!(
@@ -1042,6 +1123,7 @@ mod tests {
         let resp = reg.handle(Request::SubmitReports {
             campaign: "c".to_string(),
             reports: vec![stamped(0, 99, 1, 1.0)],
+            ctx: None,
         });
         assert!(matches!(
             resp,
@@ -1061,6 +1143,7 @@ mod tests {
             reg.handle(Request::SubmitReports {
                 campaign: "c".to_string(),
                 reports: vec![stamped(epoch, 0, 1, 1.0), stamped(epoch, 1, 2, 2.0)],
+                ctx: None,
             });
             let resp = reg.handle(Request::CloseRound {
                 campaign: "c".to_string(),
@@ -1073,6 +1156,7 @@ mod tests {
         reg.handle(Request::SubmitReports {
             campaign: "c".to_string(),
             reports: vec![stamped(2, 0, 1, 1.0), stamped(2, 1, 2, 2.0)],
+            ctx: None,
         });
         let resp = reg.handle(Request::CloseRound {
             campaign: "c".to_string(),
@@ -1111,6 +1195,7 @@ mod tests {
             reg.handle(Request::SubmitReports {
                 campaign: "c".to_string(),
                 reports: vec![stamped(1, 2, 1, 2.0)],
+                ctx: None,
             }),
             Response::Submitted { queued: 1 }
         );
@@ -1118,6 +1203,7 @@ mod tests {
         let resp = reg.handle(Request::SubmitReports {
             campaign: "c".to_string(),
             reports: vec![stamped(2, 0, 1, 1.0)],
+            ctx: None,
         });
         assert!(
             matches!(
@@ -1133,6 +1219,7 @@ mod tests {
         let resp = reg.handle(Request::SubmitReports {
             campaign: "c".to_string(),
             reports: vec![stamped(0, 0, 1, 1.0), stamped(1, 1, 2, 2.0)],
+            ctx: None,
         });
         assert!(
             matches!(
@@ -1148,6 +1235,7 @@ mod tests {
         reg.handle(Request::SubmitReports {
             campaign: "c".to_string(),
             reports: vec![stamped(0, 0, 1, 1.0), stamped(0, 1, 2, 2.0)],
+            ctx: None,
         });
         let resp = reg.handle(Request::CloseRound {
             campaign: "c".to_string(),
@@ -1175,6 +1263,7 @@ mod tests {
         reg.handle(Request::SubmitReports {
             campaign: "c".to_string(),
             reports: vec![stamped(0, 0, 1, 1.0)],
+            ctx: None,
         });
         let resp = reg.handle(Request::QueryMetrics {
             campaign: "c".to_string(),
@@ -1212,6 +1301,7 @@ mod tests {
                 campaign: "c".to_string(),
                 epoch: 0,
                 refused: vec![],
+                ctx: None,
             },
             Request::QueryLedger {
                 campaign: "c".to_string(),
@@ -1254,6 +1344,7 @@ mod tests {
             Request::SubmitReports {
                 campaign: "c".to_string(),
                 reports: vec![stamped(0, 0, 1, 1.0)],
+                ctx: None,
             },
             Request::CloseRound {
                 campaign: "c".to_string(),
@@ -1287,6 +1378,7 @@ mod tests {
         let resp = reg.handle(Request::SubmitReports {
             campaign: "healthy".to_string(),
             reports: vec![stamped(0, 0, 1, 1.0)],
+            ctx: None,
         });
         assert_eq!(resp, Response::Submitted { queued: 1 });
         // Shutdown still drains the quarantined slot without panicking.

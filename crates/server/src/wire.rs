@@ -31,7 +31,9 @@
 use std::fmt;
 
 use dptd_core::roles::PerturbedReport;
-use dptd_obs::{HistogramSnapshot, MetricValue, MetricsSnapshot, NUM_BUCKETS};
+use dptd_obs::{
+    HistogramSnapshot, MetricValue, MetricsSnapshot, SpanContext, TraceEvent, NUM_BUCKETS,
+};
 use dptd_protocol::message::StampedReport;
 use dptd_stats::digest::Fnv1a;
 
@@ -312,6 +314,11 @@ pub enum Request {
         campaign: String,
         /// The batch, in stream order.
         reports: Vec<StampedReport>,
+        /// Optional trace-context extension: the sender's current span,
+        /// so the server's queue/merge spans causally link to the
+        /// client's submit span. `None` encodes byte-identically to the
+        /// pre-extension frame, so untraced peers interoperate.
+        ctx: Option<SpanContext>,
     },
     /// Execute the campaign's next round over everything submitted since
     /// the previous close.
@@ -362,6 +369,10 @@ pub enum Request {
         /// ledger says is exhausted — their reports are withheld before
         /// the deadline cut, matching the driver's refusal order.
         refused: Vec<u64>,
+        /// Optional trace-context extension: the coordinator's barrier
+        /// span, so the node's drain span parents under it in a merged
+        /// timeline. `None` is byte-identical to the pre-extension frame.
+        ctx: Option<SpanContext>,
     },
     /// Phase two of the barrier: durably append the node's slice of the
     /// merged round to its WAL. Idempotent — re-sending the previous
@@ -383,6 +394,9 @@ pub enum Request {
         /// The node's slice of the post-round debit ledger, one per
         /// local user.
         rounds_debited: Vec<u32>,
+        /// Optional trace-context extension (see
+        /// [`Request::CloseRoundPrepare::ctx`]).
+        ctx: Option<SpanContext>,
     },
     /// Stream one committed store operation to a follower, in commit
     /// order. The follower applies it under its replica root and acks
@@ -433,6 +447,9 @@ pub enum Request {
         seq: u64,
         /// The batch, in stream order.
         reports: Vec<StampedReport>,
+        /// Optional trace-context extension (see
+        /// [`Request::SubmitReports::ctx`]).
+        ctx: Option<SpanContext>,
     },
     /// Read the server's full observability snapshot: every registry
     /// metric (connection gauges, per-campaign stage-busy counters,
@@ -440,6 +457,11 @@ pub enum Request {
     /// histograms — the frame behind `dptd status --connect`. Unlike
     /// [`Request::QueryMetrics`] it is server-wide, not per-campaign.
     QueryStatus,
+    /// Read the process's retained trace rings — every event the
+    /// per-thread buffers still hold, plus the wall-clock anchor that
+    /// lets a coordinator align timelines from different machines. The
+    /// frame behind `dptd cluster trace`.
+    QueryTrace,
 }
 
 /// One refused batch inside a [`Response::SubmitAcked`], carried as a
@@ -603,6 +625,21 @@ pub enum Response {
         /// Every metric the server's registry holds, sorted by name.
         snapshot: dptd_obs::MetricsSnapshot,
     },
+    /// The process's retained trace rings (reply to
+    /// [`Request::QueryTrace`]).
+    TraceDump {
+        /// Wall-clock nanoseconds since the Unix epoch at the process's
+        /// trace epoch — `ts_ns + anchor_ns` places an event on the
+        /// shared wall clock, which is how a coordinator aligns rings
+        /// from different processes into one timeline.
+        anchor_ns: u64,
+        /// Per-ring truncation: `(tid, events_overwritten)` for every
+        /// ring that wrapped, so a merged timeline can say what is
+        /// missing instead of silently looking complete.
+        dropped: Vec<(u64, u64)>,
+        /// The retained events, oldest-first per ring.
+        events: Vec<TraceEvent>,
+    },
 }
 
 const KIND_CREATE: u8 = 0x01;
@@ -618,6 +655,7 @@ const KIND_REPLICATE: u8 = 0x0a;
 const KIND_QUERY_LEDGER: u8 = 0x0b;
 const KIND_SUBMIT_STREAM: u8 = 0x0c;
 const KIND_QUERY_STATUS: u8 = 0x0d;
+const KIND_QUERY_TRACE: u8 = 0x0e;
 const KIND_CREATED: u8 = 0x81;
 const KIND_SUBMITTED: u8 = 0x82;
 const KIND_BUSY: u8 = 0x83;
@@ -633,6 +671,7 @@ const KIND_REPLICATED: u8 = 0x8c;
 const KIND_LEDGER: u8 = 0x8d;
 const KIND_SUBMIT_ACKED: u8 = 0x8e;
 const KIND_STATUS: u8 = 0x8f;
+const KIND_TRACE_DUMP: u8 = 0x90;
 
 fn checksum(body: &[u8]) -> u64 {
     let mut h = Fnv1a::new();
@@ -928,6 +967,73 @@ fn read_claim(r: &mut Reader<'_>) -> Result<PerturbedReport, WireError> {
     Ok(PerturbedReport { user, values })
 }
 
+/// Encoded size of the optional trace-context extension (trace id +
+/// span id). When present it is always the **last** 16 bytes of the
+/// payload — decoders read it iff bytes remain after the v1 fields, so
+/// an absent context keeps the frame byte-identical to the
+/// pre-extension layout and old peers interoperate untraced.
+const CTX_BYTES: usize = 8 + 8;
+
+fn write_opt_ctx(w: &mut Writer, ctx: Option<SpanContext>) {
+    if let Some(c) = ctx {
+        w.u64(c.trace_id);
+        w.u64(c.span_id);
+    }
+}
+
+fn read_opt_ctx(r: &mut Reader<'_>) -> Result<Option<SpanContext>, WireError> {
+    if r.buf.is_empty() {
+        return Ok(None);
+    }
+    if r.buf.len() != CTX_BYTES {
+        return Err(WireError::Malformed(
+            "trace-context extension is not 16 bytes",
+        ));
+    }
+    Ok(Some(SpanContext {
+        trace_id: r.u64()?,
+        span_id: r.u64()?,
+    }))
+}
+
+/// Encoded size of one trace event (tid + ts + phase + code + arg +
+/// trace/span/parent ids).
+const TRACE_EVENT_BYTES: usize = 8 + 8 + 1 + 4 + 8 + 8 + 8 + 8;
+/// Encoded size of one per-ring truncation pair (tid + dropped).
+const TRACE_DROP_BYTES: usize = 8 + 8;
+
+fn write_trace_event(w: &mut Writer, e: &TraceEvent) {
+    w.u64(e.tid);
+    w.u64(e.ts_ns);
+    w.u8(e.phase as u8);
+    w.u32(e.code);
+    w.u64(e.arg);
+    w.u64(e.trace_id);
+    w.u64(e.span_id);
+    w.u64(e.parent_span);
+}
+
+fn read_trace_event(r: &mut Reader<'_>) -> Result<TraceEvent, WireError> {
+    let tid = r.u64()?;
+    let ts_ns = r.u64()?;
+    let phase = match r.u8()? {
+        b'B' => 'B',
+        b'E' => 'E',
+        b'i' => 'i',
+        _ => return Err(WireError::Malformed("unknown trace event phase")),
+    };
+    Ok(TraceEvent {
+        tid,
+        ts_ns,
+        phase,
+        code: r.u32()?,
+        arg: r.u64()?,
+        trace_id: r.u64()?,
+        span_id: r.u64()?,
+        parent_span: r.u64()?,
+    })
+}
+
 /// Validate a replicated store file name: same path-safe charset as a
 /// campaign id (the follower joins it onto its replica directory, so
 /// nothing path-like may pass).
@@ -1115,13 +1221,18 @@ impl Request {
                 w.str(campaign);
                 spec.write(&mut w);
             }
-            Request::SubmitReports { campaign, reports } => {
+            Request::SubmitReports {
+                campaign,
+                reports,
+                ctx,
+            } => {
                 w = Writer::new(KIND_SUBMIT);
                 w.str(campaign);
                 w.u32(reports.len() as u32);
                 for r in reports {
                     write_report(&mut w, r);
                 }
+                write_opt_ctx(&mut w, *ctx);
             }
             Request::CloseRound { campaign, epoch } => {
                 w = Writer::new(KIND_CLOSE);
@@ -1149,11 +1260,13 @@ impl Request {
                 campaign,
                 epoch,
                 refused,
+                ctx,
             } => {
                 w = Writer::new(KIND_CLOSE_PREPARE);
                 w.str(campaign);
                 w.u64(*epoch);
                 write_u64s(&mut w, refused);
+                write_opt_ctx(&mut w, *ctx);
             }
             Request::CloseRoundCommit {
                 campaign,
@@ -1162,6 +1275,7 @@ impl Request {
                 accepted_users,
                 cumulative_losses,
                 rounds_debited,
+                ctx,
             } => {
                 w = Writer::new(KIND_CLOSE_COMMIT);
                 w.str(campaign);
@@ -1170,6 +1284,7 @@ impl Request {
                 write_u64s(&mut w, accepted_users);
                 write_f64s(&mut w, cumulative_losses);
                 write_u32s(&mut w, rounds_debited);
+                write_opt_ctx(&mut w, *ctx);
             }
             Request::ReplicateSegment {
                 campaign,
@@ -1197,6 +1312,7 @@ impl Request {
                 campaign,
                 seq,
                 reports,
+                ctx,
             } => {
                 w = Writer::new(KIND_SUBMIT_STREAM);
                 w.str(campaign);
@@ -1205,9 +1321,13 @@ impl Request {
                 for r in reports {
                     write_report(&mut w, r);
                 }
+                write_opt_ctx(&mut w, *ctx);
             }
             Request::QueryStatus => {
                 w = Writer::new(KIND_QUERY_STATUS);
+            }
+            Request::QueryTrace => {
+                w = Writer::new(KIND_QUERY_TRACE);
             }
         }
         frame(w.buf)
@@ -1234,7 +1354,11 @@ impl Request {
                 for _ in 0..count {
                     reports.push(read_report(&mut r)?);
                 }
-                Request::SubmitReports { campaign, reports }
+                Request::SubmitReports {
+                    campaign,
+                    reports,
+                    ctx: read_opt_ctx(&mut r)?,
+                }
             }
             KIND_CLOSE => Request::CloseRound {
                 campaign: r.campaign_id()?,
@@ -1257,6 +1381,7 @@ impl Request {
                 campaign: r.campaign_id()?,
                 epoch: r.u64()?,
                 refused: read_u64s(&mut r)?,
+                ctx: read_opt_ctx(&mut r)?,
             },
             KIND_CLOSE_COMMIT => Request::CloseRoundCommit {
                 campaign: r.campaign_id()?,
@@ -1265,6 +1390,7 @@ impl Request {
                 accepted_users: read_u64s(&mut r)?,
                 cumulative_losses: read_f64s(&mut r)?,
                 rounds_debited: read_u32s(&mut r)?,
+                ctx: read_opt_ctx(&mut r)?,
             },
             KIND_REPLICATE => {
                 let campaign = r.campaign_id()?;
@@ -1301,9 +1427,11 @@ impl Request {
                     campaign,
                     seq,
                     reports,
+                    ctx: read_opt_ctx(&mut r)?,
                 }
             }
             KIND_QUERY_STATUS => Request::QueryStatus,
+            KIND_QUERY_TRACE => Request::QueryTrace,
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -1445,6 +1573,23 @@ impl Response {
                 w = Writer::new(KIND_STATUS);
                 write_snapshot(&mut w, snapshot);
             }
+            Response::TraceDump {
+                anchor_ns,
+                dropped,
+                events,
+            } => {
+                w = Writer::new(KIND_TRACE_DUMP);
+                w.u64(*anchor_ns);
+                w.u32(dropped.len() as u32);
+                for &(tid, n) in dropped {
+                    w.u64(tid);
+                    w.u64(n);
+                }
+                w.u32(events.len() as u32);
+                for e in events {
+                    write_trace_event(&mut w, e);
+                }
+            }
         }
         frame(w.buf)
     }
@@ -1566,6 +1711,24 @@ impl Response {
             KIND_STATUS => Response::Status {
                 snapshot: read_snapshot(&mut r)?,
             },
+            KIND_TRACE_DUMP => {
+                let anchor_ns = r.u64()?;
+                let ndropped = r.bounded_count(TRACE_DROP_BYTES)?;
+                let mut dropped = Vec::with_capacity(ndropped);
+                for _ in 0..ndropped {
+                    dropped.push((r.u64()?, r.u64()?));
+                }
+                let nevents = r.bounded_count(TRACE_EVENT_BYTES)?;
+                let mut events = Vec::with_capacity(nevents);
+                for _ in 0..nevents {
+                    events.push(read_trace_event(&mut r)?);
+                }
+                Response::TraceDump {
+                    anchor_ns,
+                    dropped,
+                    events,
+                }
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -1634,6 +1797,15 @@ mod tests {
                 stamped(3, 0, 10, vec![(0, 1.5), (2, -0.5)]),
                 stamped(3, 1, 20, vec![]),
             ],
+            ctx: None,
+        });
+        roundtrip_request(Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![stamped(3, 0, 10, vec![(0, 1.5)])],
+            ctx: Some(SpanContext {
+                trace_id: 0xDEAD_BEEF_CAFE_F00D,
+                span_id: 0x0123_4567_89AB_CDEF,
+            }),
         });
         roundtrip_request(Request::CloseRound {
             campaign: "c".to_string(),
@@ -1693,6 +1865,16 @@ mod tests {
             campaign: "c".to_string(),
             epoch: 3,
             refused: vec![0, 7, 12],
+            ctx: None,
+        });
+        roundtrip_request(Request::CloseRoundPrepare {
+            campaign: "c".to_string(),
+            epoch: 3,
+            refused: vec![],
+            ctx: Some(SpanContext {
+                trace_id: 17,
+                span_id: 92,
+            }),
         });
         roundtrip_request(Request::CloseRoundCommit {
             campaign: "c".to_string(),
@@ -1701,6 +1883,19 @@ mod tests {
             accepted_users: vec![1, 2],
             cumulative_losses: vec![0.5, -1.25, 3.0e-300],
             rounds_debited: vec![2, 0, 1],
+            ctx: None,
+        });
+        roundtrip_request(Request::CloseRoundCommit {
+            campaign: "c".to_string(),
+            epoch: 3,
+            batches_seen: 4,
+            accepted_users: vec![1, 2],
+            cumulative_losses: vec![0.5],
+            rounds_debited: vec![2],
+            ctx: Some(SpanContext {
+                trace_id: u64::MAX,
+                span_id: 1,
+            }),
         });
         roundtrip_request(Request::ReplicateSegment {
             campaign: "c".to_string(),
@@ -1786,6 +1981,16 @@ mod tests {
                 stamped(3, 0, 10, vec![(0, 1.5), (2, -0.5)]),
                 stamped(3, 1, 20, vec![]),
             ],
+            ctx: None,
+        });
+        roundtrip_request(Request::SubmitReportsStream {
+            campaign: "c".to_string(),
+            seq: 18,
+            reports: vec![stamped(3, 1, 20, vec![])],
+            ctx: Some(SpanContext {
+                trace_id: 0xF00D,
+                span_id: 0xBEEF,
+            }),
         });
         roundtrip_response(Response::SubmitAcked {
             contiguous: 18,
@@ -1952,6 +2157,171 @@ mod tests {
     }
 
     #[test]
+    fn every_trace_message_roundtrips() {
+        roundtrip_request(Request::QueryTrace);
+        roundtrip_response(Response::TraceDump {
+            anchor_ns: 0,
+            dropped: vec![],
+            events: vec![],
+        });
+        roundtrip_response(Response::TraceDump {
+            anchor_ns: 1_700_000_000_000_000_000,
+            dropped: vec![(1, 0), (3, 4096)],
+            events: vec![
+                TraceEvent {
+                    tid: 1,
+                    ts_ns: 1_500,
+                    phase: 'B',
+                    code: 1,
+                    arg: 7,
+                    trace_id: 0xABC,
+                    span_id: 0x11,
+                    parent_span: 0,
+                },
+                TraceEvent {
+                    tid: 1,
+                    ts_ns: 2_000,
+                    phase: 'i',
+                    code: 4,
+                    arg: 128,
+                    trace_id: 0xABC,
+                    span_id: 0,
+                    parent_span: 0x11,
+                },
+                TraceEvent {
+                    tid: 1,
+                    ts_ns: 2_250,
+                    phase: 'E',
+                    code: 1,
+                    arg: 7,
+                    trace_id: 0xABC,
+                    span_id: 0x11,
+                    parent_span: 0,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn golden_trace_wire_layout_is_pinned() {
+        // The trace frames share the v1 framing; a change to either
+        // payload is a format break (bump the HELLO version byte and
+        // keep v1 decoders).
+        let bytes = Request::QueryTrace.encode();
+        // body := kind(0x0e)  → 1 byte
+        let body = vec![0x0e];
+        let golden: Vec<u8> = [
+            1u32.to_le_bytes().to_vec(),
+            (1u32 ^ u32::from_le_bytes(*b"NET1")).to_le_bytes().to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "QueryTrace wire layout changed");
+
+        let bytes = Response::TraceDump {
+            anchor_ns: 99,
+            dropped: vec![(2, 5)],
+            events: vec![TraceEvent {
+                tid: 2,
+                ts_ns: 1_500,
+                phase: 'B',
+                code: 1,
+                arg: 7,
+                trace_id: 0xABC,
+                span_id: 0x11,
+                parent_span: 0x22,
+            }],
+        }
+        .encode();
+        // body := kind(0x90) anchor:u64 ndropped:u32 tid:u64 n:u64
+        //         nevents:u32 tid:u64 ts:u64 phase:u8 code:u32 arg:u64
+        //         trace:u64 span:u64 parent:u64
+        let body: Vec<u8> = [
+            vec![0x90],
+            99u64.to_le_bytes().to_vec(),
+            1u32.to_le_bytes().to_vec(),
+            2u64.to_le_bytes().to_vec(),
+            5u64.to_le_bytes().to_vec(),
+            1u32.to_le_bytes().to_vec(),
+            2u64.to_le_bytes().to_vec(),
+            1_500u64.to_le_bytes().to_vec(),
+            vec![b'B'],
+            1u32.to_le_bytes().to_vec(),
+            7u64.to_le_bytes().to_vec(),
+            0xABCu64.to_le_bytes().to_vec(),
+            0x11u64.to_le_bytes().to_vec(),
+            0x22u64.to_le_bytes().to_vec(),
+        ]
+        .concat();
+        let golden: Vec<u8> = [
+            (body.len() as u32).to_le_bytes().to_vec(),
+            ((body.len() as u32) ^ u32::from_le_bytes(*b"NET1"))
+                .to_le_bytes()
+                .to_vec(),
+            checksum(&body).to_le_bytes().to_vec(),
+            body,
+        ]
+        .concat();
+        assert_eq!(bytes, golden, "TraceDump wire layout changed");
+    }
+
+    #[test]
+    fn trace_context_extension_is_all_or_nothing() {
+        // The context extension is exactly 16 trailing bytes; a partial
+        // one is malformed, not silently dropped.
+        let good = Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![],
+            ctx: Some(SpanContext {
+                trace_id: 1,
+                span_id: 2,
+            }),
+        }
+        .encode();
+        let (body, _) = split_frame(&good).unwrap();
+        let partial = &body[..body.len() - 8];
+        assert_eq!(
+            Request::decode(partial),
+            Err(WireError::Malformed(
+                "trace-context extension is not 16 bytes"
+            ))
+        );
+
+        // And a with-context frame is exactly the without-context frame
+        // plus the 16-byte tail — old decoders see old bytes when the
+        // sender is untraced.
+        let bare = Request::SubmitReports {
+            campaign: "c".to_string(),
+            reports: vec![],
+            ctx: None,
+        }
+        .encode();
+        let (bare_body, _) = split_frame(&bare).unwrap();
+        assert_eq!(&body[..body.len() - CTX_BYTES], bare_body);
+    }
+
+    #[test]
+    fn trace_dump_refuses_unknown_phases() {
+        let mut w = Writer::new(KIND_TRACE_DUMP);
+        w.u64(0);
+        w.u32(0);
+        w.u32(1);
+        w.u64(1);
+        w.u64(10);
+        w.u8(b'X');
+        w.u32(1);
+        w.u64(0);
+        w.u64(0);
+        w.u64(0);
+        w.u64(0);
+        assert_eq!(
+            Response::decode(&w.buf),
+            Err(WireError::Malformed("unknown trace event phase"))
+        );
+    }
+
+    #[test]
     fn submit_acked_refuses_unknown_refusal_codes() {
         let mut w = Writer::new(KIND_SUBMIT_ACKED);
         w.u64(0);
@@ -1974,6 +2344,7 @@ mod tests {
             campaign: "cafe".to_string(),
             seq: 7,
             reports: vec![stamped(3, 9, 11, vec![(1, 2.5)])],
+            ctx: None,
         }
         .encode();
         // body := kind(0x0c) idlen:u16 "cafe" seq:u64 count:u32

@@ -78,6 +78,7 @@ fn frame_stream(seeds: &[(u64, usize)]) -> Vec<u8> {
             &Request::SubmitReports {
                 campaign: format!("c{epoch}"),
                 reports,
+                ctx: None,
             }
             .encode(),
         );

@@ -64,6 +64,7 @@ proptest! {
         let request = Request::SubmitReports {
             campaign: "prop-campaign".to_string(),
             reports,
+            ctx: None,
         };
         let frame = request.encode();
 
@@ -206,6 +207,7 @@ fn torn_write_mid_frame_disconnect_leaves_the_server_serving() {
         let frame = Request::SubmitReports {
             campaign: "healthy".to_string(),
             reports: vec![stamped(0, 0, 1.0)],
+            ctx: None,
         }
         .encode();
         assert!(torn_cut < frame.len());

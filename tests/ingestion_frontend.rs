@@ -70,6 +70,7 @@ fn stall_half_frame(addr: std::net::SocketAddr) -> TcpStream {
                 values: vec![(0, 1.0)],
             },
         }],
+        ctx: None,
     }
     .encode();
     let mut raw = TcpStream::connect(addr).unwrap();
